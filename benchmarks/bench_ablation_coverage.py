@@ -1,0 +1,51 @@
+"""Ablation — coverage-based plan reduction (§IV-D).
+
+ProFIPy runs a fault-free instrumented pass to drop injection points the
+workload never reaches, "since the fault would not cause any effect".
+This ablation runs the external-API campaign with and without the
+reduction and reports experiments and wall-clock saved, plus the wasted
+no-failure experiments the reduction avoided.
+"""
+
+from conftest import write_result
+
+from repro.casestudy import case_study_config
+from repro.orchestrator.campaign import Campaign
+
+
+def _run(tmp_path, coverage: bool):
+    config = case_study_config(
+        "external_api", tmp_path,
+        command_timeout=30, parallelism=2, seed=6,
+    )
+    config.coverage = coverage
+    config.workspace = tmp_path / f"ws-{'cov' if coverage else 'nocov'}"
+    return Campaign(config).run()
+
+
+def test_coverage_reduction(benchmark, tmp_path):
+    reduced = benchmark.pedantic(lambda: _run(tmp_path, True),
+                                 rounds=1, iterations=1)
+    full = _run(tmp_path, False)
+
+    assert full.points_found == reduced.points_found
+    assert reduced.executed < full.executed
+    # Every experiment pruned by coverage would have been wasted: the
+    # uncovered faults cause no failure when injected anyway.
+    pruned = full.executed - reduced.executed
+    no_failure_full = full.executed - len(full.failures)
+    assert no_failure_full >= pruned
+
+    write_result(
+        "ablation_coverage",
+        "Coverage-reduction ablation (external-API campaign):\n"
+        f"  without reduction: {full.executed} experiments, "
+        f"{len(full.failures)} with failures, "
+        f"{full.execution_seconds:.0f} s execution\n"
+        f"  with reduction:    {reduced.executed} experiments, "
+        f"{len(reduced.failures)} with failures, "
+        f"{reduced.execution_seconds:.0f} s execution "
+        f"(+{reduced.coverage_seconds:.0f} s pre-run)\n"
+        f"  pruned {pruned} experiments that cannot fail "
+        "(fault never activated)",
+    )

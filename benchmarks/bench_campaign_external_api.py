@@ -1,0 +1,49 @@
+"""VA — §V-A campaign: errors from external library APIs.
+
+Paper: 26 injection points in calls to urllib/os, 13 covered by the
+workload, failures in 12 experiments; failure modes include reconnection
+failures (unavailability in round 2), inconsistent server state, and
+client crashes due to unhandled exceptions.
+
+Here: the same fault categories (Throw Exception / None return / omitted
+call / omitted parameters) on the pyetcd client's urllib/os calls.  The
+absolute counts differ (our client is smaller than python-etcd 0.4.5);
+the shape must hold — partial coverage (error handlers are not reached by
+a fault-free run) and a majority of covered injections failing.
+"""
+
+from conftest import write_result
+
+from repro.casestudy import run_case_study
+
+
+def test_campaign_external_api(benchmark, tmp_path):
+    def run():
+        return run_case_study(
+            "external_api",
+            workspace=tmp_path,
+            command_timeout=30,
+            parallelism=2,
+            seed=1,
+        )
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Shape of §V-A: partial coverage, and most covered faults bite.
+    assert result.coverage is not None
+    assert 0 < result.coverage.covered_count < result.points_found
+    assert result.executed == result.coverage.covered_count
+    assert len(result.failures) >= result.executed // 2
+
+    availability = report.availability
+    write_result(
+        "campaign_external_api",
+        "Campaign V-A (external API errors) — paper vs measured:\n"
+        "  paper:    26 points, 13 covered, 12 experiments with failures\n"
+        f"  measured: {result.points_found} points, "
+        f"{result.coverage.covered_count} covered, "
+        f"{len(result.failures)} experiments with failures\n"
+        f"  round-2 availability: {availability.available}/"
+        f"{availability.total}\n\n"
+        + report.render(),
+    )

@@ -1,0 +1,61 @@
+"""VC — §V-C campaign: resource management bugs (CPU hogs).
+
+Paper: 37 injectable locations, all covered, service failures in 14
+experiments; stale CPU-hogging threads starve the client, causing process
+terminations and inconsistent reads; mitigation is monitoring/cleanup of
+stale threads.
+
+Here: ``$HOG`` spawns stale busy threads inside the client's hot methods
+(they are daemons, so sandbox teardown always reclaims them — the paper's
+container cleanup).  The shape: high coverage, experiments still
+terminate within their budget, and a fraction of them fail (timeouts or
+slowed-down workload assertions).
+"""
+
+from conftest import write_result
+
+from repro.casestudy import run_case_study
+
+SAMPLE = 6
+
+
+def test_campaign_resource_hogs(benchmark, tmp_path):
+    def run():
+        # parallelism=None applies the adaptive N-1 rule; hog experiments
+        # interfere across sandboxes if the host is oversubscribed.
+        return run_case_study(
+            "resource_hogs",
+            workspace=tmp_path,
+            command_timeout=25,
+            sample=SAMPLE,
+            parallelism=None,
+            seed=3,
+        )
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert result.coverage is not None
+    # Nearly all hog points sit on the hot request path.
+    assert result.coverage.covered_count >= result.points_found - 3
+    assert result.executed == SAMPLE
+    assert all(e.completed for e in result.experiments)
+    # Hog experiments terminate (daemon threads die with the sandbox).
+    assert all(e.duration < 180 for e in result.experiments)
+    # §V-C shape: hogs on hot paths cause service failures, cold sites
+    # survive — a genuine mixture, not all-or-nothing.
+    assert 0 < len(result.failures) < SAMPLE
+
+    durations = sorted(e.duration for e in result.experiments)
+    write_result(
+        "campaign_resource_hogs",
+        "Campaign V-C (resource hogs) — paper vs measured:\n"
+        "  paper:    37 points, all covered, 14 experiments with service "
+        "failures\n"
+        f"  measured: {result.points_found} points, "
+        f"{result.coverage.covered_count} covered, "
+        f"{len(result.failures)}/{result.executed} sampled experiments "
+        "with failures\n"
+        f"  experiment durations: min={durations[0]:.1f}s "
+        f"max={durations[-1]:.1f}s\n\n"
+        + report.render(),
+    )

@@ -1,0 +1,59 @@
+"""VB — §V-B campaign: wrong inputs to the client API.
+
+Paper: 66 injection points, all covered by the workload, failures in 29
+experiments; modes: ``AttributeError: 'NoneType' object has no attribute
+startswith``, ``EtcdKeyNotFound``, ``EtcdException: Bad response: 400 Bad
+Request``.
+
+Here: corrupted/None keys and values and negative TTLs injected at the
+parameter-handling sites of the pyetcd client.  The shape to reproduce:
+100% coverage (the workload exercises every public API method), a large
+failure fraction, and the same three failure-mode families.
+"""
+
+from conftest import write_result
+
+from repro.casestudy import run_case_study
+
+SAMPLE = 16
+
+
+def test_campaign_wrong_inputs(benchmark, tmp_path):
+    def run():
+        return run_case_study(
+            "wrong_inputs",
+            workspace=tmp_path,
+            command_timeout=30,
+            sample=SAMPLE,
+            parallelism=2,
+            seed=2,
+        )
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Shape of §V-B: full coverage and a substantial failure fraction.
+    assert result.coverage is not None
+    assert result.coverage.covered_count == result.points_found
+    assert result.executed == SAMPLE
+    assert len(result.failures) >= SAMPLE // 3
+
+    modes = report.distribution.counts(include_no_failure=False)
+    paper_modes = {"none_input_crash", "key_not_found", "bad_request"}
+    observed_paper_modes = paper_modes & set(modes)
+    assert observed_paper_modes, (
+        f"expected at least one of {paper_modes}, got {set(modes)}"
+    )
+
+    write_result(
+        "campaign_wrong_inputs",
+        "Campaign V-B (wrong inputs) — paper vs measured:\n"
+        "  paper:    66 points, 66 covered, 29 experiments with failures;\n"
+        "            modes: NoneType startswith, EtcdKeyNotFound, "
+        "400 Bad Request\n"
+        f"  measured: {result.points_found} points, "
+        f"{result.coverage.covered_count} covered, "
+        f"{len(result.failures)}/{result.executed} sampled experiments "
+        "with failures;\n"
+        f"            paper modes observed: {sorted(observed_paper_modes)}\n\n"
+        + report.render(),
+    )

@@ -1,0 +1,122 @@
+"""FIG1 — the three Fig. 1 bug specifications (MFC, MIFS, WPF).
+
+Reproduces the paper's flagship DSL examples: each spec compiles, finds
+injection points in OpenStack-flavoured code, and generates syntactically
+valid mutants.  The benchmark measures compile+scan throughput per spec,
+and the result table reports match counts on the synthetic corpus.
+"""
+
+import ast
+
+from conftest import write_result
+
+from repro.common.fsutil import count_lines, iter_python_files
+from repro.dsl.compiler import compile_text
+from repro.mutator.mutate import Mutator
+from repro.scanner.scan import scan_source
+
+FIG1_SPECS = {
+    # Fig. 1a: missing function call on delete_* APIs.
+    "MFC": """
+    change {
+        $BLOCK{tag=b1; stmts=1,*}
+        $CALL{name=delete_*}(...)
+        $BLOCK{tag=b2; stmts=1,*}
+    } into {
+        $BLOCK{tag=b1}
+        $BLOCK{tag=b2}
+    }
+    """,
+    # Fig. 1b: missing IF construct plus statements guarding `node`.
+    "MIFS": """
+    change {
+        if $EXPR{var=node} :
+            $BLOCK{stmts=1,4}
+            continue
+    } into {
+    }
+    """,
+    # Fig. 1c: wrong parameter (corrupted flag string) in utils.execute.
+    "WPF": """
+    change {
+        $CALL#c{name=utils.execute}(..., $STRING#s{val=*-*}, ...)
+    } into {
+        $CALL#c(..., $CORRUPT($STRING#s), ...)
+    }
+    """,
+}
+
+
+def _corpus_sources(synth_corpus):
+    root, _stats = synth_corpus
+    return {
+        str(path.relative_to(root)): path.read_text(encoding="utf-8")
+        for path in iter_python_files(root)
+    }
+
+
+def _scan_corpus(sources, model):
+    points = []
+    for file, source in sources.items():
+        points.extend(scan_source(source, [model], file=file))
+    return points
+
+
+def test_fig1a_mfc(benchmark, synth_corpus):
+    sources = _corpus_sources(synth_corpus)
+    model = compile_text(FIG1_SPECS["MFC"], name="MFC")
+    points = benchmark(lambda: _scan_corpus(sources, model))
+    assert points, "Fig. 1a pattern must match the corpus"
+
+
+def test_fig1b_mifs(benchmark, synth_corpus):
+    sources = _corpus_sources(synth_corpus)
+    model = compile_text(FIG1_SPECS["MIFS"], name="MIFS")
+    points = benchmark(lambda: _scan_corpus(sources, model))
+    assert points, "Fig. 1b pattern must match the corpus"
+
+
+def test_fig1c_wpf(benchmark, synth_corpus):
+    sources = _corpus_sources(synth_corpus)
+    model = compile_text(FIG1_SPECS["WPF"], name="WPF")
+    points = benchmark(lambda: _scan_corpus(sources, model))
+    assert points, "Fig. 1c pattern must match the corpus"
+
+
+def test_fig1_mutants_valid_and_summary(benchmark, synth_corpus):
+    """Generate one mutant per spec (all must parse) and emit the table."""
+    root, stats = synth_corpus
+    sources = _corpus_sources(synth_corpus)
+    lines = count_lines(iter_python_files(root))
+    rows = []
+
+    def generate_all():
+        generated = 0
+        for name, spec_text in FIG1_SPECS.items():
+            model = compile_text(spec_text, name=name)
+            for file, source in sources.items():
+                matches = scan_source(source, [model], file=file)
+                for point in matches[:2]:
+                    mutation = Mutator(trigger=True).mutate_source(
+                        source, model, point.ordinal, file=file
+                    )
+                    ast.parse(mutation.source)
+                    generated += 1
+        return generated
+
+    generated = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    assert generated > 0
+
+    for name, spec_text in FIG1_SPECS.items():
+        model = compile_text(spec_text, name=name)
+        total = sum(
+            len(scan_source(source, [model], file=file))
+            for file, source in sources.items()
+        )
+        rows.append(f"{name:<6} matches: {total:>5}")
+    write_result(
+        "fig1_dsl_patterns",
+        "Fig. 1 specs on the synthetic corpus "
+        f"({stats.files} files, {lines} lines):\n" + "\n".join(rows)
+        + f"\ntrigger-mode mutants generated and parsed: {generated}",
+    )

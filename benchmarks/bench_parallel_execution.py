@@ -1,0 +1,86 @@
+"""VD3 — §V-D execution: experiment durations and N-1 parallelism.
+
+Paper: a single Python-etcd experiment takes 10–120 s (worst case a hang);
+experiments parallelize with at most N-1 containers on N cores (after
+Winter et al.), backing off under memory pressure.
+
+Here: (i) the duration profile of real two-round case-study experiments,
+(ii) the pool's N-1 default and its throughput scaling on
+latency-dominated jobs (experiments are I/O + sleep bound).
+"""
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.casestudy import run_case_study
+from repro.sandbox.limits import default_parallelism
+from repro.sandbox.pool import ExperimentPool
+
+
+def test_experiment_durations(benchmark, tmp_path):
+    def run():
+        return run_case_study(
+            "wrong_inputs",
+            workspace=tmp_path,
+            command_timeout=30,
+            sample=4,
+            parallelism=2,
+            seed=4,
+        )
+
+    result, _report = benchmark.pedantic(run, rounds=1, iterations=1)
+    durations = sorted(e.duration for e in result.experiments)
+
+    # Two workload rounds with a TTL wait each: experiments take seconds,
+    # bounded by the command timeout (the paper's 10-120 s band scaled to
+    # the simulator).
+    assert durations[0] > 1.0
+    assert durations[-1] < 120.0
+
+    cores = os.cpu_count() or 1
+    assert default_parallelism() == max(1, cores - 1)
+
+    write_result(
+        "parallel_execution_durations",
+        "V-D experiment durations — paper vs measured:\n"
+        "  paper:    10 s to 120 s per Python-etcd experiment\n"
+        f"  measured: {durations[0]:.1f} s to {durations[-1]:.1f} s per "
+        "two-round experiment "
+        f"(n={len(durations)})\n"
+        f"  N-1 rule: {cores} cores -> default parallelism "
+        f"{default_parallelism()}",
+    )
+
+
+def test_pool_scaling(benchmark):
+    delay = 0.25
+    jobs = 8
+
+    def run_with(parallelism):
+        pool = ExperimentPool(parallelism=parallelism)
+        started = time.monotonic()
+        outcomes = pool.run(
+            [lambda: time.sleep(delay) or True for _ in range(jobs)]
+        )
+        assert all(outcome.ok for outcome in outcomes)
+        return time.monotonic() - started
+
+    serial = run_with(1)
+    parallel = benchmark.pedantic(lambda: run_with(4), rounds=1,
+                                  iterations=1)
+
+    speedup = serial / parallel if parallel > 0 else float("inf")
+    # Latency-bound jobs overlap: 4-wide must beat serial clearly.
+    assert speedup > 1.8
+
+    write_result(
+        "parallel_execution_scaling",
+        "Pool scaling on latency-bound jobs "
+        f"({jobs} jobs x {delay:.2f} s):\n"
+        f"  parallelism 1: {serial:.2f} s\n"
+        f"  parallelism 4: {parallel:.2f} s\n"
+        f"  speedup: {speedup:.1f}x (paper: parallel fault injection "
+        "utility, Winter et al.)",
+    )

@@ -1,0 +1,67 @@
+"""VD2 — §V-D performance at OpenStack scale.
+
+Paper: scanning Nova+Neutron+Cinder (~400 KLoC) with 120 DSL patterns
+identifies 17,488 injectable locations in ~20 minutes on an 8-core Xeon —
+"reasonable for practical purposes", because scan parallelizes perfectly
+across files.
+
+Here: a seeded synthetic codebase with the same statement idioms and a
+programmatically expanded 120-pattern faultload (20 API globs x 6 fault
+templates).  We measure locations/second and extrapolate to 400 KLoC; the
+benchmark also demonstrates the multi-process scan path.
+"""
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.common.fsutil import count_lines, iter_python_files
+from repro.faultmodel.library import expand_api_faults
+from repro.scanner.scan import scan_tree
+from repro.synth import SynthConfig, generate_codebase, scan_pattern_apis
+
+PAPER_KLOC = 400.0
+PAPER_LOCATIONS = 17488
+PAPER_MINUTES = 20.0
+
+
+def test_scan_at_scale(benchmark, tmp_path_factory):
+    dest = tmp_path_factory.mktemp("synth-large")
+    stats = generate_codebase(dest, SynthConfig(files=36, seed=42))
+    lines = count_lines(iter_python_files(dest))
+
+    model = expand_api_faults(scan_pattern_apis(), kinds=None,
+                              model_name="vd2")
+    specs = model.enabled_specs()
+    assert len(specs) == 120  # the paper's pattern count
+
+    jobs = max(1, (os.cpu_count() or 2))
+
+    def scan():
+        return scan_tree(dest, specs, jobs=jobs)
+
+    started = time.monotonic()
+    result = benchmark.pedantic(scan, rounds=1, iterations=1)
+    elapsed = time.monotonic() - started
+
+    assert not result.parse_errors
+    assert len(result.points) > 500
+
+    locations_per_kloc = len(result.points) / (lines / 1000.0)
+    extrapolated_minutes = (elapsed / (lines / 1000.0)) * PAPER_KLOC / 60.0
+    write_result(
+        "perf_scan_large",
+        "V-D scan at scale — paper vs measured:\n"
+        f"  paper:    {PAPER_KLOC:.0f} KLoC, 120 patterns -> "
+        f"{PAPER_LOCATIONS} locations in ~{PAPER_MINUTES:.0f} min "
+        "(8 cores)\n"
+        f"  measured: {lines / 1000.0:.1f} KLoC ({stats.files} files), "
+        f"120 patterns -> {len(result.points)} locations in "
+        f"{elapsed:.1f} s with {jobs} process(es)\n"
+        f"  density:  {locations_per_kloc:.0f} locations/KLoC "
+        f"(paper: {PAPER_LOCATIONS / PAPER_KLOC:.0f})\n"
+        f"  extrapolated to 400 KLoC on this host: "
+        f"~{extrapolated_minutes:.0f} min "
+        "(scan is embarrassingly parallel across files)",
+    )

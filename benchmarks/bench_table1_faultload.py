@@ -1,0 +1,67 @@
+"""TAB1 — Table I: the three case-study fault categories.
+
+Regenerates the Table I rows (fault category / injection target / example
+injections) from the implemented campaign fault models, and verifies that
+each category produces a non-trivial faultload on the pyetcd client.  The
+benchmark measures compiling all three campaign models and scanning the
+client with them.
+"""
+
+from conftest import write_result
+
+from repro.analysis.report import format_table
+from repro.etcdsim.target import materialize_target
+from repro.faultmodel.casestudy import (
+    ALL_CAMPAIGNS,
+    TABLE1_ROWS,
+    all_campaign_models,
+    campaign_model,
+)
+from repro.scanner.scan import scan_source
+
+
+def test_table1_faultload(benchmark, tmp_path):
+    project = materialize_target(tmp_path / "target")
+    client_source = project.client_file.read_text(encoding="utf-8")
+
+    def compile_and_scan():
+        counts = {}
+        for campaign, model in all_campaign_models().items():
+            compiled = model.compile()
+            points = scan_source(client_source, compiled,
+                                 file="pyetcd/client.py")
+            counts[campaign] = (len(compiled), len(points))
+        return counts
+
+    counts = benchmark(compile_and_scan)
+
+    # Table I shape: every campaign defines fault types and finds points.
+    for campaign in ALL_CAMPAIGNS:
+        fault_types, points = counts[campaign]
+        assert fault_types >= 3
+        assert points >= 10
+    # Campaign B (wrong inputs) is the largest, as in the paper (66 > 37).
+    assert counts["wrong_inputs"][1] > counts["resource_hogs"][1]
+    assert counts["wrong_inputs"][1] > counts["external_api"][1]
+
+    rows = []
+    for (category, target, examples), campaign in zip(TABLE1_ROWS,
+                                                      ALL_CAMPAIGNS):
+        fault_types, points = counts[campaign]
+        rows.append([category, target, examples,
+                     str(fault_types), str(points)])
+    table = format_table(
+        ["Fault Category", "Injection Target", "Examples of Injections",
+         "fault types", "points"],
+        rows,
+    )
+    descriptions = []
+    for campaign in ALL_CAMPAIGNS:
+        model = campaign_model(campaign)
+        for fault in model.faults:
+            descriptions.append(f"  {fault.name:<26} {fault.description}")
+    write_result(
+        "table1_faultload",
+        "Table I (reproduced):\n" + table
+        + "\n\nImplemented fault types:\n" + "\n".join(descriptions),
+    )

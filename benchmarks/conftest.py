@@ -1,0 +1,102 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md
+§3).  Besides the pytest-benchmark timings, each bench writes the
+paper-style rows to ``benchmarks/results/<name>.txt`` so the measured
+numbers survive output capture; EXPERIMENTS.md collects them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel.model import FaultModel
+from repro.synth import SynthConfig, generate_codebase
+from repro.workload.spec import WorkloadSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TOY_APP = textwrap.dedent(
+    """
+    def compute(x):
+        steps = []
+        steps.append('start')
+        result = x * 2
+        steps.append('done')
+        return result
+
+
+    def unused_helper(x):
+        marker = []
+        marker.append('unused')
+        result = x + 1
+        marker.append('end')
+        return result
+    """
+).strip() + "\n"
+
+TOY_RUN = textwrap.dedent(
+    """
+    import sys
+
+    import app
+
+    value = app.compute(3)
+    if value != 6:
+        print("WORKLOAD FAILURE: compute(3) ==", value, file=sys.stderr)
+        sys.exit(1)
+    print("WORKLOAD SUCCESS")
+    """
+).strip() + "\n"
+
+TOY_SPEC = """
+change {
+    $BLOCK{tag=pre; stmts=1,*}
+    return $EXPR#v
+} into {
+    $BLOCK{tag=pre}
+    return -1
+}
+"""
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-style table under benchmarks/results/ and print it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text.rstrip() + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}")
+
+
+@pytest.fixture(scope="session")
+def synth_corpus(tmp_path_factory):
+    """A small synthetic OpenStack-flavoured corpus (seeded)."""
+    dest = tmp_path_factory.mktemp("synth-corpus")
+    stats = generate_codebase(dest, SynthConfig(files=24, seed=11))
+    return dest, stats
+
+
+@pytest.fixture
+def toy_project(tmp_path):
+    project = tmp_path / "toy"
+    project.mkdir()
+    (project / "app.py").write_text(TOY_APP)
+    (project / "run.py").write_text(TOY_RUN)
+    return project
+
+
+@pytest.fixture
+def toy_model():
+    model = FaultModel(name="toy")
+    model.add(parse_spec(TOY_SPEC, name="WRR"),
+              description="wrong return value")
+    return model
+
+
+@pytest.fixture
+def toy_workload():
+    return WorkloadSpec(commands=["{python} run.py"], command_timeout=30.0)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: write a bug spec, scan a program, generate mutants.
+
+This walks the core ProFIPy loop from paper §III/§IV-A on an embedded
+code sample:
+
+1. write a ``change { ... } into { ... }`` bug specification;
+2. compile it and scan the target source for injection points;
+3. generate a mutated version (with and without the run-time trigger);
+4. save the fault model as JSON and load it back.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro import FaultModel, Mutator, compile_text, parse_spec, scan_source
+
+#: The target program: an OpenStack-flavoured cleanup routine.
+TARGET = textwrap.dedent(
+    """
+    def release_resources(client, ports, log):
+        log.info("releasing %d ports", len(ports))
+        for port in ports:
+            log.debug("releasing %s", port)
+            client.delete_port(port)
+            log.debug("released %s", port)
+        log.info("done")
+    """
+).strip() + "\n"
+
+#: Fig. 1a of the paper: omit a delete_* call that has statements around
+#: it (the Missing Function Call fault, tuned with domain knowledge).
+MFC_SPEC = """
+change {
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=delete_*}(...)
+    $BLOCK{tag=b2; stmts=1,*}
+} into {
+    $BLOCK{tag=b1}
+    $BLOCK{tag=b2}
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. compile the bug specification ===")
+    model = compile_text(MFC_SPEC, name="MFC")
+    print(f"compiled: {model.describe()}\n")
+
+    print("=== 2. scan the target for injection points ===")
+    points = scan_source(TARGET, [model], file="cleanup.py")
+    for point in points:
+        print(f"  {point.point_id} at line {point.lineno}: {point.snippet}")
+    print(f"  -> {len(points)} injection point(s)\n")
+
+    print("=== 3a. permanent mutant (classic mutation) ===")
+    mutator = Mutator(trigger=False)
+    mutation = mutator.mutate_source(TARGET, model, points[0].ordinal,
+                                     file="cleanup.py")
+    print(textwrap.indent(mutation.source, "    "))
+
+    print("=== 3b. trigger-controlled mutant (EDFI-style, paper IV-B) ===")
+    triggered = Mutator(trigger=True).mutate_source(
+        TARGET, model, points[0].ordinal, file="cleanup.py"
+    )
+    print(textwrap.indent(triggered.source, "    "))
+
+    print("=== 4. persist the fault model as JSON (paper IV-A) ===")
+    fault_model = FaultModel(name="quickstart")
+    fault_model.add(parse_spec(MFC_SPEC, name="MFC"),
+                    description="omit delete_* calls",
+                    odc_class="Function")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "quickstart.json"
+        fault_model.save(path)
+        loaded = FaultModel.load(path)
+        print(f"  saved and re-loaded fault model "
+              f"{loaded.name!r} with fault types {loaded.names()}")
+
+
+if __name__ == "__main__":
+    main()

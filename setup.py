@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (needed for PEP 660 editable builds) is unavailable:
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to the
+legacy ``setup.py develop`` path through this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

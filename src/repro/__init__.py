@@ -1,0 +1,69 @@
+"""ProFIPy reproduction: programmable software fault injection for Python.
+
+Reproduces Cotroneo, De Simone, Liguori, Natella - "ProFIPy: Programmable
+Software Fault Injection as-a-Service" (DSN 2020).  Users describe bug
+patterns in a DSL (:mod:`repro.dsl`), the scanner finds injection points
+(:mod:`repro.scanner`), the mutator generates trigger-controlled mutants
+(:mod:`repro.mutator`), campaigns execute them in sandboxes over a
+workload (:mod:`repro.orchestrator`, :mod:`repro.sandbox`,
+:mod:`repro.workload`), and the analysis layer classifies failure modes
+and computes dependability metrics (:mod:`repro.analysis`).
+"""
+
+from repro.analysis import (
+    CampaignReport,
+    ClassificationRule,
+    ComponentSpec,
+    Distribution,
+)
+from repro.dsl import BugSpec, MetaModel, compile_all, compile_text, parse_spec
+from repro.faultmodel import (
+    FaultModel,
+    expand_api_faults,
+    extended_model,
+    gswfit_model,
+    predefined_models,
+)
+from repro.mutator import Mutation, Mutator
+from repro.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    ExperimentResult,
+    Plan,
+)
+from repro.scanner import InjectionPoint, scan_source, scan_tree
+from repro.service import ProFIPyService
+from repro.workload import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugSpec",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignResult",
+    "ClassificationRule",
+    "ComponentSpec",
+    "Distribution",
+    "ExperimentResult",
+    "FaultModel",
+    "InjectionPoint",
+    "MetaModel",
+    "Mutation",
+    "Mutator",
+    "Plan",
+    "ProFIPyService",
+    "WorkloadSpec",
+    "__version__",
+    "compile_all",
+    "compile_text",
+    "expand_api_faults",
+    "extended_model",
+    "gswfit_model",
+    "parse_spec",
+    "predefined_models",
+    "scan_source",
+    "scan_tree",
+]

@@ -1,0 +1,61 @@
+"""Failure data analysis (paper §IV-C and §IV-D)."""
+
+from repro.analysis.classify import (
+    HARNESS_ERROR,
+    NO_FAILURE,
+    SERVICE_CRASH,
+    SERVICE_START_FAILED,
+    TIMEOUT,
+    WORKLOAD_CRASH,
+    WORKLOAD_FAILURE,
+    Classification,
+    ClassificationRule,
+    Distribution,
+    classify_all,
+    classify_experiment,
+)
+from repro.analysis.metrics import (
+    AvailabilityReport,
+    ComponentSpec,
+    LoggingReport,
+    PropagationReport,
+    failure_logging,
+    failure_propagation,
+    service_availability,
+)
+from repro.analysis.report import CampaignReport, format_table, summary_table
+from repro.analysis.visualization import (
+    experiment_spans,
+    render_events,
+    render_experiment,
+    render_timeline,
+)
+
+__all__ = [
+    "AvailabilityReport",
+    "CampaignReport",
+    "Classification",
+    "ClassificationRule",
+    "ComponentSpec",
+    "Distribution",
+    "HARNESS_ERROR",
+    "LoggingReport",
+    "NO_FAILURE",
+    "PropagationReport",
+    "SERVICE_CRASH",
+    "SERVICE_START_FAILED",
+    "TIMEOUT",
+    "WORKLOAD_CRASH",
+    "WORKLOAD_FAILURE",
+    "classify_all",
+    "classify_experiment",
+    "experiment_spans",
+    "failure_logging",
+    "failure_propagation",
+    "format_table",
+    "render_events",
+    "render_experiment",
+    "render_timeline",
+    "service_availability",
+    "summary_table",
+]

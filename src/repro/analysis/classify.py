@@ -1,0 +1,158 @@
+"""Failure-mode classification (paper §IV-C).
+
+Experiments are classified into failure modes: built-in ones (crash,
+timeout of the target, harness problems) plus user-defined modes matched
+by keywords/regex over the outputs and logs — exactly the drill-down the
+paper describes.  User rules take precedence, in the order given, so a
+specific mode (e.g. ``bad_request``) wins over the generic workload
+failure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.orchestrator.experiment import (
+    STATUS_COMPLETED,
+    STATUS_HARNESS_ERROR,
+    STATUS_SERVICE_START_FAILED,
+    ExperimentResult,
+)
+
+# Built-in failure modes.
+NO_FAILURE = "no_failure"
+WORKLOAD_FAILURE = "workload_failure"
+WORKLOAD_CRASH = "workload_crash"
+TIMEOUT = "timeout"
+SERVICE_CRASH = "service_crash"
+SERVICE_START_FAILED = "service_start_failed"
+HARNESS_ERROR = "harness_error"
+
+
+@dataclass(frozen=True)
+class ClassificationRule:
+    """A user-defined failure mode: first regex match wins."""
+
+    mode: str
+    pattern: str
+    scope: str = "any"  # "output" | "logs" | "any"
+    description: str = ""
+
+    def matches(self, output: str, logs: str) -> bool:
+        compiled = re.compile(self.pattern, re.MULTILINE)
+        if self.scope in ("output", "any") and compiled.search(output):
+            return True
+        if self.scope in ("logs", "any") and compiled.search(logs):
+            return True
+        return False
+
+
+@dataclass
+class Classification:
+    """The failure modes assigned to one experiment."""
+
+    experiment_id: str
+    spec_name: str
+    component: str
+    mode: str
+    round1_failed: bool
+    round2_failed: bool
+
+    @property
+    def is_failure(self) -> bool:
+        return self.mode != NO_FAILURE
+
+
+def classify_experiment(
+    result: ExperimentResult,
+    rules: list[ClassificationRule] | None = None,
+) -> Classification:
+    """Assign one failure mode to an experiment (round 1 behaviour)."""
+    rules = rules or []
+    component = str(result.point.get("component", ""))
+    base = dict(
+        experiment_id=result.experiment_id,
+        spec_name=result.spec_name,
+        component=component,
+        round1_failed=result.failed_round1,
+        round2_failed=result.failed_round2,
+    )
+    if result.status == STATUS_HARNESS_ERROR:
+        return Classification(mode=HARNESS_ERROR, **base)
+    if result.status == STATUS_SERVICE_START_FAILED:
+        return Classification(mode=SERVICE_START_FAILED, **base)
+
+    round1 = result.round(1)
+    output = round1.output if round1 else ""
+    logs = "\n".join(result.logs.values())
+    for rule in rules:
+        if rule.matches(output, logs):
+            return Classification(mode=rule.mode, **base)
+
+    if round1 is not None and round1.timed_out:
+        return Classification(mode=TIMEOUT, **base)
+    if round1 is not None and not round1.services_alive:
+        return Classification(mode=SERVICE_CRASH, **base)
+    if round1 is not None and round1.failed:
+        crashed = any(
+            command.returncode not in (0, 1) and command.returncode is not None
+            for command in round1.commands
+        )
+        mode = WORKLOAD_CRASH if crashed else WORKLOAD_FAILURE
+        return Classification(mode=mode, **base)
+    return Classification(mode=NO_FAILURE, **base)
+
+
+def classify_all(
+    results: list[ExperimentResult],
+    rules: list[ClassificationRule] | None = None,
+) -> list[Classification]:
+    return [classify_experiment(result, rules) for result in results]
+
+
+@dataclass
+class Distribution:
+    """Statistical distribution of failure modes, with drill-down."""
+
+    classifications: list[Classification] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, results: list[ExperimentResult],
+              rules: list[ClassificationRule] | None = None) -> "Distribution":
+        return cls(classifications=classify_all(results, rules))
+
+    @property
+    def total(self) -> int:
+        return len(self.classifications)
+
+    def counts(self, include_no_failure: bool = True) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self.classifications:
+            if not include_no_failure and not item.is_failure:
+                continue
+            counts[item.mode] = counts.get(item.mode, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def by_spec(self) -> dict[str, dict[str, int]]:
+        """Drill-down: fault type -> mode -> count (paper §IV-C)."""
+        table: dict[str, dict[str, int]] = {}
+        for item in self.classifications:
+            row = table.setdefault(item.spec_name, {})
+            row[item.mode] = row.get(item.mode, 0) + 1
+        return table
+
+    def by_component(self) -> dict[str, dict[str, int]]:
+        """Drill-down: injected component -> mode -> count."""
+        table: dict[str, dict[str, int]] = {}
+        for item in self.classifications:
+            row = table.setdefault(item.component or "<unknown>", {})
+            row[item.mode] = row.get(item.mode, 0) + 1
+        return table
+
+    def experiments_in_mode(self, mode: str) -> list[str]:
+        return [item.experiment_id for item in self.classifications
+                if item.mode == mode]
+
+    def failure_count(self) -> int:
+        return sum(1 for item in self.classifications if item.is_failure)

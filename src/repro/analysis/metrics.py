@@ -1,0 +1,147 @@
+"""Dependability metrics over experiment results (paper §IV-C, §IV-D).
+
+* **service availability** — percentage of experiments in which the
+  software was available in the second round (fault disabled), i.e. error
+  states from round 1 were recovered;
+* **failure logging** — percentage of experiments that both failed and
+  logged at least one error message (telemetry quality);
+* **failure propagation** — percentage of injected faults whose effects
+  show up in more than one component's logs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common.textutil import glob_match
+from repro.orchestrator.experiment import ExperimentResult
+
+#: Default patterns identifying an error log line.
+DEFAULT_ERROR_PATTERNS = (
+    r"\bERROR\b",
+    r"\bCRITICAL\b",
+    r"Traceback \(most recent call last\)",
+    r"WORKLOAD FAILURE",
+)
+
+
+@dataclass
+class AvailabilityReport:
+    """Second-round availability across a campaign (§IV-C)."""
+
+    total: int = 0
+    available: int = 0
+    unavailable_ids: list[str] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        return self.available / self.total if self.total else 1.0
+
+    @property
+    def unavailability(self) -> float:
+        return 1.0 - self.availability
+
+
+def service_availability(results: list[ExperimentResult]) -> AvailabilityReport:
+    """Fraction of experiments available again once the fault is disabled."""
+    report = AvailabilityReport()
+    for result in results:
+        if not result.completed:
+            continue
+        report.total += 1
+        if result.available_in_round2:
+            report.available += 1
+        else:
+            report.unavailable_ids.append(result.experiment_id)
+    return report
+
+
+@dataclass
+class LoggingReport:
+    """How often failures came with error logs (§IV-D)."""
+
+    failures: int = 0
+    logged: int = 0
+    silent_ids: list[str] = field(default_factory=list)
+
+    @property
+    def logging_ratio(self) -> float:
+        return self.logged / self.failures if self.failures else 1.0
+
+
+def failure_logging(
+    results: list[ExperimentResult],
+    error_patterns: tuple[str, ...] = DEFAULT_ERROR_PATTERNS,
+) -> LoggingReport:
+    """Among failed experiments, how many logged at least one error."""
+    compiled = [re.compile(pattern) for pattern in error_patterns]
+    report = LoggingReport()
+    for result in results:
+        if not result.failed_round1 or not result.completed:
+            continue
+        report.failures += 1
+        text = result.combined_output()
+        if any(pattern.search(text) for pattern in compiled):
+            report.logged += 1
+        else:
+            report.silent_ids.append(result.experiment_id)
+    return report
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A sub-system for propagation analysis: its logs and error marker."""
+
+    name: str
+    #: Relative globs over collected log names (sandbox-relative paths).
+    log_globs: tuple[str, ...]
+    #: Regex marking an error line of this component.
+    error_pattern: str = r"\bERROR\b|Traceback|FAILURE"
+
+
+@dataclass
+class PropagationReport:
+    """How often faults impacted more than one component (§IV-D)."""
+
+    analyzed: int = 0
+    propagated: int = 0
+    propagated_ids: list[str] = field(default_factory=list)
+
+    @property
+    def propagation_ratio(self) -> float:
+        return self.propagated / self.analyzed if self.analyzed else 0.0
+
+
+def failure_propagation(
+    results: list[ExperimentResult],
+    components: list[ComponentSpec],
+) -> PropagationReport:
+    """Count failed experiments whose errors appear in >= 2 components.
+
+    The workload output counts toward a component when its spec lists the
+    pseudo-glob ``<output>``.
+    """
+    report = PropagationReport()
+    for result in results:
+        if not result.completed or not result.failed_round1:
+            continue
+        report.analyzed += 1
+        affected = 0
+        for component in components:
+            compiled = re.compile(component.error_pattern)
+            texts: list[str] = []
+            for glob in component.log_globs:
+                if glob == "<output>":
+                    texts.extend(round_.output for round_ in result.rounds)
+                    continue
+                texts.extend(
+                    content for name, content in result.logs.items()
+                    if glob_match(glob, name)
+                )
+            if any(compiled.search(text) for text in texts):
+                affected += 1
+        if affected >= 2:
+            report.propagated += 1
+            report.propagated_ids.append(result.experiment_id)
+    return report

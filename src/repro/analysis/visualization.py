@@ -1,0 +1,118 @@
+"""Failure visualization: event timelines from traced spans (§IV-D).
+
+The paper visualizes instrumented API calls "as events on timelines as
+interactive plots"; offline, the same data renders as an ASCII Gantt
+chart, one lane per service, plus an event table.  Failed spans are drawn
+with ``!`` so the failure is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrator.experiment import ExperimentResult
+from repro.tracing.tracer import Span
+
+
+def experiment_spans(result: ExperimentResult) -> list[Span]:
+    """Build spans from an experiment's rounds and commands.
+
+    Gives every experiment a timeline for free (no in-target tracing
+    needed): one lane per round, one span per workload command, with
+    failures marked — a coarse-grained version of the §IV-D plots.
+    """
+    spans: list[Span] = []
+    cursor = 0.0
+    for round_ in result.rounds:
+        label = "fault ON" if round_.fault_enabled else "fault OFF"
+        round_span = Span(
+            service=f"round-{round_.round_no}",
+            name=label,
+            start=cursor,
+            end=cursor + round_.duration,
+            status="ok" if not round_.failed else "error: round failed",
+        )
+        spans.append(round_span)
+        offset = cursor
+        for command in round_.commands:
+            status = "ok"
+            if command.timed_out:
+                status = "error: timeout"
+            elif not command.ok:
+                status = f"error: exit {command.returncode}"
+            spans.append(Span(
+                service=f"round-{round_.round_no}",
+                name=command.command.split()[0],
+                start=offset,
+                end=offset + command.duration,
+                parent_id=round_span.span_id,
+                status=status,
+            ))
+            offset += command.duration
+        cursor += max(round_.duration, 1e-6)
+    return spans
+
+
+def render_experiment(result: ExperimentResult, width: int = 72) -> str:
+    """ASCII timeline of one experiment's two rounds."""
+    header = (f"experiment {result.experiment_id} "
+              f"[{result.spec_name}] status={result.status}")
+    return header + "\n" + render_timeline(experiment_spans(result),
+                                           width=width)
+
+
+def render_timeline(spans: list[Span], width: int = 72) -> str:
+    """Render spans as an ASCII timeline grouped by service."""
+    closed = [span for span in spans if span.end is not None]
+    if not closed:
+        return "(no spans recorded)"
+    t0 = min(span.start for span in closed)
+    t1 = max(span.end for span in closed)
+    extent = max(t1 - t0, 1e-9)
+    scale = (width - 1) / extent
+
+    services: dict[str, list[Span]] = {}
+    for span in closed:
+        services.setdefault(span.service, []).append(span)
+    label_width = max(len(name) for name in services)
+
+    lines = [
+        f"timeline: {extent * 1000:.1f} ms total, "
+        f"{len(closed)} spans, {len(services)} service(s)",
+        " " * label_width + " 0ms" + (
+            f"{extent * 1000:.0f}ms".rjust(width - 3)
+        ),
+    ]
+    for service in sorted(services):
+        for span in sorted(services[service], key=lambda s: s.start):
+            begin = int((span.start - t0) * scale)
+            length = max(1, int(span.duration * scale))
+            char = "!" if span.status != "ok" else "#"
+            bar = " " * begin + char * min(length, width - begin)
+            marker = "" if span.status == "ok" else f"  [{span.status}]"
+            lines.append(
+                f"{service.ljust(label_width)} |{bar.ljust(width)}| "
+                f"{span.name}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def render_events(spans: list[Span]) -> str:
+    """A flat, chronological event table (one line per span)."""
+    closed = sorted(
+        (span for span in spans if span.end is not None),
+        key=lambda span: span.start,
+    )
+    if not closed:
+        return "(no spans recorded)"
+    t0 = closed[0].start
+    lines = []
+    for span in closed:
+        offset = (span.start - t0) * 1000
+        duration = span.duration * 1000
+        status = "" if span.status == "ok" else f"  <<{span.status}>>"
+        args = span.annotations.get("args", "")
+        args_part = f"({args})" if args else ""
+        lines.append(
+            f"+{offset:8.1f}ms {span.service}.{span.name}{args_part} "
+            f"[{duration:.1f}ms]{status}"
+        )
+    return "\n".join(lines)

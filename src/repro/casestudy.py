@@ -1,0 +1,146 @@
+"""One-call reproduction of the paper's case study (§V).
+
+Wires together the etcd simulator target, the Table I fault models, the
+integration-test workload, and the failure-mode rules observed in the
+paper, so examples/benchmarks/CLI can run any of the three campaigns with
+one function call::
+
+    from repro.casestudy import run_case_study
+    result, report = run_case_study("wrong_inputs")
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.classify import ClassificationRule
+from repro.analysis.metrics import ComponentSpec
+from repro.analysis.report import CampaignReport
+from repro.common.fsutil import remove_tree
+from repro.etcdsim.target import INJECTABLE_FILES, materialize_target
+from repro.faultmodel.casestudy import ALL_CAMPAIGNS, campaign_model
+from repro.orchestrator.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.workload.spec import etcd_case_study_workload
+
+#: Failure modes the paper reports in §V, as classification rules.
+#: First match wins, so specific modes precede generic ones.
+CASE_STUDY_RULES: list[ClassificationRule] = [
+    ClassificationRule(
+        mode="none_input_crash",
+        pattern=r"AttributeError: 'NoneType' object has no attribute",
+        description="§V-B: NoneType has no attribute startswith",
+    ),
+    ClassificationRule(
+        mode="key_not_found",
+        pattern=r"EtcdKeyNotFound",
+        description="§V-B: wrong key/value injected",
+    ),
+    ClassificationRule(
+        mode="bad_request",
+        pattern=r"Bad response: \d+|EtcdValueError|Invalid field",
+        description="§V-B: server rejects the corrupted request "
+                    "(HTTP 400 family; also 5xx on corrupted verbs)",
+    ),
+    ClassificationRule(
+        mode="compare_failed",
+        pattern=r"EtcdCompareFailed|Compare failed",
+        description="test_and_set comparison broken by corrupted input",
+    ),
+    ClassificationRule(
+        mode="reconnection_failure",
+        pattern=r"EtcdConnectionFailed|Connection to etcd",
+        description="§V-A: connection-level failures",
+    ),
+    ClassificationRule(
+        mode="stray_state",
+        pattern=r"stray state|unexpected root entries|teardown left",
+        description="persistent inconsistent datastore state",
+    ),
+    ClassificationRule(
+        mode="assertion_failure",
+        pattern=r"WORKLOAD FAILURE: assertion",
+        description="workload consistency check failed",
+    ),
+    ClassificationRule(
+        mode="client_crash",
+        pattern=r"WORKLOAD FAILURE: unhandled|Traceback \(most recent call",
+        description="§V-A: client process crash due to an exception",
+    ),
+]
+
+#: Components for failure-propagation analysis: the client (workload
+#: output) and the etcd server (its captured logs).
+CASE_STUDY_COMPONENTS: list[ComponentSpec] = [
+    ComponentSpec(name="pyetcd-client", log_globs=("<output>",),
+                  error_pattern=r"WORKLOAD FAILURE|Traceback"),
+    ComponentSpec(name="etcd-server", log_globs=(".service-*.err",
+                                                 ".service-*.out"),
+                  error_pattern=r"Traceback|Exception|ERROR"),
+]
+
+
+def case_study_config(
+    campaign: str,
+    workspace: Path,
+    command_timeout: float = 45.0,
+    sample: int | None = None,
+    parallelism: int | None = None,
+    trigger: bool = True,
+    coverage: bool = True,
+    seed: int = 0,
+) -> CampaignConfig:
+    """Build the campaign configuration for one §V campaign."""
+    if campaign not in ALL_CAMPAIGNS:
+        raise KeyError(
+            f"unknown campaign {campaign!r}; available: {ALL_CAMPAIGNS}"
+        )
+    target_dir = workspace / "target"
+    if not target_dir.exists():
+        materialize_target(target_dir)
+    return CampaignConfig(
+        name=campaign,
+        target_dir=target_dir,
+        fault_model=campaign_model(campaign),
+        workload=etcd_case_study_workload(command_timeout=command_timeout),
+        injectable_files=list(INJECTABLE_FILES),
+        trigger=trigger,
+        rounds=2,
+        coverage=coverage,
+        sample=sample,
+        parallelism=parallelism,
+        seed=seed,
+        workspace=workspace / f"campaign-{campaign}",
+    )
+
+
+def run_case_study(
+    campaign: str,
+    workspace: str | Path | None = None,
+    command_timeout: float = 45.0,
+    sample: int | None = None,
+    parallelism: int | None = None,
+    progress=None,
+    seed: int = 0,
+) -> tuple[CampaignResult, CampaignReport]:
+    """Run one of the three §V campaigns end to end."""
+    owns_workspace = workspace is None
+    workspace = Path(workspace or tempfile.mkdtemp(prefix="profipy-cs-"))
+    workspace.mkdir(parents=True, exist_ok=True)
+    try:
+        config = case_study_config(
+            campaign, workspace,
+            command_timeout=command_timeout,
+            sample=sample, parallelism=parallelism, seed=seed,
+        )
+        result = Campaign(config).run(progress=progress)
+        report = CampaignReport(result, rules=CASE_STUDY_RULES,
+                                components=CASE_STUDY_COMPONENTS)
+        return result, report
+    finally:
+        if owns_workspace:
+            remove_tree(workspace)

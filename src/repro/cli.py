@@ -1,0 +1,316 @@
+"""Command-line interface to the ProFIPy service layer.
+
+Subcommands mirror the workflow phases (paper Fig. 2)::
+
+    profipy models list                       # fault model registry
+    profipy models show gswfit
+    profipy models export gswfit out.json
+    profipy scan TARGET --model gswfit        # Scan phase
+    profipy mutate FILE --model gswfit --spec MFC --ordinal 0
+    profipy campaign TARGET --model gswfit --run-cmd '...'   # Execution
+    profipy casestudy --campaign wrong_inputs # the §V case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.report import summary_table
+from repro.casestudy import run_case_study
+from repro.faultmodel.casestudy import ALL_CAMPAIGNS
+from repro.faultmodel.library import predefined_models
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.campaign import CampaignConfig
+from repro.scanner.scan import scan_tree
+from repro.service.service import ProFIPyService
+from repro.workload.spec import WorkloadSpec
+
+
+def _load_model(args) -> FaultModel:
+    if getattr(args, "model_file", None):
+        return FaultModel.load(args.model_file)
+    name = args.model
+    predefined = predefined_models()
+    if name in predefined:
+        return predefined[name]
+    path = Path(name)
+    if path.exists():
+        return FaultModel.load(path)
+    raise SystemExit(
+        f"unknown fault model {name!r} "
+        f"(predefined: {sorted(predefined)}; or pass a JSON path)"
+    )
+
+
+# -- models ---------------------------------------------------------------------
+
+
+def cmd_models(args) -> int:
+    service = ProFIPyService(args.workspace)
+    if args.models_command == "list":
+        print("predefined:")
+        for name, model in sorted(predefined_models().items()):
+            print(f"  {name}: {len(model.faults)} fault types")
+        stored = service.list_models()
+        if stored:
+            print("stored:")
+            for name in stored:
+                print(f"  {name}")
+        return 0
+    if args.models_command == "show":
+        model = _load_model(args)
+        print(f"fault model {model.name}: {model.description}")
+        for fault in model.faults:
+            flag = "" if fault.enabled else " (disabled)"
+            print(f"\n[{fault.name}] {fault.odc_class}{flag}")
+            print(f"  {fault.description}")
+            print("  " + "\n  ".join(fault.spec.raw.strip().splitlines()))
+        return 0
+    if args.models_command == "export":
+        model = _load_model(args)
+        model.save(args.output)
+        print(f"wrote {args.output}")
+        return 0
+    raise SystemExit(f"unknown models command {args.models_command!r}")
+
+
+# -- scan -----------------------------------------------------------------------
+
+
+def cmd_scan(args) -> int:
+    model = _load_model(args)
+    result = scan_tree(args.target, model.enabled_specs(), jobs=args.jobs)
+    for point in result.points:
+        print(f"{point.point_id}  line {point.lineno}  {point.snippet}")
+    print(
+        f"\n{len(result.points)} injection points in "
+        f"{result.files_scanned} files "
+        f"({len(result.by_spec())} fault types matched)",
+        file=sys.stderr,
+    )
+    for file, error in result.parse_errors.items():
+        print(f"warning: could not parse {file}: {error}", file=sys.stderr)
+    return 0
+
+
+# -- mutate -----------------------------------------------------------------------
+
+
+def cmd_mutate(args) -> int:
+    from repro.common.rng import SeededRandom
+    from repro.dsl.compiler import compile_spec
+    from repro.mutator.mutate import Mutator
+
+    model = _load_model(args)
+    fault = model.get(args.spec)
+    compiled = compile_spec(fault.spec)
+    source = Path(args.target).read_text(encoding="utf-8")
+    mutator = Mutator(trigger=not args.no_trigger,
+                      rng=SeededRandom(args.seed))
+    mutation = mutator.mutate_source(source, compiled, args.ordinal,
+                                     file=Path(args.target).name)
+    if args.output:
+        Path(args.output).write_text(mutation.source, encoding="utf-8")
+        print(f"wrote {args.output} ({mutation.describe()})",
+              file=sys.stderr)
+    else:
+        print(mutation.source, end="")
+    return 0
+
+
+# -- campaign ----------------------------------------------------------------------
+
+
+def cmd_campaign(args) -> int:
+    model = _load_model(args)
+    workload = WorkloadSpec(
+        service_commands=args.service_cmd or [],
+        commands=args.run_cmd,
+        ready_file=args.ready_file,
+        command_timeout=args.timeout,
+    )
+    workspace = Path(args.workspace) if args.workspace else None
+    config = CampaignConfig(
+        name=args.name,
+        target_dir=Path(args.target),
+        fault_model=model,
+        workload=workload,
+        injectable_files=args.files or None,
+        trigger=not args.no_trigger,
+        coverage=not args.no_coverage,
+        sample=args.sample,
+        parallelism=args.parallel,
+        seed=args.seed,
+        workspace=workspace,
+    )
+    service = ProFIPyService(args.workspace)
+    job = service.submit_campaign(config, block=True)
+    if job.status != "completed":
+        print(f"campaign job {job.job_id} failed:\n{job.error}",
+              file=sys.stderr)
+        return 1
+    print(service.report_text(job.job_id))
+    print(f"(job {job.job_id}; run 'profipy regression {job.job_id}' to "
+          "generate regression tests)", file=sys.stderr)
+    return 0
+
+
+# -- jobs / regression ----------------------------------------------------------------
+
+
+def cmd_jobs(args) -> int:
+    service = ProFIPyService(args.workspace)
+    if args.jobs_command == "list":
+        jobs = service.list_jobs()
+        if not jobs:
+            print("no jobs in this workspace")
+            return 0
+        for job in jobs:
+            print(f"{job.job_id}  {job.status:<10} {job.name}")
+        return 0
+    if args.jobs_command == "report":
+        print(service.report_text(args.job_id))
+        return 0
+    raise SystemExit(f"unknown jobs command {args.jobs_command!r}")
+
+
+def cmd_regression(args) -> int:
+    service = ProFIPyService(args.workspace)
+    written = service.generate_regression_tests(args.job_id, args.out)
+    if not written:
+        print("no failed experiments in this job; nothing to generate",
+              file=sys.stderr)
+        return 1
+    for path in written:
+        print(path)
+    print(f"\n{len(written)} regression test(s) written to {args.out}",
+          file=sys.stderr)
+    return 0
+
+
+# -- casestudy ----------------------------------------------------------------------
+
+
+def cmd_casestudy(args) -> int:
+    campaigns = (list(ALL_CAMPAIGNS) if args.campaign == "all"
+                 else [args.campaign])
+    workspace = Path(args.workspace or tempfile.mkdtemp(prefix="profipy-cs-"))
+    reports = []
+    for campaign in campaigns:
+        result, report = run_case_study(
+            campaign,
+            workspace=workspace,
+            command_timeout=args.timeout,
+            sample=args.sample,
+            parallelism=args.parallel,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        reports.append(report)
+        print(f"\n######## {campaign} ########")
+        print(report.render())
+    if len(reports) > 1:
+        print("\n######## overall (§V) ########")
+        print(summary_table(reports))
+    return 0
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="profipy",
+        description="Programmable software fault injection for Python "
+                    "(ProFIPy reproduction)",
+    )
+    parser.add_argument("--workspace", default=".profipy",
+                        help="service workspace directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="fault model registry")
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    models_sub.add_parser("list", help="list available fault models")
+    show = models_sub.add_parser("show", help="print a fault model")
+    show.add_argument("model")
+    show.add_argument("--model-file")
+    export = models_sub.add_parser("export", help="export a model to JSON")
+    export.add_argument("model")
+    export.add_argument("output")
+    export.add_argument("--model-file")
+    models.set_defaults(func=cmd_models)
+
+    scan = sub.add_parser("scan", help="find injection points")
+    scan.add_argument("target", help="file or directory to scan")
+    scan.add_argument("--model", default="gswfit")
+    scan.add_argument("--model-file")
+    scan.add_argument("--jobs", type=int, default=1)
+    scan.set_defaults(func=cmd_scan)
+
+    mutate = sub.add_parser("mutate", help="generate one mutated version")
+    mutate.add_argument("target", help="Python file to mutate")
+    mutate.add_argument("--model", default="gswfit")
+    mutate.add_argument("--model-file")
+    mutate.add_argument("--spec", required=True, help="fault type name")
+    mutate.add_argument("--ordinal", type=int, default=0)
+    mutate.add_argument("--no-trigger", action="store_true")
+    mutate.add_argument("--seed", type=int, default=0)
+    mutate.add_argument("-o", "--output")
+    mutate.set_defaults(func=cmd_mutate)
+
+    campaign = sub.add_parser("campaign", help="run a full campaign")
+    campaign.add_argument("target", help="target project directory")
+    campaign.add_argument("--name", default="campaign")
+    campaign.add_argument("--model", default="gswfit")
+    campaign.add_argument("--model-file")
+    campaign.add_argument("--run-cmd", action="append", required=True,
+                          help="workload command (repeatable)")
+    campaign.add_argument("--service-cmd", action="append",
+                          help="service command (repeatable)")
+    campaign.add_argument("--ready-file")
+    campaign.add_argument("--files", action="append",
+                          help="injectable file (relative, repeatable)")
+    campaign.add_argument("--timeout", type=float, default=60.0)
+    campaign.add_argument("--sample", type=int)
+    campaign.add_argument("--parallel", type=int)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--no-coverage", action="store_true")
+    campaign.add_argument("--no-trigger", action="store_true")
+    campaign.set_defaults(func=cmd_campaign)
+
+    jobs = sub.add_parser("jobs", help="inspect campaign jobs")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_sub.add_parser("list", help="list jobs in the workspace")
+    jobs_report = jobs_sub.add_parser("report", help="print a job report")
+    jobs_report.add_argument("job_id")
+    jobs.set_defaults(func=cmd_jobs)
+
+    regression = sub.add_parser(
+        "regression",
+        help="generate regression tests from a job's failed experiments",
+    )
+    regression.add_argument("job_id")
+    regression.add_argument("--out", default="regression_tests")
+    regression.set_defaults(func=cmd_regression)
+
+    casestudy = sub.add_parser("casestudy",
+                               help="reproduce the §V case study")
+    casestudy.add_argument("--campaign", default="all",
+                           choices=list(ALL_CAMPAIGNS) + ["all"])
+    casestudy.add_argument("--sample", type=int)
+    casestudy.add_argument("--timeout", type=float, default=45.0)
+    casestudy.add_argument("--parallel", type=int)
+    casestudy.set_defaults(func=cmd_casestudy)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

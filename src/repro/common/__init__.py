@@ -1,0 +1,12 @@
+"""Shared low-level helpers used across the repro packages.
+
+These modules deliberately contain no fault-injection logic: they provide
+filesystem, process, text, JSON, and randomness utilities so that the
+higher-level packages (``repro.dsl``, ``repro.scanner``, ``repro.sandbox``,
+...) stay focused on the paper's concepts.
+"""
+
+from repro.common.rng import SeededRandom
+from repro.common.textutil import glob_match, dedent_block, truncate
+
+__all__ = ["SeededRandom", "glob_match", "dedent_block", "truncate"]

@@ -1,0 +1,89 @@
+"""Filesystem helpers for staging source trees and experiment artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Directory names never copied into sandboxes or scanned for sources.
+IGNORED_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hg",
+    ".svn",
+    ".tox",
+    ".venv",
+    "venv",
+    ".mypy_cache",
+    ".pytest_cache",
+    "node_modules",
+}
+
+
+def iter_python_files(root: str | Path) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``root``, skipping tool directories.
+
+    A single-file ``root`` is yielded as-is so callers can scan either a
+    project tree or one module with the same API.
+    """
+    root = Path(root)
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in IGNORED_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield Path(dirpath) / name
+
+
+def copy_tree(src: str | Path, dst: str | Path) -> Path:
+    """Copy a source tree into ``dst``, skipping :data:`IGNORED_DIRS`."""
+    src, dst = Path(src), Path(dst)
+    if src.is_file():
+        dst.mkdir(parents=True, exist_ok=True)
+        shutil.copy2(src, dst / src.name)
+        return dst
+
+    def _ignore(_dir: str, names: list[str]) -> set[str]:
+        return {n for n in names if n in IGNORED_DIRS}
+
+    shutil.copytree(src, dst, ignore=_ignore, dirs_exist_ok=True)
+    return dst
+
+
+def atomic_write(path: str | Path, data: str) -> None:
+    """Write ``data`` to ``path`` atomically (write temp + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(data, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def write_json(path: str | Path, obj) -> None:
+    """Serialize ``obj`` as pretty-printed JSON at ``path`` atomically."""
+    atomic_write(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def read_json(path: str | Path):
+    """Load JSON from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def remove_tree(path: str | Path) -> None:
+    """Best-effort recursive removal; missing paths are fine."""
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def count_lines(paths: Iterable[str | Path]) -> int:
+    """Total line count across ``paths`` (used by the performance benches)."""
+    total = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            total += sum(1 for _ in handle)
+    return total

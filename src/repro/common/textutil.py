@@ -1,0 +1,78 @@
+"""Text helpers: glob matching for DSL name patterns, dedenting, truncation."""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import textwrap
+
+
+def glob_match(pattern: str, value: str) -> bool:
+    """Match ``value`` against a DSL name pattern.
+
+    Patterns follow ``fnmatch`` semantics (``*``, ``?``, ``[seq]``).  A
+    pattern wrapped in slashes (``/regex/``) is treated as a regular
+    expression, which the paper's DSL supports for "more complex fault
+    types".  Matching is case-sensitive, as Python identifiers are.
+    """
+    if pattern.startswith("/") and pattern.endswith("/") and len(pattern) > 1:
+        return re.search(pattern[1:-1], value) is not None
+    # fnmatch.fnmatch lowercases on some platforms; fnmatchcase never does.
+    return fnmatch.fnmatchcase(value, pattern)
+
+
+def dedent_block(text: str) -> str:
+    """Dedent a brace-delimited DSL block to column zero.
+
+    Blank leading/trailing lines are dropped so that patterns written
+    inline inside ``change { ... }`` parse as top-level Python.
+    """
+    head, newline, tail = text.partition("\n")
+    if newline and head.strip():
+        return _dedent_inline_start(head.strip(), tail)
+    return _dedent_lines(text)
+
+
+def _dedent_inline_start(first: str, tail: str) -> str:
+    """Dedent a block whose content starts right after the opening brace.
+
+    ``change { foo()`` puts the first statement at column zero; the
+    remaining lines lose their common indentation — except that when the
+    first line opens a suite (ends with ``:``), one indentation level is
+    preserved so the suite stays nested under it.  Specs should use spaces
+    for indentation.
+    """
+    lines = [line.rstrip() for line in tail.splitlines()]
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    if not lines:
+        return first
+    common = min(
+        len(line) - len(line.lstrip(" ")) for line in lines if line.strip()
+    )
+    reduce_by = max(common - 4, 0) if first.endswith(":") else common
+    rest = "\n".join(line[reduce_by:] if line.strip() else "" for line in lines)
+    return first + "\n" + rest
+
+
+def _dedent_lines(text: str) -> str:
+    lines = [line.rstrip() for line in text.splitlines()]
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    return textwrap.dedent("\n".join(lines))
+
+
+def truncate(text: str, limit: int = 200) -> str:
+    """Shorten ``text`` to ``limit`` characters with an ellipsis marker."""
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."
+
+
+def indent_lines(text: str, prefix: str = "    ") -> str:
+    """Indent every non-empty line of ``text`` by ``prefix``."""
+    return textwrap.indent(text, prefix, lambda line: bool(line.strip()))

@@ -1,0 +1,50 @@
+"""Fault-injection domain-specific language (paper §III).
+
+A bug specification describes how source code should be transformed to
+introduce a software bug::
+
+    change {
+        $BLOCK{tag=b1; stmts=1,*}
+        $CALL{name=delete_*}(...)
+        $BLOCK{tag=b2; stmts=1,*}
+    } into {
+        $BLOCK{tag=b1}
+        $BLOCK{tag=b2}
+    }
+
+The *code pattern* (``change``) selects program elements; the *code
+replacement* (``into``) describes the faulty code, reusing tagged parts of
+the match.  :func:`compile_text` turns spec text into a
+:class:`~repro.dsl.metamodel.MetaModel` consumed by the scanner and mutator.
+"""
+
+from repro.dsl.compiler import compile_all, compile_spec, compile_text
+from repro.dsl.directives import Directive, DirectiveKind
+from repro.dsl.errors import (
+    BindingError,
+    DslDirectiveError,
+    DslError,
+    DslParameterError,
+    DslSyntaxError,
+    PatternCompileError,
+)
+from repro.dsl.metamodel import MetaModel
+from repro.dsl.parser import BugSpec, parse_spec, parse_specs
+
+__all__ = [
+    "BindingError",
+    "BugSpec",
+    "Directive",
+    "DirectiveKind",
+    "DslDirectiveError",
+    "DslError",
+    "DslParameterError",
+    "DslSyntaxError",
+    "MetaModel",
+    "PatternCompileError",
+    "compile_all",
+    "compile_spec",
+    "compile_text",
+    "parse_spec",
+    "parse_specs",
+]

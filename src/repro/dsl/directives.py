@@ -1,0 +1,189 @@
+"""Directive definitions for the fault-injection DSL.
+
+A *directive* is a ``$NAME`` token inside a bug specification.  Pattern-side
+directives describe which program elements to match ($CALL, $BLOCK, $EXPR,
+$STRING, $NUM, $VAR); replacement-side *action* directives describe the
+faulty code to synthesize ($CORRUPT, $HOG, $TIMEOUT, $PICK).
+
+Each occurrence in a spec becomes one :class:`Directive` instance, uniquely
+identified by the placeholder the lexer substitutes into the Python text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dsl.errors import DslDirectiveError, DslParameterError
+from repro.dsl.params import UNBOUNDED, DirectiveParams
+
+
+class DirectiveKind(str, Enum):
+    """Every directive understood by the DSL compiler."""
+
+    CALL = "CALL"        # a function/method call
+    BLOCK = "BLOCK"      # a variable-length sequence of statements
+    EXPR = "EXPR"        # any expression (optionally a specific variable)
+    STRING = "STRING"    # a string literal
+    NUM = "NUM"          # a numeric literal
+    VAR = "VAR"          # a variable name
+    CORRUPT = "CORRUPT"  # action: corrupt a value at run time
+    HOG = "HOG"          # action: spawn a resource hog at run time
+    TIMEOUT = "TIMEOUT"  # action: inject a delay at run time
+    PICK = "PICK"        # action: choose one snippet at mutation time
+
+
+#: Directives that may only appear in the ``into { ... }`` replacement.
+ACTION_KINDS = {
+    DirectiveKind.CORRUPT,
+    DirectiveKind.HOG,
+    DirectiveKind.TIMEOUT,
+    DirectiveKind.PICK,
+}
+
+#: Allowed parameter names per directive kind.
+ALLOWED_PARAMS: dict[DirectiveKind, set[str]] = {
+    DirectiveKind.CALL: {"name", "ctx", "tag"},
+    DirectiveKind.BLOCK: {"tag", "stmts"},
+    DirectiveKind.EXPR: {"var", "tag"},
+    DirectiveKind.STRING: {"val", "tag"},
+    DirectiveKind.NUM: {"min", "max", "tag"},
+    DirectiveKind.VAR: {"name", "tag"},
+    DirectiveKind.CORRUPT: {"mode"},
+    DirectiveKind.HOG: {"resource", "seconds", "threads", "mb"},
+    DirectiveKind.TIMEOUT: {"seconds"},
+    DirectiveKind.PICK: {"choices"},
+}
+
+#: Valid values for constrained enum-ish parameters.
+CALL_CONTEXTS = {"stmt", "any"}
+CORRUPT_MODES = {"auto", "string", "int", "none", "negate"}
+HOG_RESOURCES = {"cpu", "memory", "disk"}
+
+
+@dataclass
+class Directive:
+    """One ``$NAME#tag{params}`` occurrence in a bug specification."""
+
+    kind: DirectiveKind
+    tag: str | None
+    params: DirectiveParams
+    placeholder: str
+    line: int | None = None
+    #: Filled by the compiler: True when this occurrence lives in the
+    #: replacement (``into``) side of the spec.
+    in_replacement: bool = False
+
+    def __post_init__(self) -> None:
+        self.params.require_known(ALLOWED_PARAMS[self.kind], self.kind.value)
+        tag_param = self.params.get("tag")
+        if tag_param is not None:
+            if self.tag is not None and self.tag != tag_param:
+                raise DslParameterError(
+                    f"${self.kind.value} has conflicting tags "
+                    f"#{self.tag} and tag={tag_param}",
+                    line=self.line,
+                )
+            self.tag = tag_param
+        self._validate_kind()
+
+    # -- per-kind validation & typed accessors ------------------------------
+
+    def _validate_kind(self) -> None:
+        if self.kind is DirectiveKind.CALL:
+            ctx = self.params.get("ctx", "stmt")
+            if ctx not in CALL_CONTEXTS:
+                raise DslParameterError(
+                    f"ctx must be one of {sorted(CALL_CONTEXTS)}, got {ctx!r}",
+                    line=self.line,
+                )
+        elif self.kind is DirectiveKind.BLOCK:
+            self.params.get_range("stmts", (1, UNBOUNDED))
+        elif self.kind is DirectiveKind.CORRUPT:
+            mode = self.params.get("mode", "auto")
+            if mode not in CORRUPT_MODES:
+                raise DslParameterError(
+                    f"mode must be one of {sorted(CORRUPT_MODES)}, got {mode!r}",
+                    line=self.line,
+                )
+        elif self.kind is DirectiveKind.HOG:
+            resource = self.params.get("resource", "cpu")
+            if resource not in HOG_RESOURCES:
+                raise DslParameterError(
+                    f"resource must be one of {sorted(HOG_RESOURCES)}, "
+                    f"got {resource!r}",
+                    line=self.line,
+                )
+            self.params.get_float("seconds", 2.0)
+            self.params.get_int("threads", 2)
+        elif self.kind is DirectiveKind.TIMEOUT:
+            self.params.get_float("seconds", 1.0)
+        elif self.kind is DirectiveKind.PICK:
+            self.params.get_choices("choices")
+        elif self.kind is DirectiveKind.NUM:
+            self.params.get_float("min", float("-inf"))
+            self.params.get_float("max", float("inf"))
+
+    # Convenience accessors used by the matcher and mutator -----------------
+
+    @property
+    def name_pattern(self) -> str:
+        """Glob for $CALL/$VAR names (``*`` when unconstrained)."""
+        return self.params.get("name", "*") or "*"
+
+    @property
+    def value_pattern(self) -> str:
+        """Glob for $STRING values (``*`` when unconstrained)."""
+        return self.params.get("val", "*") or "*"
+
+    @property
+    def var_pattern(self) -> str | None:
+        """Variable-name constraint of $EXPR, or None for any expression."""
+        return self.params.get("var")
+
+    @property
+    def stmt_range(self) -> tuple[int, int]:
+        """(min, max) statements for $BLOCK; max=UNBOUNDED means ``*``."""
+        return self.params.get_range("stmts", (1, UNBOUNDED))
+
+    @property
+    def call_context(self) -> str:
+        return self.params.get("ctx", "stmt") or "stmt"
+
+    @property
+    def is_action(self) -> bool:
+        return self.kind in ACTION_KINDS
+
+    def require_pattern_side(self) -> None:
+        """Raise if an action directive is used inside ``change { ... }``."""
+        if self.is_action:
+            raise DslDirectiveError(
+                f"${self.kind.value} is a replacement-side action directive "
+                "and cannot appear in the change pattern",
+                line=self.line,
+            )
+
+    def describe(self) -> str:
+        tag = f"#{self.tag}" if self.tag else ""
+        body = "; ".join(f"{k}={v}" for k, v in self.params.raw.items())
+        return f"${self.kind.value}{tag}" + (f"{{{body}}}" if body else "")
+
+
+def make_directive(
+    name: str,
+    tag: str | None,
+    params_text: str,
+    placeholder: str,
+    line: int | None = None,
+) -> Directive:
+    """Build and validate a directive from its lexed pieces."""
+    try:
+        kind = DirectiveKind(name)
+    except ValueError:
+        known = ", ".join(sorted(k.value for k in DirectiveKind))
+        raise DslDirectiveError(
+            f"unknown directive ${name} (known: {known})", line=line
+        ) from None
+    params = DirectiveParams.parse(params_text, line=line)
+    return Directive(kind=kind, tag=tag, params=params,
+                     placeholder=placeholder, line=line)

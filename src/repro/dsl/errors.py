@@ -1,0 +1,45 @@
+"""Exception hierarchy for the fault-injection DSL.
+
+All DSL problems raise :class:`DslError` subclasses carrying the offending
+spec text location, so the service layer can report actionable messages to
+the user who wrote the bug specification.
+"""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """Base class for every error raised while handling a bug spec."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None, snippet: str | None = None) -> None:
+        self.line = line
+        self.column = column
+        self.snippet = snippet
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {column})" if column is not None else ")"
+            )
+        detail = f"\n    {snippet.strip()}" if snippet else ""
+        super().__init__(f"{message}{location}{detail}")
+
+
+class DslSyntaxError(DslError):
+    """The spec text does not follow ``change {{ ... }} into {{ ... }}``."""
+
+
+class DslParameterError(DslError):
+    """A directive has an unknown, malformed, or conflicting parameter."""
+
+
+class DslDirectiveError(DslError):
+    """A directive is used in a position where it is not allowed."""
+
+
+class PatternCompileError(DslError):
+    """The pattern or replacement is not parseable as (extended) Python."""
+
+
+class BindingError(DslError):
+    """A replacement references a tag that the pattern never binds."""

@@ -1,0 +1,165 @@
+"""Lexer: turn DSL-extended Python into plain Python plus directives.
+
+The DSL embeds ``$NAME#tag{params}`` directives inside otherwise ordinary
+Python source.  The lexer substitutes each directive occurrence with a
+unique placeholder identifier, producing text that :func:`ast.parse`
+accepts; the compiler then lifts the placeholders back into directive
+nodes.  Directives inside Python string literals are left untouched, so a
+pattern may legitimately match code containing ``"$"`` characters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.dsl.directives import Directive, make_directive
+from repro.dsl.errors import DslSyntaxError
+
+PLACEHOLDER_PREFIX = "_PFP_PH_"
+PLACEHOLDER_RE = re.compile(rf"^{PLACEHOLDER_PREFIX}(\d+)_$")
+
+_NAME_RE = re.compile(r"[A-Z][A-Z0-9_]*")
+_TAG_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def placeholder_name(index: int) -> str:
+    """Placeholder identifier substituted for the ``index``-th directive."""
+    return f"{PLACEHOLDER_PREFIX}{index}_"
+
+
+def is_placeholder(identifier: str) -> bool:
+    """True when ``identifier`` was produced by :func:`placeholder_name`."""
+    return PLACEHOLDER_RE.match(identifier) is not None
+
+
+@dataclass
+class LexResult:
+    """Plain-Python text plus the directives that were substituted out."""
+
+    text: str
+    directives: dict[str, Directive] = field(default_factory=dict)
+
+
+class _Scanner:
+    """Character scanner that understands Python quoting well enough to
+    know whether a ``$`` sits inside a string literal."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def line_at(self, pos: int) -> int:
+        return self.text.count("\n", 0, pos) + 1
+
+    def skip_string(self) -> None:
+        """Advance past the string literal starting at ``self.pos``."""
+        text = self.text
+        quote = text[self.pos]
+        triple = text[self.pos:self.pos + 3] in ('"""', "'''")
+        delim = quote * 3 if triple else quote
+        self.pos += len(delim)
+        while self.pos < len(text):
+            if text[self.pos] == "\\" and not triple:
+                self.pos += 2
+                continue
+            if text.startswith(delim, self.pos):
+                self.pos += len(delim)
+                return
+            self.pos += 1
+        # Unterminated string: leave it to ast.parse to report properly.
+
+    def skip_comment(self) -> None:
+        newline = self.text.find("\n", self.pos)
+        self.pos = len(self.text) if newline == -1 else newline
+
+    def read_balanced_braces(self) -> str:
+        """Read a ``{...}`` group (quote-aware, nesting-aware), return body."""
+        assert self.peek() == "{"
+        start = self.pos
+        depth = 0
+        quote: str | None = None
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if quote is not None:
+                if char == "\\":
+                    self.pos += 2
+                    continue
+                if char == quote:
+                    quote = None
+            elif char in "'\"":
+                quote = char
+            elif char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+                if depth == 0:
+                    self.pos += 1
+                    return self.text[start + 1:self.pos - 1]
+            self.pos += 1
+        raise DslSyntaxError(
+            "unterminated '{' in directive parameters",
+            line=self.line_at(start),
+            snippet=self.text[start:start + 40],
+        )
+
+
+def lex_fragment(text: str, start_index: int = 0) -> LexResult:
+    """Substitute every directive in ``text`` with a placeholder.
+
+    ``start_index`` offsets placeholder numbering so that the pattern and
+    replacement sides of one spec never reuse a placeholder.
+    """
+    scanner = _Scanner(text)
+    output: list[str] = []
+    directives: dict[str, Directive] = {}
+    counter = start_index
+    last = 0
+    while not scanner.eof():
+        char = scanner.peek()
+        if char in "'\"":
+            scanner.skip_string()
+            continue
+        if char == "#":
+            scanner.skip_comment()
+            continue
+        if char != "$":
+            scanner.pos += 1
+            continue
+        # Possible directive start.
+        match = _NAME_RE.match(text, scanner.pos + 1)
+        if match is None:
+            scanner.pos += 1
+            continue
+        directive_start = scanner.pos
+        line = scanner.line_at(directive_start)
+        name = match.group(0)
+        scanner.pos = match.end()
+        tag: str | None = None
+        if scanner.peek() == "#":
+            tag_match = _TAG_RE.match(text, scanner.pos + 1)
+            if tag_match is None:
+                raise DslSyntaxError(
+                    f"expected tag name after ${name}#",
+                    line=line, snippet=text[directive_start:directive_start + 40],
+                )
+            tag = tag_match.group(0)
+            scanner.pos = tag_match.end()
+        params_text = ""
+        if scanner.peek() == "{":
+            params_text = scanner.read_balanced_braces()
+        placeholder = placeholder_name(counter)
+        counter += 1
+        directive = make_directive(name, tag, params_text, placeholder, line)
+        directives[placeholder] = directive
+        output.append(text[last:directive_start])
+        output.append(placeholder)
+        last = scanner.pos
+    output.append(text[last:])
+    return LexResult(text="".join(output), directives=directives)

@@ -1,0 +1,173 @@
+"""Parsing and typed access for directive parameter blocks.
+
+A directive may carry a brace-delimited parameter block, e.g.::
+
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=delete_*}
+    $PICK{choices=TimeoutError('x')|ValueError('y')}
+
+Parameters are ``key=value`` pairs separated by ``;``.  Values are raw text
+up to the separator; quotes and nested braces inside values are honoured so
+that Python snippets (``choices=...``) survive intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.errors import DslParameterError
+
+#: Marker for an unbounded upper limit in a ``stmts=min,max`` range.
+UNBOUNDED = -1
+
+
+def split_top_level(text: str, separator: str) -> list[str]:
+    """Split ``text`` on ``separator`` at brace depth zero, outside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    quote: str | None = None
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            current.append(char)
+            if char == "\\" and index + 1 < len(text):
+                current.append(text[index + 1])
+                index += 2
+                continue
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "{([":
+            depth += 1
+            current.append(char)
+        elif char in "})]":
+            depth -= 1
+            current.append(char)
+        elif char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    parts.append("".join(current))
+    return parts
+
+
+@dataclass
+class DirectiveParams:
+    """Typed accessor over the raw ``key=value`` pairs of one directive."""
+
+    raw: dict[str, str] = field(default_factory=dict)
+    line: int | None = None
+
+    @classmethod
+    def parse(cls, text: str, line: int | None = None) -> "DirectiveParams":
+        """Parse the inside of a ``{...}`` parameter block."""
+        params: dict[str, str] = {}
+        text = text.strip()
+        if not text:
+            return cls(params, line)
+        for part in split_top_level(text, ";"):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise DslParameterError(
+                    f"malformed parameter {part!r}: expected key=value",
+                    line=line, snippet=text,
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not key:
+                raise DslParameterError(
+                    f"empty parameter name in {part!r}", line=line, snippet=text
+                )
+            if key in params:
+                raise DslParameterError(
+                    f"duplicate parameter {key!r}", line=line, snippet=text
+                )
+            params[key] = value
+        return cls(params, line)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        return self.raw.get(key, default)
+
+    def get_float(self, key: str, default: float) -> float:
+        value = self.raw.get(key)
+        if value is None:
+            return default
+        try:
+            return float(value)
+        except ValueError:
+            raise DslParameterError(
+                f"parameter {key!r} must be a number, got {value!r}",
+                line=self.line,
+            ) from None
+
+    def get_int(self, key: str, default: int) -> int:
+        value = self.raw.get(key)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except ValueError:
+            raise DslParameterError(
+                f"parameter {key!r} must be an integer, got {value!r}",
+                line=self.line,
+            ) from None
+
+    def get_range(self, key: str, default: tuple[int, int]) -> tuple[int, int]:
+        """Parse a ``min,max`` range where max may be ``*`` (unbounded)."""
+        value = self.raw.get(key)
+        if value is None:
+            return default
+        pieces = [p.strip() for p in value.split(",")]
+        if len(pieces) == 1:
+            pieces = [pieces[0], pieces[0]]
+        if len(pieces) != 2:
+            raise DslParameterError(
+                f"parameter {key!r} must be 'min,max', got {value!r}",
+                line=self.line,
+            )
+        try:
+            low = int(pieces[0])
+            high = UNBOUNDED if pieces[1] == "*" else int(pieces[1])
+        except ValueError:
+            raise DslParameterError(
+                f"parameter {key!r} must contain integers or '*', got {value!r}",
+                line=self.line,
+            ) from None
+        if low < 0 or (high != UNBOUNDED and high < low):
+            raise DslParameterError(
+                f"parameter {key!r} range {value!r} is invalid", line=self.line
+            )
+        return low, high
+
+    def get_choices(self, key: str) -> list[str]:
+        """Parse a ``|``-separated list of Python snippets."""
+        value = self.raw.get(key)
+        if value is None:
+            raise DslParameterError(
+                f"missing required parameter {key!r}", line=self.line
+            )
+        choices = [c.strip() for c in split_top_level(value, "|")]
+        choices = [c for c in choices if c]
+        if not choices:
+            raise DslParameterError(
+                f"parameter {key!r} lists no choices", line=self.line
+            )
+        return choices
+
+    def require_known(self, allowed: set[str], directive: str) -> None:
+        unknown = set(self.raw) - allowed
+        if unknown:
+            raise DslParameterError(
+                f"unknown parameter(s) {sorted(unknown)} for ${directive}"
+                f" (allowed: {sorted(allowed)})",
+                line=self.line,
+            )

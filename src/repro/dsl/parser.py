@@ -1,0 +1,146 @@
+"""Parser for the outer ``change { ... } into { ... }`` spec structure.
+
+A *bug specification* is the unit the user writes (paper Fig. 1).  A spec
+file may contain several specifications, each optionally preceded by a
+``# name: <identifier>`` comment that names the fault type (MFC, MIFS,
+WPF, ...).  Unnamed specs get positional names (``spec_1``, ``spec_2``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.textutil import dedent_block
+from repro.dsl.errors import DslSyntaxError
+
+_CHANGE_RE = re.compile(r"\bchange\b")
+_INTO_RE = re.compile(r"\binto\b")
+_NAME_COMMENT_RE = re.compile(r"^\s*#\s*name\s*:\s*(\S+)\s*$", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One ``change { ... } into { ... }`` bug specification.
+
+    ``pattern`` and ``replacement`` hold the dedented block bodies; the
+    original spec text is kept for round-tripping into fault-model JSON.
+    """
+
+    name: str
+    pattern: str
+    replacement: str
+    raw: str
+
+    def describe(self) -> str:
+        return f"BugSpec({self.name})"
+
+
+def _find_block(text: str, start: int, keyword: str) -> tuple[str, int]:
+    """Read the ``{ ... }`` block following ``keyword`` at ``start``.
+
+    Returns (block body, index one past the closing brace).  The scan is
+    quote-aware and nesting-aware so directive parameter blocks and dict
+    literals inside the pattern do not confuse it.
+    """
+    index = start
+    while index < len(text) and text[index].isspace():
+        index += 1
+    if index >= len(text) or text[index] != "{":
+        line = text.count("\n", 0, start) + 1
+        raise DslSyntaxError(
+            f"expected '{{' after '{keyword}'", line=line,
+            snippet=text[start:start + 40],
+        )
+    depth = 0
+    quote: str | None = None
+    open_index = index
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            if char == "\\":
+                index += 2
+                continue
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+        elif char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_index + 1:index], index + 1
+        index += 1
+    line = text.count("\n", 0, open_index) + 1
+    raise DslSyntaxError(
+        f"unterminated '{{' block after '{keyword}'", line=line,
+        snippet=text[open_index:open_index + 40],
+    )
+
+
+def parse_spec(text: str, name: str | None = None) -> BugSpec:
+    """Parse exactly one bug specification from ``text``."""
+    specs = parse_specs(text)
+    if len(specs) != 1:
+        raise DslSyntaxError(
+            f"expected exactly one change/into specification, found {len(specs)}"
+        )
+    spec = specs[0]
+    if name is not None:
+        spec = BugSpec(name=name, pattern=spec.pattern,
+                       replacement=spec.replacement, raw=spec.raw)
+    return spec
+
+
+def parse_specs(text: str) -> list[BugSpec]:
+    """Parse every ``change {...} into {...}`` pair in ``text``, in order."""
+    specs: list[BugSpec] = []
+    cursor = 0
+    ordinal = 0
+    while True:
+        change = _CHANGE_RE.search(text, cursor)
+        if change is None:
+            break
+        ordinal += 1
+        spec_start = change.start()
+        pattern_text, after_pattern = _find_block(text, change.end(), "change")
+        into = _INTO_RE.search(text, after_pattern)
+        if into is None:
+            line = text.count("\n", 0, after_pattern) + 1
+            raise DslSyntaxError("expected 'into' after change block", line=line)
+        gap = text[after_pattern:into.start()]
+        if gap.strip():
+            line = text.count("\n", 0, after_pattern) + 1
+            raise DslSyntaxError(
+                f"unexpected text between change and into: {gap.strip()[:40]!r}",
+                line=line,
+            )
+        replacement_text, after_replacement = _find_block(text, into.end(), "into")
+        name = _name_for(text, spec_start, ordinal)
+        specs.append(
+            BugSpec(
+                name=name,
+                pattern=dedent_block(pattern_text),
+                replacement=dedent_block(replacement_text),
+                raw=text[spec_start:after_replacement],
+            )
+        )
+        cursor = after_replacement
+    if not specs and text.strip():
+        raise DslSyntaxError("no 'change { ... } into { ... }' found in spec text")
+    return specs
+
+
+def _name_for(text: str, spec_start: int, ordinal: int) -> str:
+    """Name from the nearest preceding ``# name:`` comment, else positional."""
+    best: str | None = None
+    for match in _NAME_COMMENT_RE.finditer(text, 0, spec_start):
+        best = match.group(1)
+        best_end = match.end()
+    if best is not None:
+        # Only honour the comment if no other spec sits between it and us.
+        intervening = _CHANGE_RE.search(text, best_end, spec_start)
+        if intervening is None:
+            return best
+    return f"spec_{ordinal}"

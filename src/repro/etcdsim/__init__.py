@@ -1,0 +1,55 @@
+"""etcd simulator: the case-study substrate (paper §V).
+
+A faithful miniature of etcd v2 plus python-etcd:
+
+* :class:`~repro.etcdsim.store.EtcdStore` — hierarchical KV store with
+  directories, TTL, indices, compare-and-swap, and watch history;
+* :class:`~repro.etcdsim.server.EtcdServer` — threaded HTTP frontend
+  speaking the etcd v2 wire protocol;
+* :class:`~repro.etcdsim.client.Client` — python-etcd-style bindings (the
+  software-under-injection);
+* :func:`~repro.etcdsim.workload.run_workload` — the integration-test
+  workload of the case study;
+* :func:`~repro.etcdsim.target.materialize_target` — writes the standalone
+  project tree that experiments copy and mutate.
+"""
+
+from repro.etcdsim.client import Client, EtcdResult
+from repro.etcdsim.errors import (
+    EtcdAlreadyExist,
+    EtcdCompareFailed,
+    EtcdConnectionFailed,
+    EtcdError,
+    EtcdException,
+    EtcdKeyNotFound,
+    EtcdValueError,
+    EtcdWatchTimedOut,
+)
+from repro.etcdsim.server import EtcdServer
+from repro.etcdsim.store import EtcdStore
+from repro.etcdsim.target import (
+    INJECTABLE_FILES,
+    TargetProject,
+    materialize_target,
+)
+from repro.etcdsim.workload import WorkloadError, run_workload
+
+__all__ = [
+    "Client",
+    "EtcdAlreadyExist",
+    "EtcdCompareFailed",
+    "EtcdConnectionFailed",
+    "EtcdError",
+    "EtcdException",
+    "EtcdKeyNotFound",
+    "EtcdResult",
+    "EtcdServer",
+    "EtcdStore",
+    "EtcdValueError",
+    "EtcdWatchTimedOut",
+    "INJECTABLE_FILES",
+    "TargetProject",
+    "WorkloadError",
+    "materialize_target",
+    "run_workload",
+]

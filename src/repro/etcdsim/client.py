@@ -1,0 +1,292 @@
+"""python-etcd–style client for the etcd simulator: the injection target.
+
+This module plays the role of *Python-etcd 0.4.5* in the paper's case study
+(§V): a client library whose methods (``set``, ``get``, ``test_and_set``,
+``mkdir``, ``delete``, ...) talk to an etcd server over HTTP.  It is written
+against the stdlib ``urllib`` and ``os`` modules — exactly the external
+APIs the first fault injection campaign targets — and its input handling
+deliberately mirrors python-etcd's (e.g. ``key.startswith('/')`` without a
+None check, which yields the campaign-B failure
+``AttributeError: 'NoneType' object has no attribute 'startswith'``).
+
+Self-contained (stdlib only, relative imports): copied into sandboxes as
+the ``pyetcd`` target package and mutated there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from .errors import (
+    EtcdConnectionFailed,
+    EtcdException,
+    EtcdWatchTimedOut,
+    exception_for,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 2379
+DEFAULT_TIMEOUT = 10.0
+
+
+class EtcdResult:
+    """Result of one etcd operation, with python-etcd's attribute surface."""
+
+    def __init__(self, payload: dict) -> None:
+        self.action = payload.get("action")
+        node = payload.get("node") or {}
+        prev = payload.get("prevNode")
+        self.key = node.get("key")
+        self.value = node.get("value")
+        self.dir = bool(node.get("dir", False))
+        self.ttl = node.get("ttl")
+        self.created_index = node.get("createdIndex")
+        self.modified_index = node.get("modifiedIndex")
+        self.prev_value = None if prev is None else prev.get("value")
+        self._children = node.get("nodes") or []
+
+    @property
+    def children(self) -> list["EtcdResult"]:
+        """Child nodes of a directory result (non-recursive view)."""
+        return [EtcdResult({"action": self.action, "node": child})
+                for child in self._children]
+
+    @property
+    def leaves(self) -> list["EtcdResult"]:
+        """All value leaves below this node (requires recursive get)."""
+        if not self.dir:
+            return [self]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EtcdResult(action={self.action!r}, key={self.key!r}, "
+                f"value={self.value!r}, dir={self.dir})")
+
+
+class Client:
+    """Client for the etcd v2 API, shaped after python-etcd's ``Client``."""
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        protocol: str = "http",
+        read_timeout: float | None = None,
+    ) -> None:
+        env_host = os.environ.get("ETCDSIM_HOST")
+        env_port = os.environ.get("ETCDSIM_PORT")
+        self.host = host if host is not None else (env_host or DEFAULT_HOST)
+        if port is not None:
+            self.port = int(port)
+        else:
+            self.port = int(env_port) if env_port else DEFAULT_PORT
+        self.protocol = protocol
+        if read_timeout is not None:
+            self.read_timeout = float(read_timeout)
+        else:
+            env_timeout = os.environ.get("ETCDSIM_TIMEOUT")
+            self.read_timeout = float(env_timeout) if env_timeout else DEFAULT_TIMEOUT
+
+    # -- public API (the campaign-B injection targets) -------------------------
+
+    def set(self, key: str, value: str, ttl: int | None = None) -> EtcdResult:
+        """Write ``value`` at ``key``, optionally with a TTL in seconds."""
+        path = self._key_endpoint(key)
+        fields = self._write_fields(value, ttl)
+        payload = self._execute("PUT", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def get(self, key: str, recursive: bool = False,
+            sorted: bool = False) -> EtcdResult:  # noqa: A002
+        """Read ``key`` (a value or a directory listing)."""
+        path = self._key_endpoint(key)
+        query = self._read_query(recursive, sorted)
+        payload = self._execute("GET", path + query, None)
+        result = EtcdResult(payload)
+        return result
+
+    def delete(self, key: str, recursive: bool = False,
+               dir: bool = False) -> EtcdResult:  # noqa: A002
+        """Delete ``key``; directories require ``dir`` or ``recursive``."""
+        path = self._key_endpoint(key)
+        flags = []
+        if recursive:
+            flags.append("recursive=true")
+        if dir:
+            flags.append("dir=true")
+        query = "?" + "&".join(flags) if flags else ""
+        payload = self._execute("DELETE", path + query, None)
+        result = EtcdResult(payload)
+        return result
+
+    def test_and_set(self, key: str, value: str, prev_value: str,
+                     ttl: int | None = None) -> EtcdResult:
+        """Atomic compare-and-swap: write only if ``prev_value`` matches."""
+        path = self._key_endpoint(key)
+        fields = self._write_fields(value, ttl)
+        fields["prevValue"] = prev_value
+        payload = self._execute("PUT", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def update(self, key: str, value: str, ttl: int | None = None) -> EtcdResult:
+        """Write ``key`` only if it already exists."""
+        path = self._key_endpoint(key)
+        fields = self._write_fields(value, ttl)
+        fields["prevExist"] = "true"
+        payload = self._execute("PUT", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def create(self, key: str, value: str, ttl: int | None = None) -> EtcdResult:
+        """Write ``key`` only if it does not exist yet."""
+        path = self._key_endpoint(key)
+        fields = self._write_fields(value, ttl)
+        fields["prevExist"] = "false"
+        payload = self._execute("PUT", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def mkdir(self, key: str, ttl: int | None = None) -> EtcdResult:
+        """Create a directory at ``key``."""
+        path = self._key_endpoint(key)
+        fields = {"dir": "true"}
+        if ttl is not None:
+            fields["ttl"] = str(ttl)
+        payload = self._execute("PUT", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def ls(self, key: str, recursive: bool = False) -> list[str]:
+        """Keys of the children of directory ``key``."""
+        listing = self.get(key, recursive=recursive, sorted=True)
+        names = [child.key for child in listing.children]
+        return names
+
+    def append(self, key: str, value: str, ttl: int | None = None) -> EtcdResult:
+        """Atomic in-order insert under directory ``key`` (etcd POST)."""
+        path = self._key_endpoint(key)
+        fields = self._write_fields(value, ttl)
+        payload = self._execute("POST", path, fields)
+        result = EtcdResult(payload)
+        return result
+
+    def watch(self, key: str, index: int | None = None,
+              timeout: float | None = None,
+              recursive: bool = False) -> EtcdResult:
+        """Block until ``key`` changes (etcd ``wait=true``)."""
+        path = self._key_endpoint(key)
+        flags = ["wait=true"]
+        if index is not None:
+            flags.append("waitIndex=%d" % index)
+        if recursive:
+            flags.append("recursive=true")
+        if timeout is not None:
+            flags.append("waitTimeout=%s" % timeout)
+        query = "?" + "&".join(flags)
+        payload = self._execute("GET", path + query, None,
+                                timeout=(timeout or self.read_timeout) + 2.0)
+        result = EtcdResult(payload)
+        return result
+
+    def version(self) -> str:
+        """The server's version string."""
+        payload = self._execute("GET", "/version", None)
+        version = payload.get("etcdserver", "unknown")
+        return version
+
+    def stats(self) -> dict:
+        """Server-side store statistics."""
+        payload = self._execute("GET", "/v2/stats/store", None)
+        return payload
+
+    # -- request plumbing (the campaign-A injection targets) --------------------
+
+    def _base_url(self) -> str:
+        authority = "%s:%d" % (self.host, self.port)
+        url = "%s://%s" % (self.protocol, authority)
+        return url
+
+    def _key_endpoint(self, key: str) -> str:
+        if not key.startswith("/"):
+            key = "/" + key
+        quoted = urllib.parse.quote(key)
+        endpoint = "/v2/keys" + quoted
+        return endpoint
+
+    def _write_fields(self, value: str, ttl: int | None) -> dict:
+        fields = {"value": value}
+        if ttl is not None:
+            fields["ttl"] = str(ttl)
+        return fields
+
+    def _read_query(self, recursive: bool, sorted_: bool) -> str:
+        flags = []
+        if recursive:
+            flags.append("recursive=true")
+        if sorted_:
+            flags.append("sorted=true")
+        if not flags:
+            return ""
+        query = "?" + "&".join(flags)
+        return query
+
+    def _execute(self, method: str, path: str, fields: dict | None,
+                 timeout: float | None = None) -> dict:
+        url = self._base_url() + path
+        data = None
+        if fields is not None:
+            encoded = urllib.parse.urlencode(fields)
+            data = encoded.encode("utf-8")
+        request = urllib.request.Request(url, data=data, method=method)
+        request.add_header("Content-Type",
+                           "application/x-www-form-urlencoded")
+        effective_timeout = timeout if timeout is not None else self.read_timeout
+        try:
+            response = urllib.request.urlopen(request,
+                                              timeout=effective_timeout)
+        except urllib.error.HTTPError as error:
+            raise self._error_from_response(error) from None
+        except urllib.error.URLError as error:
+            raise EtcdConnectionFailed(
+                "Connection to etcd failed: %s" % error.reason
+            ) from None
+        except socket.timeout:
+            raise EtcdConnectionFailed("Connection to etcd timed out") from None
+        body = response.read()
+        payload = self._decode_payload(body)
+        return payload
+
+    def _decode_payload(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise EtcdException(
+                "Bad response: not JSON: %r" % body[:80]
+            ) from None
+        if not isinstance(payload, dict):
+            raise EtcdException("Bad response: unexpected payload type")
+        return payload
+
+    def _error_from_response(self, error: "urllib.error.HTTPError") -> EtcdException:
+        try:
+            body = error.read()
+            payload = json.loads(body.decode("utf-8"))
+        except Exception:
+            payload = {}
+        code = payload.get("errorCode")
+        if code == 401:
+            return EtcdWatchTimedOut("watch timed out")
+        if code is not None:
+            return exception_for(code, payload.get("message", "etcd error"),
+                                 payload.get("cause", ""))
+        return EtcdException("Bad response: %d %s" % (error.code, error.reason))

@@ -1,0 +1,128 @@
+"""Error hierarchy of the etcdsim client, mirroring python-etcd.
+
+The paper's case study (§V) observes failures such as ``EtcdKeyNotFound``
+and ``EtcdException: Bad response: 400 Bad Request``; this module defines
+the same exception surface so the reproduced campaigns classify failures
+the same way.
+
+This module is self-contained (stdlib only, relative imports) because it is
+copied into experiment sandboxes as part of the ``pyetcd`` target package.
+"""
+
+from __future__ import annotations
+
+# etcd v2 wire error codes (subset used by the simulator).
+EC_KEY_NOT_FOUND = 100
+EC_TEST_FAILED = 101
+EC_NOT_FILE = 102
+EC_NOT_DIR = 104
+EC_NODE_EXIST = 105
+EC_ROOT_RONLY = 107
+EC_DIR_NOT_EMPTY = 108
+EC_INVALID_FIELD = 209
+EC_INVALID_FORM = 210
+EC_RAFT_INTERNAL = 300
+EC_WATCH_TIMED_OUT = 401  # simulator-specific wait timeout
+
+
+class EtcdException(Exception):
+    """Generic etcd error (also raised for malformed HTTP responses)."""
+
+
+class EtcdConnectionFailed(EtcdException):
+    """The etcd server could not be reached."""
+
+
+class EtcdValueError(EtcdException, ValueError):
+    """Request rejected by the server as invalid (HTTP 400)."""
+
+
+class EtcdKeyError(EtcdException, KeyError):
+    """Base class for key-related errors."""
+
+
+class EtcdKeyNotFound(EtcdKeyError):
+    """The requested key does not exist (error code 100)."""
+
+
+class EtcdCompareFailed(EtcdValueError):
+    """An atomic compare-and-swap condition failed (error code 101)."""
+
+
+class EtcdNotFile(EtcdKeyError):
+    """Operation requires a file but the key is a directory (code 102)."""
+
+
+class EtcdNotDir(EtcdKeyError):
+    """Operation requires a directory but the key is a file (code 104)."""
+
+
+class EtcdAlreadyExist(EtcdKeyError):
+    """Create requested but the key already exists (error code 105)."""
+
+
+class EtcdRootReadOnly(EtcdKeyError):
+    """The root node cannot be modified (error code 107)."""
+
+
+class EtcdDirNotEmpty(EtcdValueError):
+    """Directory deletion requires recursive=True (error code 108)."""
+
+
+class EtcdWatchTimedOut(EtcdConnectionFailed):
+    """A watch expired without observing an event."""
+
+
+#: error code -> exception class, mirroring python-etcd's mapping.
+ERROR_CODE_EXCEPTIONS: dict[int, type] = {
+    EC_KEY_NOT_FOUND: EtcdKeyNotFound,
+    EC_TEST_FAILED: EtcdCompareFailed,
+    EC_NOT_FILE: EtcdNotFile,
+    EC_NOT_DIR: EtcdNotDir,
+    EC_NODE_EXIST: EtcdAlreadyExist,
+    EC_ROOT_RONLY: EtcdRootReadOnly,
+    EC_DIR_NOT_EMPTY: EtcdDirNotEmpty,
+    EC_INVALID_FIELD: EtcdValueError,
+    EC_INVALID_FORM: EtcdValueError,
+    EC_WATCH_TIMED_OUT: EtcdWatchTimedOut,
+}
+
+
+class EtcdError(Exception):
+    """Server-side error carrying an etcd wire error code.
+
+    Raised by the store, serialized by the HTTP server, and re-raised by
+    the client as the matching :class:`EtcdException` subclass.
+    """
+
+    def __init__(self, code: int, message: str, cause: str = "") -> None:
+        self.code = code
+        self.message = message
+        self.cause = cause
+        super().__init__(f"[{code}] {message}: {cause}")
+
+    def to_wire(self, index: int) -> dict:
+        return {
+            "errorCode": self.code,
+            "message": self.message,
+            "cause": self.cause,
+            "index": index,
+        }
+
+    @property
+    def http_status(self) -> int:
+        if self.code in (EC_KEY_NOT_FOUND,):
+            return 404
+        if self.code in (EC_TEST_FAILED, EC_NODE_EXIST):
+            return 412
+        if self.code in (EC_RAFT_INTERNAL,):
+            return 500
+        if self.code in (EC_WATCH_TIMED_OUT,):
+            return 408
+        return 400
+
+
+def exception_for(code: int, message: str, cause: str) -> EtcdException:
+    """Build the client-side exception for a wire error code."""
+    exc_class = ERROR_CODE_EXCEPTIONS.get(code, EtcdException)
+    return exc_class(f"{message} : {cause}" if cause else message)

@@ -1,0 +1,265 @@
+"""HTTP server exposing the store over the etcd v2 wire protocol.
+
+A threaded ``http.server`` speaking the subset of the etcd v2 API that
+python-etcd exercises: ``/v2/keys`` (GET/PUT/POST/DELETE with recursive,
+sorted, wait, TTL, prevValue/prevIndex/prevExist), ``/v2/stats/store`` and
+``/version``.  Designed to be launched as the *service under test* inside
+an experiment sandbox: with ``--port 0`` it binds an ephemeral port and
+writes it to ``--port-file`` so the workload can find it.
+
+Self-contained (stdlib only, relative imports): copied into sandboxes as
+part of the ``pyetcd`` target package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .errors import EC_INVALID_FIELD, EC_WATCH_TIMED_OUT, EtcdError
+from .store import EtcdStore
+
+SERVER_VERSION = {"etcdserver": "2.3.8-sim", "etcdcluster": "2.3.0-sim"}
+DEFAULT_WAIT_TIMEOUT = 10.0
+
+
+def _parse_bool(raw: str | None, name: str) -> bool | None:
+    if raw is None:
+        return None
+    lowered = raw.lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                    f"{name}={raw!r} is not a boolean")
+
+
+class EtcdRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the shared :class:`EtcdStore`."""
+
+    server_version = "etcdsim"
+    protocol_version = "HTTP/1.1"
+
+    # Populated by EtcdServer.
+    store: EtcdStore = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            sys.stderr.write("etcdsim: " + format % args + "\n")
+
+    # -- verb dispatch -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/version":
+            self._send(200, SERVER_VERSION)
+            return
+        if parsed.path == "/v2/stats/store":
+            self._send(200, self.store.stats())
+            return
+        self._keys_op("GET", parsed)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._keys_op("PUT", urllib.parse.urlparse(self.path))
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._keys_op("POST", urllib.parse.urlparse(self.path))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._keys_op("DELETE", urllib.parse.urlparse(self.path))
+
+    # -- /v2/keys ---------------------------------------------------------------
+
+    def _keys_op(self, method: str, parsed) -> None:
+        if not parsed.path.startswith("/v2/keys"):
+            self._send(404, {"message": "not found", "path": parsed.path})
+            return
+        key = urllib.parse.unquote(parsed.path[len("/v2/keys"):]) or "/"
+        query = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        form = self._read_form()
+        params = {**query, **form}
+        try:
+            if method == "GET":
+                event = self._handle_get(key, params)
+            elif method == "PUT":
+                event = self._handle_put(key, params)
+            elif method == "POST":
+                event = self._handle_post(key, params)
+            else:
+                event = self._handle_delete(key, params)
+        except EtcdError as error:
+            self._send(error.http_status, error.to_wire(self.store.index))
+            return
+        created = method in ("PUT", "POST") and event.action == "create"
+        self._send(201 if created else 200, event.to_wire())
+
+    def _handle_get(self, key: str, params: dict):
+        wait = _parse_bool(params.get("wait"), "wait")
+        recursive = bool(_parse_bool(params.get("recursive"), "recursive"))
+        sorted_ = bool(_parse_bool(params.get("sorted"), "sorted"))
+        if wait:
+            wait_index = None
+            if "waitIndex" in params:
+                try:
+                    wait_index = int(params["waitIndex"])
+                except ValueError:
+                    raise EtcdError(
+                        EC_INVALID_FIELD, "Invalid field",
+                        f"waitIndex={params['waitIndex']!r}",
+                    ) from None
+            event = self.store.wait(
+                key, wait_index=wait_index, recursive=recursive,
+                timeout=float(params.get("waitTimeout",
+                                         DEFAULT_WAIT_TIMEOUT)),
+            )
+            if event is None:
+                raise EtcdError(EC_WATCH_TIMED_OUT, "watch timed out", key)
+            return event
+        return self.store.get(key, recursive=recursive, sorted_=sorted_)
+
+    def _handle_put(self, key: str, params: dict):
+        ttl = params.get("ttl")
+        if ttl == "":
+            ttl = None
+        return self.store.set(
+            key,
+            value=params.get("value"),
+            ttl=ttl,
+            dir=bool(_parse_bool(params.get("dir"), "dir")),
+            prev_exist=_parse_bool(params.get("prevExist"), "prevExist"),
+            prev_value=params.get("prevValue"),
+            prev_index=(int(params["prevIndex"])
+                        if "prevIndex" in params else None),
+        )
+
+    def _handle_post(self, key: str, params: dict):
+        # Atomic in-order creation: POST /v2/keys/dir appends a child whose
+        # name is the creation index (etcd's in-order keys).
+        ordered = f"{key.rstrip('/')}/{self.store.index + 1:020d}"
+        ttl = params.get("ttl") or None
+        return self.store.set(ordered, value=params.get("value"), ttl=ttl,
+                              prev_exist=False)
+
+    def _handle_delete(self, key: str, params: dict):
+        return self.store.delete(
+            key,
+            recursive=bool(_parse_bool(params.get("recursive"), "recursive")),
+            dir=bool(_parse_bool(params.get("dir"), "dir")),
+        )
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _read_form(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        return {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(body).items()
+        }
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Etcd-Index", str(self.store.index))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class EtcdServer:
+    """The etcd simulator: a store plus its threaded HTTP frontend."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True) -> None:
+        self.store = EtcdStore()
+        handler = type(
+            "BoundHandler", (EtcdRequestHandler,),
+            {"store": self.store, "quiet": quiet},
+        )
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def start(self) -> None:
+        """Serve in a background thread (for tests and examples)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def __enter__(self) -> "EtcdServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point used as the sandbox service command."""
+    parser = argparse.ArgumentParser(description="etcd v2 simulator")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 binds an ephemeral port")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port to this file")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    server = EtcdServer(host=args.host, port=args.port,
+                        quiet=not args.verbose)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(str(server.port))
+    sys.stderr.write(
+        f"etcdsim: serving on {server.host}:{server.port}\n"
+    )
+    sys.stderr.flush()
+
+    def _terminate(_signum, _frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

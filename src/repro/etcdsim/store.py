@@ -1,0 +1,410 @@
+"""In-memory hierarchical key-value store with etcd v2 semantics.
+
+Implements the behaviour the case study depends on: hierarchical keys with
+directories, TTL expiry, created/modified indices, compare-and-swap
+(``test_and_set``), recursive reads/deletes, and an event history that
+powers watches.  Thread-safe: the HTTP server serves requests from a
+thread pool.
+
+Self-contained (stdlib only, relative imports): copied into sandboxes as
+part of the ``pyetcd`` target package.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .errors import (
+    EC_DIR_NOT_EMPTY,
+    EC_INVALID_FIELD,
+    EC_KEY_NOT_FOUND,
+    EC_NODE_EXIST,
+    EC_NOT_DIR,
+    EC_NOT_FILE,
+    EC_ROOT_RONLY,
+    EC_TEST_FAILED,
+    EtcdError,
+)
+
+#: Bounded history of write events, for watch catch-up.
+HISTORY_LIMIT = 1000
+
+
+def validate_key(key: str) -> str:
+    """Normalize and validate a key, rejecting what etcd rejects with 400.
+
+    Keys must be non-empty printable ASCII without control characters;
+    the result always has a single leading slash and no trailing slash.
+    """
+    if not isinstance(key, str):
+        raise EtcdError(EC_INVALID_FIELD, "Invalid field", f"key={key!r}")
+    if not key.isascii() or any(ord(ch) < 0x20 or ord(ch) == 0x7F for ch in key):
+        raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                        "key contains non-ASCII or control characters")
+    key = "/" + key.strip("/")
+    if key == "/":
+        return key
+    if any(not segment for segment in key[1:].split("/")):
+        raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                        f"empty path segment in {key!r}")
+    return key
+
+
+def validate_value(value: str) -> str:
+    """Values must be text without control characters (else HTTP 400)."""
+    if not isinstance(value, str):
+        raise EtcdError(EC_INVALID_FIELD, "Invalid field", f"value={value!r}")
+    if any(ord(ch) < 0x20 and ch not in "\t\n\r" for ch in value):
+        raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                        "value contains control characters")
+    return value
+
+
+@dataclass
+class Node:
+    """One node of the tree: either a value leaf or a directory."""
+
+    key: str
+    value: str | None = None
+    dir: bool = False
+    created_index: int = 0
+    modified_index: int = 0
+    expiration: float | None = None
+    ttl: int | None = None
+    children: dict[str, "Node"] = field(default_factory=dict)
+
+    def expired(self, now: float) -> bool:
+        return self.expiration is not None and now >= self.expiration
+
+    def to_wire(self, recursive: bool = False, sorted_: bool = False,
+                now: float | None = None) -> dict:
+        data: dict = {
+            "key": self.key,
+            "createdIndex": self.created_index,
+            "modifiedIndex": self.modified_index,
+        }
+        if self.dir:
+            data["dir"] = True
+            names = sorted(self.children) if sorted_ else list(self.children)
+            nodes = [self.children[name] for name in names]
+            if recursive:
+                data["nodes"] = [
+                    child.to_wire(recursive=True, sorted_=sorted_, now=now)
+                    for child in nodes
+                ]
+            else:
+                data["nodes"] = [
+                    {
+                        "key": child.key,
+                        "createdIndex": child.created_index,
+                        "modifiedIndex": child.modified_index,
+                        **({"dir": True} if child.dir
+                           else {"value": child.value}),
+                    }
+                    for child in nodes
+                ]
+        else:
+            data["value"] = self.value
+        if self.expiration is not None and now is not None:
+            data["ttl"] = max(0, int(round(self.expiration - now)))
+        return data
+
+
+@dataclass
+class Event:
+    """A write event appended to the history (used by watches)."""
+
+    action: str
+    key: str
+    index: int
+    node: dict
+    prev_node: dict | None = None
+
+    def to_wire(self) -> dict:
+        data = {"action": self.action, "node": self.node}
+        if self.prev_node is not None:
+            data["prevNode"] = self.prev_node
+        return data
+
+    def concerns(self, key: str, recursive: bool) -> bool:
+        if self.key == key:
+            return True
+        return recursive and self.key.startswith(key.rstrip("/") + "/")
+
+
+class EtcdStore:
+    """The mutable tree plus index counter, TTL sweeping, and history."""
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self._root = Node(key="/", dir=True)
+        self._index = 0
+        self._lock = threading.RLock()
+        self._history: deque[Event] = deque(maxlen=HISTORY_LIMIT)
+        self._changed = threading.Condition(self._lock)
+
+    @property
+    def index(self) -> int:
+        with self._lock:
+            return self._index
+
+    # -- public operations (etcd v2 data model) --------------------------------
+
+    def get(self, key: str, recursive: bool = False,
+            sorted_: bool = False) -> Event:
+        key = validate_key(key)
+        with self._lock:
+            self._sweep_expired()
+            node = self._find(key)
+            if node is None:
+                raise EtcdError(EC_KEY_NOT_FOUND, "Key not found", key)
+            now = self._clock()
+            return Event(
+                action="get", key=key, index=self._index,
+                node=node.to_wire(recursive=recursive, sorted_=sorted_,
+                                  now=now),
+            )
+
+    def set(
+        self,
+        key: str,
+        value: str | None = None,
+        ttl: int | None = None,
+        dir: bool = False,
+        prev_exist: bool | None = None,
+        prev_value: str | None = None,
+        prev_index: int | None = None,
+    ) -> Event:
+        """Write a key (etcd PUT): create/update a value or a directory."""
+        key = validate_key(key)
+        if key == "/":
+            raise EtcdError(EC_ROOT_RONLY, "Root is read only", key)
+        if ttl is not None:
+            ttl = self._validate_ttl(ttl)
+        if dir:
+            if value not in (None, ""):
+                raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                                "directories cannot carry a value")
+        else:
+            value = validate_value(value if value is not None else "")
+        with self._lock:
+            self._sweep_expired()
+            existing = self._find(key)
+            if prev_exist is False and existing is not None:
+                raise EtcdError(EC_NODE_EXIST, "Key already exists", key)
+            if prev_exist is True and existing is None:
+                raise EtcdError(EC_KEY_NOT_FOUND, "Key not found", key)
+            if prev_value is not None or prev_index is not None:
+                self._check_compare(key, existing, prev_value, prev_index)
+            if existing is not None and existing.dir and not dir:
+                raise EtcdError(EC_NOT_FILE, "Not a file", key)
+            if existing is not None and dir and not existing.dir:
+                raise EtcdError(EC_NOT_DIR, "Not a directory", key)
+            if existing is not None and dir and prev_exist is None:
+                raise EtcdError(EC_NODE_EXIST, "Key already exists", key)
+
+            parent = self._ensure_parents(key)
+            prev_wire = None if existing is None else existing.to_wire(
+                now=self._clock()
+            )
+            self._index += 1
+            now = self._clock()
+            name = key.rsplit("/", 1)[-1]
+            node = existing or Node(key=key, created_index=self._index)
+            node.modified_index = self._index
+            node.dir = dir
+            node.value = None if dir else value
+            node.ttl = ttl
+            node.expiration = None if ttl is None else now + ttl
+            parent.children[name] = node
+
+            if prev_value is not None or prev_index is not None:
+                action = "compareAndSwap"
+            elif prev_exist is True:
+                action = "update"
+            elif prev_exist is False or existing is None:
+                action = "create"
+            else:
+                action = "set"
+            return self._record(action, key, node, prev_wire)
+
+    def compare_and_swap(
+        self,
+        key: str,
+        value: str,
+        prev_value: str | None = None,
+        prev_index: int | None = None,
+    ) -> Event:
+        """Atomic test-and-set (the case-study's ``test_and_set``)."""
+        if prev_value is None and prev_index is None:
+            raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                            "compareAndSwap requires prevValue or prevIndex")
+        return self.set(key, value, prev_value=prev_value,
+                        prev_index=prev_index)
+
+    def delete(self, key: str, recursive: bool = False,
+               dir: bool = False) -> Event:
+        key = validate_key(key)
+        if key == "/":
+            raise EtcdError(EC_ROOT_RONLY, "Root is read only", key)
+        with self._lock:
+            self._sweep_expired()
+            node = self._find(key)
+            if node is None:
+                raise EtcdError(EC_KEY_NOT_FOUND, "Key not found", key)
+            if node.dir and not (dir or recursive):
+                raise EtcdError(EC_NOT_FILE, "Not a file", key)
+            if node.dir and node.children and not recursive:
+                raise EtcdError(EC_DIR_NOT_EMPTY, "Directory not empty", key)
+            parent = self._find(key.rsplit("/", 1)[0] or "/")
+            prev_wire = node.to_wire(now=self._clock())
+            self._index += 1
+            name = key.rsplit("/", 1)[-1]
+            del parent.children[name]
+            tombstone = Node(
+                key=key, dir=node.dir,
+                created_index=node.created_index,
+                modified_index=self._index,
+            )
+            return self._record("delete", key, tombstone, prev_wire)
+
+    def wait(self, key: str, wait_index: int | None = None,
+             recursive: bool = False, timeout: float = 5.0) -> Event | None:
+        """Block until a write event concerns ``key`` (etcd wait=true).
+
+        Returns None on timeout.  With ``wait_index`` the history is
+        searched first, so no event is missed between requests.
+        """
+        key = validate_key(key)
+        deadline = time.monotonic() + timeout
+        with self._changed:
+            while True:
+                if wait_index is not None:
+                    for event in self._history:
+                        if (event.index >= wait_index
+                                and event.concerns(key, recursive)):
+                            return event
+                current = self._index
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._changed.wait(timeout=remaining)
+                if wait_index is None:
+                    # Only events after subscription count.
+                    for event in self._history:
+                        if (event.index > current
+                                and event.concerns(key, recursive)):
+                            return event
+
+    def stats(self) -> dict:
+        with self._lock:
+            leaves, dirs = self._count(self._root)
+            return {
+                "etcdIndex": self._index,
+                "keys": leaves,
+                "dirs": dirs - 1,  # exclude the root
+                "watchers": 0,
+            }
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _validate_ttl(ttl) -> int:
+        try:
+            ttl = int(ttl)
+        except (TypeError, ValueError):
+            raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                            f"ttl={ttl!r} is not an integer") from None
+        if ttl <= 0:
+            raise EtcdError(EC_INVALID_FIELD, "Invalid field",
+                            f"ttl={ttl} must be positive")
+        return ttl
+
+    def _check_compare(self, key: str, existing: Node | None,
+                       prev_value: str | None,
+                       prev_index: int | None) -> None:
+        if existing is None:
+            raise EtcdError(EC_KEY_NOT_FOUND, "Key not found", key)
+        if existing.dir:
+            raise EtcdError(EC_NOT_FILE, "Not a file", key)
+        if prev_value is not None and existing.value != prev_value:
+            raise EtcdError(
+                EC_TEST_FAILED, "Compare failed",
+                f"[{prev_value} != {existing.value}]",
+            )
+        if prev_index is not None and existing.modified_index != prev_index:
+            raise EtcdError(
+                EC_TEST_FAILED, "Compare failed",
+                f"[{prev_index} != {existing.modified_index}]",
+            )
+
+    def _find(self, key: str) -> Node | None:
+        if key == "/":
+            return self._root
+        node = self._root
+        for segment in key[1:].split("/"):
+            if not node.dir:
+                return None
+            node = node.children.get(segment)
+            if node is None:
+                return None
+        return node
+
+    def _ensure_parents(self, key: str) -> Node:
+        node = self._root
+        segments = key[1:].split("/")
+        path = ""
+        for segment in segments[:-1]:
+            path += "/" + segment
+            child = node.children.get(segment)
+            if child is None:
+                self._index += 1
+                child = Node(key=path, dir=True,
+                             created_index=self._index,
+                             modified_index=self._index)
+                node.children[segment] = child
+            elif not child.dir:
+                raise EtcdError(EC_NOT_DIR, "Not a directory", path)
+            node = child
+        return node
+
+    def _sweep_expired(self) -> None:
+        now = self._clock()
+        self._sweep_node(self._root, now)
+
+    def _sweep_node(self, node: Node, now: float) -> None:
+        for name in list(node.children):
+            child = node.children[name]
+            if child.expired(now):
+                self._index += 1
+                prev_wire = child.to_wire(now=now)
+                del node.children[name]
+                tombstone = Node(
+                    key=child.key, dir=child.dir,
+                    created_index=child.created_index,
+                    modified_index=self._index,
+                )
+                self._record("expire", child.key, tombstone, prev_wire)
+            elif child.dir:
+                self._sweep_node(child, now)
+
+    def _record(self, action: str, key: str, node: Node,
+                prev_wire: dict | None) -> Event:
+        event = Event(
+            action=action, key=key, index=self._index,
+            node=node.to_wire(now=self._clock()), prev_node=prev_wire,
+        )
+        self._history.append(event)
+        self._changed.notify_all()
+        return event
+
+    def _count(self, node: Node) -> tuple[int, int]:
+        leaves, dirs = (0, 1) if node.dir else (1, 0)
+        for child in node.children.values():
+            c_leaves, c_dirs = self._count(child)
+            leaves += c_leaves
+            dirs += c_dirs
+        return leaves, dirs

@@ -1,0 +1,255 @@
+"""Case-study workload: exercise the client against a live server (§V).
+
+The paper's workload "deploys the etcd server, and it uploads and queries
+several key-value pairs of a different kind (e.g., with directories,
+sub-keys, TTL, etc.) that we derived from Python-etcd's integration tests".
+This module is that driver: a linear scenario of directory creation,
+nested writes, compare-and-swap, TTL expiry, in-order appends, recursive
+reads and deletes, each followed by consistency assertions (the paper's
+"test assertions on the outputs of the workload").
+
+The final *audit* asserts that the datastore contains exactly the expected
+tree — stray keys left behind by a corrupted round persist in the server
+and make the *next* round fail, which is how service (un)availability in
+the second round becomes observable (§IV-B).
+
+Self-contained (stdlib only, relative imports): copied into sandboxes as
+part of the ``pyetcd`` target package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .client import Client
+from .errors import (
+    EtcdAlreadyExist,
+    EtcdCompareFailed,
+    EtcdException,
+    EtcdKeyNotFound,
+)
+
+#: TTL used for the expiring key; the workload waits it out.
+SESSION_TTL = 1
+
+#: Service-level objective for the basic-operation latency check: 30
+#: local operations normally take well under a second; resource hogs
+#: (paper §V-C) starve the client and blow this budget.
+LATENCY_SLO_SECONDS = 10.0
+
+
+class WorkloadError(AssertionError):
+    """A consistency check on workload output failed."""
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise WorkloadError(message)
+
+
+def run_workload(client: Client, log=None) -> int:
+    """Run the full scenario once; returns the number of steps executed.
+
+    Raises :class:`WorkloadError` on failed assertions and lets client
+    exceptions (EtcdException and unexpected errors) propagate: the
+    caller classifies them.
+    """
+    steps = 0
+
+    def step(label: str) -> None:
+        nonlocal steps
+        steps += 1
+        if log is not None:
+            log(f"step {steps}: {label}")
+
+    step("server version")
+    version = client.version()
+    check(isinstance(version, str) and version, "version missing")
+
+    step("recover: remove any leftover /app tree")
+    try:
+        client.delete("/app", recursive=True)
+    except EtcdKeyNotFound:
+        pass
+
+    step("mkdir /app/services")
+    client.mkdir("/app")
+    client.mkdir("/app/services")
+    listing = client.get("/app")
+    check(listing.dir, "/app is not a directory")
+
+    step("set and get a config value")
+    client.set("/app/config/name", "demo")
+    fetched = client.get("/app/config/name")
+    check(fetched.value == "demo",
+          f"read back {fetched.value!r}, expected 'demo'")
+    # Keys without a leading slash are normalized by the client.
+    client.set("app/config/region", "eu-1")
+    check(client.get("/app/config/region").value == "eu-1",
+          "unslashed key was not normalized")
+
+    step("nested sub-keys")
+    client.set("/app/services/db/host", "db.local")
+    client.set("/app/services/db/port", "5432")
+    client.set("/app/services/cache/host", "cache.local")
+    hosts = client.get("/app/services", recursive=True)
+    leaves = {leaf.key: leaf.value for leaf in hosts.leaves}
+    check(leaves.get("/app/services/db/host") == "db.local",
+          f"db host wrong: {leaves}")
+    check(len(leaves) == 3, f"expected 3 service leaves, got {len(leaves)}")
+
+    step("sorted directory listing")
+    names = client.ls("/app/services")
+    check(names == ["/app/services/cache", "/app/services/db"],
+          f"unexpected listing {names}")
+
+    step("update existing key")
+    client.update("/app/config/name", "demo-2")
+    check(client.get("/app/config/name").value == "demo-2",
+          "update did not take effect")
+
+    step("create semantics")
+    client.create("/app/config/version", "1")
+    try:
+        client.create("/app/config/version", "1-dup")
+    except EtcdAlreadyExist:
+        pass
+    else:
+        raise WorkloadError("duplicate create unexpectedly succeeded")
+
+    step("test_and_set success and failure")
+    client.test_and_set("/app/config/version", "2", prev_value="1")
+    check(client.get("/app/config/version").value == "2",
+          "test_and_set did not swap")
+    try:
+        client.test_and_set("/app/config/version", "3", prev_value="999")
+    except EtcdCompareFailed:
+        pass
+    else:
+        raise WorkloadError("test_and_set with wrong prev unexpectedly "
+                            "succeeded")
+
+    step("TTL key expires")
+    client.set("/app/session", "token-123", ttl=SESSION_TTL)
+    check(client.get("/app/session").value == "token-123",
+          "TTL key missing right after set")
+    time.sleep(SESSION_TTL + 0.4)
+    try:
+        client.get("/app/session")
+    except EtcdKeyNotFound:
+        pass
+    else:
+        raise WorkloadError("TTL key survived past its TTL")
+
+    step("in-order append")
+    first = client.append("/app/queue", "job-a")
+    client.append("/app/queue", "job-b")
+    queue = client.get("/app/queue", sorted=True)
+    values = [child.key for child in queue.children]
+    check(len(values) == 2 and values == sorted(values),
+          f"queue out of order: {values}")
+
+    step("watch sees a recorded write")
+    event = client.watch("/app/queue", index=first.modified_index,
+                         recursive=True, timeout=3.0)
+    check(event.action in ("create", "set"),
+          f"unexpected watch action {event.action!r}")
+
+    step("empty directory lifecycle and server stats")
+    client.mkdir("/app/tmp")
+    client.delete("/app/tmp", dir=True)
+    try:
+        client.get("/app/tmp")
+    except EtcdKeyNotFound:
+        pass
+    else:
+        raise WorkloadError("deleted empty directory still present")
+    stats = client.stats()
+    check(isinstance(stats.get("etcdIndex"), int),
+          f"stats missing etcdIndex: {stats}")
+
+    step("latency SLO on basic operations")
+    started = time.monotonic()
+    for index in range(15):
+        client.set(f"/app/bench/item-{index}", str(index))
+        client.get(f"/app/bench/item-{index}")
+    elapsed = time.monotonic() - started
+    check(elapsed < LATENCY_SLO_SECONDS,
+          f"latency SLO violated: {elapsed:.1f}s for 30 operations "
+          f"(limit {LATENCY_SLO_SECONDS}s)")
+
+    step("recursive delete of a subtree")
+    client.delete("/app/services/db", recursive=True)
+    try:
+        client.get("/app/services/db")
+    except EtcdKeyNotFound:
+        pass
+    else:
+        raise WorkloadError("deleted subtree still present")
+
+    step("audit: root contains exactly /app")
+    root = client.ls("/")
+    check(root == ["/app"], f"unexpected root entries {root} (stray state)")
+
+    step("teardown: remove /app")
+    client.delete("/app", recursive=True)
+    remaining = client.ls("/")
+    check(remaining == [], f"teardown left {remaining}")
+
+    return steps
+
+
+def resolve_port(args) -> int:
+    """Port from --port, --port-file (waiting for it), or environment."""
+    if args.port:
+        return args.port
+    if args.port_file:
+        deadline = time.time() + args.port_wait
+        while time.time() < deadline:
+            if os.path.exists(args.port_file):
+                content = open(args.port_file).read().strip()
+                if content:
+                    return int(content)
+            time.sleep(0.05)
+        raise SystemExit(f"port file {args.port_file!r} never appeared")
+    return int(os.environ.get("ETCDSIM_PORT", "2379"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="etcdsim case-study workload")
+    parser.add_argument("--host", default=os.environ.get("ETCDSIM_HOST",
+                                                         "127.0.0.1"))
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--port-file", default=None)
+    parser.add_argument("--port-wait", type=float, default=10.0,
+                        help="seconds to wait for the port file")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    port = resolve_port(args)
+    client = Client(host=args.host, port=port)
+    log = None if args.quiet else lambda msg: print(f"workload: {msg}",
+                                                    flush=True)
+    try:
+        steps = run_workload(client, log=log)
+    except WorkloadError as failure:
+        print(f"WORKLOAD FAILURE: assertion: {failure}", file=sys.stderr)
+        return 1
+    except EtcdException as failure:
+        name = type(failure).__name__
+        print(f"WORKLOAD FAILURE: {name}: {failure}", file=sys.stderr)
+        return 1
+    except Exception as failure:  # noqa: BLE001 - report and fail
+        name = type(failure).__name__
+        print(f"WORKLOAD FAILURE: unhandled {name}: {failure}",
+              file=sys.stderr)
+        return 2
+    print(f"WORKLOAD SUCCESS: {steps} steps completed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

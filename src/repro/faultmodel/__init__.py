@@ -1,0 +1,24 @@
+"""Fault models: persistent, pre-defined, and programmatic (paper §IV-A)."""
+
+from repro.faultmodel.library import (
+    EXTENDED_SPECS,
+    GSWFIT_SPECS,
+    expand_api_faults,
+    extended_model,
+    get_model,
+    gswfit_model,
+    predefined_models,
+)
+from repro.faultmodel.model import FaultModel, FaultSpec
+
+__all__ = [
+    "EXTENDED_SPECS",
+    "FaultModel",
+    "FaultSpec",
+    "GSWFIT_SPECS",
+    "expand_api_faults",
+    "extended_model",
+    "get_model",
+    "gswfit_model",
+    "predefined_models",
+]

@@ -1,0 +1,358 @@
+"""Case-study faultloads: the three campaigns of Table I (paper §V).
+
+Three fault categories, as requested by the paper's industrial partner:
+
+* **Campaign A** — failures when calling external library APIs: the client's
+  calls into ``urllib`` and ``os`` raise exceptions, return ``None``, are
+  omitted, or lose parameters (§V-A);
+* **Campaign B** — wrong inputs in the client API: the key/value/ttl
+  parameters of ``set``/``get``/``test_and_set``/... are corrupted, nulled,
+  or made negative as they enter the library (§V-B);
+* **Campaign C** — resource management bugs: stale CPU-hogging threads are
+  spawned inside the client methods (§V-C).
+
+The specs are written against :mod:`repro.etcdsim.client` (the python-etcd
+stand-in) and therefore double as worked examples of tailoring the DSL with
+domain knowledge, as §III advocates.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel import odc
+from repro.faultmodel.model import FaultModel
+
+CAMPAIGN_EXTERNAL_API = "external_api"
+CAMPAIGN_WRONG_INPUTS = "wrong_inputs"
+CAMPAIGN_RESOURCE_HOGS = "resource_hogs"
+
+ALL_CAMPAIGNS = (
+    CAMPAIGN_EXTERNAL_API,
+    CAMPAIGN_WRONG_INPUTS,
+    CAMPAIGN_RESOURCE_HOGS,
+)
+
+#: (name, odc class, description, DSL) per campaign.
+_CAMPAIGN_SPECS: dict[str, list[tuple[str, str, str, str]]] = {
+    CAMPAIGN_EXTERNAL_API: [
+        (
+            "A_THROW_URLOPEN", odc.INTERFACE,
+            "urllib.request.urlopen raises a network exception "
+            "(Throw Exception, per-API exception list).",
+            """
+            change {
+                $CALL#c{name=*.urlopen; ctx=any}
+            } into {
+                raise $PICK{choices=TimeoutError('profipy: connect timeout')|ConnectionError('profipy: connection refused')|OSError('profipy: network unreachable')}
+            }
+            """,
+        ),
+        (
+            "A_NONE_URLOPEN", odc.INTERFACE,
+            "urllib.request.urlopen returns None instead of a response "
+            "object.",
+            """
+            change {
+                $VAR#v = $CALL{name=*.urlopen}(...)
+            } into {
+                $VAR#v = None
+            }
+            """,
+        ),
+        (
+            "A_OMIT_URLOPEN_ARGS", odc.INTERFACE,
+            "urlopen is invoked without its optional parameters (Missing "
+            "Parameters: the library default timeout is used).",
+            """
+            change {
+                $VAR#v = $CALL#c{name=*.urlopen}($EXPR#req, ...)
+            } into {
+                $VAR#v = $CALL#c($EXPR#req)
+            }
+            """,
+        ),
+        (
+            "A_THROW_OS_ENV", odc.INTERFACE,
+            "os.environ.get raises (Throw Exception on the os module).",
+            """
+            change {
+                $CALL#c{name=os.environ.get; ctx=any}
+            } into {
+                raise $PICK{choices=KeyError('profipy: environment unavailable')|OSError('profipy: environment unavailable')}
+            }
+            """,
+        ),
+        (
+            "A_NONE_OS_ENV", odc.INTERFACE,
+            "os.environ.get returns None (missing configuration).",
+            """
+            change {
+                $VAR#v = $CALL{name=os.environ.get}(...)
+            } into {
+                $VAR#v = None
+            }
+            """,
+        ),
+        (
+            "A_CORRUPT_QUOTE", odc.INTERFACE,
+            "urllib.parse.quote receives a corrupted input (Wrong Call).",
+            """
+            change {
+                $VAR#v = $CALL#c{name=*.quote}($EXPR#k)
+            } into {
+                $VAR#v = $CALL#c($CORRUPT($EXPR#k))
+            }
+            """,
+        ),
+        (
+            "A_MFC_ADD_HEADER", odc.FUNCTION,
+            "The Request.add_header call is omitted (Missing Function "
+            "Call): requests go out without Content-Type.",
+            """
+            change {
+                $CALL{name=*.add_header}(...)
+            } into {
+                pass
+            }
+            """,
+        ),
+        (
+            "A_NONE_URLENCODE", odc.INTERFACE,
+            "urllib.parse.urlencode returns None: the request body is lost.",
+            """
+            change {
+                $VAR#v = $CALL{name=*.urlencode}(...)
+            } into {
+                $VAR#v = None
+            }
+            """,
+        ),
+        (
+            "A_THROW_CONNECTION_HANDLER", odc.ALGORITHM,
+            "The connection-failure handler itself fails (fault in the "
+            "error path: only covered when a connection error occurs).",
+            """
+            change {
+                $CALL#c{name=EtcdConnectionFailed; ctx=any}
+            } into {
+                raise RuntimeError('profipy: error handler failed')
+            }
+            """,
+        ),
+        (
+            "A_THROW_JSON_LOADS", odc.INTERFACE,
+            "json.loads raises on a response payload.",
+            """
+            change {
+                $VAR#v = $CALL{name=json.loads}(...)
+            } into {
+                raise $PICK{choices=ValueError('profipy: bad payload')|UnicodeDecodeError('utf-8', b'', 0, 1, 'profipy')}
+            }
+            """,
+        ),
+    ],
+    CAMPAIGN_WRONG_INPUTS: [
+        (
+            "B_NONE_KEY", odc.INTERFACE,
+            "A None object reference is passed as the key parameter "
+            "(python-etcd dereferences it with key.startswith).",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._key_endpoint}($EXPR#k)
+            } into {
+                $VAR#p = $CALL#c(None)
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_KEY", odc.INTERFACE,
+            "The key string is corrupted with random characters.",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._key_endpoint}($EXPR#k)
+            } into {
+                $VAR#p = $CALL#c($CORRUPT{mode=string}($EXPR#k))
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_VALUE", odc.INTERFACE,
+            "The value parameter is corrupted with random characters.",
+            """
+            change {
+                $VAR#f = $CALL#c{name=*._write_fields}($EXPR#v, $EXPR#t)
+            } into {
+                $VAR#f = $CALL#c($CORRUPT($EXPR#v), $EXPR#t)
+            }
+            """,
+        ),
+        (
+            "B_NONE_VALUE", odc.INTERFACE,
+            "A None object reference is passed as the value parameter.",
+            """
+            change {
+                $VAR#f = $CALL#c{name=*._write_fields}($EXPR#v, $EXPR#t)
+            } into {
+                $VAR#f = $CALL#c(None, $EXPR#t)
+            }
+            """,
+        ),
+        (
+            "B_NEGATIVE_TTL", odc.INTERFACE,
+            "The TTL parameter is corrupted (e.g. made negative): the "
+            "server rejects the request with 400 Bad Request.",
+            """
+            change {
+                $VAR#f = $CALL#c{name=*._write_fields}($EXPR#v, $EXPR#t)
+            } into {
+                $VAR#f = $CALL#c($EXPR#v, $CORRUPT{mode=int}($EXPR#t))
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_PREV_VALUE", odc.INTERFACE,
+            "test_and_set compares against a corrupted previous value.",
+            """
+            change {
+                fields['prevValue'] = $EXPR#pv
+            } into {
+                fields['prevValue'] = $CORRUPT($EXPR#pv)
+            }
+            """,
+        ),
+        (
+            "B_NONE_PAYLOAD", odc.INTERFACE,
+            "The decoded response payload is replaced by None before use.",
+            """
+            change {
+                $VAR#p = $CALL{name=*._decode_payload}(...)
+            } into {
+                $VAR#p = None
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_HTTP_METHOD", odc.INTERFACE,
+            "The HTTP verb passed into the request layer is corrupted "
+            "(the server rejects the unknown method).",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._execute}($STRING#m, ...)
+            } into {
+                $VAR#p = $CALL#c($CORRUPT($STRING#m), ...)
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_QUERY_FLAG", odc.INTERFACE,
+            "A query-string flag (recursive/sorted/wait) is corrupted.",
+            """
+            change {
+                $CALL#c{name=flags.append}($STRING#f)
+            } into {
+                $CALL#c($CORRUPT($STRING#f))
+            }
+            """,
+        ),
+        (
+            "B_CORRUPT_PATH_PREFIX", odc.INTERFACE,
+            "A URL path/query prefix concatenation is corrupted "
+            "(requests go to a wrong endpoint).",
+            """
+            change {
+                $VAR#u = $STRING#prefix + $EXPR#rest
+            } into {
+                $VAR#u = $CORRUPT($STRING#prefix) + $EXPR#rest
+            }
+            """,
+        ),
+    ],
+    CAMPAIGN_RESOURCE_HOGS: [
+        (
+            "C_HOG_AFTER_EXECUTE", odc.TIMING,
+            "Stale CPU-hogging threads are spawned after every request "
+            "issued by a client method (Hog threads inside methods).",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._execute}(...)
+            } into {
+                $VAR#p = $CALL#c(...)
+                $HOG{resource=cpu; seconds=0; threads=4}
+            }
+            """,
+        ),
+        (
+            "C_HOG_ON_ENDPOINT", odc.TIMING,
+            "Stale CPU-hogging threads are spawned while building the key "
+            "endpoint (hot path of every API method).",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._key_endpoint}(...)
+            } into {
+                $HOG{resource=cpu; seconds=0; threads=4}
+                $VAR#p = $CALL#c(...)
+            }
+            """,
+        ),
+        (
+            "C_DELAY_RESPONSE", odc.TIMING,
+            "Response decoding is artificially delayed (performance "
+            "bottleneck).",
+            """
+            change {
+                $VAR#p = $CALL#c{name=*._decode_payload}(...)
+            } into {
+                $TIMEOUT{seconds=2}
+                $VAR#p = $CALL#c(...)
+            }
+            """,
+        ),
+    ],
+}
+
+#: Human-readable Table I rows (category, injection target, examples).
+TABLE1_ROWS = [
+    (
+        "Failures when calling external library APIs",
+        "API calls to the urllib and os Python modules",
+        "Exceptions, None objects, omitted call, wrong call",
+    ),
+    (
+        "Wrong inputs in Python-etcd API",
+        "set(key, val), get(key), test_and_set(key, val, old), ...",
+        "String corruptions, None values, negative integers",
+    ),
+    (
+        "Resource management bugs",
+        "set(key, val), get(key), test_and_set(key, val, old), ...",
+        "Hog threads inside methods of Python-etcd",
+    ),
+]
+
+
+def campaign_model(campaign: str) -> FaultModel:
+    """The fault model for one of the three §V campaigns."""
+    try:
+        entries = _CAMPAIGN_SPECS[campaign]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {campaign!r}; available: {ALL_CAMPAIGNS}"
+        ) from None
+    model = FaultModel(
+        name=campaign,
+        description=f"Case-study campaign {campaign!r} (paper §V, Table I)",
+    )
+    for name, odc_class, description, dsl in entries:
+        model.add(
+            parse_spec(dsl, name=name),
+            description=description,
+            category=campaign,
+            odc_class=odc.validate(odc_class),
+        )
+    return model
+
+
+def all_campaign_models() -> dict[str, FaultModel]:
+    """All three Table I fault models, by campaign name."""
+    return {campaign: campaign_model(campaign)
+            for campaign in ALL_CAMPAIGNS}

@@ -1,0 +1,431 @@
+"""Pre-defined fault models (paper §IV-A: "ProFIPy provides pre-defined
+fault models based on previous fault injection studies").
+
+Two models ship with the tool:
+
+* ``gswfit`` — the 13 G-SWFIT fault operators of Durães & Madeira (paper
+  §II), expressed in the ProFIPy DSL.  Where the original operators rely on
+  C-specific notions, the spec documents the Python approximation.
+* ``extended`` — the additional fault types §III describes from the
+  industrial usage of the tool: exceptions raised at calls, ``None``
+  returned by library calls, omitted optional parameters, resource hogs,
+  and artificial delays.
+
+:func:`expand_api_faults` programmatically instantiates fault types for a
+list of API names — this is how campaigns scale to "120 different DSL
+patterns" (paper §V-D).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel import odc
+from repro.faultmodel.model import FaultModel
+
+#: (name, odc class, description, DSL text) for the 13 G-SWFIT operators.
+GSWFIT_SPECS: list[tuple[str, str, str, str]] = [
+    (
+        "MFC", odc.FUNCTION,
+        "Missing function call: a call statement (not the only statement "
+        "in its block) is omitted.",
+        """
+        change {
+            $BLOCK{tag=b1; stmts=1,*}
+            $CALL{name=*}(...)
+            $BLOCK{tag=b2; stmts=1,*}
+        } into {
+            $BLOCK{tag=b1}
+            $BLOCK{tag=b2}
+        }
+        """,
+    ),
+    (
+        "MVIV", odc.ASSIGNMENT,
+        "Missing variable initialization using a value: a literal "
+        "initialization followed by more code is omitted.",
+        """
+        change {
+            $VAR#v = $NUM#n
+            $BLOCK{tag=rest; stmts=1,*}
+        } into {
+            $BLOCK{tag=rest}
+        }
+        """,
+    ),
+    (
+        "MVAV", odc.ASSIGNMENT,
+        "Missing variable assignment using a value: a literal assignment "
+        "surrounded by other statements is omitted.",
+        """
+        change {
+            $BLOCK{tag=b1; stmts=1,*}
+            $VAR#v = $STRING#s
+            $BLOCK{tag=b2; stmts=1,*}
+        } into {
+            $BLOCK{tag=b1}
+            $BLOCK{tag=b2}
+        }
+        """,
+    ),
+    (
+        "MVAE", odc.ASSIGNMENT,
+        "Missing variable assignment with an expression: the assignment is "
+        "dropped but the called expression is kept for its side effects.",
+        """
+        change {
+            $BLOCK{tag=b1; stmts=1,*}
+            $VAR#v = $CALL#c{name=*}(...)
+            $BLOCK{tag=b2; stmts=1,*}
+        } into {
+            $BLOCK{tag=b1}
+            $CALL#c(...)
+            $BLOCK{tag=b2}
+        }
+        """,
+    ),
+    (
+        "MIA", odc.CHECKING,
+        "Missing IF construct around statements: the guard is removed and "
+        "the body executes unconditionally.",
+        """
+        change {
+            if $EXPR#cond :
+                $BLOCK{tag=body; stmts=1,4}
+        } into {
+            $BLOCK{tag=body}
+        }
+        """,
+    ),
+    (
+        "MIFS", odc.ALGORITHM,
+        "Missing IF construct plus statements: the whole guarded block "
+        "(up to 4 statements) is omitted.",
+        """
+        change {
+            if $EXPR#cond :
+                $BLOCK{stmts=1,4}
+        } into {
+        }
+        """,
+    ),
+    (
+        "MIEB", odc.ALGORITHM,
+        "Missing ELSE branch: the else of an if/else construct is omitted.",
+        """
+        change {
+            if $EXPR#cond :
+                $BLOCK{tag=then; stmts=1,*}
+            else :
+                $BLOCK{stmts=1,4}
+        } into {
+            if $EXPR#cond :
+                $BLOCK{tag=then}
+        }
+        """,
+    ),
+    (
+        "MLAC", odc.CHECKING,
+        "Missing AND clause: the second conjunct of a two-clause condition "
+        "is omitted.",
+        """
+        change {
+            if $EXPR#a and $EXPR#b :
+                $BLOCK{tag=body; stmts=1,*}
+        } into {
+            if $EXPR#a :
+                $BLOCK{tag=body}
+        }
+        """,
+    ),
+    (
+        "MLOC", odc.CHECKING,
+        "Missing OR clause: the second disjunct of a two-clause condition "
+        "is omitted.",
+        """
+        change {
+            if $EXPR#a or $EXPR#b :
+                $BLOCK{tag=body; stmts=1,*}
+        } into {
+            if $EXPR#a :
+                $BLOCK{tag=body}
+        }
+        """,
+    ),
+    (
+        "MLPA", odc.ALGORITHM,
+        "Missing small part of the algorithm: two consecutive call "
+        "statements are omitted together.",
+        """
+        change {
+            $BLOCK{tag=pre; stmts=1,*}
+            $CALL{name=*}(...)
+            $CALL{name=*}(...)
+            $BLOCK{tag=post; stmts=1,*}
+        } into {
+            $BLOCK{tag=pre}
+            $BLOCK{tag=post}
+        }
+        """,
+    ),
+    (
+        "WVAV", odc.ASSIGNMENT,
+        "Wrong value assigned to variable: the assigned value is corrupted "
+        "at run time.",
+        """
+        change {
+            $VAR#v = $EXPR#val
+        } into {
+            $VAR#v = $CORRUPT($EXPR#val)
+        }
+        """,
+    ),
+    (
+        "WPFV", odc.INTERFACE,
+        "Wrong variable used in parameter of function call: one variable "
+        "argument is corrupted.",
+        """
+        change {
+            $CALL#c{name=*}(..., $VAR#v, ...)
+        } into {
+            $CALL#c(..., $CORRUPT($VAR#v), ...)
+        }
+        """,
+    ),
+    (
+        "WAEP", odc.INTERFACE,
+        "Wrong arithmetic expression in parameter: an additive argument "
+        "expression turns subtractive.",
+        """
+        change {
+            $CALL#c{name=*}(..., $EXPR#a + $EXPR#b, ...)
+        } into {
+            $CALL#c(..., $EXPR#a - $EXPR#b, ...)
+        }
+        """,
+    ),
+]
+
+#: Extended fault types from §III (industrial usage) and §V.
+EXTENDED_SPECS: list[tuple[str, str, str, str]] = [
+    (
+        "THROW_ON_CALL", odc.INTERFACE,
+        "Raise an exception at a statement containing a call (error paths "
+        "of callers are exercised, as with LFI-style tools).",
+        """
+        change {
+            $CALL#c{name=*; ctx=any}
+        } into {
+            raise $PICK{choices=RuntimeError('profipy: injected fault')|OSError('profipy: injected fault')|TimeoutError('profipy: injected fault')}
+        }
+        """,
+    ),
+    (
+        "NONE_RETURN", odc.INTERFACE,
+        "A library call returns None instead of its result; error handlers "
+        "checking the returned value are exercised.",
+        """
+        change {
+            $VAR#v = $CALL{name=*}(...)
+        } into {
+            $VAR#v = None
+        }
+        """,
+    ),
+    (
+        "MPFC", odc.INTERFACE,
+        "Missing parameter in function call: the last positional argument "
+        "is omitted (e.g. a default is silently used).",
+        """
+        change {
+            $CALL#c{name=*}($EXPR#first, ..., $EXPR#last)
+        } into {
+            $CALL#c($EXPR#first, ...)
+        }
+        """,
+    ),
+    (
+        "WLEC", odc.CHECKING,
+        "Wrong logical expression as branch condition: the condition is "
+        "negated.",
+        """
+        change {
+            if $EXPR#cond :
+                $BLOCK{tag=body; stmts=1,*}
+        } into {
+            if not ($EXPR#cond) :
+                $BLOCK{tag=body}
+        }
+        """,
+    ),
+    (
+        "HOG_CPU", odc.TIMING,
+        "High CPU consumption: stale busy threads are spawned after a call "
+        "statement (paper §V-C).",
+        """
+        change {
+            $CALL#c{name=*}(...)
+        } into {
+            $CALL#c(...)
+            $HOG{resource=cpu; seconds=0; threads=2}
+        }
+        """,
+    ),
+    (
+        "DELAY_CALL", odc.TIMING,
+        "Performance bottleneck: an artificial delay precedes a call "
+        "statement.",
+        """
+        change {
+            $CALL#c{name=*}(...)
+        } into {
+            $TIMEOUT{seconds=2}
+            $CALL#c(...)
+        }
+        """,
+    ),
+    (
+        "MRS", odc.ALGORITHM,
+        "Missing return statement: a return preceded by other statements "
+        "is omitted.",
+        """
+        change {
+            $BLOCK{tag=pre; stmts=1,*}
+            return $EXPR#val
+        } into {
+            $BLOCK{tag=pre}
+        }
+        """,
+    ),
+]
+
+
+def _build_model(name: str, description: str,
+                 entries: list[tuple[str, str, str, str]]) -> FaultModel:
+    model = FaultModel(name=name, description=description)
+    for fault_name, odc_class, text, dsl in entries:
+        model.add(
+            parse_spec(dsl, name=fault_name),
+            description=text,
+            category="predefined",
+            odc_class=odc.validate(odc_class),
+        )
+    return model
+
+
+def gswfit_model() -> FaultModel:
+    """The 13 G-SWFIT operators as a ProFIPy fault model."""
+    return _build_model(
+        "gswfit",
+        "G-SWFIT software fault operators (Durães & Madeira), adapted to "
+        "Python per paper §III.",
+        GSWFIT_SPECS,
+    )
+
+
+def extended_model() -> FaultModel:
+    """Fault types from the paper's industrial usage (§III) and §V."""
+    return _build_model(
+        "extended",
+        "Exception/None/omitted-parameter/resource-hog fault types from "
+        "ProFIPy's industrial deployments.",
+        EXTENDED_SPECS,
+    )
+
+
+def predefined_models() -> dict[str, FaultModel]:
+    """All models shipped with the tool, by name."""
+    models = [gswfit_model(), extended_model()]
+    return {model.name: model for model in models}
+
+
+def get_model(name: str) -> FaultModel:
+    models = predefined_models()
+    try:
+        return models[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault model {name!r}; available: {sorted(models)}"
+        ) from None
+
+
+#: Per-API fault templates used by :func:`expand_api_faults`.  ``{api}`` is
+#: replaced with the API name glob; ``{name}`` with the fault name.
+API_FAULT_TEMPLATES: dict[str, str] = {
+    "THROW": """
+        change {{
+            $CALL#c{{name={api}; ctx=any}}
+        }} into {{
+            raise $PICK{{choices=RuntimeError('profipy: injected {api}')|OSError('profipy: injected {api}')|TimeoutError('profipy: injected {api}')}}
+        }}
+        """,
+    "MFC": """
+        change {{
+            $CALL{{name={api}}}(...)
+        }} into {{
+            pass
+        }}
+        """,
+    "NONE": """
+        change {{
+            $VAR#v = $CALL{{name={api}}}(...)
+        }} into {{
+            $VAR#v = None
+        }}
+        """,
+    "OMIT_ARGS": """
+        change {{
+            $VAR#v = $CALL#c{{name={api}}}($EXPR#first, ...)
+        }} into {{
+            $VAR#v = $CALL#c($EXPR#first)
+        }}
+        """,
+    "CORRUPT_ARG": """
+        change {{
+            $CALL#c{{name={api}}}(..., $EXPR#arg, ...)
+        }} into {{
+            $CALL#c(..., $CORRUPT($EXPR#arg), ...)
+        }}
+        """,
+    "HOG_AFTER": """
+        change {{
+            $VAR#v = $CALL#c{{name={api}}}(...)
+        }} into {{
+            $VAR#v = $CALL#c(...)
+            $HOG{{resource=cpu; seconds=0; threads=2}}
+        }}
+        """,
+}
+
+
+def expand_api_faults(
+    apis: list[str],
+    kinds: list[str] | None = None,
+    model_name: str = "api_faults",
+) -> FaultModel:
+    """Instantiate per-API fault types for every (api, kind) pair.
+
+    This mirrors how large campaigns are configured: §V-D uses 120 distinct
+    DSL patterns, obtained by crossing API names with fault templates.
+    """
+    kinds = kinds or sorted(API_FAULT_TEMPLATES)
+    model = FaultModel(
+        name=model_name,
+        description=f"Per-API faults over {len(apis)} APIs x {len(kinds)} kinds",
+    )
+    for api in apis:
+        for kind in kinds:
+            template = API_FAULT_TEMPLATES.get(kind)
+            if template is None:
+                raise KeyError(
+                    f"unknown API fault template {kind!r}; "
+                    f"available: {sorted(API_FAULT_TEMPLATES)}"
+                )
+            dsl = template.format(api=api)
+            safe = api.replace("*", "X").replace(".", "_").replace("/", "_")
+            model.add(
+                parse_spec(dsl, name=f"{kind}_{safe}"),
+                description=f"{kind} fault on calls to {api}",
+                category="api",
+                odc_class=odc.INTERFACE,
+            )
+    return model

@@ -1,0 +1,135 @@
+"""Fault models: named, persistent collections of bug specifications.
+
+The paper stores the user's fault model in a JSON file so that fault models
+from previous campaigns can be saved and imported (§IV-A).  A
+:class:`FaultModel` groups :class:`~repro.dsl.parser.BugSpec` entries with
+metadata (description, fault category, ODC class) and compiles to the
+meta-models consumed by the scanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import read_json, write_json
+from repro.dsl.compiler import compile_spec
+from repro.dsl.metamodel import MetaModel
+from repro.dsl.parser import BugSpec, parse_spec
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class FaultSpec:
+    """One fault type inside a fault model."""
+
+    spec: BugSpec
+    description: str = ""
+    category: str = ""
+    odc_class: str = ""
+    enabled: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "dsl": self.spec.raw,
+            "description": self.description,
+            "category": self.category,
+            "odc_class": self.odc_class,
+            "enabled": self.enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        spec = parse_spec(data["dsl"], name=data["name"])
+        return cls(
+            spec=spec,
+            description=data.get("description", ""),
+            category=data.get("category", ""),
+            odc_class=data.get("odc_class", ""),
+            enabled=data.get("enabled", True),
+        )
+
+
+@dataclass
+class FaultModel:
+    """A named set of fault types, loadable from / savable to JSON."""
+
+    name: str
+    description: str = ""
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [fault.name for fault in self.faults]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"fault model {self.name!r} has duplicate fault names: "
+                f"{sorted(duplicates)}"
+            )
+
+    # -- content access ------------------------------------------------------
+
+    def add(self, spec: BugSpec, description: str = "", category: str = "",
+            odc_class: str = "") -> FaultSpec:
+        """Add a fault type; raises on duplicate names."""
+        if any(fault.name == spec.name for fault in self.faults):
+            raise ValueError(
+                f"fault model {self.name!r} already contains {spec.name!r}"
+            )
+        fault = FaultSpec(spec=spec, description=description,
+                          category=category, odc_class=odc_class)
+        self.faults.append(fault)
+        return fault
+
+    def get(self, fault_name: str) -> FaultSpec:
+        for fault in self.faults:
+            if fault.name == fault_name:
+                return fault
+        raise KeyError(f"no fault named {fault_name!r} in {self.name!r}")
+
+    def enabled_specs(self) -> list[BugSpec]:
+        return [fault.spec for fault in self.faults if fault.enabled]
+
+    def compile(self) -> list[MetaModel]:
+        """Compile every enabled fault type to a meta-model."""
+        return [compile_spec(spec) for spec in self.enabled_specs()]
+
+    def names(self) -> list[str]:
+        return [fault.name for fault in self.faults]
+
+    # -- persistence (paper: "the fault model is stored in a JSON file") -----
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    def save(self, path: str | Path) -> None:
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultModel":
+        version = data.get("format_version", FORMAT_VERSION)
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"fault model format {version} is newer than supported "
+                f"({FORMAT_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            faults=[FaultSpec.from_dict(item) for item in data.get("faults", [])],
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultModel":
+        return cls.from_dict(read_json(path))

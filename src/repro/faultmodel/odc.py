@@ -1,0 +1,44 @@
+"""Orthogonal Defect Classification (ODC) categories (paper §II).
+
+The pre-defined fault models classify each fault type into the ODC defect
+types introduced by Chillarege et al., which the paper cites as the basis
+of most fixed-fault-model injection tools.  Classification is metadata:
+it powers drill-down reporting by defect class.
+"""
+
+from __future__ import annotations
+
+#: ODC defect types referenced by the paper.
+ASSIGNMENT = "Assignment"
+CHECKING = "Checking"
+ALGORITHM = "Algorithm"
+INTERFACE = "Interface"
+FUNCTION = "Function"
+TIMING = "Timing/Serialization"
+
+ALL_CLASSES = (
+    ASSIGNMENT,
+    CHECKING,
+    ALGORITHM,
+    INTERFACE,
+    FUNCTION,
+    TIMING,
+)
+
+
+def validate(odc_class: str) -> str:
+    """Return ``odc_class`` if it is a known ODC defect type."""
+    if odc_class and odc_class not in ALL_CLASSES:
+        raise ValueError(
+            f"unknown ODC class {odc_class!r}; expected one of {ALL_CLASSES}"
+        )
+    return odc_class
+
+
+def group_by_class(fault_model) -> dict[str, list[str]]:
+    """Fault names grouped by ODC class (empty class -> 'Unclassified')."""
+    grouped: dict[str, list[str]] = {}
+    for fault in fault_model.faults:
+        key = fault.odc_class or "Unclassified"
+        grouped.setdefault(key, []).append(fault.name)
+    return grouped

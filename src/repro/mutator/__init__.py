@@ -1,0 +1,27 @@
+"""Source-code mutator and injected runtime (paper §IV-B)."""
+
+from repro.mutator.mutate import Mutation, Mutator
+from repro.mutator.runtime import (
+    COVERAGE_ENV,
+    RUNTIME_ALIAS,
+    RUNTIME_MODULE_NAME,
+    RUNTIME_SOURCE,
+    SEED_ENV,
+    TRIGGER_ENV,
+    write_runtime,
+)
+from repro.mutator.substitute import ReplacementBuilder, runtime_call
+
+__all__ = [
+    "COVERAGE_ENV",
+    "Mutation",
+    "Mutator",
+    "RUNTIME_ALIAS",
+    "RUNTIME_MODULE_NAME",
+    "RUNTIME_SOURCE",
+    "ReplacementBuilder",
+    "SEED_ENV",
+    "TRIGGER_ENV",
+    "runtime_call",
+    "write_runtime",
+]

@@ -1,0 +1,208 @@
+"""Source-code mutator: generate fault-injected program versions (§IV-B).
+
+Two modes:
+
+* **trigger mode** (default, like the EDFI technique the paper adopts):
+  the matched statements are wrapped in
+  ``if __pfp_rt__.enabled(fault_id): <faulty> else: <original>`` so the
+  fault can be switched on and off while the target runs (two-round
+  execution, §IV-B);
+* **permanent mode**: the faulty code simply replaces the original window
+  (a classic mutant, useful for mutation-testing style campaigns).
+
+The mutator also produces the *coverage-instrumented* version used by the
+fault-free pre-run (§IV-D): every injection point gets a
+``__pfp_rt__.cover(point_id)`` probe and no fault.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.rng import SeededRandom
+from repro.dsl.metamodel import MetaModel
+from repro.mutator.runtime import RUNTIME_ALIAS, RUNTIME_MODULE_NAME
+from repro.mutator.substitute import ReplacementBuilder, runtime_call
+from repro.scanner.matcher import Match
+from repro.scanner.scan import match_source, nth_match
+
+
+@dataclass
+class Mutation:
+    """One generated mutated version of one source file."""
+
+    fault_id: str
+    spec_name: str
+    file: str
+    lineno: int
+    source: str
+    original_snippet: str
+    mutated_snippet: str
+
+    def describe(self) -> str:
+        return (f"{self.fault_id} @ {self.file}:{self.lineno} "
+                f"[{self.spec_name}]")
+
+
+class Mutator:
+    """Apply bug specifications to source code."""
+
+    def __init__(self, trigger: bool = True,
+                 rng: SeededRandom | None = None) -> None:
+        self.trigger = trigger
+        self.rng = rng or SeededRandom(0)
+
+    # -- fault injection -------------------------------------------------------
+
+    def mutate_source(
+        self,
+        source: str,
+        model: MetaModel,
+        ordinal: int,
+        fault_id: str | None = None,
+        file: str = "<string>",
+    ) -> Mutation:
+        """Mutate the ``ordinal``-th match of ``model`` in ``source``."""
+        fault_id = fault_id or f"{model.name}:{file}:{ordinal}"
+        tree = ast.parse(source)
+        match = self._nth_match_in_tree(tree, model, ordinal)
+        original_stmts = match.stmts
+        original_snippet = "\n".join(
+            ast.unparse(stmt) for stmt in original_stmts
+        )
+
+        builder = ReplacementBuilder(
+            model, match, rng=self.rng.derive(fault_id)
+        )
+        faulty = builder.build()
+        needs_runtime = builder.needs_runtime or self.trigger
+
+        body = getattr(match.owner, match.field)
+        if self.trigger:
+            guard = ast.If(
+                test=runtime_call("enabled", [ast.Constant(fault_id)]),
+                body=faulty or [ast.Pass()],
+                orelse=list(original_stmts),
+            )
+            body[match.start:match.end] = [guard]
+        else:
+            body[match.start:match.end] = faulty
+            if not body:
+                body.append(ast.Pass())
+
+        if needs_runtime:
+            _insert_runtime_import(tree)
+        ast.fix_missing_locations(tree)
+        mutated_snippet = "\n".join(ast.unparse(stmt) for stmt in faulty)
+        return Mutation(
+            fault_id=fault_id,
+            spec_name=model.name,
+            file=file,
+            lineno=match.lineno,
+            source=ast.unparse(tree) + "\n",
+            original_snippet=original_snippet,
+            mutated_snippet=mutated_snippet or "pass",
+        )
+
+    def mutate_file(
+        self,
+        path: str | Path,
+        model: MetaModel,
+        ordinal: int,
+        fault_id: str | None = None,
+        rel_file: str | None = None,
+    ) -> Mutation:
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return self.mutate_source(
+            source, model, ordinal,
+            fault_id=fault_id, file=rel_file or path.name,
+        )
+
+    # -- coverage instrumentation ----------------------------------------------
+
+    def instrument_source(
+        self,
+        source: str,
+        targets: list[tuple[MetaModel, int, str]],
+        file: str = "<string>",
+    ) -> str:
+        """Insert coverage probes for each ``(model, ordinal, point_id)``.
+
+        The returned source contains no faults: each probe records that the
+        workload reached the corresponding injection point.
+        """
+        tree = ast.parse(source)
+        inserts: list[tuple[ast.AST, str, int, str]] = []
+        for model, ordinal, point_id in targets:
+            match = self._nth_match_in_tree(tree, model, ordinal)
+            inserts.append((match.owner, match.field, match.start, point_id))
+        # Insert deepest-position first so earlier indices stay valid.
+        grouped: dict[tuple[int, str], list[tuple[int, str]]] = {}
+        owners: dict[tuple[int, str], ast.AST] = {}
+        for owner, fname, start, point_id in inserts:
+            key = (id(owner), fname)
+            grouped.setdefault(key, []).append((start, point_id))
+            owners[key] = owner
+        for key, entries in grouped.items():
+            owner = owners[key]
+            body = getattr(owner, key[1])
+            for start, point_id in sorted(entries, reverse=True):
+                probe = ast.Expr(
+                    value=runtime_call("cover", [ast.Constant(point_id)])
+                )
+                body.insert(start, probe)
+        if inserts:
+            _insert_runtime_import(tree)
+        ast.fix_missing_locations(tree)
+        return ast.unparse(tree) + "\n"
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _nth_match_in_tree(tree: ast.Module, model: MetaModel,
+                           ordinal: int) -> Match:
+        from repro.scanner.matcher import Matcher
+
+        matches = Matcher(model).find_matches(tree)
+        if ordinal >= len(matches):
+            raise IndexError(
+                f"spec {model.name!r} has {len(matches)} matches, "
+                f"ordinal {ordinal} requested"
+            )
+        return matches[ordinal]
+
+
+def _insert_runtime_import(tree: ast.Module) -> None:
+    """Add ``import profipy_runtime as __pfp_rt__`` after any docstring
+    and ``__future__`` imports (idempotent)."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Import)
+            and any(alias.name == RUNTIME_MODULE_NAME
+                    and alias.asname == RUNTIME_ALIAS
+                    for alias in stmt.names)
+        ):
+            return
+    index = 0
+    body = tree.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        index = 1
+    while index < len(body) and (
+        isinstance(body[index], ast.ImportFrom)
+        and body[index].module == "__future__"
+    ):
+        index += 1
+    body.insert(
+        index,
+        ast.Import(names=[ast.alias(name=RUNTIME_MODULE_NAME,
+                                    asname=RUNTIME_ALIAS)]),
+    )
+
+
+__all__ = ["Mutation", "Mutator", "match_source", "nth_match"]

@@ -1,0 +1,254 @@
+"""Build the faulty replacement AST for one match (paper §IV-B).
+
+Given a :class:`~repro.scanner.matcher.Match` and the compiled spec, this
+module instantiates the ``into { ... }`` side: tagged directives are
+replaced by (copies of) the material they bound, ``...`` wildcards splice
+back the absorbed call arguments, and action directives expand into calls
+to the injected ``profipy_runtime`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+
+from repro.common.rng import SeededRandom
+from repro.dsl.directives import Directive, DirectiveKind
+from repro.dsl.errors import BindingError, PatternCompileError
+from repro.dsl.metamodel import MetaModel, is_ellipsis_expr
+from repro.mutator.runtime import RUNTIME_ALIAS
+from repro.scanner.bindings import CallCapture
+from repro.scanner.matcher import Match
+
+
+def runtime_call(function: str, args: list[ast.expr]) -> ast.Call:
+    """``__pfp_rt__.<function>(<args>)`` as an AST expression."""
+    return ast.Call(
+        func=ast.Attribute(
+            value=ast.Name(id=RUNTIME_ALIAS, ctx=ast.Load()),
+            attr=function,
+            ctx=ast.Load(),
+        ),
+        args=args,
+        keywords=[],
+    )
+
+
+class ReplacementBuilder:
+    """Instantiate the replacement statements for one match."""
+
+    def __init__(self, model: MetaModel, match: Match,
+                 rng: SeededRandom | None = None) -> None:
+        self.model = model
+        self.match = match
+        self.rng = rng or SeededRandom(0)
+        #: True once any action directive required the runtime module.
+        self.needs_runtime = False
+
+    def build(self) -> list[ast.stmt]:
+        """The faulty statements that replace the matched window."""
+        result: list[ast.stmt] = []
+        for stmt in self.model.replacement_stmts:
+            result.extend(self._build_stmt(stmt))
+        return result
+
+    # -- statements -----------------------------------------------------------
+
+    def _build_stmt(self, stmt: ast.stmt) -> list[ast.stmt]:
+        directive = self.model.directive_of_stmt(stmt)
+        if directive is None:
+            return [self._transform(copy.deepcopy(stmt))]
+        return self._stmts_for_directive(directive)
+
+    def _stmts_for_directive(self, directive: Directive) -> list[ast.stmt]:
+        kind = directive.kind
+        if kind is DirectiveKind.BLOCK:
+            bound = self._bound(directive)
+            return [copy.deepcopy(item) for item in bound]
+        if kind is DirectiveKind.HOG:
+            self.needs_runtime = True
+            return [ast.Expr(value=runtime_call("hog", [
+                ast.Constant(directive.params.get("resource", "cpu")),
+                ast.Constant(directive.params.get_float("seconds", 2.0)),
+                ast.Constant(directive.params.get_int("threads", 2)),
+                ast.Constant(directive.params.get_int("mb", 64)),
+            ]))]
+        if kind is DirectiveKind.TIMEOUT:
+            self.needs_runtime = True
+            return [ast.Expr(value=runtime_call("delay", [
+                ast.Constant(directive.params.get_float("seconds", 1.0)),
+            ]))]
+        if kind is DirectiveKind.PICK:
+            return self._pick_stmts(directive)
+        if kind is DirectiveKind.CALL:
+            capture = self._bound_call(directive)
+            if capture.containing_stmt is not None:
+                return [copy.deepcopy(capture.containing_stmt)]
+            return [ast.Expr(value=copy.deepcopy(capture.call))]
+        # $EXPR / $STRING / $NUM / $VAR reference used as a statement.
+        bound = self._bound(directive)
+        return [ast.Expr(value=copy.deepcopy(bound))]
+
+    def _pick_stmts(self, directive: Directive) -> list[ast.stmt]:
+        choice = self.rng.choice(directive.params.get_choices("choices"))
+        try:
+            module = ast.parse(choice)
+        except SyntaxError as exc:
+            raise PatternCompileError(
+                f"spec {self.model.name!r}: $PICK choice {choice!r} is not "
+                f"valid Python: {exc.msg}",
+                line=directive.line,
+            ) from exc
+        return module.body
+
+    # -- expressions ----------------------------------------------------------
+
+    def _transform(self, node: ast.AST) -> ast.AST:
+        """Substitute every placeholder inside an already-copied node."""
+        result = _Substituter(self).visit(node)
+        for child in ast.walk(result):
+            body = getattr(child, "body", None)
+            if isinstance(body, list) and not body and not isinstance(
+                child, ast.Module
+            ):
+                body.append(ast.Pass())
+        return result
+
+    def _expr_for_name(self, directive: Directive) -> ast.expr:
+        kind = directive.kind
+        if kind is DirectiveKind.PICK:
+            choice = self.rng.choice(directive.params.get_choices("choices"))
+            try:
+                return ast.parse(choice, mode="eval").body
+            except SyntaxError as exc:
+                raise PatternCompileError(
+                    f"spec {self.model.name!r}: $PICK choice {choice!r} is "
+                    f"not a valid expression: {exc.msg}",
+                    line=directive.line,
+                ) from exc
+        if kind is DirectiveKind.CALL:
+            capture = self._bound_call(directive)
+            return copy.deepcopy(capture.call)
+        if kind in (DirectiveKind.EXPR, DirectiveKind.STRING,
+                    DirectiveKind.NUM, DirectiveKind.VAR):
+            return copy.deepcopy(self._bound(directive))
+        raise BindingError(
+            f"spec {self.model.name!r}: ${kind.value} cannot be used as a "
+            "bare expression in the into block",
+            line=directive.line,
+        )
+
+    def _rebuild_call(self, directive: Directive,
+                      template: ast.Call) -> ast.expr:
+        """``$CALL#c(...)`` in the replacement: rebuild the bound call."""
+        capture = self._bound_call(directive)
+        new_args: list[ast.expr] = []
+        wildcard_index = 0
+        used_wildcard = False
+        for arg in template.args:
+            if is_ellipsis_expr(arg):
+                if wildcard_index >= len(capture.wildcards):
+                    raise BindingError(
+                        f"spec {self.model.name!r}: the into block uses more "
+                        f"'...' wildcards on #{directive.tag} than the "
+                        "change pattern captured",
+                        line=directive.line,
+                    )
+                new_args.extend(
+                    copy.deepcopy(item)
+                    for item in capture.wildcards[wildcard_index]
+                )
+                wildcard_index += 1
+                used_wildcard = True
+            else:
+                new_args.append(self._transform(copy.deepcopy(arg)))
+        new_keywords = [
+            ast.keyword(
+                arg=keyword.arg,
+                value=self._transform(copy.deepcopy(keyword.value)),
+            )
+            for keyword in template.keywords
+        ]
+        if used_wildcard:
+            new_keywords.extend(
+                copy.deepcopy(keyword) for keyword in capture.absorbed_keywords
+            )
+        return ast.Call(
+            func=copy.deepcopy(capture.call.func),
+            args=new_args,
+            keywords=new_keywords,
+        )
+
+    def _corrupt_call(self, directive: Directive,
+                      template: ast.Call) -> ast.expr:
+        if len(template.args) != 1 or template.keywords:
+            raise PatternCompileError(
+                f"spec {self.model.name!r}: $CORRUPT takes exactly one "
+                "argument",
+                line=directive.line,
+            )
+        self.needs_runtime = True
+        inner = self._transform(copy.deepcopy(template.args[0]))
+        mode = directive.params.get("mode", "auto")
+        return runtime_call("corrupt", [inner, ast.Constant(mode)])
+
+    # -- binding lookups -------------------------------------------------------
+
+    def _bound(self, directive: Directive):
+        if directive.tag is None or not self.match.bindings.has(directive.tag):
+            raise BindingError(
+                f"spec {self.model.name!r}: ${directive.kind.value} in the "
+                f"into block references unbound tag "
+                f"#{directive.tag or '<none>'}",
+                line=directive.line,
+            )
+        return self.match.bindings.get(directive.tag)
+
+    def _bound_call(self, directive: Directive) -> CallCapture:
+        bound = self._bound(directive)
+        if not isinstance(bound, CallCapture):
+            raise BindingError(
+                f"spec {self.model.name!r}: tag #{directive.tag} is not "
+                "bound to a call",
+                line=directive.line,
+            )
+        return bound
+
+
+class _Substituter(ast.NodeTransformer):
+    """Node transformer that expands placeholders via the builder."""
+
+    def __init__(self, builder: ReplacementBuilder) -> None:
+        self.builder = builder
+        self.model = builder.model
+
+    def visit_Call(self, node: ast.Call) -> ast.expr:
+        directive = self.model.directive_of_call(node)
+        if directive is not None:
+            if directive.kind is DirectiveKind.CORRUPT:
+                return self.builder._corrupt_call(directive, node)
+            if directive.kind is DirectiveKind.CALL:
+                return self.builder._rebuild_call(directive, node)
+            raise BindingError(
+                f"spec {self.model.name!r}: ${directive.kind.value} cannot "
+                "be called with arguments in the into block",
+                line=directive.line,
+            )
+        self.generic_visit(node)
+        return node
+
+    def visit_Expr(self, node: ast.Expr):
+        # A directive on a line of its own *inside* a compound replacement
+        # statement (e.g. ``$BLOCK{tag=b}`` within an ``if`` body) expands
+        # to zero or more statements; NodeTransformer splices the list.
+        directive = self.model.directive_of_name(node.value)
+        if directive is not None:
+            return self.builder._stmts_for_directive(directive)
+        self.generic_visit(node)
+        return node
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        directive = self.model.directive_of_name(node)
+        if directive is not None:
+            return self.builder._expr_for_name(directive)
+        return node

@@ -1,0 +1,32 @@
+"""Campaign orchestration: the Fig. 2 workflow."""
+
+from repro.orchestrator.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.orchestrator.coverage import (
+    CoverageReport,
+    reduce_plan,
+    run_coverage,
+)
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.experiment import (
+    STATUS_COMPLETED,
+    STATUS_HARNESS_ERROR,
+    STATUS_SERVICE_START_FAILED,
+    ExperimentResult,
+)
+from repro.orchestrator.plan import Plan, PlannedExperiment
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CoverageReport",
+    "ExperimentExecutor",
+    "ExperimentResult",
+    "Plan",
+    "PlannedExperiment",
+    "STATUS_COMPLETED",
+    "STATUS_HARNESS_ERROR",
+    "STATUS_SERVICE_START_FAILED",
+    "reduce_plan",
+    "run_coverage",
+]

@@ -1,0 +1,221 @@
+"""The full ProFIPy workflow: Scan → Execution → Data Analysis (Fig. 2).
+
+:class:`Campaign` wires every phase together: compile the fault model,
+scan the injectable files, build the plan (filter/sample), optionally
+reduce it by coverage, execute experiments in the adaptive parallel pool,
+and hand the results to the analysis layer.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import remove_tree
+from repro.common.rng import SeededRandom
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.coverage import CoverageReport, reduce_plan, run_coverage
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.plan import Plan
+from repro.sandbox.image import SandboxImage
+from repro.sandbox.pool import ExperimentPool
+from repro.scanner.scan import ScanResult, scan_file
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class CampaignConfig:
+    """Everything the user configures for one campaign (paper Fig. 2)."""
+
+    name: str
+    target_dir: Path
+    fault_model: FaultModel
+    workload: WorkloadSpec
+    #: Relative paths of the files to inject (None = every .py in target).
+    injectable_files: list[str] | None = None
+    containerfile: str | None = None
+    trigger: bool = True
+    rounds: int = 2
+    coverage: bool = True
+    #: Random sample size over the plan (None = inject everywhere).
+    sample: int | None = None
+    #: Filters applied to the plan before sampling.
+    spec_filter: list[str] | None = None
+    file_filter: list[str] | None = None
+    #: None = adaptive N-1 parallelism; an int pins the worker count.
+    parallelism: int | None = None
+    seed: int = 0
+    #: Workspace directory (default: a fresh temporary directory).
+    workspace: Path | None = None
+    keep_artifacts: bool = False
+
+    def __post_init__(self) -> None:
+        self.target_dir = Path(self.target_dir)
+        if not self.target_dir.exists():
+            raise FileNotFoundError(f"target_dir {self.target_dir} not found")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, for the analysis phase."""
+
+    name: str
+    points_found: int = 0
+    points_planned: int = 0
+    coverage: CoverageReport | None = None
+    experiments: list[ExperimentResult] = field(default_factory=list)
+    scan_seconds: float = 0.0
+    coverage_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    scan_errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def executed(self) -> int:
+        return len(self.experiments)
+
+    @property
+    def failures(self) -> list[ExperimentResult]:
+        return [e for e in self.experiments if e.any_failure]
+
+    @property
+    def failures_round1(self) -> list[ExperimentResult]:
+        return [e for e in self.experiments if e.failed_round1]
+
+    @property
+    def failures_round2(self) -> list[ExperimentResult]:
+        return [e for e in self.experiments if e.failed_round2]
+
+    def summary(self) -> dict:
+        """The §V headline numbers for this campaign."""
+        return {
+            "campaign": self.name,
+            "points_found": self.points_found,
+            "points_covered": (self.coverage.covered_count
+                               if self.coverage else None),
+            "experiments": self.executed,
+            "experiments_with_failures": len(self.failures),
+            "failures_round1": len(self.failures_round1),
+            "failures_round2": len(self.failures_round2),
+        }
+
+
+class Campaign:
+    """Drives one fault injection campaign end to end."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self.models = {
+            model.name: model for model in config.fault_model.compile()
+        }
+
+    # -- scan phase --------------------------------------------------------------
+
+    def scan(self) -> ScanResult:
+        """Find every injection point in the injectable files."""
+        config = self.config
+        files = config.injectable_files
+        if files is None:
+            from repro.common.fsutil import iter_python_files
+
+            paths = sorted(iter_python_files(config.target_dir))
+        else:
+            paths = [config.target_dir / rel for rel in files]
+        result = ScanResult()
+        models = list(self.models.values())
+        for path in paths:
+            result.merge(scan_file(path, models, root=config.target_dir))
+        return result
+
+    # -- full workflow -------------------------------------------------------------
+
+    def run(self, progress=None) -> CampaignResult:
+        """Scan, plan, (optionally) reduce by coverage, execute, collect."""
+        config = self.config
+        owns_workspace = config.workspace is None
+        workspace = Path(
+            config.workspace or tempfile.mkdtemp(prefix="profipy-")
+        )
+        workspace.mkdir(parents=True, exist_ok=True)
+        result = CampaignResult(name=config.name)
+        say = progress or (lambda _msg: None)
+        try:
+            say(f"[{config.name}] building sandbox image")
+            image = SandboxImage.build(
+                config.target_dir, workspace / "image",
+                containerfile=config.containerfile,
+            )
+
+            say(f"[{config.name}] scanning for injection points")
+            scan_started = time.monotonic()
+            scan = self.scan()
+            result.scan_seconds = time.monotonic() - scan_started
+            result.scan_errors = scan.parse_errors
+            result.points_found = len(scan.points)
+
+            plan = Plan.from_points(scan.points,
+                                    prefix=f"{config.name}")
+            if config.spec_filter or config.file_filter:
+                plan = plan.filter(spec_names=config.spec_filter,
+                                   files=config.file_filter)
+            if config.coverage:
+                say(f"[{config.name}] coverage pre-run over "
+                    f"{len(plan)} points")
+                coverage_started = time.monotonic()
+                report = run_coverage(
+                    image, config.workload, plan.points, self.models,
+                    workspace / "sandboxes",
+                )
+                result.coverage_seconds = (
+                    time.monotonic() - coverage_started
+                )
+                result.coverage = report
+                plan = reduce_plan(plan, report)
+            if config.sample is not None:
+                plan = plan.sample(config.sample,
+                                   SeededRandom(config.seed))
+            result.points_planned = len(plan)
+
+            say(f"[{config.name}] executing {len(plan)} experiments")
+            artifacts = None
+            if config.keep_artifacts:
+                artifacts = workspace / "artifacts"
+                artifacts.mkdir(parents=True, exist_ok=True)
+            executor = ExperimentExecutor(
+                image=image,
+                workload=config.workload,
+                models=self.models,
+                base_dir=workspace / "sandboxes",
+                trigger=config.trigger,
+                rounds=config.rounds,
+                rng=SeededRandom(config.seed),
+                artifacts_dir=artifacts,
+            )
+            pool = ExperimentPool(parallelism=config.parallelism)
+            execution_started = time.monotonic()
+            jobs = [
+                (lambda planned=planned: executor.run(planned))
+                for planned in plan
+            ]
+            outcomes = pool.run(jobs)
+            result.execution_seconds = time.monotonic() - execution_started
+            for outcome in outcomes:
+                if outcome.ok:
+                    result.experiments.append(outcome.result)
+                else:
+                    broken = ExperimentResult(
+                        experiment_id=f"{config.name}-job-{outcome.index}",
+                        point={},
+                        status="harness_error",
+                        error=outcome.error or "unknown pool failure",
+                    )
+                    result.experiments.append(broken)
+            say(f"[{config.name}] done: "
+                f"{len(result.failures)}/{result.executed} experiments "
+                "showed failures")
+            return result
+        finally:
+            if owns_workspace and not config.keep_artifacts:
+                remove_tree(workspace)

@@ -1,0 +1,130 @@
+"""Two-round, trigger-controlled experiment execution (paper §IV-B).
+
+For each experiment the executor:
+
+1. instantiates a fresh sandbox from the image and writes the mutated
+   source file into it (EDFI-style trigger wrapping);
+2. starts the service commands with the fault *disabled*;
+3. round 1 — enables the trigger, runs the workload;
+4. round 2 — disables the trigger, runs the workload again *without
+   restarting the target*, so persistent error states surface;
+5. collects outputs/logs and tears the sandbox down.
+
+The trigger is a file re-read by the injected runtime, the shared-memory
+substitute documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.rng import SeededRandom
+from repro.dsl.metamodel import MetaModel
+from repro.mutator.mutate import Mutator
+from repro.mutator.runtime import SEED_ENV, TRIGGER_ENV
+from repro.orchestrator.experiment import (
+    STATUS_COMPLETED,
+    STATUS_HARNESS_ERROR,
+    STATUS_SERVICE_START_FAILED,
+    ExperimentResult,
+)
+from repro.orchestrator.plan import PlannedExperiment
+from repro.sandbox.image import SandboxImage
+from repro.sandbox.sandbox import Sandbox
+from repro.workload.runner import ServiceStartError, run_round, start_services
+from repro.workload.spec import WorkloadSpec
+
+TRIGGER_FILE = ".pfp_trigger"
+
+
+@dataclass
+class ExperimentExecutor:
+    """Runs planned experiments against an image + workload."""
+
+    image: SandboxImage
+    workload: WorkloadSpec
+    models: dict[str, MetaModel]
+    base_dir: Path
+    trigger: bool = True
+    rounds: int = 2
+    rng: SeededRandom = field(default_factory=lambda: SeededRandom(0))
+    artifacts_dir: Path | None = None
+
+    def run(self, planned: PlannedExperiment) -> ExperimentResult:
+        """Execute one experiment end-to-end; never raises for target bugs."""
+        point = planned.point
+        result = ExperimentResult(
+            experiment_id=planned.experiment_id,
+            point=point.to_dict(),
+            fault_id=point.point_id,
+            spec_name=point.spec_name,
+        )
+        started = time.monotonic()
+        try:
+            self._run_inner(planned, result)
+        except ServiceStartError as error:
+            result.status = STATUS_SERVICE_START_FAILED
+            result.error = str(error)
+        except Exception as error:  # noqa: BLE001 - harness robustness
+            result.status = STATUS_HARNESS_ERROR
+            result.error = f"{type(error).__name__}: {error}"
+        result.duration = time.monotonic() - started
+        if self.artifacts_dir is not None:
+            result.save(self.artifacts_dir / f"{planned.experiment_id}.json")
+        return result
+
+    def _run_inner(self, planned: PlannedExperiment,
+                   result: ExperimentResult) -> None:
+        point = planned.point
+        model = self.models[point.spec_name]
+        pristine = self.image.read_file(point.file)
+        mutation = Mutator(trigger=self.trigger, rng=self.rng).mutate_source(
+            pristine, model, point.ordinal,
+            fault_id=point.point_id, file=point.file,
+        )
+        result.original_snippet = mutation.original_snippet
+        result.mutated_snippet = mutation.mutated_snippet
+
+        with Sandbox.create(self.image, self.base_dir,
+                            planned.experiment_id) as sandbox:
+            trigger_path = sandbox.write_file(TRIGGER_FILE, "0")
+            sandbox.env[TRIGGER_ENV] = str(trigger_path)
+            sandbox.env[SEED_ENV] = str(
+                abs(hash(planned.experiment_id)) % (2 ** 31)
+            )
+            sandbox.write_file(point.file, mutation.source)
+
+            start_services(sandbox, self.workload)
+            for round_no in range(1, self.rounds + 1):
+                fault_enabled = round_no == 1
+                sandbox.write_file(TRIGGER_FILE,
+                                   "1" if fault_enabled else "0")
+                round_result = run_round(sandbox, self.workload, round_no,
+                                         fault_enabled)
+                result.rounds.append(round_result)
+            result.logs = {
+                **sandbox.service_logs(),
+                **sandbox.collect_logs(self.workload.log_files),
+            }
+        result.status = STATUS_COMPLETED
+
+    def run_fault_free(self, name: str = "fault-free") -> ExperimentResult:
+        """One pristine run of the workload (baseline / sanity check)."""
+        result = ExperimentResult(experiment_id=name, point={},
+                                  spec_name="<none>")
+        started = time.monotonic()
+        try:
+            with Sandbox.create(self.image, self.base_dir, name) as sandbox:
+                start_services(sandbox, self.workload)
+                round_result = run_round(sandbox, self.workload, 1,
+                                         fault_enabled=False)
+                result.rounds.append(round_result)
+                result.logs = sandbox.service_logs()
+            result.status = STATUS_COMPLETED
+        except ServiceStartError as error:
+            result.status = STATUS_SERVICE_START_FAILED
+            result.error = str(error)
+        result.duration = time.monotonic() - started
+        return result

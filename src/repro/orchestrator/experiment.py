@@ -1,0 +1,146 @@
+"""Experiment results: everything one fault injection run produced.
+
+An :class:`ExperimentResult` carries the injection point, the mutation
+snippets, the two round outcomes, collected logs, and any harness error —
+the raw material for the data-analysis phase (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import read_json, write_json
+from repro.workload.runner import RoundResult
+
+STATUS_COMPLETED = "completed"
+STATUS_SERVICE_START_FAILED = "service_start_failed"
+STATUS_HARNESS_ERROR = "harness_error"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one fault injection experiment."""
+
+    experiment_id: str
+    point: dict
+    fault_id: str = ""
+    spec_name: str = ""
+    status: str = STATUS_COMPLETED
+    original_snippet: str = ""
+    mutated_snippet: str = ""
+    rounds: list[RoundResult] = field(default_factory=list)
+    logs: dict[str, str] = field(default_factory=dict)
+    error: str = ""
+    duration: float = 0.0
+
+    # -- round accessors -----------------------------------------------------
+
+    def round(self, round_no: int) -> RoundResult | None:
+        for item in self.rounds:
+            if item.round_no == round_no:
+                return item
+        return None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == STATUS_COMPLETED
+
+    @property
+    def failed_round1(self) -> bool:
+        """Service failure while the fault was enabled."""
+        if self.status != STATUS_COMPLETED:
+            return True
+        first = self.round(1)
+        return first is None or first.failed
+
+    @property
+    def failed_round2(self) -> bool:
+        """Failure *after* disabling the fault: unrecovered error state."""
+        if self.status != STATUS_COMPLETED:
+            return True
+        second = self.round(2)
+        if second is None:
+            return False
+        return second.failed
+
+    @property
+    def any_failure(self) -> bool:
+        return self.failed_round1 or self.failed_round2
+
+    @property
+    def available_in_round2(self) -> bool:
+        """The §IV-C service-availability criterion for this experiment."""
+        return self.completed and not self.failed_round2
+
+    def combined_output(self) -> str:
+        """All command output plus logs, for pattern-based classification."""
+        chunks = [round_.output for round_ in self.rounds]
+        chunks.extend(self.logs.values())
+        if self.error:
+            chunks.append(self.error)
+        return "\n".join(chunk for chunk in chunks if chunk)
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "point": self.point,
+            "fault_id": self.fault_id,
+            "spec_name": self.spec_name,
+            "status": self.status,
+            "original_snippet": self.original_snippet,
+            "mutated_snippet": self.mutated_snippet,
+            "rounds": [round_.to_dict() for round_ in self.rounds],
+            "logs": dict(self.logs),
+            "error": self.error,
+            "duration": self.duration,
+        }
+
+    def save(self, path: str | Path) -> None:
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        rounds = []
+        for entry in data.get("rounds", []):
+            from repro.common.procutil import CommandResult
+
+            commands = [
+                CommandResult(
+                    command=cmd["command"],
+                    returncode=cmd["returncode"],
+                    stdout=cmd["stdout"],
+                    stderr=cmd["stderr"],
+                    duration=cmd["duration"],
+                    timed_out=cmd["timed_out"],
+                )
+                for cmd in entry.get("commands", [])
+            ]
+            rounds.append(
+                RoundResult(
+                    round_no=entry["round_no"],
+                    fault_enabled=entry["fault_enabled"],
+                    commands=commands,
+                    duration=entry.get("duration", 0.0),
+                    services_alive=entry.get("services_alive", True),
+                )
+            )
+        return cls(
+            experiment_id=data["experiment_id"],
+            point=data.get("point", {}),
+            fault_id=data.get("fault_id", ""),
+            spec_name=data.get("spec_name", ""),
+            status=data.get("status", STATUS_COMPLETED),
+            original_snippet=data.get("original_snippet", ""),
+            mutated_snippet=data.get("mutated_snippet", ""),
+            rounds=rounds,
+            logs=dict(data.get("logs", {})),
+            error=data.get("error", ""),
+            duration=data.get("duration", 0.0),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        return cls.from_dict(read_json(path))

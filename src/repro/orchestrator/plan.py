@@ -1,0 +1,129 @@
+"""Fault injection plans: configuration and sampling (paper §IV-A).
+
+After the scan, "the user can select a subset of such locations according
+to their needs": filter by component/file/fault type, sample randomly to
+cap the number of experiments, or keep everything.  The resulting
+:class:`Plan` is the input of the execution phase and can be saved and
+re-imported as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import read_json, write_json
+from repro.common.rng import SeededRandom
+from repro.common.textutil import glob_match
+from repro.scanner.points import InjectionPoint
+
+
+@dataclass(frozen=True)
+class PlannedExperiment:
+    """One experiment of the plan: a unique id plus its injection point."""
+
+    experiment_id: str
+    point: InjectionPoint
+
+    def to_dict(self) -> dict:
+        return {"experiment_id": self.experiment_id,
+                "point": self.point.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlannedExperiment":
+        return cls(
+            experiment_id=data["experiment_id"],
+            point=InjectionPoint.from_dict(data["point"]),
+        )
+
+
+@dataclass
+class Plan:
+    """An ordered set of fault injection experiments."""
+
+    experiments: list[PlannedExperiment] = field(default_factory=list)
+
+    @classmethod
+    def from_points(cls, points: list[InjectionPoint],
+                    prefix: str = "exp") -> "Plan":
+        width = max(4, len(str(len(points))))
+        return cls(experiments=[
+            PlannedExperiment(
+                experiment_id=f"{prefix}-{index:0{width}d}", point=point
+            )
+            for index, point in enumerate(points, start=1)
+        ])
+
+    def __len__(self) -> int:
+        return len(self.experiments)
+
+    def __iter__(self):
+        return iter(self.experiments)
+
+    @property
+    def points(self) -> list[InjectionPoint]:
+        return [experiment.point for experiment in self.experiments]
+
+    def point_ids(self) -> list[str]:
+        return [experiment.point.point_id for experiment in self.experiments]
+
+    # -- selection -------------------------------------------------------------
+
+    def filter(
+        self,
+        spec_names: list[str] | None = None,
+        files: list[str] | None = None,
+        components: list[str] | None = None,
+    ) -> "Plan":
+        """Keep experiments matching every provided criterion.
+
+        ``files`` entries are glob patterns over the relative path, so a
+        user can restrict injection to a specific component, class, or
+        file as §IV-A describes.
+        """
+
+        def keep(experiment: PlannedExperiment) -> bool:
+            point = experiment.point
+            if spec_names is not None and point.spec_name not in spec_names:
+                return False
+            if files is not None and not any(
+                glob_match(pattern, point.file) for pattern in files
+            ):
+                return False
+            if components is not None and point.component not in components:
+                return False
+            return True
+
+        return Plan(experiments=[e for e in self.experiments if keep(e)])
+
+    def sample(self, count: int, rng: SeededRandom | None = None) -> "Plan":
+        """Random sample of at most ``count`` experiments (stable order)."""
+        if count >= len(self.experiments):
+            return Plan(experiments=list(self.experiments))
+        rng = rng or SeededRandom(0)
+        chosen = rng.sample(range(len(self.experiments)), count)
+        return Plan(experiments=[self.experiments[i] for i in sorted(chosen)])
+
+    def restrict_to(self, point_ids: set[str]) -> "Plan":
+        """Keep only experiments whose point id is in ``point_ids``
+        (coverage reduction, §IV-D)."""
+        return Plan(experiments=[
+            experiment for experiment in self.experiments
+            if experiment.point.point_id in point_ids
+        ])
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"experiments": [e.to_dict() for e in self.experiments]}
+
+    def save(self, path: str | Path) -> None:
+        write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Plan":
+        data = read_json(path)
+        return cls(experiments=[
+            PlannedExperiment.from_dict(item)
+            for item in data.get("experiments", [])
+        ])

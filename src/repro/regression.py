@@ -1,0 +1,150 @@
+"""Turn failed experiments into regression tests (paper §I).
+
+The paper's first motivation for programmable fault models: "a typical
+necessity in industry, which arises when a critical failure occurs, is to
+introduce regression tests against the fault that caused the failure, to
+assure that the same failure cannot occur again".
+
+:func:`generate_regression_test` converts one failed experiment into a
+self-contained pytest module that re-injects *exactly* that fault (same
+spec, same injection point, same seed) and asserts that the system now
+tolerates it.  The generated test fails until the target is hardened —
+which is the point of a regression test for a fault-tolerance gap.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.experiment import ExperimentResult
+from repro.workload.spec import WorkloadSpec
+
+_TEMPLATE = '''\
+"""Auto-generated ProFIPy regression test.
+
+Experiment {experiment_id!r} observed a service failure when the fault
+below was injected:
+
+    fault type : {spec_name}
+    location   : {file}:{lineno}
+    original   : {original_snippet}
+    injected   : {mutated_snippet}
+
+This test re-injects the same fault and asserts the system now tolerates
+it (no workload failure while the fault is active).  It fails until the
+target is hardened against this fault class.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.plan import Plan
+from repro.sandbox.image import SandboxImage
+from repro.scanner.scan import scan_file
+from repro.workload.spec import WorkloadSpec
+
+FAULT_MODEL = json.loads(r\'\'\'{fault_model_json}\'\'\')
+WORKLOAD = json.loads(r\'\'\'{workload_json}\'\'\')
+TARGET_DIR = Path(r"{target_dir}")
+POINT_ID = "{point_id}"
+INJECT_FILE = "{file}"
+
+
+@pytest.mark.regression
+def test_system_tolerates_{safe_name}(tmp_path):
+    fault_model = FaultModel.from_dict(FAULT_MODEL)
+    models = {{model.name: model for model in fault_model.compile()}}
+    workload = WorkloadSpec.from_dict(WORKLOAD)
+
+    scan = scan_file(TARGET_DIR / INJECT_FILE, list(models.values()),
+                     root=TARGET_DIR)
+    plan = Plan.from_points(scan.points).restrict_to({{POINT_ID}})
+    assert len(plan) == 1, (
+        f"injection point {{POINT_ID!r}} no longer exists; the code moved "
+        "- re-record this regression test"
+    )
+
+    image = SandboxImage.build(TARGET_DIR, tmp_path / "image")
+    executor = ExperimentExecutor(
+        image=image, workload=workload, models=models,
+        base_dir=tmp_path / "boxes", trigger=True,
+    )
+    result = executor.run(plan.experiments[0])
+    assert result.completed, result.error
+    assert not result.failed_round1, (
+        "the fault {spec_name} at {file}:{lineno} still causes a service "
+        "failure:\\n" + result.round(1).output
+    )
+'''
+
+
+def generate_regression_test(
+    result: ExperimentResult,
+    fault_model: FaultModel,
+    target_dir: str | Path,
+    workload: WorkloadSpec,
+) -> str:
+    """Render a pytest module re-injecting the experiment's fault.
+
+    ``fault_model`` may be the full campaign model; it is narrowed to the
+    one fault type the experiment used so the generated file is minimal.
+    """
+    if not result.spec_name or not result.point:
+        raise ValueError(
+            f"experiment {result.experiment_id!r} carries no injection "
+            "point; only fault injection experiments can be converted"
+        )
+    fault = fault_model.get(result.spec_name)
+    narrowed = FaultModel(
+        name=f"regression_{result.experiment_id}",
+        description=f"Regression faultload from {result.experiment_id}",
+    )
+    narrowed.add(fault.spec, description=fault.description,
+                 category=fault.category, odc_class=fault.odc_class)
+
+    point = result.point
+    safe_name = (
+        f"{result.spec_name}_{Path(point['file']).stem}_{point['ordinal']}"
+        .lower().replace("-", "_").replace(".", "_")
+    )
+    original = result.original_snippet.splitlines() or ["<unknown>"]
+    mutated = result.mutated_snippet.splitlines() or ["<removed>"]
+    return _TEMPLATE.format(
+        experiment_id=result.experiment_id,
+        spec_name=result.spec_name,
+        file=point["file"],
+        lineno=point["lineno"],
+        original_snippet=original[0],
+        mutated_snippet=mutated[0],
+        fault_model_json=json.dumps(narrowed.to_dict()),
+        workload_json=json.dumps(workload.to_dict()),
+        target_dir=str(Path(target_dir).resolve()),
+        point_id=point.get("point_id",
+                           f"{result.spec_name}:{point['file']}:"
+                           f"{point['ordinal']}"),
+        safe_name=safe_name,
+    )
+
+
+def write_regression_test(
+    result: ExperimentResult,
+    fault_model: FaultModel,
+    target_dir: str | Path,
+    workload: WorkloadSpec,
+    dest_dir: str | Path,
+) -> Path:
+    """Write the generated test under ``dest_dir`` and return its path."""
+    dest_dir = Path(dest_dir)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    text = generate_regression_test(result, fault_model, target_dir,
+                                    workload)
+    safe = result.experiment_id.replace("-", "_").replace(".", "_")
+    path = dest_dir / f"test_regression_{safe}.py"
+    path.write_text(text, encoding="utf-8")
+    return path

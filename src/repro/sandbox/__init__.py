@@ -1,0 +1,23 @@
+"""Sandboxed execution: the container-based environment substitute."""
+
+from repro.sandbox.image import ImageBuildError, SandboxImage
+from repro.sandbox.limits import (
+    ResourceMonitor,
+    default_parallelism,
+    load_per_core,
+    memory_available_fraction,
+)
+from repro.sandbox.pool import ExperimentPool, JobOutcome
+from repro.sandbox.sandbox import Sandbox
+
+__all__ = [
+    "ExperimentPool",
+    "ImageBuildError",
+    "JobOutcome",
+    "ResourceMonitor",
+    "Sandbox",
+    "SandboxImage",
+    "default_parallelism",
+    "load_per_core",
+    "memory_available_fraction",
+]

@@ -1,0 +1,129 @@
+"""Sandbox images: staged, reusable snapshots of the target project.
+
+ProFIPy "first creates a container image, in which it copies the Python
+source code uploaded by the user", optionally customized by Dockerfile
+directives (paper §IV-B).  Without a container runtime (see DESIGN.md),
+an :class:`SandboxImage` is a staging directory holding the pristine
+project tree plus the injected ``profipy_runtime`` module; every
+experiment *instantiates* the image by copying it into a private sandbox
+directory.
+
+A small subset of containerfile directives is honoured at build time:
+
+* ``ENV NAME=value`` — default environment for sandboxes;
+* ``COPY src dst`` — copy an extra file/tree (relative to the build
+  context) into the image;
+* ``RUN command`` — run a shell command inside the staging tree (e.g. to
+  generate fixtures).  Commands run with the same interpreter environment.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import copy_tree, remove_tree
+from repro.common.procutil import run_command
+from repro.mutator.runtime import write_runtime
+
+
+class ImageBuildError(Exception):
+    """A containerfile directive failed during image build."""
+
+
+@dataclass
+class SandboxImage:
+    """A staged snapshot of the target project, ready to instantiate."""
+
+    source_dir: Path
+    staging_dir: Path
+    env: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        source_dir: str | Path,
+        staging_dir: str | Path,
+        containerfile: str | None = None,
+        context_dir: str | Path | None = None,
+        build_timeout: float = 60.0,
+    ) -> "SandboxImage":
+        """Stage ``source_dir`` (plus the runtime module) into an image."""
+        source_dir = Path(source_dir)
+        staging_dir = Path(staging_dir)
+        remove_tree(staging_dir)
+        copy_tree(source_dir, staging_dir)
+        write_runtime(staging_dir)
+        image = cls(source_dir=source_dir, staging_dir=staging_dir)
+        if containerfile:
+            image._apply_containerfile(
+                containerfile,
+                Path(context_dir) if context_dir else source_dir,
+                build_timeout,
+            )
+        return image
+
+    def _apply_containerfile(self, text: str, context: Path,
+                             timeout: float) -> None:
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            directive, _, rest = line.partition(" ")
+            directive = directive.upper()
+            rest = rest.strip()
+            if directive == "ENV":
+                name, sep, value = rest.partition("=")
+                if not sep:
+                    raise ImageBuildError(
+                        f"line {line_no}: ENV expects NAME=value, got {rest!r}"
+                    )
+                self.env[name.strip()] = value.strip()
+            elif directive == "COPY":
+                parts = shlex.split(rest)
+                if len(parts) != 2:
+                    raise ImageBuildError(
+                        f"line {line_no}: COPY expects 'src dst', got {rest!r}"
+                    )
+                src = context / parts[0]
+                dst = self.staging_dir / parts[1].lstrip("/")
+                if not src.exists():
+                    raise ImageBuildError(
+                        f"line {line_no}: COPY source {src} does not exist"
+                    )
+                if src.is_dir():
+                    copy_tree(src, dst)
+                else:
+                    dst.parent.mkdir(parents=True, exist_ok=True)
+                    dst.write_bytes(src.read_bytes())
+            elif directive == "RUN":
+                import os
+
+                env = dict(os.environ)
+                env.update(self.env)
+                result = run_command(rest, cwd=str(self.staging_dir),
+                                     env=env, timeout=timeout)
+                if not result.ok:
+                    raise ImageBuildError(
+                        f"line {line_no}: RUN {rest!r} failed "
+                        f"(rc={result.returncode}): {result.stderr[:400]}"
+                    )
+            else:
+                raise ImageBuildError(
+                    f"line {line_no}: unsupported directive {directive!r} "
+                    "(supported: ENV, COPY, RUN)"
+                )
+
+    def instantiate(self, dest: str | Path) -> Path:
+        """Copy the staged tree into a fresh per-experiment directory."""
+        dest = Path(dest)
+        remove_tree(dest)
+        copy_tree(self.staging_dir, dest)
+        return dest
+
+    def read_file(self, rel_path: str) -> str:
+        return (self.staging_dir / rel_path).read_text(encoding="utf-8")
+
+    def remove(self) -> None:
+        remove_tree(self.staging_dir)

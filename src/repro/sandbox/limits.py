@@ -1,0 +1,78 @@
+"""Host resource monitoring for the parallel experiment pool.
+
+The paper caps concurrency at N-1 containers and "further reduces the
+number of parallel containers if it hits a threshold for memory and I/O
+utilization" (§IV-B, after Winter et al.'s PAIN study).  This module
+provides those signals from ``/proc`` (falling back gracefully on systems
+without it).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Fraction of memory that must stay available before throttling kicks in.
+DEFAULT_MEMORY_THRESHOLD = 0.15
+
+#: Load average per core above which the pool backs off.
+DEFAULT_LOAD_THRESHOLD = 2.0
+
+
+def cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def default_parallelism() -> int:
+    """The paper's rule: at most N-1 parallel experiments on N cores."""
+    return max(1, cpu_count() - 1)
+
+
+def memory_available_fraction() -> float:
+    """MemAvailable/MemTotal from /proc/meminfo (1.0 when unknown)."""
+    try:
+        fields: dict[str, int] = {}
+        with open("/proc/meminfo", "r", encoding="ascii") as handle:
+            for line in handle:
+                name, _, rest = line.partition(":")
+                value = rest.strip().split(" ")[0]
+                if value.isdigit():
+                    fields[name] = int(value)
+        total = fields.get("MemTotal", 0)
+        available = fields.get("MemAvailable", total)
+        if total <= 0:
+            return 1.0
+        return available / total
+    except OSError:
+        return 1.0
+
+
+def load_per_core() -> float:
+    """1-minute load average divided by core count (0.0 when unknown)."""
+    try:
+        load1, _, _ = os.getloadavg()
+    except OSError:
+        return 0.0
+    return load1 / cpu_count()
+
+
+@dataclass
+class ResourceMonitor:
+    """Decides how many experiments may run concurrently right now."""
+
+    max_parallelism: int = 0
+    memory_threshold: float = DEFAULT_MEMORY_THRESHOLD
+    load_threshold: float = DEFAULT_LOAD_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.max_parallelism <= 0:
+            self.max_parallelism = default_parallelism()
+
+    def current_parallelism(self) -> int:
+        """N-1, halved under memory pressure or excessive load."""
+        limit = self.max_parallelism
+        if memory_available_fraction() < self.memory_threshold:
+            limit = max(1, limit // 2)
+        if load_per_core() > self.load_threshold:
+            limit = max(1, limit // 2)
+        return limit

@@ -1,0 +1,87 @@
+"""Parallel experiment execution with adaptive throttling (§IV-B).
+
+Experiments are independent (each owns a sandbox), so they parallelize
+across cores.  The pool keeps at most ``ResourceMonitor.current_parallelism()``
+jobs in flight — N-1 by default, halved under memory pressure — matching
+the paper's containers-per-host policy.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sandbox.limits import ResourceMonitor
+
+
+@dataclass
+class JobOutcome:
+    """Result envelope for one pooled job."""
+
+    index: int
+    result: object = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExperimentPool:
+    """Run jobs concurrently, never exceeding the adaptive limit."""
+
+    monitor: ResourceMonitor = field(default_factory=ResourceMonitor)
+    parallelism: int | None = None
+
+    def run(
+        self,
+        jobs: list[Callable[[], object]],
+        on_result: Callable[[JobOutcome], None] | None = None,
+    ) -> list[JobOutcome]:
+        """Execute ``jobs``; outcomes are returned in submission order.
+
+        Job exceptions are captured per-job (an experiment that breaks the
+        harness must not sink the campaign).
+        """
+        if not jobs:
+            return []
+        hard_limit = self.parallelism or self.monitor.max_parallelism
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        lock = threading.Lock()
+
+        def run_job(index: int) -> JobOutcome:
+            try:
+                result = jobs[index]()
+                outcome = JobOutcome(index=index, result=result)
+            except Exception:  # noqa: BLE001 - captured per job
+                outcome = JobOutcome(index=index,
+                                     error=traceback.format_exc())
+            with lock:
+                outcomes[index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+            return outcome
+
+        with ThreadPoolExecutor(max_workers=hard_limit) as executor:
+            pending: set = set()
+            next_index = 0
+            while next_index < len(jobs) or pending:
+                limit = min(hard_limit, self._current_limit())
+                while next_index < len(jobs) and len(pending) < limit:
+                    pending.add(executor.submit(run_job, next_index))
+                    next_index += 1
+                if pending:
+                    done, pending = wait(pending, timeout=0.5,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        future.result()  # re-raise harness bugs, if any
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _current_limit(self) -> int:
+        if self.parallelism is not None:
+            return self.parallelism
+        return self.monitor.current_parallelism()

@@ -1,0 +1,181 @@
+"""Per-experiment process sandboxes (the container substitute, §IV-B).
+
+Each experiment runs in a :class:`Sandbox`: a private copy of the image
+tree with its own HOME/TMPDIR, a scrubbed environment, commands executed
+in dedicated process groups, and teardown that kills every spawned process
+and removes the tree — ProFIPy's "clean-up any resource leaked or
+corrupted because of the injected fault" (stale processes, files).
+"""
+
+from __future__ import annotations
+
+import glob as globmod
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import remove_tree
+from repro.common.procutil import (
+    BackgroundProcess,
+    CommandResult,
+    run_command,
+    spawn_background,
+    wait_for,
+)
+from repro.sandbox.image import SandboxImage
+
+#: Environment variables inherited from the host (everything else is
+#: scrubbed so experiments cannot depend on ambient configuration).
+_INHERITED_ENV = ("PATH", "LANG", "LC_ALL", "PYTHONHASHSEED", "LD_LIBRARY_PATH")
+
+
+@dataclass
+class Sandbox:
+    """An isolated working directory plus process/environment management."""
+
+    root: Path
+    env: dict[str, str] = field(default_factory=dict)
+    services: list[BackgroundProcess] = field(default_factory=list)
+    _destroyed: bool = False
+
+    @classmethod
+    def create(
+        cls,
+        image: SandboxImage,
+        base_dir: str | Path,
+        name: str,
+        env_overrides: dict[str, str] | None = None,
+    ) -> "Sandbox":
+        """Instantiate ``image`` into ``base_dir/name`` and prepare env."""
+        root = Path(base_dir) / name
+        image.instantiate(root)
+        home = root / ".home"
+        tmp = root / ".tmp"
+        home.mkdir(exist_ok=True)
+        tmp.mkdir(exist_ok=True)
+        env = {key: os.environ[key] for key in _INHERITED_ENV
+               if key in os.environ}
+        env.update({
+            "HOME": str(home),
+            "TMPDIR": str(tmp),
+            "PYTHONPATH": str(root),
+            "PYTHONUNBUFFERED": "1",
+            "PROFIPY_SANDBOX": name,
+        })
+        env.update(image.env)
+        env.update(env_overrides or {})
+        return cls(root=root, env=env)
+
+    # -- command execution -----------------------------------------------------
+
+    @property
+    def python(self) -> str:
+        """Interpreter used for target commands (the current one)."""
+        return sys.executable
+
+    def expand(self, command: str) -> str:
+        """Substitute ``{python}`` and ``{sandbox}`` placeholders."""
+        return command.format(python=self.python, sandbox=str(self.root))
+
+    def run(self, command: str, timeout: float = 60.0) -> CommandResult:
+        """Run a foreground command inside the sandbox."""
+        self._check_alive()
+        return run_command(
+            self.expand(command), cwd=str(self.root), env=dict(self.env),
+            timeout=timeout,
+        )
+
+    def start_service(self, command: str, name: str = "service",
+                      ) -> BackgroundProcess:
+        """Start a long-running service (e.g. the etcd server under test)."""
+        self._check_alive()
+        ordinal = len(self.services)
+        stdout = self.root / f".{name}-{ordinal}.out"
+        stderr = self.root / f".{name}-{ordinal}.err"
+        service = spawn_background(
+            self.expand(command), cwd=str(self.root), env=dict(self.env),
+            stdout_path=str(stdout), stderr_path=str(stderr),
+        )
+        self.services.append(service)
+        return service
+
+    def services_alive(self) -> bool:
+        """True when every started service process is still running."""
+        return all(service.alive() for service in self.services)
+
+    def wait_for_file(self, rel_path: str, timeout: float = 10.0) -> bool:
+        """Wait until a file appears and is non-empty (e.g. a port file)."""
+        path = self.root / rel_path
+
+        def ready() -> bool:
+            try:
+                return path.stat().st_size > 0
+            except OSError:
+                return False
+
+        return wait_for(ready, timeout=timeout)
+
+    # -- file helpers -------------------------------------------------------------
+
+    def path(self, rel_path: str) -> Path:
+        return self.root / rel_path
+
+    def write_file(self, rel_path: str, content: str) -> Path:
+        path = self.root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def read_file(self, rel_path: str) -> str:
+        return (self.root / rel_path).read_text(encoding="utf-8",
+                                                errors="replace")
+
+    def collect_logs(self, patterns: list[str]) -> dict[str, str]:
+        """Gather log files matching ``patterns`` (relative globs)."""
+        logs: dict[str, str] = {}
+        for pattern in patterns:
+            for match in sorted(globmod.glob(str(self.root / pattern))):
+                rel = os.path.relpath(match, self.root)
+                try:
+                    with open(match, "r", encoding="utf-8",
+                              errors="replace") as handle:
+                        logs[rel] = handle.read()
+                except OSError:
+                    continue
+        return logs
+
+    def service_logs(self) -> dict[str, str]:
+        """stdout/stderr captured from every service."""
+        logs: dict[str, str] = {}
+        for service in self.services:
+            for path in (service.stdout_path, service.stderr_path):
+                rel = os.path.relpath(path, self.root)
+                try:
+                    with open(path, "r", encoding="utf-8",
+                              errors="replace") as handle:
+                        logs[rel] = handle.read()
+                except OSError:
+                    continue
+        return logs
+
+    # -- teardown -----------------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Kill services and remove the tree (idempotent)."""
+        if self._destroyed:
+            return
+        for service in self.services:
+            service.terminate()
+        remove_tree(self.root)
+        self._destroyed = True
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise RuntimeError(f"sandbox {self.root} already destroyed")
+
+    def __enter__(self) -> "Sandbox":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()

@@ -1,0 +1,30 @@
+"""Source-code scanner: meta-model matching over program ASTs (§IV-A)."""
+
+from repro.scanner.bindings import Bindings, CallCapture
+from repro.scanner.matcher import Match, Matcher, call_name, name_matches
+from repro.scanner.points import InjectionPoint, component_of
+from repro.scanner.scan import (
+    ScanResult,
+    match_source,
+    nth_match,
+    scan_file,
+    scan_source,
+    scan_tree,
+)
+
+__all__ = [
+    "Bindings",
+    "CallCapture",
+    "InjectionPoint",
+    "Match",
+    "Matcher",
+    "ScanResult",
+    "call_name",
+    "component_of",
+    "match_source",
+    "name_matches",
+    "nth_match",
+    "scan_file",
+    "scan_source",
+    "scan_tree",
+]

@@ -1,0 +1,67 @@
+"""Match bindings: what each tagged directive captured.
+
+The ``{tag=...}`` / ``#tag`` syntax lets a spec label parts of the code
+pattern and reuse them in the replacement (paper §III).  During matching,
+each tag is bound to the target-AST material it matched:
+
+* ``$BLOCK`` tags bind a list of statements;
+* ``$EXPR`` / ``$STRING`` / ``$NUM`` / ``$VAR`` tags bind one expression;
+* ``$CALL`` tags bind a :class:`CallCapture` — the call node plus what each
+  ``...`` wildcard absorbed, so the replacement can rebuild the call with
+  some arguments transformed and the rest passed through.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CallCapture:
+    """Everything a ``$CALL`` directive captured from one matched call."""
+
+    call: ast.Call
+    #: Positional arguments absorbed by each ``...`` in the pattern, in order.
+    wildcards: list[list[ast.expr]] = field(default_factory=list)
+    #: Keyword arguments not explicitly matched by the pattern.
+    absorbed_keywords: list[ast.keyword] = field(default_factory=list)
+    #: For ``ctx=any`` matches: the whole statement containing the call.
+    containing_stmt: ast.stmt | None = None
+
+
+#: A binding value: statements, one expression, or a call capture.
+BoundValue = "list[ast.stmt] | ast.expr | CallCapture"
+
+
+class Bindings:
+    """Tag → captured material for one match attempt.
+
+    Backtracking in the sequence matcher works on cheap dict copies via
+    :meth:`snapshot` / :meth:`adopt`.
+    """
+
+    def __init__(self, values: dict | None = None) -> None:
+        self._values: dict[str, object] = dict(values or {})
+
+    def bind(self, tag: str | None, value: object) -> None:
+        if tag is not None:
+            self._values[tag] = value
+
+    def get(self, tag: str) -> object | None:
+        return self._values.get(tag)
+
+    def has(self, tag: str) -> bool:
+        return tag in self._values
+
+    def snapshot(self) -> "Bindings":
+        return Bindings(self._values)
+
+    def adopt(self, other: "Bindings") -> None:
+        self._values = dict(other._values)
+
+    def tags(self) -> list[str]:
+        return sorted(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bindings({self.tags()})"

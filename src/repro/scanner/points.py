@@ -1,0 +1,58 @@
+"""Injection points: the *where* of fault injection (paper §IV-A).
+
+An :class:`InjectionPoint` is a statement (or group of statements) in the
+source code where the tool can inject the software bug described by one bug
+specification.  Points are identified by ``spec:file:ordinal`` so they stay
+stable across re-scans of the same source snapshot, and serializable so the
+fault injection plan can be saved and sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import PurePosixPath
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One place where one fault type can be injected."""
+
+    spec_name: str
+    file: str
+    ordinal: int
+    lineno: int
+    end_lineno: int
+    snippet: str
+    component: str
+
+    @property
+    def point_id(self) -> str:
+        """Stable identifier ``spec:file:ordinal``."""
+        return f"{self.spec_name}:{self.file}:{self.ordinal}"
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["point_id"] = self.point_id
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectionPoint":
+        fields = {k: data[k] for k in (
+            "spec_name", "file", "ordinal", "lineno", "end_lineno",
+            "snippet", "component",
+        )}
+        return cls(**fields)
+
+
+def component_of(file: str) -> str:
+    """Component name for drill-down: the first path segment of ``file``.
+
+    The paper's failure-propagation analysis groups source files into
+    components (sub-systems); by default the top-level directory (or the
+    bare module name for root-level files) is the component.
+    """
+    parts = PurePosixPath(file.replace("\\", "/")).parts
+    if len(parts) > 1:
+        return parts[0]
+    name = parts[0] if parts else file
+    return name[:-3] if name.endswith(".py") else name

@@ -1,0 +1,142 @@
+"""Source-code scanner: find every injection point in a project (§IV-A).
+
+``scan_tree`` walks a source tree (or a single file), parses each Python
+file once, and runs every compiled bug specification over it.  Scanning is
+"embarrassingly parallel" across files (paper §V-D); pass ``jobs > 1`` to
+fan out over processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import iter_python_files
+from repro.common.textutil import truncate
+from repro.dsl.compiler import compile_spec
+from repro.dsl.metamodel import MetaModel
+from repro.dsl.parser import BugSpec
+from repro.scanner.matcher import Match, Matcher
+from repro.scanner.points import InjectionPoint, component_of
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning a source tree with a set of bug specs."""
+
+    points: list[InjectionPoint] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: dict[str, str] = field(default_factory=dict)
+
+    def by_spec(self) -> dict[str, list[InjectionPoint]]:
+        grouped: dict[str, list[InjectionPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.spec_name, []).append(point)
+        return grouped
+
+    def merge(self, other: "ScanResult") -> None:
+        self.points.extend(other.points)
+        self.files_scanned += other.files_scanned
+        self.parse_errors.update(other.parse_errors)
+
+
+def match_source(source: str, model: MetaModel) -> list[Match]:
+    """All matches of one meta-model in a source string."""
+    tree = ast.parse(source)
+    return Matcher(model).find_matches(tree)
+
+
+def nth_match(source: str, model: MetaModel, ordinal: int) -> Match:
+    """Re-locate the ``ordinal``-th match of ``model`` in ``source``.
+
+    Used by the mutator: injection points store (spec, file, ordinal), and
+    mutation re-parses the pristine file, so matches must be re-derived
+    deterministically.
+    """
+    matches = match_source(source, model)
+    if ordinal >= len(matches):
+        raise IndexError(
+            f"spec {model.name!r} has {len(matches)} matches, "
+            f"ordinal {ordinal} requested"
+        )
+    return matches[ordinal]
+
+
+def scan_source(
+    source: str, models: list[MetaModel], file: str = "<string>"
+) -> list[InjectionPoint]:
+    """Scan one source string with every meta-model."""
+    tree = ast.parse(source)
+    points: list[InjectionPoint] = []
+    component = component_of(file)
+    for model in models:
+        matches = Matcher(model).find_matches(tree)
+        for ordinal, match in enumerate(matches):
+            snippet = "; ".join(
+                ast.unparse(stmt).splitlines()[0] for stmt in match.stmts[:3]
+            )
+            points.append(
+                InjectionPoint(
+                    spec_name=model.name,
+                    file=file,
+                    ordinal=ordinal,
+                    lineno=match.lineno,
+                    end_lineno=match.end_lineno,
+                    snippet=truncate(snippet, 120),
+                    component=component,
+                )
+            )
+    return points
+
+
+def scan_file(
+    path: str | Path, models: list[MetaModel], root: str | Path | None = None
+) -> ScanResult:
+    """Scan one file; unparseable files are recorded, not fatal."""
+    path = Path(path)
+    rel = str(path.relative_to(root)) if root else path.name
+    result = ScanResult(files_scanned=1)
+    try:
+        source = path.read_text(encoding="utf-8", errors="replace")
+        result.points = scan_source(source, models, file=rel)
+    except SyntaxError as exc:
+        result.parse_errors[rel] = f"{exc.msg} (line {exc.lineno})"
+    return result
+
+
+def scan_tree(
+    root: str | Path,
+    specs: list[BugSpec],
+    jobs: int = 1,
+) -> ScanResult:
+    """Scan every Python file under ``root`` with every spec.
+
+    ``jobs > 1`` distributes files over a process pool; each worker compiles
+    the specs once.  Results are returned in deterministic file order.
+    """
+    root = Path(root)
+    files = sorted(iter_python_files(root))
+    scan_root = root if root.is_dir() else root.parent
+    if jobs <= 1 or len(files) <= 1:
+        models = [compile_spec(spec) for spec in specs]
+        total = ScanResult()
+        for path in files:
+            total.merge(scan_file(path, models, root=scan_root))
+        return total
+
+    total = ScanResult()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_scan_file_task, str(path), specs, str(scan_root))
+            for path in files
+        ]
+        for future in futures:
+            total.merge(future.result())
+    return total
+
+
+def _scan_file_task(path: str, specs: list[BugSpec], root: str) -> ScanResult:
+    models = [compile_spec(spec) for spec in specs]
+    return scan_file(path, models, root=root)

@@ -1,0 +1,14 @@
+"""Fault injection as-a-service: job registry and service facade."""
+
+from repro.service.jobs import COMPLETED, FAILED, QUEUED, RUNNING, Job, JobRunner
+from repro.service.service import ProFIPyService
+
+__all__ = [
+    "COMPLETED",
+    "FAILED",
+    "Job",
+    "JobRunner",
+    "ProFIPyService",
+    "QUEUED",
+    "RUNNING",
+]

@@ -1,0 +1,135 @@
+"""Job management for the as-a-service layer.
+
+The hosted ProFIPy runs campaigns asynchronously on behalf of users; the
+offline equivalent is a small job registry: submitted campaigns become
+jobs with a lifecycle (``queued`` → ``running`` → ``completed``/``failed``)
+executed on worker threads, with metadata and results persisted under the
+service workspace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.fsutil import read_json, write_json
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its lifecycle."""
+
+    job_id: str
+    name: str
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str = ""
+    directory: Path | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, directory: Path | None = None) -> "Job":
+        return cls(
+            job_id=data["job_id"],
+            name=data.get("name", data["job_id"]),
+            status=data.get("status", QUEUED),
+            submitted_at=data.get("submitted_at", 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error", ""),
+            directory=directory,
+        )
+
+
+class JobRunner:
+    """Runs job bodies on daemon threads and persists their state."""
+
+    def __init__(self, jobs_dir: Path) -> None:
+        self.jobs_dir = jobs_dir
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs: dict[str, Job] = {}
+        self._threads: dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._load_existing()
+
+    def _load_existing(self) -> None:
+        for meta in sorted(self.jobs_dir.glob("*/job.json")):
+            data = read_json(meta)
+            job = Job.from_dict(data, directory=meta.parent)
+            if job.status == RUNNING:
+                # A previous process died mid-job.
+                job.status = FAILED
+                job.error = "interrupted (service restarted)"
+                self._persist(job)
+            self._jobs[job.job_id] = job
+
+    def submit(self, name: str, body, block: bool = False) -> Job:
+        """Register and start a job; ``body(job_dir)`` does the work."""
+        with self._lock:
+            job_id = f"job-{len(self._jobs) + 1:04d}"
+            directory = self.jobs_dir / job_id
+            directory.mkdir(parents=True, exist_ok=True)
+            job = Job(job_id=job_id, name=name, directory=directory)
+            self._jobs[job_id] = job
+            self._persist(job)
+
+        def run() -> None:
+            job.status = RUNNING
+            job.started_at = time.time()
+            self._persist(job)
+            try:
+                body(directory)
+                job.status = COMPLETED
+            except Exception:  # noqa: BLE001 - recorded on the job
+                job.status = FAILED
+                job.error = traceback.format_exc()
+            job.finished_at = time.time()
+            self._persist(job)
+
+        if block:
+            run()
+        else:
+            thread = threading.Thread(target=run, daemon=True)
+            self._threads[job_id] = thread
+            thread.start()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list(self) -> list[Job]:
+        return sorted(self._jobs.values(), key=lambda job: job.job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        job = self.get(job_id)
+        thread = self._threads.get(job_id)
+        if thread is not None:
+            thread.join(timeout)
+        return job
+
+    def _persist(self, job: Job) -> None:
+        if job.directory is not None:
+            write_json(job.directory / "job.json", job.to_dict())

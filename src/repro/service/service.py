@@ -1,0 +1,173 @@
+"""The ProFIPy service facade: fault models, campaigns, results (paper §I).
+
+"ProFIPy is provided as software-as-a-service, and includes a workflow for
+configuring the faultload and the workload" — this class is that workflow
+as a programmatic API (the CLI sits on top; DESIGN.md documents the
+substitution of the hosted UI):
+
+* a persistent **fault-model registry** (save/import/list, plus the
+  pre-defined models);
+* **campaign submission** as asynchronous jobs with persisted results;
+* **report retrieval** for finished jobs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.classify import ClassificationRule
+from repro.analysis.metrics import ComponentSpec
+from repro.analysis.report import CampaignReport
+from repro.common.fsutil import read_json, write_json
+from repro.faultmodel.library import predefined_models
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.orchestrator.experiment import ExperimentResult
+from repro.service.jobs import Job, JobRunner
+
+
+class ProFIPyService:
+    """In-process fault-injection-as-a-service."""
+
+    def __init__(self, workspace: str | Path) -> None:
+        self.workspace = Path(workspace)
+        self.models_dir = self.workspace / "models"
+        self.models_dir.mkdir(parents=True, exist_ok=True)
+        self.runner = JobRunner(self.workspace / "jobs")
+
+    # -- fault model registry ------------------------------------------------
+
+    def save_model(self, model: FaultModel) -> Path:
+        """Store a fault model in the registry (overwrites same name)."""
+        path = self.models_dir / f"{model.name}.json"
+        model.save(path)
+        return path
+
+    def import_model(self, path: str | Path) -> FaultModel:
+        """Import a fault model JSON produced by a previous campaign."""
+        model = FaultModel.load(path)
+        self.save_model(model)
+        return model
+
+    def load_model(self, name: str) -> FaultModel:
+        """A stored model by name, falling back to the pre-defined ones."""
+        path = self.models_dir / f"{name}.json"
+        if path.exists():
+            return FaultModel.load(path)
+        predefined = predefined_models()
+        if name in predefined:
+            return predefined[name]
+        raise KeyError(
+            f"unknown fault model {name!r}; stored: {self.list_models()}, "
+            f"predefined: {sorted(predefined)}"
+        )
+
+    def list_models(self) -> list[str]:
+        """Names of stored models (pre-defined ones are always available)."""
+        return sorted(path.stem for path in self.models_dir.glob("*.json"))
+
+    # -- campaign submission -----------------------------------------------------
+
+    def submit_campaign(
+        self,
+        config: CampaignConfig,
+        rules: list[ClassificationRule] | None = None,
+        components: list[ComponentSpec] | None = None,
+        block: bool = True,
+    ) -> Job:
+        """Run a campaign as a job; results and report persist on disk."""
+        rules = rules or []
+        components = components or []
+
+        def body(job_dir: Path) -> None:
+            write_json(job_dir / "config.json", {
+                "name": config.name,
+                "target_dir": str(Path(config.target_dir).resolve()),
+                "fault_model": config.fault_model.to_dict(),
+                "workload": config.workload.to_dict(),
+                "injectable_files": config.injectable_files,
+            })
+            campaign = Campaign(config)
+            result = campaign.run()
+            report = CampaignReport(result, rules=rules,
+                                    components=components)
+            self._persist_result(job_dir, result, report)
+
+        return self.runner.submit(config.name, body, block=block)
+
+    def job(self, job_id: str) -> Job:
+        return self.runner.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        return self.runner.list()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        return self.runner.wait(job_id, timeout)
+
+    # -- results ---------------------------------------------------------------------
+
+    def report_text(self, job_id: str) -> str:
+        job = self.runner.get(job_id)
+        path = (job.directory or Path()) / "report.txt"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"job {job_id} has no report (status: {job.status})"
+            )
+        return path.read_text(encoding="utf-8")
+
+    def result_summary(self, job_id: str) -> dict:
+        job = self.runner.get(job_id)
+        path = (job.directory or Path()) / "summary.json"
+        return read_json(path)
+
+    def experiments(self, job_id: str) -> list[ExperimentResult]:
+        job = self.runner.get(job_id)
+        path = (job.directory or Path()) / "experiments.jsonl"
+        results = []
+        if path.exists():
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if line.strip():
+                    results.append(ExperimentResult.from_dict(
+                        json.loads(line)
+                    ))
+        return results
+
+    def generate_regression_tests(self, job_id: str,
+                                  dest_dir: str | Path) -> list[Path]:
+        """Write one regression test per failed experiment of a job
+        (the paper's §I regression-testing use case)."""
+        from repro.regression import write_regression_test
+        from repro.workload.spec import WorkloadSpec
+
+        job = self.runner.get(job_id)
+        config_path = (job.directory or Path()) / "config.json"
+        if not config_path.exists():
+            raise FileNotFoundError(
+                f"job {job_id} has no persisted campaign config"
+            )
+        config = read_json(config_path)
+        fault_model = FaultModel.from_dict(config["fault_model"])
+        workload = WorkloadSpec.from_dict(config["workload"])
+        target_dir = Path(config["target_dir"])
+        written = []
+        for experiment in self.experiments(job_id):
+            if experiment.completed and experiment.failed_round1:
+                written.append(write_regression_test(
+                    experiment, fault_model, target_dir, workload, dest_dir,
+                ))
+        return written
+
+    def _persist_result(self, job_dir: Path, result: CampaignResult,
+                        report: CampaignReport) -> None:
+        write_json(job_dir / "summary.json", result.summary())
+        (job_dir / "report.txt").write_text(report.render() + "\n",
+                                            encoding="utf-8")
+        with open(job_dir / "experiments.jsonl", "w",
+                  encoding="utf-8") as handle:
+            for experiment in result.experiments:
+                handle.write(json.dumps(experiment.to_dict()) + "\n")

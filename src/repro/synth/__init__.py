@@ -1,0 +1,17 @@
+"""Synthetic scan-target generation (the §V-D OpenStack stand-in)."""
+
+from repro.synth.codegen import (
+    SynthConfig,
+    SynthStats,
+    generate_codebase,
+    generate_module,
+    scan_pattern_apis,
+)
+
+__all__ = [
+    "SynthConfig",
+    "SynthStats",
+    "generate_codebase",
+    "generate_module",
+    "scan_pattern_apis",
+]

@@ -1,0 +1,184 @@
+"""Synthetic Python codebase generator (the OpenStack-scale stand-in).
+
+§V-D evaluates scan performance on Nova/Neutron/Cinder — about 400 KLoC of
+Python.  Offline we generate a *seeded, deterministic* codebase with a
+realistic statement mix (calls, guarded blocks, assignments, try/except,
+loops, classes) and the same API idioms the Fig. 1 patterns target
+(``delete_*`` calls, ``if node:`` guards, ``utils.execute`` with flag
+strings), so the same DSL patterns find work to do at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.rng import SeededRandom
+
+#: Name pools loosely modelled on the OpenStack modules of §V-D.
+PACKAGES = ("nova", "neutron", "cinder")
+RESOURCES = ("port", "subnet", "network", "volume", "instance", "router")
+VERBS = ("create", "delete", "update", "attach", "detach", "resize")
+UTILITIES = ("iptables", "dnsmasq", "e2fsck", "mount", "qemu-img")
+FLAGS = ("-f", "-o", "--force", "-t ext4", "--json", "-v")
+VARIABLES = ("node", "ctx", "request", "resource", "state", "result",
+             "config", "client")
+
+
+@dataclass
+class SynthConfig:
+    """Shape of the generated codebase."""
+
+    files: int = 50
+    functions_per_file: int = 8
+    statements_per_function: int = 10
+    classes_per_file: int = 1
+    seed: int = 0
+
+
+@dataclass
+class SynthStats:
+    """What was generated."""
+
+    files: int = 0
+    lines: int = 0
+    functions: int = 0
+    paths: list[Path] = field(default_factory=list)
+
+
+class _ModuleWriter:
+    """Generates one synthetic module deterministically."""
+
+    def __init__(self, rng: SeededRandom, config: SynthConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.lines: list[str] = []
+        self.functions = 0
+
+    def emit(self, line: str, indent: int = 0) -> None:
+        self.lines.append("    " * indent + line)
+
+    def render(self, module_name: str) -> str:
+        self.emit(f'"""Auto-generated synthetic module {module_name}."""')
+        self.emit("")
+        self.emit("from synthlib import base, utils")
+        self.emit("")
+        for index in range(self.config.classes_per_file):
+            self._emit_class(index)
+        remaining = (self.config.functions_per_file
+                     - self.config.classes_per_file * 2)
+        for index in range(max(1, remaining)):
+            self._emit_function(f"task_{index}", indent=0)
+        return "\n".join(self.lines) + "\n"
+
+    def _emit_class(self, index: int) -> None:
+        resource = self.rng.choice(RESOURCES)
+        self.emit(f"class {resource.capitalize()}Manager{index}:")
+        self._emit_function("apply", indent=1, method=True)
+        self._emit_function("rollback", indent=1, method=True)
+        self.emit("")
+
+    def _emit_function(self, name: str, indent: int,
+                       method: bool = False) -> None:
+        self.functions += 1
+        args = "self, ctx" if method else "ctx"
+        self.emit(f"def {name}({args}):", indent)
+        body_indent = indent + 1
+        statements = self.rng.randint(
+            max(3, self.config.statements_per_function - 3),
+            self.config.statements_per_function + 3,
+        )
+        self.emit("log = base.get_logger()", body_indent)
+        for _ in range(statements):
+            self._emit_statement(body_indent)
+        self.emit(f"return {self.rng.choice(VARIABLES)}", body_indent)
+        self.emit("")
+
+    def _emit_statement(self, indent: int) -> None:
+        roll = self.rng.random()
+        resource = self.rng.choice(RESOURCES)
+        verb = self.rng.choice(VERBS)
+        variable = self.rng.choice(VARIABLES)
+        if roll < 0.25:
+            # Plain API call (MFC / THROW targets).
+            self.emit(f"base.client.{verb}_{resource}(ctx, {variable})",
+                      indent)
+        elif roll < 0.40:
+            # Assignment from a call (NONE_RETURN / MVAE targets).
+            self.emit(
+                f"{variable} = base.client.{verb}_{resource}(ctx)", indent
+            )
+        elif roll < 0.52:
+            # Guarded block with continue-style skip (MIFS target shape).
+            self.emit(f"if {self.rng.choice(VARIABLES)}:", indent)
+            self.emit(f"log.debug('checked {resource}')", indent + 1)
+            self.emit(f"{variable} = base.refresh({variable})", indent + 1)
+        elif roll < 0.62:
+            # External utility invocation (WPF target).
+            utility = self.rng.choice(UTILITIES)
+            flag = self.rng.choice(FLAGS)
+            self.emit(
+                f"utils.execute('{utility}', '{flag}', {variable})", indent
+            )
+        elif roll < 0.72:
+            # Two-clause condition (MLAC/MLOC targets).
+            joiner = self.rng.choice(("and", "or"))
+            self.emit(
+                f"if {variable} {joiner} ctx:", indent
+            )
+            self.emit(f"base.client.{verb}_{resource}(ctx)", indent + 1)
+        elif roll < 0.82:
+            # try/except with handler (exception-injection target).
+            self.emit("try:", indent)
+            self.emit(
+                f"{variable} = utils.probe('{resource}')", indent + 1
+            )
+            self.emit("except base.ServiceError:", indent)
+            self.emit(f"log.error('probe failed: {resource}')", indent + 1)
+        elif roll < 0.92:
+            # Literal assignment (MVIV/MVAV/WVAV targets).
+            value = self.rng.choice(
+                (str(self.rng.randint(0, 300)), f"'{resource}-id'")
+            )
+            self.emit(f"{variable} = {value}", indent)
+        else:
+            # Loop over a collection.
+            self.emit(f"for node in base.list_{resource}s(ctx):", indent)
+            self.emit("if node:", indent + 1)
+            self.emit("base.sync(node)", indent + 2)
+            self.emit("continue", indent + 2)
+
+
+def generate_module(config: SynthConfig, package: str,
+                    index: int) -> tuple[str, str]:
+    """(relative path, source) for one synthetic module."""
+    rng = SeededRandom(config.seed).derive(f"{package}/mod_{index}")
+    writer = _ModuleWriter(rng, config)
+    name = f"{package}/mod_{index:04d}.py"
+    return name, writer.render(name)
+
+
+def generate_codebase(dest: str | Path, config: SynthConfig) -> SynthStats:
+    """Write the synthetic codebase under ``dest`` and return stats."""
+    dest = Path(dest)
+    stats = SynthStats()
+    for index in range(config.files):
+        package = PACKAGES[index % len(PACKAGES)]
+        rel, source = generate_module(config, package, index)
+        path = dest / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        init = path.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+        stats.files += 1
+        stats.lines += source.count("\n")
+        stats.paths.append(path)
+    return stats
+
+
+def scan_pattern_apis() -> list[str]:
+    """API name globs for building the ~120-pattern faultload of §V-D."""
+    apis = [f"{verb}_{resource}" for verb in VERBS for resource in RESOURCES]
+    apis.sort()
+    return apis[:20]

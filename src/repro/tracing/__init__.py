@@ -1,0 +1,6 @@
+"""In-process distributed tracing (the Zipkin substitute, §IV-D)."""
+
+from repro.tracing.instrument import instrument_object
+from repro.tracing.tracer import Span, Tracer, load_spans
+
+__all__ = ["Span", "Tracer", "instrument_object", "load_spans"]

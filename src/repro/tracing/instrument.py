@@ -1,0 +1,48 @@
+"""API instrumentation: record spans around selected methods (§IV-D).
+
+``instrument_object`` wraps the public methods of a live object (e.g. the
+etcdsim :class:`~repro.etcdsim.client.Client`) so that every invocation is
+recorded as a span — the offline equivalent of ProFIPy's Zipkin
+instrumentation of "selected RPC APIs in the target software".
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.tracing.tracer import Tracer
+
+
+def instrument_object(target: object, tracer: Tracer,
+                      methods: list[str] | None = None) -> object:
+    """Wrap ``target``'s methods in spans (in place); returns ``target``.
+
+    ``methods`` defaults to every public callable attribute.  Wrapped
+    methods keep their behaviour; exceptions are re-raised after marking
+    the span as failed.
+    """
+    if methods is None:
+        methods = [
+            name for name in dir(target)
+            if not name.startswith("_") and callable(getattr(target, name))
+        ]
+    for name in methods:
+        original = getattr(target, name)
+        if not callable(original):
+            raise TypeError(f"{name!r} is not callable on {target!r}")
+
+        def make_wrapper(bound, method_name):
+            @functools.wraps(bound)
+            def wrapper(*args, **kwargs):
+                preview = ", ".join(
+                    [repr(arg)[:40] for arg in args]
+                    + [f"{key}={value!r}"[:40]
+                       for key, value in kwargs.items()]
+                )
+                with tracer.span(method_name, args=preview):
+                    return bound(*args, **kwargs)
+
+            return wrapper
+
+        setattr(target, name, make_wrapper(original, name))
+    return target

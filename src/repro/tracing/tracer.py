@@ -1,0 +1,135 @@
+"""Distributed-tracing substrate: the Zipkin substitute (paper §IV-D).
+
+ProFIPy "instruments selected RPC APIs in the target software, and records
+their invocations during the experiment using the Zipkin distributed
+tracing framework".  Offline, an in-process tracer records the same data —
+timed spans with service/name/annotations — to a JSONL file per
+experiment, which the visualization renders as timelines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Span:
+    """One timed operation (API call, request handling, ...)."""
+
+    service: str
+    name: str
+    start: float
+    end: float | None = None
+    trace_id: str = ""
+    span_id: str = field(default_factory=lambda: uuid.uuid4().hex[:16])
+    parent_id: str | None = None
+    status: str = "ok"
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "status": self.status,
+            "annotations": dict(self.annotations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            service=data["service"],
+            name=data["name"],
+            start=data["start"],
+            end=data.get("end"),
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id"),
+            status=data.get("status", "ok"),
+            annotations=dict(data.get("annotations", {})),
+        )
+
+
+class Tracer:
+    """Record spans, optionally persisting them to a JSONL sink."""
+
+    def __init__(self, service: str, sink: str | Path | None = None,
+                 clock=time.monotonic) -> None:
+        self.service = service
+        self.trace_id = uuid.uuid4().hex[:16]
+        self._clock = clock
+        self._sink = Path(sink) if sink is not None else None
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._active = threading.local()
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    @contextmanager
+    def span(self, name: str, **annotations: str):
+        """Context manager recording one span (exceptions mark it failed)."""
+        parent = getattr(self._active, "span", None)
+        span = Span(
+            service=self.service,
+            name=name,
+            start=self._clock(),
+            trace_id=self.trace_id,
+            parent_id=parent.span_id if parent else None,
+            annotations={key: str(value)
+                         for key, value in annotations.items()},
+        )
+        self._active.span = span
+        try:
+            yield span
+        except BaseException as error:
+            span.status = f"error: {type(error).__name__}"
+            raise
+        finally:
+            span.end = self._clock()
+            self._active.span = parent
+            self._record(span)
+
+    def record(self, span: Span) -> None:
+        """Add an externally-built span."""
+        if not span.trace_id:
+            span.trace_id = self.trace_id
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if self._sink is not None:
+                with open(self._sink, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(span.to_dict()) + "\n")
+
+
+def load_spans(path: str | Path) -> list[Span]:
+    """Read spans back from a JSONL sink."""
+    spans = []
+    path = Path(path)
+    if not path.exists():
+        return spans
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans

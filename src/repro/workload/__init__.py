@@ -1,0 +1,21 @@
+"""Workload configuration and execution (paper §IV-B)."""
+
+from repro.workload.httpgen import HttpTrafficGenerator, TrafficStats
+from repro.workload.runner import (
+    RoundResult,
+    ServiceStartError,
+    run_round,
+    start_services,
+)
+from repro.workload.spec import WorkloadSpec, etcd_case_study_workload
+
+__all__ = [
+    "HttpTrafficGenerator",
+    "RoundResult",
+    "ServiceStartError",
+    "TrafficStats",
+    "WorkloadSpec",
+    "etcd_case_study_workload",
+    "run_round",
+    "start_services",
+]

@@ -1,0 +1,123 @@
+"""Simple HTTP traffic generator (paper §IV-B: "workload generator tools,
+such as HTTP and RPC traffic generators").
+
+Usable both as a library (:class:`HttpTrafficGenerator`) and as a
+command-line directive inside a sandbox::
+
+    {python} -m repro.workload.httpgen --url http://127.0.0.1:PORT/v2/keys/x \
+        --requests 50 --concurrency 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated outcome of a traffic run."""
+
+    requests: int = 0
+    successes: int = 0
+    failures: int = 0
+    total_seconds: float = 0.0
+    status_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def failure_ratio(self) -> float:
+        return self.failures / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.requests / self.total_seconds
+
+
+class HttpTrafficGenerator:
+    """Fire ``requests`` GETs at ``url`` from ``concurrency`` threads."""
+
+    def __init__(self, url: str, requests: int = 50, concurrency: int = 2,
+                 timeout: float = 5.0) -> None:
+        if requests <= 0 or concurrency <= 0:
+            raise ValueError("requests and concurrency must be positive")
+        self.url = url
+        self.requests = requests
+        self.concurrency = concurrency
+        self.timeout = timeout
+
+    def run(self) -> TrafficStats:
+        stats = TrafficStats()
+        lock = threading.Lock()
+        counter = iter(range(self.requests))
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    try:
+                        next(counter)
+                    except StopIteration:
+                        return
+                status: int | None = None
+                try:
+                    response = urllib.request.urlopen(
+                        self.url, timeout=self.timeout
+                    )
+                    response.read()
+                    status = response.status
+                    ok = 200 <= status < 400
+                except urllib.error.HTTPError as error:
+                    status = error.code
+                    ok = False
+                except Exception:  # noqa: BLE001 - network errors count
+                    ok = False
+                with lock:
+                    stats.requests += 1
+                    if ok:
+                        stats.successes += 1
+                    else:
+                        stats.failures += 1
+                    if status is not None:
+                        stats.status_counts[status] = (
+                            stats.status_counts.get(status, 0) + 1
+                        )
+
+        started = time.monotonic()
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.concurrency)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats.total_seconds = time.monotonic() - started
+        return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="HTTP traffic generator")
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--concurrency", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--max-failure-ratio", type=float, default=0.0,
+                        help="exit non-zero above this failure ratio")
+    args = parser.parse_args(argv)
+    generator = HttpTrafficGenerator(
+        url=args.url, requests=args.requests,
+        concurrency=args.concurrency, timeout=args.timeout,
+    )
+    stats = generator.run()
+    print(
+        f"httpgen: {stats.requests} requests, {stats.failures} failures, "
+        f"{stats.throughput:.1f} req/s, statuses={stats.status_counts}"
+    )
+    return 1 if stats.failure_ratio > args.max_failure_ratio else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

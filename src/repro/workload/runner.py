@@ -1,0 +1,106 @@
+"""Round execution: run the workload inside a sandbox and observe it.
+
+A *round* runs every workload command once.  The runner records exit
+statuses, timeouts ("stalled service calls"), captured output, and whether
+the service processes survived — the raw material for failure-mode
+classification (§IV-C).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.procutil import CommandResult
+from repro.sandbox.sandbox import Sandbox
+from repro.workload.spec import WorkloadSpec
+
+
+class ServiceStartError(Exception):
+    """The target services never became ready."""
+
+
+@dataclass
+class RoundResult:
+    """Observed outcome of one workload round."""
+
+    round_no: int
+    fault_enabled: bool
+    commands: list[CommandResult] = field(default_factory=list)
+    duration: float = 0.0
+    services_alive: bool = True
+
+    @property
+    def timed_out(self) -> bool:
+        return any(command.timed_out for command in self.commands)
+
+    @property
+    def failed(self) -> bool:
+        """True when any command failed/timed out or a service died."""
+        return (
+            not self.services_alive
+            or any(not command.ok for command in self.commands)
+        )
+
+    @property
+    def output(self) -> str:
+        """Concatenated stdout+stderr of every command in the round."""
+        chunks: list[str] = []
+        for command in self.commands:
+            chunks.append(command.stdout)
+            chunks.append(command.stderr)
+        return "\n".join(chunk for chunk in chunks if chunk)
+
+    def to_dict(self) -> dict:
+        return {
+            "round_no": self.round_no,
+            "fault_enabled": self.fault_enabled,
+            "duration": self.duration,
+            "services_alive": self.services_alive,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "commands": [
+                {
+                    "command": command.command,
+                    "returncode": command.returncode,
+                    "timed_out": command.timed_out,
+                    "duration": command.duration,
+                    "stdout": command.stdout,
+                    "stderr": command.stderr,
+                }
+                for command in self.commands
+            ],
+        }
+
+
+def start_services(sandbox: Sandbox, spec: WorkloadSpec) -> None:
+    """Launch service commands and wait for readiness."""
+    if not spec.service_commands:
+        return
+    for command in spec.service_commands:
+        sandbox.start_service(command)
+    if spec.ready_file is not None:
+        if not sandbox.wait_for_file(spec.ready_file, spec.ready_timeout):
+            raise ServiceStartError(
+                f"service never produced {spec.ready_file!r} within "
+                f"{spec.ready_timeout}s"
+            )
+    else:
+        time.sleep(spec.startup_grace)
+    if not sandbox.services_alive():
+        raise ServiceStartError("a service process exited during startup")
+
+
+def run_round(sandbox: Sandbox, spec: WorkloadSpec, round_no: int,
+              fault_enabled: bool) -> RoundResult:
+    """Run every workload command once and observe the outcome."""
+    result = RoundResult(round_no=round_no, fault_enabled=fault_enabled)
+    started = time.monotonic()
+    for command in spec.commands:
+        outcome = sandbox.run(command, timeout=spec.command_timeout)
+        result.commands.append(outcome)
+        if outcome.timed_out:
+            break  # a stalled call ends the round
+    result.duration = time.monotonic() - started
+    result.services_alive = sandbox.services_alive()
+    return result

@@ -1,0 +1,85 @@
+"""Workload configuration (paper §IV-B).
+
+"The user defines the workload by providing command-line directives":
+commands that start the target software (long-running services), commands
+that exercise it (run once per round), and how to detect readiness and
+collect logs.  Commands may use ``{python}`` and ``{sandbox}`` placeholders
+expanded by the sandbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkloadSpec:
+    """Command-line directives driving one experiment."""
+
+    #: Long-running service commands (e.g. launch a network daemon).
+    #: Started once per experiment, kept alive across both rounds.
+    service_commands: list[str] = field(default_factory=list)
+
+    #: Workload commands run sequentially in each round; a non-zero exit
+    #: status or timeout marks the round as failed.
+    commands: list[str] = field(default_factory=list)
+
+    #: Optional file (relative to the sandbox) that signals service
+    #: readiness, e.g. a port file written by the server.
+    ready_file: str | None = None
+
+    #: Seconds to wait for ``ready_file``.
+    ready_timeout: float = 10.0
+
+    #: Without a ready file, grace period before checking that services
+    #: survived startup.
+    startup_grace: float = 0.3
+
+    #: Wall-clock budget for each workload command.
+    command_timeout: float = 60.0
+
+    #: Extra log files to collect after the experiment (relative globs).
+    log_files: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise ValueError("a workload needs at least one command")
+
+    def to_dict(self) -> dict:
+        return {
+            "service_commands": list(self.service_commands),
+            "commands": list(self.commands),
+            "ready_file": self.ready_file,
+            "ready_timeout": self.ready_timeout,
+            "startup_grace": self.startup_grace,
+            "command_timeout": self.command_timeout,
+            "log_files": list(self.log_files),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            service_commands=list(data.get("service_commands", [])),
+            commands=list(data.get("commands", [])),
+            ready_file=data.get("ready_file"),
+            ready_timeout=float(data.get("ready_timeout", 10.0)),
+            startup_grace=float(data.get("startup_grace", 0.3)),
+            command_timeout=float(data.get("command_timeout", 60.0)),
+            log_files=list(data.get("log_files", [])),
+        )
+
+
+def etcd_case_study_workload(command_timeout: float = 45.0) -> WorkloadSpec:
+    """The §V workload: deploy the etcd server, drive the client library."""
+    return WorkloadSpec(
+        service_commands=[
+            "{python} run_server.py --port 0 --port-file port.txt",
+        ],
+        commands=[
+            "{python} run_workload.py --port-file port.txt",
+        ],
+        ready_file="port.txt",
+        ready_timeout=10.0,
+        command_timeout=command_timeout,
+        log_files=["*.log"],
+    )

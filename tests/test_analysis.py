@@ -1,0 +1,251 @@
+"""Tests for classification, metrics, and reports."""
+
+import pytest
+
+from repro.analysis import (
+    ClassificationRule,
+    ComponentSpec,
+    Distribution,
+    classify_experiment,
+)
+from repro.analysis.classify import (
+    HARNESS_ERROR,
+    NO_FAILURE,
+    SERVICE_CRASH,
+    TIMEOUT,
+    WORKLOAD_CRASH,
+    WORKLOAD_FAILURE,
+)
+from repro.analysis.metrics import (
+    failure_logging,
+    failure_propagation,
+    service_availability,
+)
+from repro.analysis.report import format_table, percent
+from repro.common.procutil import CommandResult
+from repro.orchestrator.experiment import ExperimentResult
+from repro.workload.runner import RoundResult
+
+
+def command(rc=0, stdout="", stderr="", timed_out=False):
+    return CommandResult(command="cmd", returncode=rc, stdout=stdout,
+                         stderr=stderr, duration=0.1, timed_out=timed_out)
+
+
+def experiment(
+    experiment_id="exp-1",
+    spec="MFC",
+    component="pkg",
+    round1=None,
+    round2=None,
+    status="completed",
+    logs=None,
+):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        point={"component": component},
+        spec_name=spec,
+        status=status,
+        logs=logs or {},
+    )
+    if round1 is not None:
+        result.rounds.append(round1)
+    if round2 is not None:
+        result.rounds.append(round2)
+    return result
+
+
+def ok_round(no=1):
+    return RoundResult(round_no=no, fault_enabled=no == 1,
+                       commands=[command(0, stdout="fine")])
+
+
+def failed_round(no=1, rc=1, stderr="WORKLOAD FAILURE: x", timed_out=False,
+                 services_alive=True):
+    return RoundResult(
+        round_no=no, fault_enabled=no == 1,
+        commands=[command(rc, stderr=stderr, timed_out=timed_out)],
+        services_alive=services_alive,
+    )
+
+
+class TestClassification:
+    def test_no_failure(self):
+        result = experiment(round1=ok_round(1), round2=ok_round(2))
+        assert classify_experiment(result).mode == NO_FAILURE
+
+    def test_workload_failure(self):
+        result = experiment(round1=failed_round())
+        assert classify_experiment(result).mode == WORKLOAD_FAILURE
+
+    def test_workload_crash_on_rc2(self):
+        result = experiment(round1=failed_round(rc=2))
+        assert classify_experiment(result).mode == WORKLOAD_CRASH
+
+    def test_timeout_beats_generic_failure(self):
+        result = experiment(round1=failed_round(timed_out=True))
+        assert classify_experiment(result).mode == TIMEOUT
+
+    def test_service_crash(self):
+        result = experiment(
+            round1=failed_round(rc=0, stderr="", services_alive=False)
+        )
+        assert classify_experiment(result).mode == SERVICE_CRASH
+
+    def test_harness_error(self):
+        result = experiment(status="harness_error")
+        assert classify_experiment(result).mode == HARNESS_ERROR
+
+    def test_user_rules_take_precedence(self):
+        rules = [ClassificationRule(mode="key_not_found",
+                                    pattern=r"EtcdKeyNotFound")]
+        result = experiment(
+            round1=failed_round(stderr="EtcdKeyNotFound: /x missing")
+        )
+        assert classify_experiment(result, rules).mode == "key_not_found"
+
+    def test_rule_order_matters(self):
+        rules = [
+            ClassificationRule(mode="first", pattern="boom"),
+            ClassificationRule(mode="second", pattern="boom"),
+        ]
+        result = experiment(round1=failed_round(stderr="boom"))
+        assert classify_experiment(result, rules).mode == "first"
+
+    def test_rule_scope_logs(self):
+        rules = [ClassificationRule(mode="server_error", pattern="panic",
+                                    scope="logs")]
+        result = experiment(round1=failed_round(stderr="nothing here"),
+                            logs={"server.log": "panic: lost state"})
+        assert classify_experiment(result, rules).mode == "server_error"
+
+    def test_rule_scope_output_ignores_logs(self):
+        rules = [ClassificationRule(mode="m", pattern="panic",
+                                    scope="output")]
+        result = experiment(round1=failed_round(stderr="ok-ish"),
+                            logs={"server.log": "panic"})
+        assert classify_experiment(result, rules).mode == WORKLOAD_FAILURE
+
+
+class TestDistribution:
+    def build(self):
+        results = [
+            experiment("e1", spec="MFC", round1=failed_round()),
+            experiment("e2", spec="MFC", round1=ok_round()),
+            experiment("e3", spec="WPF", component="other",
+                       round1=failed_round(timed_out=True)),
+        ]
+        return Distribution.build(results)
+
+    def test_counts(self):
+        counts = self.build().counts()
+        assert counts[WORKLOAD_FAILURE] == 1
+        assert counts[TIMEOUT] == 1
+        assert counts[NO_FAILURE] == 1
+
+    def test_counts_failures_only(self):
+        counts = self.build().counts(include_no_failure=False)
+        assert NO_FAILURE not in counts
+
+    def test_by_spec(self):
+        table = self.build().by_spec()
+        assert table["MFC"][WORKLOAD_FAILURE] == 1
+        assert table["WPF"][TIMEOUT] == 1
+
+    def test_by_component(self):
+        table = self.build().by_component()
+        assert table["other"][TIMEOUT] == 1
+
+    def test_experiments_in_mode(self):
+        assert self.build().experiments_in_mode(TIMEOUT) == ["e3"]
+
+    def test_failure_count(self):
+        assert self.build().failure_count() == 2
+
+
+class TestAvailability:
+    def test_all_available(self):
+        results = [experiment(round1=failed_round(1), round2=ok_round(2))]
+        report = service_availability(results)
+        assert report.availability == 1.0
+
+    def test_unavailable_round2(self):
+        results = [
+            experiment("bad", round1=failed_round(1), round2=failed_round(2)),
+            experiment("good", round1=failed_round(1), round2=ok_round(2)),
+        ]
+        report = service_availability(results)
+        assert report.total == 2
+        assert report.available == 1
+        assert report.unavailable_ids == ["bad"]
+        assert report.unavailability == pytest.approx(0.5)
+
+    def test_incomplete_experiments_skipped(self):
+        results = [experiment(status="harness_error")]
+        assert service_availability(results).total == 0
+
+
+class TestFailureLogging:
+    def test_logged_failure(self):
+        results = [experiment(round1=failed_round(stderr="ERROR: boom"))]
+        report = failure_logging(results)
+        assert report.failures == 1
+        assert report.logged == 1
+
+    def test_silent_failure(self):
+        results = [experiment(round1=failed_round(rc=1, stderr="quiet"))]
+        report = failure_logging(results)
+        assert report.logged == 0
+        assert report.silent_ids == ["exp-1"]
+
+    def test_logs_count_toward_logging(self):
+        results = [experiment(round1=failed_round(rc=1, stderr="quiet"),
+                              logs={"svc.log": "ERROR state lost"})]
+        assert failure_logging(results).logged == 1
+
+    def test_non_failures_ignored(self):
+        results = [experiment(round1=ok_round())]
+        assert failure_logging(results).failures == 0
+
+
+class TestPropagation:
+    COMPONENTS = [
+        ComponentSpec(name="client", log_globs=("<output>",),
+                      error_pattern="WORKLOAD FAILURE"),
+        ComponentSpec(name="server", log_globs=("server*.log",),
+                      error_pattern="ERROR"),
+    ]
+
+    def test_propagated_failure(self):
+        results = [experiment(
+            round1=failed_round(stderr="WORKLOAD FAILURE: x"),
+            logs={"server-1.log": "ERROR lost quorum"},
+        )]
+        report = failure_propagation(results, self.COMPONENTS)
+        assert report.propagated == 1
+        assert report.propagation_ratio == 1.0
+
+    def test_single_component_failure(self):
+        results = [experiment(
+            round1=failed_round(stderr="WORKLOAD FAILURE: x"),
+            logs={"server-1.log": "all good"},
+        )]
+        report = failure_propagation(results, self.COMPONENTS)
+        assert report.propagated == 0
+        assert report.analyzed == 1
+
+    def test_only_failures_analyzed(self):
+        results = [experiment(round1=ok_round())]
+        assert failure_propagation(results, self.COMPONENTS).analyzed == 0
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert all(len(line) >= 7 for line in lines)
+
+    def test_percent(self):
+        assert percent(1, 2) == "50%"
+        assert percent(0, 0) == "n/a"

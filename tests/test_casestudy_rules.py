@@ -1,0 +1,107 @@
+"""Tests for the case-study wiring: rules, components, config building."""
+
+import pytest
+
+from repro.analysis.classify import classify_experiment
+from repro.casestudy import (
+    CASE_STUDY_COMPONENTS,
+    CASE_STUDY_RULES,
+    case_study_config,
+)
+from repro.common.procutil import CommandResult
+from repro.orchestrator.experiment import ExperimentResult
+from repro.workload.runner import RoundResult
+
+
+def failing_experiment(stderr, logs=None):
+    result = ExperimentResult(experiment_id="e", point={"component": "pyetcd"},
+                              spec_name="B_NONE_KEY", logs=logs or {})
+    result.rounds.append(RoundResult(
+        round_no=1, fault_enabled=True,
+        commands=[CommandResult(command="w", returncode=1, stdout="",
+                                stderr=stderr, duration=1.0)],
+    ))
+    return result
+
+
+class TestCaseStudyRules:
+    @pytest.mark.parametrize("stderr,expected", [
+        ("AttributeError: 'NoneType' object has no attribute 'startswith'",
+         "none_input_crash"),
+        ("WORKLOAD FAILURE: EtcdKeyNotFound: 'Key not found : /app'",
+         "key_not_found"),
+        ("EtcdException: Bad response: 400 Bad Request", "bad_request"),
+        ("EtcdException: Bad response: 501 Unsupported method",
+         "bad_request"),
+        ("EtcdValueError: Invalid field : ttl=-5", "bad_request"),
+        ("EtcdCompareFailed: Compare failed : [1 != x]", "compare_failed"),
+        ("EtcdConnectionFailed: Connection to etcd failed",
+         "reconnection_failure"),
+        ("WORKLOAD FAILURE: assertion: unexpected root entries ['/aqz'] "
+         "(stray state)", "stray_state"),
+        ("WORKLOAD FAILURE: assertion: queue out of order",
+         "assertion_failure"),
+        ("WORKLOAD FAILURE: unhandled TypeError: cannot unpack",
+         "client_crash"),
+    ])
+    def test_paper_failure_modes_classified(self, stderr, expected):
+        classification = classify_experiment(failing_experiment(stderr),
+                                             CASE_STUDY_RULES)
+        assert classification.mode == expected
+
+    def test_rules_have_unique_modes(self):
+        modes = [rule.mode for rule in CASE_STUDY_RULES]
+        assert len(modes) == len(set(modes))
+
+    def test_rules_have_descriptions(self):
+        assert all(rule.description for rule in CASE_STUDY_RULES)
+
+    def test_specific_mode_wins_over_crash(self):
+        # A NoneType traceback must classify as none_input_crash, not the
+        # generic client_crash, because rule order encodes specificity.
+        stderr = ("Traceback (most recent call last):\n  ...\n"
+                  "AttributeError: 'NoneType' object has no attribute "
+                  "'startswith'")
+        classification = classify_experiment(failing_experiment(stderr),
+                                             CASE_STUDY_RULES)
+        assert classification.mode == "none_input_crash"
+
+
+class TestComponents:
+    def test_two_components(self):
+        assert len(CASE_STUDY_COMPONENTS) == 2
+        names = {component.name for component in CASE_STUDY_COMPONENTS}
+        assert names == {"pyetcd-client", "etcd-server"}
+
+    def test_propagation_uses_output_and_logs(self):
+        from repro.analysis.metrics import failure_propagation
+
+        result = failing_experiment(
+            "WORKLOAD FAILURE: x",
+            logs={".service-0.err": "Traceback: server side boom"},
+        )
+        report = failure_propagation([result], CASE_STUDY_COMPONENTS)
+        assert report.propagated == 1
+
+
+class TestConfigBuilding:
+    def test_config_shape(self, tmp_path):
+        config = case_study_config("external_api", tmp_path,
+                                   command_timeout=12.0, sample=5)
+        assert config.name == "external_api"
+        assert config.rounds == 2
+        assert config.trigger is True
+        assert config.sample == 5
+        assert config.workload.command_timeout == 12.0
+        assert config.injectable_files == ["pyetcd/client.py"]
+
+    def test_target_reused_across_campaigns(self, tmp_path):
+        case_study_config("external_api", tmp_path)
+        marker = tmp_path / "target" / "pyetcd" / "client.py"
+        before = marker.stat().st_mtime_ns
+        case_study_config("wrong_inputs", tmp_path)
+        assert marker.stat().st_mtime_ns == before
+
+    def test_unknown_campaign_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            case_study_config("bogus", tmp_path)

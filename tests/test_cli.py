@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def target_file(tmp_path):
+    path = tmp_path / "svc.py"
+    path.write_text(
+        "def cleanup(client):\n"
+        "    log('begin')\n"
+        "    client.delete_port(1)\n"
+        "    log('end')\n"
+    )
+    return path
+
+
+class TestModelsCommands:
+    def test_models_list(self, tmp_path, capsys):
+        assert main(["--workspace", str(tmp_path), "models", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "gswfit: 13 fault types" in out
+        assert "extended" in out
+
+    def test_models_show(self, tmp_path, capsys):
+        assert main(["--workspace", str(tmp_path), "models", "show",
+                     "gswfit"]) == 0
+        out = capsys.readouterr().out
+        assert "[MFC]" in out
+        assert "change {" in out
+
+    def test_models_export_and_reuse(self, tmp_path, capsys):
+        out_path = tmp_path / "gswfit.json"
+        assert main(["--workspace", str(tmp_path), "models", "export",
+                     "gswfit", str(out_path)]) == 0
+        assert out_path.exists()
+        # Exported file is accepted as --model path.
+        assert main(["--workspace", str(tmp_path), "models", "show",
+                     str(out_path)]) == 0
+
+    def test_unknown_model_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown fault model"):
+            main(["--workspace", str(tmp_path), "models", "show", "zzz"])
+
+
+class TestScanCommand:
+    def test_scan_prints_points(self, tmp_path, target_file, capsys):
+        assert main(["--workspace", str(tmp_path), "scan",
+                     str(target_file)]) == 0
+        captured = capsys.readouterr()
+        assert "MFC:svc.py:0" in captured.out
+        assert "injection points" in captured.err
+
+    def test_scan_directory(self, tmp_path, target_file, capsys):
+        assert main(["--workspace", str(tmp_path), "scan",
+                     str(target_file.parent)]) == 0
+        assert "MFC" in capsys.readouterr().out
+
+
+class TestMutateCommand:
+    def test_mutate_to_stdout(self, tmp_path, target_file, capsys):
+        assert main([
+            "--workspace", str(tmp_path), "mutate", str(target_file),
+            "--spec", "MFC", "--no-trigger",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "delete_port" not in out
+        assert "log('begin')" in out
+
+    def test_mutate_to_file(self, tmp_path, target_file):
+        output = tmp_path / "mutant.py"
+        assert main([
+            "--workspace", str(tmp_path), "mutate", str(target_file),
+            "--spec", "MFC", "-o", str(output),
+        ]) == 0
+        assert "__pfp_rt__.enabled" in output.read_text()
+
+    def test_mutate_unknown_spec(self, tmp_path, target_file):
+        with pytest.raises(KeyError):
+            main(["--workspace", str(tmp_path), "mutate", str(target_file),
+                  "--spec", "NOPE"])
+
+
+@pytest.mark.integration
+class TestCampaignCommand:
+    def test_toy_campaign(self, tmp_path, toy_project, toy_model, capsys):
+        model_path = tmp_path / "toy.json"
+        toy_model.save(model_path)
+        assert main([
+            "--workspace", str(tmp_path / "ws"),
+            "campaign", str(toy_project),
+            "--model", str(model_path),
+            "--run-cmd", "{python} run.py",
+            "--files", "app.py",
+            "--parallel", "2",
+            "--timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "Failure mode distribution" in out

@@ -1,0 +1,178 @@
+"""Unit tests for the shared helpers in repro.common."""
+
+import os
+
+import pytest
+
+from repro.common.fsutil import (
+    atomic_write,
+    copy_tree,
+    count_lines,
+    iter_python_files,
+    read_json,
+    remove_tree,
+    write_json,
+)
+from repro.common.procutil import kill_process_group, run_command, wait_for
+from repro.common.rng import SeededRandom
+from repro.common.textutil import (
+    dedent_block,
+    glob_match,
+    indent_lines,
+    truncate,
+)
+
+
+class TestSeededRandom:
+    def test_same_seed_same_stream(self):
+        first = [SeededRandom(42).randint(0, 100) for _ in range(5)]
+        second = [SeededRandom(42).randint(0, 100) for _ in range(5)]
+        assert first != [SeededRandom(43).randint(0, 100) for _ in range(5)]
+        assert first == second
+
+    def test_derive_is_stable_and_independent(self):
+        base = SeededRandom(1)
+        a1 = base.derive("exp-1").random()
+        a2 = SeededRandom(1).derive("exp-1").random()
+        b = SeededRandom(1).derive("exp-2").random()
+        assert a1 == a2
+        assert a1 != b
+
+    def test_string_seed(self):
+        assert SeededRandom("abc").random() == SeededRandom("abc").random()
+
+    def test_corrupt_string_changes_value(self):
+        rng = SeededRandom(0)
+        for value in ("a", "-f", "hello world", "x" * 50):
+            assert rng.corrupt_string(value) != value
+
+    def test_corrupt_string_preserves_length(self):
+        rng = SeededRandom(0)
+        value = "abcdefgh"
+        assert len(rng.corrupt_string(value)) == len(value)
+
+    def test_corrupt_empty_string(self):
+        assert SeededRandom(0).corrupt_string("") == "\x00"
+
+    def test_corrupt_int_changes_value(self):
+        rng = SeededRandom(0)
+        for value in (0, 1, -5, 2**30):
+            assert rng.corrupt_int(value) != value
+
+
+class TestTextUtil:
+    def test_glob_simple(self):
+        assert glob_match("delete_*", "delete_port")
+        assert not glob_match("delete_*", "remove_port")
+
+    def test_glob_case_sensitive(self):
+        assert not glob_match("Delete*", "delete_port")
+
+    def test_regex_form(self):
+        assert glob_match("/port$/", "delete_port")
+        assert not glob_match("/^port/", "delete_port")
+
+    def test_dedent_block_classic(self):
+        text = "\n    foo()\n    bar()\n"
+        assert dedent_block(text) == "foo()\nbar()"
+
+    def test_dedent_block_inline_start(self):
+        assert dedent_block(" foo()\n    bar() ") == "foo()\nbar()"
+
+    def test_dedent_block_inline_suite(self):
+        result = dedent_block(" if x:\n        go()")
+        assert result.startswith("if x:")
+        import ast
+
+        ast.parse(result)
+
+    def test_dedent_empty(self):
+        assert dedent_block("   \n  \n") == ""
+
+    def test_truncate(self):
+        assert truncate("x" * 300, 10) == "x" * 7 + "..."
+        assert truncate("short", 10) == "short"
+
+    def test_indent_lines(self):
+        assert indent_lines("a\n\nb") == "    a\n\n    b"
+
+
+class TestFsUtil:
+    def test_iter_python_files_skips_tool_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("")
+        (tmp_path / "note.txt").write_text("")
+        files = [p.name for p in iter_python_files(tmp_path)]
+        assert files == ["a.py"]
+
+    def test_iter_python_files_single_file(self, tmp_path):
+        path = tmp_path / "one.py"
+        path.write_text("x = 1\n")
+        assert list(iter_python_files(path)) == [path]
+
+    def test_copy_tree(self, tmp_path):
+        src = tmp_path / "src"
+        (src / "sub").mkdir(parents=True)
+        (src / "sub" / "a.py").write_text("x = 1\n")
+        (src / "__pycache__").mkdir()
+        (src / "__pycache__" / "a.pyc").write_text("")
+        dst = copy_tree(src, tmp_path / "dst")
+        assert (dst / "sub" / "a.py").exists()
+        assert not (dst / "__pycache__").exists()
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json(path, {"a": [1, 2]})
+        assert read_json(path) == {"a": [1, 2]}
+
+    def test_atomic_write_replaces(self, tmp_path):
+        path = tmp_path / "file.txt"
+        atomic_write(path, "one")
+        atomic_write(path, "two")
+        assert path.read_text() == "two"
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_remove_tree_missing_ok(self, tmp_path):
+        remove_tree(tmp_path / "nope")
+
+    def test_count_lines(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("a\nb\nc\n")
+        assert count_lines([path]) == 3
+
+
+class TestProcUtil:
+    ENV = {"PATH": os.environ.get("PATH", "/usr/bin:/bin")}
+
+    def test_run_command_success(self, tmp_path):
+        result = run_command("echo hello", cwd=str(tmp_path), env=self.ENV,
+                             timeout=10)
+        assert result.ok
+        assert result.stdout.strip() == "hello"
+
+    def test_run_command_failure(self, tmp_path):
+        result = run_command("exit 3", cwd=str(tmp_path), env=self.ENV,
+                             timeout=10)
+        assert not result.ok
+        assert result.returncode == 3
+
+    def test_run_command_timeout_kills_children(self, tmp_path):
+        result = run_command("sleep 30", cwd=str(tmp_path), env=self.ENV,
+                             timeout=0.3)
+        assert result.timed_out
+        assert not result.ok
+        assert result.duration < 10
+
+    def test_wait_for_polls(self):
+        state = {"n": 0}
+
+        def predicate():
+            state["n"] += 1
+            return state["n"] >= 3
+
+        assert wait_for(predicate, timeout=5, interval=0.01)
+
+    def test_wait_for_times_out(self):
+        assert not wait_for(lambda: False, timeout=0.1, interval=0.01)

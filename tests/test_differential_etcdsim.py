@@ -1,0 +1,143 @@
+"""Differential testing: the client+HTTP+server stack must agree with the
+bare store on random operation sequences.
+
+This pins down the wire layer: any drift between
+:class:`~repro.etcdsim.store.EtcdStore` semantics and what a client
+observes through HTTP (quoting, form encoding, error mapping) breaks the
+case study silently.  Hypothesis drives both sides with the same ops and
+compares outcomes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.etcdsim import Client, EtcdException, EtcdServer
+from repro.etcdsim.errors import (
+    ERROR_CODE_EXCEPTIONS,
+    EtcdError,
+    EtcdKeyNotFound,
+)
+from repro.etcdsim.store import EtcdStore
+
+KEYS = ("/d/a", "/d/b", "/top", "/deep/x/y")
+VALUES = ("v1", "value-2", "x" * 30, "")
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get", "delete", "cas", "mkdir"]),
+        st.sampled_from(KEYS),
+        st.sampled_from(VALUES),
+    ),
+    max_size=12,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EtcdServer() as instance:
+        yield instance
+
+
+def apply_store(store, op, key, value):
+    """Run one op on the bare store; returns ('ok', value) or ('err', type)."""
+    try:
+        if op == "set":
+            store.set(key, value)
+            return ("ok", value)
+        if op == "get":
+            event = store.get(key)
+            return ("ok", event.node.get("value"))
+        if op == "delete":
+            store.delete(key, recursive=True)
+            return ("ok", None)
+        if op == "cas":
+            store.compare_and_swap(key, value, prev_value="base")
+            return ("ok", value)
+        store.set(key, dir=True)
+        return ("ok", "<dir>")
+    except EtcdError as error:
+        exc_class = ERROR_CODE_EXCEPTIONS.get(error.code, EtcdException)
+        return ("err", exc_class.__name__)
+
+
+def apply_client(client, op, key, value):
+    """Run the same op through the full client/HTTP/server stack."""
+    try:
+        if op == "set":
+            client.set(key, value)
+            return ("ok", value)
+        if op == "get":
+            return ("ok", client.get(key).value)
+        if op == "delete":
+            client.delete(key, recursive=True)
+            return ("ok", None)
+        if op == "cas":
+            client.test_and_set(key, value, prev_value="base")
+            return ("ok", value)
+        client.mkdir(key)
+        return ("ok", "<dir>")
+    except EtcdException as error:
+        return ("err", type(error).__name__)
+
+
+class TestDifferential:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(sequence=ops)
+    def test_client_agrees_with_store(self, server, sequence):
+        store = EtcdStore()
+        client = Client(host=server.host, port=server.port)
+        # Isolate this example: wipe the shared server's root.
+        for child in client.ls("/"):
+            client.delete(child, recursive=True)
+
+        for op, key, value in sequence:
+            expected = apply_store(store, op, key, value)
+            actual = apply_client(client, op, key, value)
+            assert actual == expected, (
+                f"divergence on {op} {key} {value!r}: "
+                f"store={expected} client={actual}"
+            )
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(sequence=ops)
+    def test_final_tree_matches(self, server, sequence):
+        store = EtcdStore()
+        client = Client(host=server.host, port=server.port)
+        for child in client.ls("/"):
+            client.delete(child, recursive=True)
+
+        for op, key, value in sequence:
+            apply_store(store, op, key, value)
+            apply_client(client, op, key, value)
+
+        def store_leaves():
+            try:
+                event = store.get("/", recursive=True)
+            except EtcdError:
+                return {}
+            leaves = {}
+
+            def walk(node):
+                for child in node.get("nodes", []):
+                    if child.get("dir"):
+                        walk(child)
+                    else:
+                        leaves[child["key"]] = child.get("value")
+
+            walk(event.node)
+            return leaves
+
+        def client_leaves():
+            try:
+                result = client.get("/", recursive=True)
+            except EtcdKeyNotFound:
+                return {}
+            return {leaf.key: leaf.value for leaf in result.leaves
+                    if leaf.key is not None}
+
+        assert client_leaves() == store_leaves()

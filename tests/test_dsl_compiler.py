@@ -1,0 +1,110 @@
+"""Unit tests for the DSL compiler (spec text -> meta-model)."""
+
+import ast
+
+import pytest
+
+from repro.dsl import (
+    BindingError,
+    DirectiveKind,
+    DslDirectiveError,
+    PatternCompileError,
+    compile_all,
+    compile_text,
+)
+
+MFC = """
+change {
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=delete_*}(...)
+    $BLOCK{tag=b2; stmts=1,*}
+} into {
+    $BLOCK{tag=b1}
+    $BLOCK{tag=b2}
+}
+"""
+
+
+class TestCompile:
+    def test_mfc_compiles(self):
+        model = compile_text(MFC, name="MFC")
+        assert model.name == "MFC"
+        assert len(model.pattern_stmts) == 3
+        assert len(model.replacement_stmts) == 2
+        assert set(model.bound_tags) == {"b1", "b2"}
+
+    def test_pattern_is_real_ast(self):
+        model = compile_text(MFC, name="MFC")
+        assert isinstance(model.pattern_module, ast.Module)
+        call_stmt = model.pattern_stmts[1]
+        assert isinstance(call_stmt, ast.Expr)
+        assert isinstance(call_stmt.value, ast.Call)
+
+    def test_empty_replacement_allowed(self):
+        model = compile_text("change { continue } into { }")
+        assert model.replacement_stmts == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternCompileError, match="pattern is empty"):
+            compile_text("change { } into { pass }")
+
+    def test_invalid_python_pattern_rejected(self):
+        with pytest.raises(PatternCompileError, match="not valid"):
+            compile_text("change { if : } into { }")
+
+    def test_invalid_python_replacement_rejected(self):
+        with pytest.raises(PatternCompileError, match="not valid"):
+            compile_text("change { foo() } into { def : }")
+
+    def test_action_directive_in_pattern_rejected(self):
+        with pytest.raises(DslDirectiveError, match="replacement-side"):
+            compile_text("change { $HOG{resource=cpu} } into { }")
+
+    def test_corrupt_in_pattern_rejected(self):
+        with pytest.raises(DslDirectiveError):
+            compile_text("change { x = $CORRUPT(y) } into { }")
+
+    def test_untagged_replacement_reference_rejected(self):
+        with pytest.raises(BindingError, match="must reference a tag"):
+            compile_text("change { foo() } into { $BLOCK{stmts=1,*} }")
+
+    def test_unbound_tag_rejected(self):
+        with pytest.raises(BindingError, match="not bound"):
+            compile_text("change { $CALL#c(...) } into { $BLOCK{tag=zz} }")
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(BindingError, match="bound by"):
+            compile_text("change { $CALL#c(...) } into { $STRING#c }")
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(BindingError, match="bound twice"):
+            compile_text(
+                "change { $CALL#c(...)\n$CALL#c(...) } into { pass }"
+            )
+
+    def test_block_in_expression_position_rejected(self):
+        with pytest.raises(DslDirectiveError, match="statement position"):
+            compile_text("change { x = $BLOCK{stmts=1} } into { }")
+
+    def test_compile_all_multiple(self):
+        models = compile_all(MFC + "\n# name: NOP\nchange { pass } into { pass }")
+        assert [m.name for m in models] == ["spec_1", "NOP"]
+
+    def test_directive_sides_marked(self):
+        model = compile_text(MFC)
+        pattern_side = [d for d in model.directives.values()
+                        if not d.in_replacement]
+        replacement_side = [d for d in model.directives.values()
+                            if d.in_replacement]
+        assert len(pattern_side) == 3
+        assert len(replacement_side) == 2
+        assert all(d.kind is DirectiveKind.BLOCK for d in replacement_side)
+
+    def test_pick_choices_validated_at_compile(self):
+        model = compile_text(
+            "change { $CALL#c(...) } into { raise $PICK{choices=A()|B()} }"
+        )
+        picks = [d for d in model.directives.values()
+                 if d.kind is DirectiveKind.PICK]
+        assert len(picks) == 1
+        assert picks[0].params.get_choices("choices") == ["A()", "B()"]

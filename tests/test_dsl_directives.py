@@ -1,0 +1,114 @@
+"""Unit tests for per-kind directive validation."""
+
+import pytest
+
+from repro.dsl.directives import (
+    ACTION_KINDS,
+    ALLOWED_PARAMS,
+    Directive,
+    DirectiveKind,
+    make_directive,
+)
+from repro.dsl.errors import DslDirectiveError, DslParameterError
+from repro.dsl.params import DirectiveParams
+
+
+def build(name, params="", tag=None):
+    return make_directive(name, tag, params, placeholder="_PFP_PH_0_",
+                          line=1)
+
+
+class TestKindValidation:
+    def test_unknown_directive(self):
+        with pytest.raises(DslDirectiveError, match="unknown directive"):
+            build("NOPE")
+
+    def test_call_ctx_values(self):
+        assert build("CALL", "ctx=any").call_context == "any"
+        assert build("CALL").call_context == "stmt"
+        with pytest.raises(DslParameterError, match="ctx"):
+            build("CALL", "ctx=sometimes")
+
+    def test_call_unknown_param(self):
+        with pytest.raises(DslParameterError, match="unknown parameter"):
+            build("CALL", "nmae=foo")
+
+    def test_block_range_validated_eagerly(self):
+        with pytest.raises(DslParameterError):
+            build("BLOCK", "stmts=4,1")
+
+    def test_corrupt_modes(self):
+        assert build("CORRUPT", "mode=int").params.get("mode") == "int"
+        with pytest.raises(DslParameterError, match="mode"):
+            build("CORRUPT", "mode=weird")
+
+    def test_hog_resources(self):
+        assert build("HOG", "resource=memory").params.get("resource") == \
+            "memory"
+        with pytest.raises(DslParameterError, match="resource"):
+            build("HOG", "resource=gpu")
+
+    def test_hog_numeric_params_validated(self):
+        with pytest.raises(DslParameterError, match="number"):
+            build("HOG", "seconds=never")
+        with pytest.raises(DslParameterError, match="integer"):
+            build("HOG", "threads=many")
+
+    def test_timeout_seconds_validated(self):
+        with pytest.raises(DslParameterError, match="number"):
+            build("TIMEOUT", "seconds=soon")
+
+    def test_pick_requires_choices(self):
+        with pytest.raises(DslParameterError, match="choices"):
+            build("PICK")
+
+    def test_num_bounds_validated(self):
+        with pytest.raises(DslParameterError, match="number"):
+            build("NUM", "min=low")
+
+
+class TestTags:
+    def test_tag_suffix(self):
+        assert build("CALL", tag="c").tag == "c"
+
+    def test_tag_param(self):
+        assert build("BLOCK", "tag=b1").tag == "b1"
+
+    def test_matching_tag_and_param_ok(self):
+        assert build("BLOCK", "tag=b1", tag="b1").tag == "b1"
+
+    def test_conflicting_tags_rejected(self):
+        with pytest.raises(DslParameterError, match="conflicting tags"):
+            build("BLOCK", "tag=b1", tag="b2")
+
+
+class TestSides:
+    def test_action_kinds_are_replacement_only(self):
+        for kind in ACTION_KINDS:
+            directive = Directive(
+                kind=kind, tag=None,
+                params=DirectiveParams.parse(
+                    "choices=A()" if kind is DirectiveKind.PICK else ""
+                ),
+                placeholder="_PFP_PH_0_",
+            )
+            with pytest.raises(DslDirectiveError, match="replacement-side"):
+                directive.require_pattern_side()
+
+    def test_matcher_kinds_allowed_in_pattern(self):
+        for kind in set(DirectiveKind) - ACTION_KINDS:
+            directive = Directive(kind=kind, tag=None,
+                                  params=DirectiveParams.parse(""),
+                                  placeholder="_PFP_PH_0_")
+            directive.require_pattern_side()  # must not raise
+
+
+class TestDescribe:
+    def test_describe_round_trip_shape(self):
+        directive = build("CALL", "name=delete_*", tag="c")
+        text = directive.describe()
+        assert text.startswith("$CALL#c")
+        assert "name=delete_*" in text
+
+    def test_allowed_params_cover_all_kinds(self):
+        assert set(ALLOWED_PARAMS) == set(DirectiveKind)

@@ -1,0 +1,102 @@
+"""Unit tests for the DSL lexer (directive tokenization)."""
+
+import pytest
+
+from repro.dsl.directives import DirectiveKind
+from repro.dsl.errors import DslDirectiveError, DslSyntaxError
+from repro.dsl.lexer import is_placeholder, lex_fragment, placeholder_name
+
+
+def kinds(result):
+    return [d.kind for d in result.directives.values()]
+
+
+class TestPlaceholders:
+    def test_placeholder_name_round_trip(self):
+        assert is_placeholder(placeholder_name(0))
+        assert is_placeholder(placeholder_name(123))
+
+    def test_non_placeholders_rejected(self):
+        assert not is_placeholder("x")
+        assert not is_placeholder("_PFP_PH_")
+        assert not is_placeholder("_PFP_PH_x_")
+
+
+class TestLexing:
+    def test_plain_python_untouched(self):
+        text = "x = foo(1, 2)\n"
+        result = lex_fragment(text)
+        assert result.text == text
+        assert result.directives == {}
+
+    def test_single_directive_substituted(self):
+        result = lex_fragment("$CALL{name=delete_*}(...)")
+        assert len(result.directives) == 1
+        placeholder, directive = next(iter(result.directives.items()))
+        assert placeholder in result.text
+        assert directive.kind is DirectiveKind.CALL
+        assert directive.name_pattern == "delete_*"
+
+    def test_tag_suffix(self):
+        result = lex_fragment("$CALL#c{name=utils.execute}(...)")
+        directive = next(iter(result.directives.values()))
+        assert directive.tag == "c"
+
+    def test_tag_param(self):
+        result = lex_fragment("$BLOCK{tag=b1; stmts=1,*}")
+        directive = next(iter(result.directives.values()))
+        assert directive.tag == "b1"
+        assert directive.stmt_range == (1, -1)
+
+    def test_multiple_directives_unique_placeholders(self):
+        result = lex_fragment("$BLOCK{stmts=1,*}\n$CALL(...)\n$BLOCK{stmts=1,*}")
+        assert len(result.directives) == 3
+        assert len(set(result.directives)) == 3
+
+    def test_start_index_offsets_numbering(self):
+        first = lex_fragment("$EXPR")
+        second = lex_fragment("$EXPR", start_index=len(first.directives))
+        assert not set(first.directives) & set(second.directives)
+
+    def test_dollar_inside_string_ignored(self):
+        result = lex_fragment('x = "$CALL is not a directive"')
+        assert result.directives == {}
+        assert "$CALL" in result.text
+
+    def test_dollar_inside_triple_string_ignored(self):
+        result = lex_fragment('x = """$BLOCK{stmts=1}"""')
+        assert result.directives == {}
+
+    def test_dollar_inside_comment_ignored(self):
+        result = lex_fragment("x = 1  # $CALL here\n$VAR")
+        assert kinds(result) == [DirectiveKind.VAR]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(DslDirectiveError, match="unknown directive"):
+            lex_fragment("$BOGUS{x=1}")
+
+    def test_lowercase_dollar_not_a_directive(self):
+        result = lex_fragment("cost = price_in_$usd")
+        assert result.directives == {}
+
+    def test_unterminated_params_raise(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            lex_fragment("$CALL{name=foo")
+
+    def test_missing_tag_name_raises(self):
+        with pytest.raises(DslSyntaxError, match="expected tag name"):
+            lex_fragment("$CALL#{name=foo}")
+
+    def test_params_with_nested_braces(self):
+        result = lex_fragment("$PICK{choices={'a': 1}|{'b': 2}}")
+        directive = next(iter(result.directives.values()))
+        assert directive.params.get_choices("choices") == ["{'a': 1}", "{'b': 2}"]
+
+    def test_line_numbers_recorded(self):
+        result = lex_fragment("x = 1\ny = 2\n$HOG{resource=cpu}")
+        directive = next(iter(result.directives.values()))
+        assert directive.line == 3
+
+    def test_escaped_quote_in_string(self):
+        result = lex_fragment("x = 'it\\'s $CALL'\n$VAR")
+        assert kinds(result) == [DirectiveKind.VAR]

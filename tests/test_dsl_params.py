@@ -1,0 +1,98 @@
+"""Unit tests for directive parameter parsing and validation."""
+
+import pytest
+
+from repro.dsl.errors import DslParameterError
+from repro.dsl.params import UNBOUNDED, DirectiveParams, split_top_level
+
+
+class TestSplitTopLevel:
+    def test_simple_split(self):
+        assert split_top_level("a;b;c", ";") == ["a", "b", "c"]
+
+    def test_braces_protect_separator(self):
+        assert split_top_level("a{x;y};b", ";") == ["a{x;y}", "b"]
+
+    def test_quotes_protect_separator(self):
+        assert split_top_level("a='x;y';b=1", ";") == ["a='x;y'", "b=1"]
+
+    def test_parens_protect_separator(self):
+        assert split_top_level("f(a;b)|g()", "|") == ["f(a;b)", "g()"]
+
+    def test_empty_text(self):
+        assert split_top_level("", ";") == [""]
+
+
+class TestDirectiveParams:
+    def test_parse_empty(self):
+        assert DirectiveParams.parse("").raw == {}
+
+    def test_parse_pairs(self):
+        params = DirectiveParams.parse("name=delete_*; tag=b1")
+        assert params.get("name") == "delete_*"
+        assert params.get("tag") == "b1"
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(DslParameterError, match="key=value"):
+            DirectiveParams.parse("justaword")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(DslParameterError, match="duplicate"):
+            DirectiveParams.parse("a=1; a=2")
+
+    def test_get_range_bounded(self):
+        params = DirectiveParams.parse("stmts=1,4")
+        assert params.get_range("stmts", (1, UNBOUNDED)) == (1, 4)
+
+    def test_get_range_unbounded(self):
+        params = DirectiveParams.parse("stmts=2,*")
+        assert params.get_range("stmts", (1, UNBOUNDED)) == (2, UNBOUNDED)
+
+    def test_get_range_single_value(self):
+        params = DirectiveParams.parse("stmts=3")
+        assert params.get_range("stmts", (1, UNBOUNDED)) == (3, 3)
+
+    def test_get_range_default(self):
+        params = DirectiveParams.parse("")
+        assert params.get_range("stmts", (1, UNBOUNDED)) == (1, UNBOUNDED)
+
+    def test_get_range_invalid_order(self):
+        params = DirectiveParams.parse("stmts=4,1")
+        with pytest.raises(DslParameterError, match="invalid"):
+            params.get_range("stmts", (1, UNBOUNDED))
+
+    def test_get_range_negative(self):
+        params = DirectiveParams.parse("stmts=-1,2")
+        with pytest.raises(DslParameterError):
+            params.get_range("stmts", (1, UNBOUNDED))
+
+    def test_get_range_garbage(self):
+        params = DirectiveParams.parse("stmts=a,b")
+        with pytest.raises(DslParameterError, match="integers"):
+            params.get_range("stmts", (1, UNBOUNDED))
+
+    def test_get_float(self):
+        params = DirectiveParams.parse("seconds=2.5")
+        assert params.get_float("seconds", 1.0) == 2.5
+
+    def test_get_float_bad(self):
+        params = DirectiveParams.parse("seconds=soon")
+        with pytest.raises(DslParameterError, match="number"):
+            params.get_float("seconds", 1.0)
+
+    def test_get_int(self):
+        params = DirectiveParams.parse("threads=4")
+        assert params.get_int("threads", 1) == 4
+
+    def test_get_choices(self):
+        params = DirectiveParams.parse("choices=A()|B(1, 2)|C")
+        assert params.get_choices("choices") == ["A()", "B(1, 2)", "C"]
+
+    def test_get_choices_missing(self):
+        with pytest.raises(DslParameterError, match="missing required"):
+            DirectiveParams.parse("").get_choices("choices")
+
+    def test_require_known_rejects_unknown(self):
+        params = DirectiveParams.parse("nam=x")
+        with pytest.raises(DslParameterError, match="unknown parameter"):
+            params.require_known({"name"}, "CALL")

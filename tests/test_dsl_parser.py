@@ -1,0 +1,100 @@
+"""Unit tests for the change/into spec parser."""
+
+import pytest
+
+from repro.dsl.errors import DslSyntaxError
+from repro.dsl.parser import parse_spec, parse_specs
+
+SIMPLE = """
+change {
+    foo()
+} into {
+    pass
+}
+"""
+
+
+class TestParseSpec:
+    def test_single_spec(self):
+        spec = parse_spec(SIMPLE)
+        assert spec.pattern == "foo()"
+        assert spec.replacement == "pass"
+
+    def test_name_override(self):
+        spec = parse_spec(SIMPLE, name="MFC")
+        assert spec.name == "MFC"
+
+    def test_default_positional_name(self):
+        assert parse_spec(SIMPLE).name == "spec_1"
+
+    def test_empty_replacement(self):
+        spec = parse_spec("change { foo() } into { }")
+        assert spec.replacement == ""
+
+    def test_indentation_preserved(self):
+        spec = parse_spec(
+            "change {\n"
+            "    if x:\n"
+            "        foo()\n"
+            "} into {\n"
+            "}\n"
+        )
+        assert spec.pattern == "if x:\n    foo()"
+
+    def test_missing_into_rejected(self):
+        with pytest.raises(DslSyntaxError, match="expected 'into'"):
+            parse_spec("change { foo() }")
+
+    def test_missing_braces_rejected(self):
+        with pytest.raises(DslSyntaxError, match="expected '{'"):
+            parse_spec("change foo() into { }")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            parse_spec("change { foo() into { }")
+
+    def test_garbage_between_blocks_rejected(self):
+        with pytest.raises(DslSyntaxError, match="unexpected text"):
+            parse_spec("change { foo() } whatever into { }")
+
+    def test_no_spec_rejected(self):
+        with pytest.raises(DslSyntaxError, match="no 'change"):
+            parse_spec("just some text")
+
+    def test_two_specs_rejected_by_parse_spec(self):
+        with pytest.raises(DslSyntaxError, match="exactly one"):
+            parse_spec(SIMPLE + SIMPLE)
+
+    def test_braces_in_pattern_strings(self):
+        spec = parse_spec('change { log("a {b}") } into { }')
+        assert spec.pattern == 'log("a {b}")'
+
+    def test_dict_literal_in_pattern(self):
+        spec = parse_spec("change { x = {'a': 1} } into { x = {} }")
+        assert spec.pattern == "x = {'a': 1}"
+        assert spec.replacement == "x = {}"
+
+
+class TestParseSpecs:
+    def test_multiple_specs(self):
+        specs = parse_specs(SIMPLE + SIMPLE)
+        assert [s.name for s in specs] == ["spec_1", "spec_2"]
+
+    def test_named_via_comment(self):
+        text = (
+            "# name: MFC\n" + SIMPLE +
+            "# name: WPF\n" + SIMPLE
+        )
+        specs = parse_specs(text)
+        assert [s.name for s in specs] == ["MFC", "WPF"]
+
+    def test_comment_applies_to_next_spec_only(self):
+        text = "# name: MFC\n" + SIMPLE + SIMPLE
+        specs = parse_specs(text)
+        assert [s.name for s in specs] == ["MFC", "spec_2"]
+
+    def test_raw_text_round_trip(self):
+        specs = parse_specs(SIMPLE)
+        reparsed = parse_specs(specs[0].raw)
+        assert reparsed[0].pattern == specs[0].pattern
+        assert reparsed[0].replacement == specs[0].replacement

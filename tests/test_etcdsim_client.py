@@ -1,0 +1,142 @@
+"""Integration tests: client against a live in-process server."""
+
+import pytest
+
+from repro.etcdsim import (
+    Client,
+    EtcdAlreadyExist,
+    EtcdCompareFailed,
+    EtcdConnectionFailed,
+    EtcdException,
+    EtcdKeyNotFound,
+    EtcdServer,
+    EtcdValueError,
+    EtcdWatchTimedOut,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EtcdServer() as instance:
+        yield instance
+
+
+@pytest.fixture
+def client(server):
+    instance = Client(host=server.host, port=server.port)
+    try:
+        instance.delete("/", recursive=True)
+    except (EtcdKeyNotFound, EtcdException):
+        pass
+    for child in instance.ls("/"):
+        instance.delete(child, recursive=True)
+    return instance
+
+
+class TestBasicOps:
+    def test_set_get(self, client):
+        client.set("/k", "v")
+        assert client.get("/k").value == "v"
+
+    def test_get_missing(self, client):
+        with pytest.raises(EtcdKeyNotFound):
+            client.get("/missing")
+
+    def test_delete(self, client):
+        client.set("/k", "v")
+        client.delete("/k")
+        with pytest.raises(EtcdKeyNotFound):
+            client.get("/k")
+
+    def test_update_requires_existence(self, client):
+        with pytest.raises(EtcdKeyNotFound):
+            client.update("/nope", "v")
+
+    def test_create_conflict(self, client):
+        client.create("/once", "1")
+        with pytest.raises(EtcdAlreadyExist):
+            client.create("/once", "2")
+
+    def test_test_and_set(self, client):
+        client.set("/cas", "a")
+        client.test_and_set("/cas", "b", prev_value="a")
+        assert client.get("/cas").value == "b"
+        with pytest.raises(EtcdCompareFailed):
+            client.test_and_set("/cas", "c", prev_value="zzz")
+
+    def test_mkdir_and_ls(self, client):
+        client.mkdir("/dir")
+        client.set("/dir/a", "1")
+        client.set("/dir/b", "2")
+        assert client.ls("/dir") == ["/dir/a", "/dir/b"]
+
+    def test_recursive_get_leaves(self, client):
+        client.set("/tree/x/1", "a")
+        client.set("/tree/y/2", "b")
+        result = client.get("/tree", recursive=True)
+        assert {leaf.key for leaf in result.leaves} == {"/tree/x/1",
+                                                        "/tree/y/2"}
+
+    def test_append_in_order(self, client):
+        client.mkdir("/q")
+        first = client.append("/q", "one")
+        second = client.append("/q", "two")
+        assert first.key < second.key
+        assert [c.value for c in client.get("/q", sorted=True).children] == [
+            "one", "two",
+        ]
+
+    def test_ttl_round_trip(self, client):
+        client.set("/ttl", "x", ttl=30)
+        assert client.get("/ttl").ttl <= 30
+
+    def test_version_and_stats(self, client):
+        assert "sim" in client.version()
+        stats = client.stats()
+        assert "etcdIndex" in stats
+
+
+class TestErrors:
+    def test_bad_request_on_invalid_ttl(self, client):
+        with pytest.raises(EtcdValueError):
+            client.set("/k", "v", ttl=-5)
+
+    def test_bad_request_on_control_chars(self, client):
+        with pytest.raises((EtcdValueError, EtcdException)):
+            client.set("/k\x00x", "v")
+
+    def test_connection_failure(self):
+        dead = Client(host="127.0.0.1", port=1, read_timeout=0.5)
+        with pytest.raises(EtcdConnectionFailed):
+            dead.get("/k")
+
+    def test_key_without_leading_slash_normalized(self, client):
+        client.set("plain", "v")
+        assert client.get("/plain").value == "v"
+
+
+class TestWatch:
+    def test_watch_historic_event(self, client):
+        result = client.set("/w", "1")
+        event = client.watch("/w", index=result.modified_index, timeout=2)
+        assert event.value == "1"
+
+    def test_watch_timeout(self, client):
+        client.set("/w2", "1")
+        with pytest.raises(EtcdWatchTimedOut):
+            client.watch("/quiet", index=10**9, timeout=0.3)
+
+
+class TestEnvironmentDefaults:
+    def test_env_configuration(self, server, monkeypatch):
+        monkeypatch.setenv("ETCDSIM_HOST", server.host)
+        monkeypatch.setenv("ETCDSIM_PORT", str(server.port))
+        client = Client()
+        assert client.port == server.port
+        client.set("/env", "works")
+        assert client.get("/env").value == "works"
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("ETCDSIM_PORT", "1111")
+        client = Client(port=2222)
+        assert client.port == 2222

@@ -1,0 +1,188 @@
+"""HTTP-level tests of the etcd simulator server (raw wire protocol)."""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.etcdsim import EtcdServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EtcdServer() as instance:
+        yield instance
+
+
+@pytest.fixture
+def base(server):
+    return f"http://{server.host}:{server.port}"
+
+
+def request(base, method, path, fields=None):
+    data = urllib.parse.urlencode(fields).encode() if fields else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    req.add_header("Content-Type", "application/x-www-form-urlencoded")
+    response = urllib.request.urlopen(req, timeout=5)
+    return response.status, json.loads(response.read().decode())
+
+
+def request_error(base, method, path, fields=None):
+    try:
+        request(base, method, path, fields)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+    raise AssertionError("expected an HTTP error")
+
+
+class TestWireProtocol:
+    def test_version_endpoint(self, base):
+        status, payload = request(base, "GET", "/version")
+        assert status == 200
+        assert "etcdserver" in payload
+
+    def test_stats_endpoint(self, base):
+        status, payload = request(base, "GET", "/v2/stats/store")
+        assert status == 200
+        assert "etcdIndex" in payload
+
+    def test_put_returns_etcd_shape(self, base):
+        status, payload = request(base, "PUT", "/v2/keys/wire/a",
+                                  {"value": "1"})
+        assert status in (200, 201)
+        assert payload["action"] in ("create", "set")
+        node = payload["node"]
+        assert node["key"] == "/wire/a"
+        assert node["value"] == "1"
+        assert node["modifiedIndex"] >= node["createdIndex"]
+
+    def test_get_missing_is_404_code_100(self, base):
+        status, payload = request_error(base, "GET", "/v2/keys/wire/nope")
+        assert status == 404
+        assert payload["errorCode"] == 100
+        assert "index" in payload
+
+    def test_cas_conflict_is_412_code_101(self, base):
+        request(base, "PUT", "/v2/keys/wire/cas", {"value": "a"})
+        status, payload = request_error(
+            base, "PUT", "/v2/keys/wire/cas",
+            {"value": "b", "prevValue": "zzz"},
+        )
+        assert status == 412
+        assert payload["errorCode"] == 101
+
+    def test_prev_exist_conflict_is_412_code_105(self, base):
+        request(base, "PUT", "/v2/keys/wire/once", {"value": "a"})
+        status, payload = request_error(
+            base, "PUT", "/v2/keys/wire/once",
+            {"value": "b", "prevExist": "false"},
+        )
+        assert status == 412
+        assert payload["errorCode"] == 105
+
+    def test_invalid_ttl_is_400(self, base):
+        status, payload = request_error(
+            base, "PUT", "/v2/keys/wire/ttl", {"value": "x", "ttl": "-3"},
+        )
+        assert status == 400
+        assert payload["errorCode"] == 209
+
+    def test_invalid_bool_param_is_400(self, base):
+        request(base, "PUT", "/v2/keys/wire/b", {"value": "x"})
+        status, payload = request_error(
+            base, "GET", "/v2/keys/wire/b?recursive=banana"
+        )
+        assert status == 400
+
+    def test_unknown_path_is_404(self, base):
+        status, _payload = request_error(base, "GET", "/v3/keys/x")
+        assert status == 404
+
+    def test_post_creates_in_order_keys(self, base):
+        _s, first = request(base, "POST", "/v2/keys/wire/queue",
+                            {"value": "one"})
+        _s, second = request(base, "POST", "/v2/keys/wire/queue",
+                             {"value": "two"})
+        assert first["node"]["key"] < second["node"]["key"]
+
+    def test_delete_with_query_params(self, base):
+        request(base, "PUT", "/v2/keys/wire/tree/leaf", {"value": "x"})
+        status, payload = request(
+            base, "DELETE", "/v2/keys/wire/tree?recursive=true"
+        )
+        assert status == 200
+        assert payload["action"] == "delete"
+
+    def test_wait_timeout_is_408(self, base):
+        request(base, "PUT", "/v2/keys/wire/w", {"value": "x"})
+        status, payload = request_error(
+            base, "GET",
+            "/v2/keys/wire/quiet?wait=true&waitIndex=999999"
+            "&waitTimeout=0.2",
+        )
+        assert status == 408
+        assert payload["errorCode"] == 401
+
+    def test_wait_returns_historic_event(self, base):
+        _s, written = request(base, "PUT", "/v2/keys/wire/watched",
+                              {"value": "v"})
+        index = written["node"]["modifiedIndex"]
+        status, payload = request(
+            base, "GET",
+            f"/v2/keys/wire/watched?wait=true&waitIndex={index}",
+        )
+        assert status == 200
+        assert payload["node"]["value"] == "v"
+
+    def test_quoted_keys_unquoted(self, base):
+        quoted = urllib.parse.quote("/wire/with space")
+        status, payload = request(base, "PUT", f"/v2/keys{quoted}",
+                                  {"value": "x"})
+        assert status in (200, 201)
+        assert payload["node"]["key"] == "/wire/with space"
+
+    def test_sorted_listing_via_query(self, base):
+        request(base, "PUT", "/v2/keys/wire/dir/b", {"value": "2"})
+        request(base, "PUT", "/v2/keys/wire/dir/a", {"value": "1"})
+        _s, payload = request(base, "GET",
+                              "/v2/keys/wire/dir?sorted=true")
+        keys = [node["key"] for node in payload["node"]["nodes"]]
+        assert keys == sorted(keys)
+
+    def test_x_etcd_index_header(self, base):
+        req = urllib.request.Request(base + "/version")
+        response = urllib.request.urlopen(req, timeout=5)
+        assert "X-Etcd-Index" in response.headers
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_bound(self):
+        with EtcdServer(port=0) as instance:
+            assert instance.port > 0
+
+    def test_two_servers_coexist(self):
+        with EtcdServer() as first, EtcdServer() as second:
+            assert first.port != second.port
+
+    def test_main_writes_port_file(self, tmp_path):
+        import subprocess
+        import sys
+        import time
+
+        port_file = tmp_path / "port.txt"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.etcdsim.server",
+             "--port", "0", "--port-file", str(port_file)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 10
+            while time.time() < deadline and not port_file.exists():
+                time.sleep(0.05)
+            assert port_file.exists()
+            assert int(port_file.read_text()) > 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -1,0 +1,258 @@
+"""Unit tests for the etcd-v2 store semantics."""
+
+import threading
+
+import pytest
+
+from repro.etcdsim.errors import EtcdError
+from repro.etcdsim.store import EtcdStore, validate_key, validate_value
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock):
+    return EtcdStore(clock=clock)
+
+
+class TestValidation:
+    def test_normalizes_slashes(self):
+        assert validate_key("a/b") == "/a/b"
+        assert validate_key("/a/b/") == "/a/b"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(EtcdError) as exc:
+            validate_key(None)
+        assert exc.value.code == 209
+
+    def test_rejects_control_chars(self):
+        with pytest.raises(EtcdError):
+            validate_key("/a\x00b")
+
+    def test_rejects_non_ascii(self):
+        with pytest.raises(EtcdError):
+            validate_key("/ключ")
+
+    def test_rejects_empty_segment(self):
+        with pytest.raises(EtcdError):
+            validate_key("/a//b")
+
+    def test_value_rejects_control_chars(self):
+        with pytest.raises(EtcdError):
+            validate_value("a\x01b")
+        assert validate_value("ok\n") == "ok\n"
+
+
+class TestSetGet:
+    def test_set_then_get(self, store):
+        store.set("/a", "1")
+        event = store.get("/a")
+        assert event.node["value"] == "1"
+
+    def test_get_missing_raises_100(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.get("/nope")
+        assert exc.value.code == 100
+
+    def test_set_creates_parents(self, store):
+        store.set("/a/b/c", "x")
+        listing = store.get("/a", recursive=True)
+        assert listing.node["dir"] is True
+
+    def test_indices_monotonic(self, store):
+        first = store.set("/a", "1")
+        second = store.set("/a", "2")
+        assert second.node["modifiedIndex"] > first.node["modifiedIndex"]
+        assert second.node["createdIndex"] == first.node["createdIndex"]
+
+    def test_action_create_vs_set(self, store):
+        assert store.set("/a", "1").action == "create"
+        assert store.set("/a", "2").action == "set"
+
+    def test_prev_exist_false_conflict(self, store):
+        store.set("/a", "1")
+        with pytest.raises(EtcdError) as exc:
+            store.set("/a", "2", prev_exist=False)
+        assert exc.value.code == 105
+
+    def test_prev_exist_true_missing(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.set("/a", "2", prev_exist=True)
+        assert exc.value.code == 100
+
+    def test_root_read_only(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.set("/", "x")
+        assert exc.value.code == 107
+
+    def test_set_on_dir_rejected(self, store):
+        store.set("/d", dir=True)
+        with pytest.raises(EtcdError) as exc:
+            store.set("/d", "value")
+        assert exc.value.code == 102
+
+    def test_file_in_path_rejected(self, store):
+        store.set("/a", "1")
+        with pytest.raises(EtcdError) as exc:
+            store.set("/a/b", "2")
+        assert exc.value.code == 104
+
+
+class TestCompareAndSwap:
+    def test_swap_success(self, store):
+        store.set("/k", "old")
+        event = store.compare_and_swap("/k", "new", prev_value="old")
+        assert event.action == "compareAndSwap"
+        assert store.get("/k").node["value"] == "new"
+
+    def test_swap_wrong_value(self, store):
+        store.set("/k", "old")
+        with pytest.raises(EtcdError) as exc:
+            store.compare_and_swap("/k", "new", prev_value="nope")
+        assert exc.value.code == 101
+        assert store.get("/k").node["value"] == "old"
+
+    def test_swap_by_index(self, store):
+        event = store.set("/k", "old")
+        index = event.node["modifiedIndex"]
+        store.compare_and_swap("/k", "new", prev_index=index)
+        with pytest.raises(EtcdError):
+            store.compare_and_swap("/k", "x", prev_index=index)
+
+    def test_swap_missing_key(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.compare_and_swap("/k", "v", prev_value="x")
+        assert exc.value.code == 100
+
+    def test_swap_requires_condition(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.compare_and_swap("/k", "v")
+        assert exc.value.code == 209
+
+
+class TestDelete:
+    def test_delete_leaf(self, store):
+        store.set("/a", "1")
+        event = store.delete("/a")
+        assert event.action == "delete"
+        with pytest.raises(EtcdError):
+            store.get("/a")
+
+    def test_delete_missing(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.delete("/a")
+        assert exc.value.code == 100
+
+    def test_delete_dir_needs_flag(self, store):
+        store.set("/d", dir=True)
+        with pytest.raises(EtcdError) as exc:
+            store.delete("/d")
+        assert exc.value.code == 102
+        store.delete("/d", dir=True)
+
+    def test_delete_nonempty_dir_needs_recursive(self, store):
+        store.set("/d/a", "1")
+        with pytest.raises(EtcdError) as exc:
+            store.delete("/d", dir=True)
+        assert exc.value.code == 108
+        store.delete("/d", recursive=True)
+        with pytest.raises(EtcdError):
+            store.get("/d")
+
+
+class TestTtl:
+    def test_ttl_expires(self, store, clock):
+        store.set("/s", "tok", ttl=5)
+        assert store.get("/s").node["value"] == "tok"
+        clock.advance(6)
+        with pytest.raises(EtcdError) as exc:
+            store.get("/s")
+        assert exc.value.code == 100
+
+    def test_ttl_reported(self, store, clock):
+        store.set("/s", "tok", ttl=10)
+        clock.advance(4)
+        assert store.get("/s").node["ttl"] == 6
+
+    def test_invalid_ttl_rejected(self, store):
+        with pytest.raises(EtcdError) as exc:
+            store.set("/s", "x", ttl=-1)
+        assert exc.value.code == 209
+        with pytest.raises(EtcdError):
+            store.set("/s", "x", ttl="soon")
+
+    def test_expiry_recorded_in_history(self, store, clock):
+        store.set("/s", "x", ttl=1)
+        clock.advance(2)
+        store.stats()  # triggers the sweep
+        event = store.wait("/s", wait_index=0, timeout=0.1)
+        assert event is not None  # create event is in history
+
+
+class TestDirListing:
+    def test_sorted_listing(self, store):
+        store.set("/d/b", "2")
+        store.set("/d/a", "1")
+        event = store.get("/d", sorted_=True)
+        keys = [child["key"] for child in event.node["nodes"]]
+        assert keys == ["/d/a", "/d/b"]
+
+    def test_recursive_listing(self, store):
+        store.set("/d/x/deep", "v")
+        event = store.get("/d", recursive=True)
+        child = event.node["nodes"][0]
+        assert child["nodes"][0]["key"] == "/d/x/deep"
+
+    def test_stats_counts(self, store):
+        store.set("/a", "1")
+        store.set("/d/b", "2")
+        stats = store.stats()
+        assert stats["keys"] == 2
+        assert stats["dirs"] == 1
+
+
+class TestWatch:
+    def test_wait_sees_past_event_via_index(self, store):
+        event = store.set("/w", "1")
+        found = store.wait("/w", wait_index=event.index, timeout=0.2)
+        assert found is not None
+        assert found.node["value"] == "1"
+
+    def test_wait_times_out(self, store):
+        store.set("/w", "1")
+        assert store.wait("/other", wait_index=999, timeout=0.1) is None
+
+    def test_wait_wakes_on_write(self, store):
+        results = []
+
+        def waiter():
+            results.append(store.wait("/w", timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        import time
+
+        time.sleep(0.1)
+        store.set("/w", "new")
+        thread.join(timeout=5)
+        assert results and results[0] is not None
+
+    def test_recursive_wait_matches_children(self, store):
+        event = store.set("/dir/child", "1")
+        found = store.wait("/dir", wait_index=event.index, recursive=True,
+                           timeout=0.2)
+        assert found is not None

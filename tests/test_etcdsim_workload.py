@@ -1,0 +1,97 @@
+"""Tests for the case-study workload and target materialization."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.etcdsim import (
+    Client,
+    EtcdServer,
+    WorkloadError,
+    materialize_target,
+    run_workload,
+)
+
+
+class TestRunWorkload:
+    def test_workload_passes_on_healthy_server(self):
+        with EtcdServer() as server:
+            client = Client(host=server.host, port=server.port)
+            steps = run_workload(client)
+            assert steps >= 10
+
+    def test_workload_is_repeatable(self):
+        # Two consecutive rounds against the same server must both pass
+        # (the paper's two-round execution relies on this).
+        with EtcdServer() as server:
+            client = Client(host=server.host, port=server.port)
+            assert run_workload(client) == run_workload(client)
+
+    def test_workload_detects_stray_state(self):
+        with EtcdServer() as server:
+            client = Client(host=server.host, port=server.port)
+            client.set("/stray/key", "junk")  # corrupted leftover state
+            with pytest.raises(WorkloadError, match="stray"):
+                run_workload(client)
+
+    def test_workload_recovers_leftover_app_tree(self):
+        with EtcdServer() as server:
+            client = Client(host=server.host, port=server.port)
+            client.set("/app/leftover", "junk")
+            assert run_workload(client) >= 10
+
+    def test_log_callback_invoked(self):
+        lines = []
+        with EtcdServer() as server:
+            client = Client(host=server.host, port=server.port)
+            run_workload(client, log=lines.append)
+        assert any("TTL" in line for line in lines)
+
+
+class TestMaterializedTarget:
+    def test_tree_layout(self, tmp_path):
+        project = materialize_target(tmp_path)
+        assert project.client_file.exists()
+        assert project.server_launcher.exists()
+        assert project.workload_launcher.exists()
+        assert (project.package_dir / "__init__.py").exists()
+        assert project.injectable_files == [project.client_file]
+
+    def test_standalone_end_to_end(self, tmp_path):
+        import os
+
+        materialize_target(tmp_path)
+        env = {"PATH": os.environ.get("PATH", "/usr/bin:/bin")}
+        server = subprocess.Popen(
+            [sys.executable, "run_server.py", "--port", "0",
+             "--port-file", "port.txt"],
+            cwd=tmp_path, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            result = subprocess.run(
+                [sys.executable, "run_workload.py",
+                 "--port-file", "port.txt", "--quiet"],
+                cwd=tmp_path, env=env, capture_output=True, text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            assert "WORKLOAD SUCCESS" in result.stdout
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    def test_materialized_package_is_importable_in_isolation(self, tmp_path):
+        import os
+
+        materialize_target(tmp_path)
+        env = {"PATH": os.environ.get("PATH", "/usr/bin:/bin")}
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "import pyetcd; print(pyetcd.Client.__name__)"],
+            cwd=tmp_path, env=env, capture_output=True, text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "Client"

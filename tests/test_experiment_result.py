@@ -1,0 +1,110 @@
+"""Tests for ExperimentResult round-trips and derived properties."""
+
+import pytest
+
+from repro.common.procutil import CommandResult
+from repro.orchestrator.experiment import (
+    STATUS_COMPLETED,
+    STATUS_HARNESS_ERROR,
+    STATUS_SERVICE_START_FAILED,
+    ExperimentResult,
+)
+from repro.workload.runner import RoundResult
+
+
+def command(rc=0, timed_out=False):
+    return CommandResult(command="run", returncode=rc, stdout="out",
+                         stderr="err", duration=0.5, timed_out=timed_out)
+
+
+def two_round_result(r1_fail=True, r2_fail=False):
+    result = ExperimentResult(
+        experiment_id="e", point={"component": "pkg", "lineno": 3},
+        fault_id="F:x.py:0", spec_name="F",
+        original_snippet="a()", mutated_snippet="pass",
+    )
+    result.rounds.append(RoundResult(
+        round_no=1, fault_enabled=True,
+        commands=[command(1 if r1_fail else 0)],
+    ))
+    result.rounds.append(RoundResult(
+        round_no=2, fault_enabled=False,
+        commands=[command(1 if r2_fail else 0)],
+    ))
+    return result
+
+
+class TestProperties:
+    def test_round_accessor(self):
+        result = two_round_result()
+        assert result.round(1).fault_enabled
+        assert not result.round(2).fault_enabled
+        assert result.round(3) is None
+
+    def test_availability_semantics(self):
+        recovered = two_round_result(r1_fail=True, r2_fail=False)
+        assert recovered.available_in_round2
+        persistent = two_round_result(r1_fail=True, r2_fail=True)
+        assert not persistent.available_in_round2
+
+    def test_harness_error_counts_as_failed(self):
+        result = ExperimentResult(experiment_id="e", point={},
+                                  status=STATUS_HARNESS_ERROR)
+        assert result.failed_round1
+        assert result.failed_round2
+        assert not result.available_in_round2
+
+    def test_service_start_failed_counts_as_failed(self):
+        result = ExperimentResult(experiment_id="e", point={},
+                                  status=STATUS_SERVICE_START_FAILED)
+        assert result.failed_round1
+
+    def test_single_round_result_round2_neutral(self):
+        result = ExperimentResult(experiment_id="e", point={})
+        result.rounds.append(
+            RoundResult(round_no=1, fault_enabled=True,
+                        commands=[command(0)])
+        )
+        assert not result.failed_round1
+        assert not result.failed_round2  # no round 2 -> nothing persisted
+
+    def test_combined_output_includes_logs_and_error(self):
+        result = two_round_result()
+        result.logs["svc.log"] = "LOGLINE"
+        result.error = "HARNESS"
+        text = result.combined_output()
+        assert "out" in text and "LOGLINE" in text and "HARNESS" in text
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        original = two_round_result(r1_fail=True, r2_fail=True)
+        original.logs = {"a.log": "x"}
+        original.duration = 3.25
+        path = tmp_path / "exp.json"
+        original.save(path)
+        loaded = ExperimentResult.load(path)
+        assert loaded.experiment_id == original.experiment_id
+        assert loaded.status == STATUS_COMPLETED
+        assert loaded.fault_id == original.fault_id
+        assert loaded.failed_round1 == original.failed_round1
+        assert loaded.failed_round2 == original.failed_round2
+        assert loaded.logs == original.logs
+        assert loaded.duration == 3.25
+        assert loaded.round(1).commands[0].stdout == "out"
+
+    def test_round_trip_preserves_timeout_flags(self, tmp_path):
+        result = ExperimentResult(experiment_id="e", point={})
+        result.rounds.append(RoundResult(
+            round_no=1, fault_enabled=True,
+            commands=[command(rc=None, timed_out=True)],
+        ))
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.round(1).timed_out
+        assert clone.failed_round1
+
+    def test_minimal_dict_accepted(self):
+        loaded = ExperimentResult.from_dict({"experiment_id": "x"})
+        assert loaded.experiment_id == "x"
+        assert loaded.rounds == []
+        assert loaded.status == STATUS_COMPLETED

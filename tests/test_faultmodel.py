@@ -1,0 +1,164 @@
+"""Unit tests for fault models: persistence, predefined library, expansion."""
+
+import textwrap
+
+import pytest
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel import (
+    FaultModel,
+    expand_api_faults,
+    extended_model,
+    get_model,
+    gswfit_model,
+    predefined_models,
+)
+from repro.faultmodel.odc import ALL_CLASSES, group_by_class, validate
+from repro.scanner import scan_source
+
+
+def simple_spec(name="NOP"):
+    return parse_spec("change { foo() } into { pass }", name=name)
+
+
+class TestFaultModel:
+    def test_add_and_get(self):
+        model = FaultModel(name="m")
+        model.add(simple_spec(), description="d", odc_class="Function")
+        assert model.get("NOP").description == "d"
+        assert model.names() == ["NOP"]
+
+    def test_duplicate_name_rejected(self):
+        model = FaultModel(name="m")
+        model.add(simple_spec())
+        with pytest.raises(ValueError, match="already contains"):
+            model.add(simple_spec())
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            FaultModel(name="m").get("nope")
+
+    def test_enabled_filtering(self):
+        model = FaultModel(name="m")
+        model.add(simple_spec("A"))
+        model.add(simple_spec("B"))
+        model.get("A").enabled = False
+        assert [s.name for s in model.enabled_specs()] == ["B"]
+
+    def test_compile(self):
+        model = FaultModel(name="m")
+        model.add(simple_spec())
+        compiled = model.compile()
+        assert len(compiled) == 1
+        assert compiled[0].name == "NOP"
+
+    def test_json_round_trip(self, tmp_path):
+        model = FaultModel(name="m", description="demo")
+        model.add(simple_spec(), description="d", category="c",
+                  odc_class="Function")
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = FaultModel.load(path)
+        assert loaded.name == "m"
+        assert loaded.get("NOP").odc_class == "Function"
+        assert loaded.get("NOP").spec.pattern == model.get("NOP").spec.pattern
+
+    def test_future_format_rejected(self):
+        with pytest.raises(ValueError, match="newer"):
+            FaultModel.from_dict(
+                {"format_version": 99, "name": "m", "faults": []}
+            )
+
+
+class TestPredefinedModels:
+    def test_gswfit_has_13_operators(self):
+        assert len(gswfit_model().faults) == 13
+
+    def test_all_predefined_specs_compile(self):
+        for model in predefined_models().values():
+            compiled = model.compile()
+            assert len(compiled) == len(model.faults)
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError, match="unknown fault model"):
+            get_model("nope")
+
+    def test_every_fault_has_description_and_odc(self):
+        for model in predefined_models().values():
+            for fault in model.faults:
+                assert fault.description
+                assert fault.odc_class in ALL_CLASSES
+
+    def test_mfc_matches_classic_shape(self):
+        model = gswfit_model()
+        [mfc] = [m for m in model.compile() if m.name == "MFC"]
+        source = textwrap.dedent(
+            """
+            def f():
+                a()
+                b()
+                c()
+            """
+        )
+        points = scan_source(source, [mfc])
+        assert len(points) == 1  # only b() has statements on both sides
+
+    def test_wlec_negates_condition(self):
+        model = extended_model()
+        [wlec] = [m for m in model.compile() if m.name == "WLEC"]
+        from repro.mutator import Mutator
+
+        mutation = Mutator(trigger=False).mutate_source(
+            "if ready:\n    go()\n", wlec, 0
+        )
+        assert "if not ready:" in mutation.source
+
+    def test_gswfit_round_trips_through_json(self, tmp_path):
+        model = gswfit_model()
+        path = tmp_path / "gswfit.json"
+        model.save(path)
+        loaded = FaultModel.load(path)
+        assert loaded.names() == model.names()
+        # Loaded specs still compile.
+        assert len(loaded.compile()) == 13
+
+
+class TestOdc:
+    def test_validate_ok(self):
+        assert validate("Checking") == "Checking"
+        assert validate("") == ""
+
+    def test_validate_bad(self):
+        with pytest.raises(ValueError, match="unknown ODC"):
+            validate("Bogus")
+
+    def test_group_by_class(self):
+        grouped = group_by_class(gswfit_model())
+        assert "Assignment" in grouped
+        assert sum(len(v) for v in grouped.values()) == 13
+
+
+class TestExpandApiFaults:
+    def test_cross_product(self):
+        model = expand_api_faults(["os.*", "urllib.*"], kinds=["THROW", "MFC"])
+        assert len(model.faults) == 4
+
+    def test_names_are_unique_and_safe(self):
+        model = expand_api_faults(["utils.execute", "delete_*"])
+        names = model.names()
+        assert len(set(names)) == len(names)
+        assert all(" " not in n and "*" not in n for n in names)
+
+    def test_generated_specs_compile(self):
+        model = expand_api_faults(["os.*"], kinds=None)
+        assert len(model.compile()) == len(model.faults)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown API fault template"):
+            expand_api_faults(["os.*"], kinds=["BOGUS"])
+
+    def test_throw_template_matches_nested_call(self):
+        model = expand_api_faults(["urlopen"], kinds=["THROW"])
+        [compiled] = model.compile()
+        points = scan_source("resp = urllib.request.urlopen(url)\n", [compiled])
+        assert len(points) == 1

@@ -1,0 +1,197 @@
+"""Behavioural tests: each G-SWFIT operator transforms code as specified.
+
+One focused scenario per operator (paper §II/§III): a snippet with exactly
+one intended match, mutated in permanent mode, checked against the
+operator's definition.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.faultmodel.library import extended_model, gswfit_model
+from repro.mutator.mutate import Mutator
+from repro.scanner.scan import scan_source
+
+MODELS = {model.name: model
+          for model in gswfit_model().compile() + extended_model().compile()}
+
+
+def mutate(name, source, ordinal=0):
+    source = textwrap.dedent(source).strip() + "\n"
+    model = MODELS[name]
+    points = scan_source(source, [model])
+    assert points, f"{name} found no injection points"
+    mutation = Mutator(trigger=False).mutate_source(source, model, ordinal)
+    ast.parse(mutation.source)
+    return mutation.source, len(points)
+
+
+class TestGswfitOperators:
+    def test_mfc_removes_call_keeps_context(self):
+        mutated, _ = mutate("MFC", """
+            def f():
+                setup()
+                notify(listener)
+                teardown()
+        """)
+        assert "notify" not in mutated
+        assert "setup()" in mutated and "teardown()" in mutated
+
+    def test_mviv_removes_numeric_initialization(self):
+        mutated, _ = mutate("MVIV", """
+            def f():
+                retries = 3
+                run(retries)
+        """)
+        assert "retries = 3" not in mutated
+        assert "run(retries)" in mutated
+
+    def test_mvav_removes_string_assignment(self):
+        mutated, _ = mutate("MVAV", """
+            def f():
+                prepare()
+                mode = 'strict'
+                apply(mode)
+        """)
+        assert "mode = 'strict'" not in mutated
+        assert "prepare()" in mutated and "apply(mode)" in mutated
+
+    def test_mvae_keeps_call_drops_assignment(self):
+        mutated, _ = mutate("MVAE", """
+            def f():
+                prepare()
+                handle = acquire(resource)
+                release(handle)
+        """)
+        assert "handle = acquire" not in mutated
+        assert "acquire(resource)" in mutated  # side effects preserved
+
+    def test_mia_unwraps_if_body(self):
+        mutated, _ = mutate("MIA", """
+            if ready:
+                launch()
+        """)
+        tree = ast.parse(mutated)
+        assert not any(isinstance(node, ast.If) for node in ast.walk(tree))
+        assert "launch()" in mutated
+
+    def test_mifs_removes_guarded_block(self):
+        mutated, _ = mutate("MIFS", """
+            def f():
+                if ready:
+                    launch()
+                cleanup()
+        """)
+        assert "launch" not in mutated
+        assert "cleanup()" in mutated
+
+    def test_mieb_drops_else_branch(self):
+        mutated, _ = mutate("MIEB", """
+            if ok:
+                accept()
+            else:
+                reject()
+        """)
+        assert "accept()" in mutated
+        assert "reject" not in mutated
+
+    def test_mlac_drops_second_conjunct(self):
+        mutated, _ = mutate("MLAC", """
+            if valid and authorized:
+                proceed()
+        """)
+        assert "if valid:" in mutated
+        assert "authorized" not in mutated
+
+    def test_mloc_drops_second_disjunct(self):
+        mutated, _ = mutate("MLOC", """
+            if cached or fresh:
+                serve()
+        """)
+        assert "if cached:" in mutated
+        assert "fresh" not in mutated
+
+    def test_mlpa_removes_two_consecutive_calls(self):
+        mutated, _ = mutate("MLPA", """
+            def f():
+                begin()
+                step_one()
+                step_two()
+                end()
+        """)
+        assert "step_one" not in mutated and "step_two" not in mutated
+        assert "begin()" in mutated and "end()" in mutated
+
+    def test_wvav_corrupts_assigned_value(self):
+        mutated, _ = mutate("WVAV", "limit = compute_limit()\n")
+        assert "__pfp_rt__.corrupt(compute_limit()" in mutated
+
+    def test_wpfv_corrupts_variable_argument(self):
+        mutated, _ = mutate("WPFV", "send(packet)\n")
+        assert "send(__pfp_rt__.corrupt(packet, 'auto'))" in mutated
+
+    def test_waep_flips_arithmetic(self):
+        mutated, _ = mutate("WAEP", "resize(width + margin)\n")
+        assert "width - margin" in mutated
+
+
+class TestExtendedOperators:
+    def test_throw_on_call_raises(self):
+        mutated, _ = mutate("THROW_ON_CALL", "x = fetch(url)\n")
+        assert mutated.startswith("raise ")
+
+    def test_none_return(self):
+        mutated, _ = mutate("NONE_RETURN", "conn = connect(host)\n")
+        assert "conn = None" in mutated
+
+    def test_mpfc_drops_last_argument(self):
+        mutated, _ = mutate("MPFC", "configure(base, timeout)\n")
+        assert "configure(base)" in mutated
+
+    def test_wlec_negates_condition(self):
+        mutated, _ = mutate("WLEC", """
+            if healthy:
+                keep()
+        """)
+        assert "if not healthy:" in mutated
+
+    def test_hog_cpu_appends_hog(self):
+        mutated, _ = mutate("HOG_CPU", "process(batch)\n")
+        assert "process(batch)" in mutated
+        assert "__pfp_rt__.hog('cpu'" in mutated
+
+    def test_delay_call_prepends_delay(self):
+        mutated, _ = mutate("DELAY_CALL", "flush(queue)\n")
+        lines = [line for line in mutated.splitlines() if line.strip()]
+        delay_index = next(i for i, line in enumerate(lines)
+                           if "delay" in line)
+        flush_index = next(i for i, line in enumerate(lines)
+                           if "flush" in line)
+        assert delay_index < flush_index
+
+    def test_mrs_removes_return(self):
+        mutated, _ = mutate("MRS", """
+            def f():
+                compute()
+                return result
+        """)
+        assert "return" not in mutated
+        assert "compute()" in mutated
+
+
+class TestOperatorSelectivity:
+    """Operators must not fire on shapes outside their definition."""
+
+    @pytest.mark.parametrize("name,source", [
+        ("MFC", "def f():\n    only_call()\n"),          # lone statement
+        ("MIFS", "if c:\n    a()\nelse:\n    b()\n"),    # has an else
+        ("MLAC", "if a or b:\n    go()\n"),              # wrong operator
+        ("MIEB", "if a:\n    go()\n"),                   # no else branch
+        ("WAEP", "f(x * y)\n"),                          # not additive
+        ("MPFC", "f()\n"),                               # no args to drop
+    ])
+    def test_no_match(self, name, source):
+        model = MODELS[name]
+        assert scan_source(source, [model]) == []

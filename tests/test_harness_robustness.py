@@ -1,0 +1,183 @@
+"""Failure injection into the injector: the harness must degrade gracefully.
+
+Malformed targets, broken workloads, dead services, and hostile source
+files must surface as recorded errors/failure modes — never as crashes of
+the campaign itself.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.dsl.compiler import compile_text
+from repro.faultmodel.library import gswfit_model
+from repro.mutator.mutate import Mutator
+from repro.orchestrator.campaign import Campaign, CampaignConfig
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.plan import Plan
+from repro.sandbox.image import SandboxImage
+from repro.scanner.scan import scan_file, scan_tree
+from repro.workload.spec import WorkloadSpec
+
+
+class TestHostileTargets:
+    def test_unparseable_file_recorded_not_fatal(self, tmp_path):
+        (tmp_path / "good.py").write_text("foo()\nbar()\n")
+        (tmp_path / "broken.py").write_text("def :::\n")
+        result = scan_tree(tmp_path, gswfit_model().enabled_specs()[:3])
+        assert "broken.py" in result.parse_errors
+        assert result.files_scanned == 2
+
+    def test_unparseable_file_in_parallel_scan(self, tmp_path):
+        (tmp_path / "a.py").write_text("foo()\n")
+        (tmp_path / "b.py").write_text("if True\n")
+        result = scan_tree(tmp_path, gswfit_model().enabled_specs()[:2],
+                           jobs=2)
+        assert "b.py" in result.parse_errors
+
+    def test_unicode_and_bom_sources(self, tmp_path):
+        source = '﻿# coding comment\nname = "café"\nuse(name)\n'
+        path = tmp_path / "uni.py"
+        path.write_text(source, encoding="utf-8")
+        model = compile_text("change { use($VAR#v) } into { pass }")
+        result = scan_file(path, [model], root=tmp_path)
+        # BOM is tolerated (either matched or recorded, never raised).
+        assert result.files_scanned == 1
+
+    def test_deeply_nested_target(self):
+        depth = 40
+        source = ""
+        for level in range(depth):
+            source += "    " * level + f"if cond_{level}:\n"
+        source += "    " * depth + "action()\n"
+        model = compile_text("change { action() } into { pass }")
+        from repro.scanner.scan import scan_source
+
+        points = scan_source(source, [model])
+        assert len(points) == 1
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / "empty.py").write_text("")
+        result = scan_tree(tmp_path, gswfit_model().enabled_specs()[:2])
+        assert result.points == []
+        assert not result.parse_errors
+
+
+class TestBrokenWorkloads:
+    @pytest.fixture
+    def image(self, toy_project, tmp_path):
+        return SandboxImage.build(toy_project, tmp_path / "image")
+
+    @pytest.fixture
+    def models(self, toy_model):
+        return {model.name: model for model in toy_model.compile()}
+
+    @pytest.fixture
+    def plan(self, toy_project, toy_model):
+        scan = scan_file(toy_project / "app.py", toy_model.compile(),
+                         root=toy_project)
+        return Plan.from_points(scan.points)
+
+    def test_workload_command_not_found(self, image, models, plan,
+                                        tmp_path):
+        workload = WorkloadSpec(commands=["definitely_not_a_command_xyz"],
+                                command_timeout=10)
+        executor = ExperimentExecutor(image=image, workload=workload,
+                                      models=models,
+                                      base_dir=tmp_path / "boxes")
+        result = executor.run(plan.experiments[0])
+        assert result.completed
+        assert result.failed_round1  # classified, not crashed
+
+    def test_service_never_ready_is_recorded(self, image, models, plan,
+                                             tmp_path):
+        workload = WorkloadSpec(
+            service_commands=["sleep 30"],
+            commands=["echo hi"],
+            ready_file="never",
+            ready_timeout=0.3,
+        )
+        executor = ExperimentExecutor(image=image, workload=workload,
+                                      models=models,
+                                      base_dir=tmp_path / "boxes")
+        result = executor.run(plan.experiments[0])
+        assert result.status == "service_start_failed"
+        assert "never" in result.error
+
+    def test_hanging_workload_times_out(self, image, models, plan,
+                                        tmp_path):
+        workload = WorkloadSpec(commands=["sleep 60"], command_timeout=0.5)
+        executor = ExperimentExecutor(image=image, workload=workload,
+                                      models=models,
+                                      base_dir=tmp_path / "boxes")
+        result = executor.run(plan.experiments[0])
+        assert result.completed
+        assert result.round(1).timed_out
+        assert result.duration < 30
+
+    def test_missing_model_is_harness_error(self, image, plan, tmp_path,
+                                            toy_workload):
+        executor = ExperimentExecutor(image=image, workload=toy_workload,
+                                      models={},  # spec lookup will fail
+                                      base_dir=tmp_path / "boxes")
+        result = executor.run(plan.experiments[0])
+        assert result.status == "harness_error"
+        assert "KeyError" in result.error
+
+
+@pytest.mark.integration
+class TestCampaignResilience:
+    def test_campaign_survives_broken_workload(self, toy_project, toy_model,
+                                               tmp_path):
+        config = CampaignConfig(
+            name="broken",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=WorkloadSpec(commands=["exit 7"], command_timeout=10),
+            injectable_files=["app.py"],
+            coverage=False,
+            parallelism=1,
+            workspace=tmp_path / "ws",
+        )
+        result = Campaign(config).run()
+        assert result.executed == 2
+        # Every experiment failed (workload broken), none crashed the run.
+        assert all(e.completed for e in result.experiments)
+        assert len(result.failures) == 2
+
+    def test_mutator_rejects_spec_without_matches_cleanly(self):
+        model = compile_text("change { never_called_anywhere() } into { }")
+        with pytest.raises(IndexError):
+            Mutator().mutate_source("x = 1\n", model, 0)
+
+
+class TestDrillDown:
+    def test_inspect_renders_failing_experiments(self, toy_project,
+                                                 toy_model, toy_workload,
+                                                 tmp_path):
+        from repro.analysis.report import CampaignReport
+
+        config = CampaignConfig(
+            name="drill",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=toy_workload,
+            injectable_files=["app.py"],
+            coverage=True,
+            parallelism=1,
+            workspace=tmp_path / "ws",
+        )
+        result = Campaign(config).run()
+        report = CampaignReport(result)
+        [mode] = [m for m in report.distribution.counts()
+                  if m != "no_failure"]
+        text = report.inspect(mode)
+        assert "injected :" in text
+        assert "WORKLOAD FAILURE" in text
+
+    def test_inspect_unknown_mode(self, tmp_path):
+        from repro.analysis.report import CampaignReport
+        from repro.orchestrator.campaign import CampaignResult
+
+        report = CampaignReport(CampaignResult(name="x"))
+        assert "no experiments" in report.inspect("nope")

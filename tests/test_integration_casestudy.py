@@ -1,0 +1,105 @@
+"""End-to-end integration tests of the §V case study (sampled campaigns)."""
+
+import pytest
+
+from repro.casestudy import (
+    CASE_STUDY_COMPONENTS,
+    CASE_STUDY_RULES,
+    case_study_config,
+    run_case_study,
+)
+from repro.faultmodel.casestudy import ALL_CAMPAIGNS, campaign_model
+
+pytestmark = pytest.mark.integration
+
+
+class TestCampaignModels:
+    def test_all_campaigns_compile(self):
+        for campaign in ALL_CAMPAIGNS:
+            model = campaign_model(campaign)
+            assert model.compile()
+
+    def test_unknown_campaign(self):
+        with pytest.raises(KeyError):
+            campaign_model("nope")
+
+    def test_config_materializes_target(self, tmp_path):
+        config = case_study_config("wrong_inputs", tmp_path)
+        assert (tmp_path / "target" / "pyetcd" / "client.py").exists()
+        assert config.rounds == 2
+
+
+class TestWrongInputsCampaign:
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        workspace = tmp_path_factory.mktemp("cs-wrong-inputs")
+        return run_case_study(
+            "wrong_inputs", workspace=workspace, sample=3,
+            command_timeout=30, parallelism=2, seed=7,
+        )
+
+    def test_points_and_coverage(self, outcome):
+        result, _report = outcome
+        assert result.points_found >= 20
+        assert result.coverage is not None
+        # §V-B: every wrong-input injection point is covered.
+        assert result.coverage.covered_count == result.points_found
+
+    def test_experiments_completed(self, outcome):
+        result, _report = outcome
+        assert result.executed == 3
+        # Allow one transient harness hiccup under CI load; the campaign
+        # itself must never crash.
+        completed = [e for e in result.experiments if e.completed]
+        assert len(completed) >= 2
+
+    def test_failures_observed_and_classified(self, outcome):
+        result, report = outcome
+        assert len(result.failures) >= 1
+        counts = report.distribution.counts(include_no_failure=False)
+        known_modes = {rule.mode for rule in CASE_STUDY_RULES} | {
+            "workload_failure", "workload_crash", "timeout",
+            "service_crash", "service_start_failed", "harness_error",
+        }
+        assert set(counts) <= known_modes
+
+    def test_report_renders(self, outcome):
+        _result, report = outcome
+        text = report.render()
+        assert "Campaign summary" in text
+        assert "service availability" in text
+
+
+class TestExternalApiCampaign:
+    def test_partial_coverage_shape(self, tmp_path):
+        # §V-A: only part of the external-API points are covered (error
+        # handlers are not exercised by a fault-free run).
+        result, _report = run_case_study(
+            "external_api", workspace=tmp_path, sample=2,
+            command_timeout=30, parallelism=2,
+        )
+        assert result.coverage is not None
+        assert 0 < result.coverage.covered_count < result.points_found
+
+
+class TestResourceHogCampaign:
+    def test_hog_campaign_runs(self, tmp_path):
+        # Serial execution: concurrent hog experiments starve each other on
+        # small hosts, which is what the paper's N-1 rule prevents.
+        result, report = run_case_study(
+            "resource_hogs", workspace=tmp_path, sample=2,
+            command_timeout=25, parallelism=1,
+        )
+        assert result.executed == 2
+        assert all(e.completed for e in result.experiments)
+        # Hog experiments must terminate within the timeout budget
+        # (stale threads are daemons, so rounds finish).
+        assert all(e.duration < 120 for e in result.experiments)
+
+
+class TestPropagationComponents:
+    def test_component_specs_wellformed(self):
+        names = [component.name for component in CASE_STUDY_COMPONENTS]
+        assert len(names) == len(set(names))
+        assert any("<output>" in component.log_globs
+                   for component in CASE_STUDY_COMPONENTS)

@@ -1,0 +1,162 @@
+"""Matcher tests across statement contexts and uncommon shapes."""
+
+import ast
+import textwrap
+
+from repro.dsl import compile_text
+from repro.mutator.mutate import Mutator
+from repro.scanner.matcher import Matcher
+from repro.scanner.scan import nth_match, scan_source
+
+
+def matches_of(spec_text, target, name="spec"):
+    model = compile_text(spec_text, name=name)
+    tree = ast.parse(textwrap.dedent(target))
+    return Matcher(model).find_matches(tree), model
+
+
+class TestStatementContexts:
+    SPEC = "change { target() } into { pass }"
+
+    def test_match_in_while_body(self):
+        found, _ = matches_of(self.SPEC, "while x:\n    target()\n")
+        assert len(found) == 1
+
+    def test_match_in_with_body(self):
+        found, _ = matches_of(self.SPEC, "with open(p) as f:\n    target()\n")
+        assert len(found) == 1
+
+    def test_match_in_try_finally(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "try:\n    a()\nfinally:\n    target()\n",
+        )
+        assert len(found) == 1
+        assert found[0].field == "finalbody"
+
+    def test_match_in_except_handler(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "try:\n    a()\nexcept ValueError:\n    target()\n",
+        )
+        assert len(found) == 1
+
+    def test_match_in_else_of_loop(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "for i in x:\n    a()\nelse:\n    target()\n",
+        )
+        assert len(found) == 1
+        assert found[0].field == "orelse"
+
+    def test_match_in_decorated_function(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "@decorator\ndef f():\n    target()\n",
+        )
+        assert len(found) == 1
+
+    def test_match_in_async_function(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "async def f():\n    target()\n",
+        )
+        assert len(found) == 1
+
+    def test_match_in_nested_function(self):
+        found, _ = matches_of(
+            self.SPEC,
+            "def outer():\n    def inner():\n        target()\n",
+        )
+        assert len(found) == 1
+
+
+class TestUncommonShapes:
+    def test_call_on_subscripted_object(self):
+        found, _ = matches_of(
+            "change { $CALL{name=delete_*}(...) } into { pass }",
+            "handlers[0].delete_item(x)\n",
+        )
+        # Subscript base becomes a '*' segment: '*.delete_item'.
+        assert len(found) == 1
+
+    def test_chained_attribute_depth(self):
+        found, _ = matches_of(
+            "change { $CALL{name=a.b.c.d}(...) } into { pass }",
+            "a.b.c.d()\na.b.c.e()\n",
+        )
+        assert len(found) == 1
+
+    def test_starred_args_absorbed_by_wildcard(self):
+        found, _ = matches_of(
+            "change { $CALL#c{name=f}(...) } into { pass }",
+            "f(*args, **kwargs)\n",
+        )
+        assert len(found) == 1
+
+    def test_augmented_assignment_structural(self):
+        found, _ = matches_of(
+            "change { $VAR#v += $NUM#n } into { $VAR#v -= $NUM#n }",
+            "counter += 1\n",
+        )
+        assert len(found) == 1
+
+    def test_tuple_assignment(self):
+        found, _ = matches_of(
+            "change { $VAR#a, $VAR#b = $EXPR#val } into { pass }",
+            "x, y = pair\n",
+        )
+        assert len(found) == 1
+
+    def test_fstring_not_confused_with_directive(self):
+        found, _ = matches_of(
+            "change { log($STRING#s) } into { pass }",
+            'log(f"value={x}")\nlog("plain")\n',
+        )
+        # f-strings are JoinedStr, not Constant: only the plain one matches.
+        assert len(found) == 1
+
+    def test_lambda_body_not_a_statement_window(self):
+        found, _ = matches_of(
+            "change { target() } into { pass }",
+            "callback = lambda: target()\n",
+        )
+        assert found == []
+
+    def test_comprehension_calls_not_stmt_matches(self):
+        found, _ = matches_of(
+            "change { $CALL{name=f}(...) } into { pass }",
+            "values = [f(i) for i in x]\n",
+        )
+        assert found == []
+
+
+class TestScanHelpers:
+    def test_nth_match_round_trips(self):
+        model = compile_text("change { f($NUM#n) } into { pass }")
+        source = "f(1)\nf(2)\nf(3)\n"
+        for ordinal in range(3):
+            match = nth_match(source, model, ordinal)
+            assert match.lineno == ordinal + 1
+
+    def test_by_spec_groups_points(self):
+        from repro.scanner.scan import ScanResult
+
+        model_a = compile_text("change { f() } into { pass }", name="A")
+        model_b = compile_text("change { g() } into { pass }", name="B")
+        points = scan_source("f()\ng()\nf()\n", [model_a, model_b])
+        result = ScanResult(points=points, files_scanned=1)
+        grouped = result.by_spec()
+        assert len(grouped["A"]) == 2
+        assert len(grouped["B"]) == 1
+
+    def test_mutation_of_decorated_context(self):
+        model = compile_text(
+            "change { target() } into { $TIMEOUT{seconds=1}\n    target() }"
+        )
+        source = "@deco\ndef f():\n    target()\n"
+        mutation = Mutator(trigger=True).mutate_source(source, model, 0)
+        tree = ast.parse(mutation.source)
+        func = next(n for n in ast.walk(tree)
+                    if isinstance(n, ast.FunctionDef))
+        assert func.decorator_list  # decorator preserved

@@ -1,0 +1,256 @@
+"""Unit tests for the source-code mutator (trigger wrapping, substitution)."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.common.rng import SeededRandom
+from repro.dsl import BindingError, compile_text
+from repro.mutator import Mutator, RUNTIME_MODULE_NAME
+from repro.mutator.runtime import write_runtime
+
+MFC = """
+change {
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=delete_*}(...)
+    $BLOCK{tag=b2; stmts=1,*}
+} into {
+    $BLOCK{tag=b1}
+    $BLOCK{tag=b2}
+}
+"""
+
+TARGET = textwrap.dedent(
+    """
+    def cleanup(client, ports):
+        log(1)
+        client.delete_port(ports[0])
+        log(2)
+    """
+)
+
+
+def run_no_trigger(spec, target, name="spec", ordinal=0):
+    model = compile_text(spec, name=name)
+    mutation = Mutator(trigger=False).mutate_source(
+        textwrap.dedent(target), model, ordinal
+    )
+    return mutation
+
+
+class TestPermanentMutation:
+    def test_mfc_removes_call(self):
+        mutation = run_no_trigger(MFC, TARGET, name="MFC")
+        assert "delete_port" not in mutation.source
+        assert "log(1)" in mutation.source and "log(2)" in mutation.source
+
+    def test_mutant_parses(self):
+        mutation = run_no_trigger(MFC, TARGET, name="MFC")
+        ast.parse(mutation.source)
+
+    def test_empty_replacement_gets_pass(self):
+        mutation = run_no_trigger(
+            "change { foo() } into { }",
+            "def f():\n    foo()\n",
+        )
+        tree = ast.parse(mutation.source)
+        func = tree.body[0]
+        assert len(func.body) == 1
+        assert isinstance(func.body[0], ast.Pass)
+
+    def test_snippets_recorded(self):
+        mutation = run_no_trigger(MFC, TARGET, name="MFC")
+        assert "delete_port" in mutation.original_snippet
+        assert "delete_port" not in mutation.mutated_snippet
+
+    def test_ordinal_selects_match(self):
+        target = "f('-a')\nf('-b')\n"
+        spec = "change { $CALL{name=f}($STRING{val=-*}) } into { pass }"
+        first = run_no_trigger(spec, target, ordinal=0)
+        second = run_no_trigger(spec, target, ordinal=1)
+        assert "'-a'" not in first.source and "'-b'" in first.source
+        assert "'-b'" not in second.source and "'-a'" in second.source
+
+    def test_bad_ordinal_raises(self):
+        model = compile_text("change { foo() } into { pass }")
+        with pytest.raises(IndexError, match="ordinal"):
+            Mutator().mutate_source("foo()\n", model, 5)
+
+
+class TestTriggerMutation:
+    def test_trigger_wraps_original_and_faulty(self):
+        model = compile_text(MFC, name="MFC")
+        mutation = Mutator(trigger=True).mutate_source(TARGET, model, 0)
+        tree = ast.parse(mutation.source)
+        guard = tree.body[-1].body[0]
+        assert isinstance(guard, ast.If)
+        assert "enabled" in ast.unparse(guard.test)
+        assert "delete_port" not in ast.unparse(guard.body)
+        assert "delete_port" in ast.unparse(guard.orelse)
+
+    def test_runtime_import_added_once(self):
+        model = compile_text(MFC, name="MFC")
+        mutation = Mutator(trigger=True).mutate_source(TARGET, model, 0)
+        count = mutation.source.count(f"import {RUNTIME_MODULE_NAME}")
+        assert count == 1
+
+    def test_import_after_docstring_and_future(self):
+        source = '"""Doc."""\nfrom __future__ import annotations\nfoo()\n'
+        model = compile_text("change { foo() } into { pass }")
+        mutation = Mutator(trigger=True).mutate_source(source, model, 0)
+        tree = ast.parse(mutation.source)
+        assert isinstance(tree.body[0].value, ast.Constant)
+        assert isinstance(tree.body[1], ast.ImportFrom)
+        assert isinstance(tree.body[2], ast.Import)
+
+    def test_fault_id_embedded(self):
+        model = compile_text("change { foo() } into { pass }", name="NOP")
+        mutation = Mutator(trigger=True).mutate_source(
+            "foo()\n", model, 0, fault_id="NOP:x.py:0"
+        )
+        assert "NOP:x.py:0" in mutation.source
+
+    def test_trigger_mutant_behaves_per_trigger(self, tmp_path):
+        # End-to-end: run the mutant with the fault on, then off.
+        model = compile_text(
+            "change { return $NUM#n } into { return -1 }", name="WRV"
+        )
+        source = "def f():\n    return 42\n"
+        mutation = Mutator(trigger=True).mutate_source(source, model, 0)
+        write_runtime(tmp_path)
+        (tmp_path / "target.py").write_text(mutation.source)
+        trigger = tmp_path / "trigger"
+
+        import subprocess
+        import sys
+
+        def run(flag):
+            trigger.write_text(flag)
+            env = {"PROFIPY_TRIGGER_FILE": str(trigger), "PATH": "/usr/bin:/bin"}
+            out = subprocess.run(
+                [sys.executable, "-c", "import target; print(target.f())"],
+                cwd=tmp_path, env=env, capture_output=True, text=True,
+            )
+            assert out.returncode == 0, out.stderr
+            return out.stdout.strip()
+
+        assert run("1") == "-1"
+        assert run("0") == "42"
+
+
+class TestSubstitution:
+    def test_corrupt_wraps_argument(self):
+        mutation = run_no_trigger(
+            "change { $CALL#c{name=f}(..., $STRING#s{val=-*}, ...) }"
+            " into { $CALL#c(..., $CORRUPT($STRING#s), ...) }",
+            "f('cmd', '-x', 3)\n",
+        )
+        assert "__pfp_rt__.corrupt('-x', 'auto')" in mutation.source
+        assert "'cmd'" in mutation.source and "3)" in mutation.source
+        assert f"import {RUNTIME_MODULE_NAME}" in mutation.source
+
+    def test_drop_wildcard_arguments(self):
+        mutation = run_no_trigger(
+            "change { $CALL#c{name=f}($EXPR#first, ...) }"
+            " into { $CALL#c($EXPR#first) }",
+            "f(1, 2, 3)\n",
+        )
+        tree = ast.parse(mutation.source)
+        call = tree.body[0].value
+        assert len(call.args) == 1
+
+    def test_too_many_wildcards_in_replacement(self):
+        model = compile_text(
+            "change { $CALL#c{name=f}($EXPR) } into { $CALL#c(..., ...) }"
+        )
+        with pytest.raises(BindingError, match="more '...' wildcards"):
+            Mutator(trigger=False).mutate_source("f(1)\n", model, 0)
+
+    def test_keywords_preserved_through_wildcard(self):
+        mutation = run_no_trigger(
+            "change { $CALL#c{name=f}(...) } into { $CALL#c(...) }",
+            "f(1, timeout=3)\n",
+        )
+        assert "timeout=3" in mutation.source
+
+    def test_hog_statement(self):
+        mutation = run_no_trigger(
+            "change { $CALL#c{name=f}(...) } into {\n"
+            "    $CALL#c(...)\n"
+            "    $HOG{resource=cpu; seconds=5; threads=3}\n"
+            "}",
+            "f(1)\n",
+        )
+        assert "__pfp_rt__.hog('cpu', 5.0, 3, 64)" in mutation.source
+
+    def test_timeout_statement(self):
+        mutation = run_no_trigger(
+            "change { foo() } into { $TIMEOUT{seconds=2.5}\n    foo() }",
+            "foo()\n",
+        )
+        assert "__pfp_rt__.delay(2.5)" in mutation.source
+
+    def test_pick_deterministic_per_seed(self):
+        spec = ("change { foo() } into "
+                "{ raise $PICK{choices=ValueError()|KeyError()|OSError()} }")
+        model = compile_text(spec)
+
+        def mutate(seed):
+            mutator = Mutator(trigger=False, rng=SeededRandom(seed))
+            return mutator.mutate_source("foo()\n", model, 0).source
+
+        assert mutate(7) == mutate(7)
+        variants = {mutate(seed) for seed in range(12)}
+        assert len(variants) > 1
+
+    def test_pick_statement_level(self):
+        mutation = run_no_trigger(
+            "change { foo() } into { $PICK{choices=x = 1|y = 2} }",
+            "foo()\n",
+        )
+        assert mutation.source.strip() in {"x = 1", "y = 2"}
+
+    def test_expr_reference_reused(self):
+        mutation = run_no_trigger(
+            "change { if $EXPR#cond :\n    $BLOCK{tag=b; stmts=1,*} }"
+            " into { if not ($EXPR#cond) :\n    $BLOCK{tag=b} }",
+            "if ready:\n    start()\n",
+        )
+        assert "if not ready:" in mutation.source
+
+    def test_var_swap(self):
+        mutation = run_no_trigger(
+            "change { g($VAR#a, $VAR#b) } into { g($VAR#b, $VAR#a) }",
+            "g(x, y)\n",
+        )
+        assert "g(y, x)" in mutation.source
+
+
+class TestCoverageInstrumentation:
+    def test_probes_inserted(self):
+        model = compile_text("change { foo() } into { pass }", name="NOP")
+        source = "def f():\n    foo()\n    bar()\n    foo()\n"
+        instrumented = Mutator().instrument_source(
+            source,
+            [(model, 0, "NOP:f.py:0"), (model, 1, "NOP:f.py:1")],
+        )
+        assert instrumented.count("__pfp_rt__.cover") == 2
+        tree = ast.parse(instrumented)
+        body = tree.body[-1].body
+        assert "cover" in ast.unparse(body[0])
+        assert "foo" in ast.unparse(body[1])
+
+    def test_probe_order_preserves_targets(self):
+        model = compile_text("change { foo() } into { pass }", name="NOP")
+        source = "foo()\nfoo()\n"
+        instrumented = Mutator().instrument_source(
+            source, [(model, 0, "p0"), (model, 1, "p1")]
+        )
+        lines = [line for line in instrumented.splitlines() if line.strip()]
+        assert lines[1].startswith("__pfp_rt__.cover('p0')")
+        assert lines[3].startswith("__pfp_rt__.cover('p1')")
+
+    def test_no_targets_no_import(self):
+        instrumented = Mutator().instrument_source("x = 1\n", [])
+        assert RUNTIME_MODULE_NAME not in instrumented

@@ -1,0 +1,144 @@
+"""Tests for two-round execution and coverage on the toy target."""
+
+import pytest
+
+from repro.orchestrator.coverage import reduce_plan, run_coverage
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.plan import Plan
+from repro.sandbox.image import SandboxImage
+from repro.scanner.scan import scan_file
+
+
+@pytest.fixture
+def image(toy_project, tmp_path):
+    return SandboxImage.build(toy_project, tmp_path / "image")
+
+
+@pytest.fixture
+def models(toy_model):
+    return {model.name: model for model in toy_model.compile()}
+
+
+@pytest.fixture
+def scan(toy_project, toy_model):
+    return scan_file(toy_project / "app.py", toy_model.compile(),
+                     root=toy_project)
+
+
+@pytest.fixture
+def plan(scan):
+    return Plan.from_points(scan.points)
+
+
+class TestScanToy:
+    def test_two_points_found(self, scan):
+        # One return in compute(), one in unused_helper().
+        assert len(scan.points) == 2
+
+
+class TestExecutor:
+    def test_trigger_round1_fails_round2_recovers(self, image, models, plan,
+                                                  toy_workload, tmp_path):
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes", trigger=True,
+        )
+        result = executor.run(plan.experiments[0])
+        assert result.completed, result.error
+        assert result.failed_round1
+        assert not result.failed_round2
+        assert result.available_in_round2
+
+    def test_permanent_mode_fails_both_rounds(self, image, models, plan,
+                                              toy_workload, tmp_path):
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes", trigger=False,
+        )
+        result = executor.run(plan.experiments[0])
+        assert result.failed_round1
+        assert result.failed_round2
+        assert not result.available_in_round2
+
+    def test_uncovered_fault_causes_no_failure(self, image, models, plan,
+                                               toy_workload, tmp_path):
+        # The second point lives in unused_helper(): never called.
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes", trigger=True,
+        )
+        result = executor.run(plan.experiments[1])
+        assert result.completed
+        assert not result.failed_round1
+        assert not result.failed_round2
+
+    def test_snippets_recorded(self, image, models, plan, toy_workload,
+                               tmp_path):
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes",
+        )
+        result = executor.run(plan.experiments[0])
+        assert "return result" in result.original_snippet
+        assert "return -1" in result.mutated_snippet
+
+    def test_artifacts_persisted(self, image, models, plan, toy_workload,
+                                 tmp_path):
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes", artifacts_dir=artifacts,
+        )
+        result = executor.run(plan.experiments[0])
+        saved = artifacts / f"{result.experiment_id}.json"
+        assert saved.exists()
+        from repro.orchestrator.experiment import ExperimentResult
+
+        loaded = ExperimentResult.load(saved)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.failed_round1 == result.failed_round1
+
+    def test_fault_free_run_passes(self, image, models, toy_workload,
+                                   tmp_path):
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=tmp_path / "boxes",
+        )
+        result = executor.run_fault_free()
+        assert result.completed
+        assert not result.failed_round1
+
+    def test_sandboxes_cleaned_up(self, image, models, plan, toy_workload,
+                                  tmp_path):
+        base = tmp_path / "boxes"
+        executor = ExperimentExecutor(
+            image=image, workload=toy_workload, models=models,
+            base_dir=base,
+        )
+        executor.run(plan.experiments[0])
+        assert not any(base.iterdir()) if base.exists() else True
+
+
+class TestCoverage:
+    def test_covered_points_detected(self, image, models, plan,
+                                     toy_workload, tmp_path):
+        report = run_coverage(image, toy_workload, plan.points, models,
+                              tmp_path / "boxes")
+        assert report.total == 2
+        assert report.covered_count == 1
+        [covered_id] = report.covered
+        assert "app.py" in covered_id
+        assert not report.workload_failed
+
+    def test_reduce_plan(self, image, models, plan, toy_workload, tmp_path):
+        report = run_coverage(image, toy_workload, plan.points, models,
+                              tmp_path / "boxes")
+        reduced = reduce_plan(plan, report)
+        assert len(reduced) == 1
+
+    def test_empty_points(self, image, models, toy_workload, tmp_path):
+        report = run_coverage(image, toy_workload, [], models,
+                              tmp_path / "boxes")
+        assert report.total == 0
+        assert report.ratio == 0.0

@@ -1,0 +1,92 @@
+"""Tests for fault injection plans: filtering, sampling, persistence."""
+
+import pytest
+
+from repro.common.rng import SeededRandom
+from repro.orchestrator.plan import Plan, PlannedExperiment
+from repro.scanner.points import InjectionPoint, component_of
+
+
+def make_point(spec="MFC", file="pkg/mod.py", ordinal=0, line=1):
+    return InjectionPoint(
+        spec_name=spec, file=file, ordinal=ordinal, lineno=line,
+        end_lineno=line, snippet="snippet", component=component_of(file),
+    )
+
+
+@pytest.fixture
+def plan():
+    points = [
+        make_point("MFC", "pkg/a.py", 0, 10),
+        make_point("MFC", "pkg/b.py", 0, 20),
+        make_point("WPF", "pkg/a.py", 0, 30),
+        make_point("WPF", "other/c.py", 0, 40),
+    ]
+    return Plan.from_points(points)
+
+
+class TestComponentOf:
+    def test_package_component(self):
+        assert component_of("pkg/sub/mod.py") == "pkg"
+
+    def test_root_file_component(self):
+        assert component_of("main.py") == "main"
+
+
+class TestPlanBuilding:
+    def test_experiment_ids_stable(self, plan):
+        ids = [e.experiment_id for e in plan]
+        assert ids == ["exp-0001", "exp-0002", "exp-0003", "exp-0004"]
+
+    def test_len_and_points(self, plan):
+        assert len(plan) == 4
+        assert len(plan.points) == 4
+
+
+class TestSelection:
+    def test_filter_by_spec(self, plan):
+        assert len(plan.filter(spec_names=["MFC"])) == 2
+
+    def test_filter_by_file_glob(self, plan):
+        assert len(plan.filter(files=["pkg/*.py"])) == 3
+        assert len(plan.filter(files=["*/a.py"])) == 2
+
+    def test_filter_by_component(self, plan):
+        assert len(plan.filter(components=["other"])) == 1
+
+    def test_filter_conjunction(self, plan):
+        assert len(plan.filter(spec_names=["WPF"],
+                               components=["pkg"])) == 1
+
+    def test_sample_deterministic(self, plan):
+        first = plan.sample(2, SeededRandom(7)).point_ids()
+        second = plan.sample(2, SeededRandom(7)).point_ids()
+        assert first == second
+        assert len(first) == 2
+
+    def test_sample_larger_than_plan(self, plan):
+        assert len(plan.sample(100)) == 4
+
+    def test_sample_preserves_order(self, plan):
+        sampled = plan.sample(3, SeededRandom(1))
+        ids = [e.experiment_id for e in sampled]
+        assert ids == sorted(ids)
+
+    def test_restrict_to(self, plan):
+        keep = {plan.experiments[0].point.point_id}
+        reduced = plan.restrict_to(keep)
+        assert len(reduced) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = Plan.load(path)
+        assert loaded.point_ids() == plan.point_ids()
+        assert loaded.experiments[0].experiment_id == "exp-0001"
+
+    def test_planned_experiment_round_trip(self):
+        planned = PlannedExperiment("exp-1", make_point())
+        clone = PlannedExperiment.from_dict(planned.to_dict())
+        assert clone == planned

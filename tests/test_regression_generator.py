@@ -1,0 +1,83 @@
+"""Tests for the regression-test generator (paper §I motivation)."""
+
+import ast
+import subprocess
+import sys
+
+import pytest
+
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.plan import Plan
+from repro.regression import generate_regression_test, write_regression_test
+from repro.sandbox.image import SandboxImage
+from repro.scanner.scan import scan_file
+
+
+@pytest.fixture
+def failed_experiment(toy_project, toy_model, toy_workload, tmp_path):
+    image = SandboxImage.build(toy_project, tmp_path / "image")
+    models = {model.name: model for model in toy_model.compile()}
+    scan = scan_file(toy_project / "app.py", list(models.values()),
+                     root=toy_project)
+    plan = Plan.from_points(scan.points)
+    executor = ExperimentExecutor(
+        image=image, workload=toy_workload, models=models,
+        base_dir=tmp_path / "boxes", trigger=True,
+    )
+    result = executor.run(plan.experiments[0])
+    assert result.failed_round1
+    return result
+
+
+class TestGeneration:
+    def test_generated_test_is_valid_python(self, failed_experiment,
+                                            toy_model, toy_project,
+                                            toy_workload):
+        text = generate_regression_test(failed_experiment, toy_model,
+                                        toy_project, toy_workload)
+        ast.parse(text)
+        assert "test_system_tolerates_wrr_app_0" in text
+        assert "WRR" in text
+
+    def test_embeds_fault_and_workload(self, failed_experiment, toy_model,
+                                       toy_project, toy_workload):
+        text = generate_regression_test(failed_experiment, toy_model,
+                                        toy_project, toy_workload)
+        assert "change {" in text        # the DSL spec rides along
+        assert "run.py" in text          # the workload too
+
+    def test_rejects_pointless_experiments(self, toy_model, toy_project,
+                                           toy_workload):
+        from repro.orchestrator.experiment import ExperimentResult
+
+        empty = ExperimentResult(experiment_id="x", point={})
+        with pytest.raises(ValueError, match="no injection point"):
+            generate_regression_test(empty, toy_model, toy_project,
+                                     toy_workload)
+
+    def test_write_to_directory(self, failed_experiment, toy_model,
+                                toy_project, toy_workload, tmp_path):
+        path = write_regression_test(failed_experiment, toy_model,
+                                     toy_project, toy_workload,
+                                     tmp_path / "regression")
+        assert path.exists()
+        assert path.name.startswith("test_regression_")
+
+
+@pytest.mark.integration
+class TestGeneratedTestRuns:
+    def test_generated_test_fails_until_fixed(self, failed_experiment,
+                                              toy_model, toy_project,
+                                              toy_workload, tmp_path):
+        # The toy target is NOT hardened, so the regression test must fail
+        # (that is its purpose), with the workload failure in the message.
+        path = write_regression_test(failed_experiment, toy_model,
+                                     toy_project, toy_workload,
+                                     tmp_path / "regression")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q",
+             "-p", "no:cacheprovider"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 1
+        assert "still causes a service failure" in proc.stdout

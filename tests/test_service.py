@@ -1,0 +1,106 @@
+"""Tests for the as-a-service facade: model registry, jobs, campaigns."""
+
+import time
+
+import pytest
+
+from repro.faultmodel.library import gswfit_model
+from repro.orchestrator.campaign import CampaignConfig
+from repro.service import COMPLETED, FAILED, ProFIPyService
+from repro.service.jobs import JobRunner
+
+
+class TestModelRegistry:
+    def test_save_and_load(self, tmp_path):
+        service = ProFIPyService(tmp_path)
+        service.save_model(gswfit_model())
+        loaded = service.load_model("gswfit")
+        assert len(loaded.faults) == 13
+
+    def test_predefined_fallback(self, tmp_path):
+        service = ProFIPyService(tmp_path)
+        assert service.load_model("extended").name == "extended"
+
+    def test_unknown_model(self, tmp_path):
+        service = ProFIPyService(tmp_path)
+        with pytest.raises(KeyError, match="unknown fault model"):
+            service.load_model("nope")
+
+    def test_import_model(self, tmp_path):
+        path = tmp_path / "custom.json"
+        model = gswfit_model()
+        model.name = "custom"
+        model.save(path)
+        service = ProFIPyService(tmp_path / "ws")
+        imported = service.import_model(path)
+        assert imported.name == "custom"
+        assert "custom" in service.list_models()
+
+
+class TestJobRunner:
+    def test_blocking_job(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        ran = []
+        job = runner.submit("demo", lambda d: ran.append(d), block=True)
+        assert job.status == COMPLETED
+        assert ran and ran[0].exists()
+
+    def test_failing_job(self, tmp_path):
+        runner = JobRunner(tmp_path)
+
+        def body(_d):
+            raise RuntimeError("kaput")
+
+        job = runner.submit("demo", body, block=True)
+        assert job.status == FAILED
+        assert "kaput" in job.error
+
+    def test_async_job_and_wait(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        job = runner.submit("demo", lambda d: time.sleep(0.1), block=False)
+        runner.wait(job.job_id, timeout=10)
+        assert runner.get(job.job_id).status == COMPLETED
+
+    def test_job_ids_sequential(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        first = runner.submit("a", lambda d: None, block=True)
+        second = runner.submit("b", lambda d: None, block=True)
+        assert [first.job_id, second.job_id] == ["job-0001", "job-0002"]
+
+    def test_jobs_reload_from_disk(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        runner.submit("a", lambda d: None, block=True)
+        reloaded = JobRunner(tmp_path)
+        assert [job.job_id for job in reloaded.list()] == ["job-0001"]
+
+    def test_unknown_job(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobRunner(tmp_path).get("job-9999")
+
+
+@pytest.mark.integration
+class TestServiceCampaign:
+    def test_submit_campaign_end_to_end(self, tmp_path, toy_project,
+                                        toy_model, toy_workload):
+        service = ProFIPyService(tmp_path / "ws")
+        config = CampaignConfig(
+            name="toy",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=toy_workload,
+            injectable_files=["app.py"],
+            coverage=True,
+            parallelism=2,
+            workspace=tmp_path / "campaign-ws",
+        )
+        job = service.submit_campaign(config, block=True)
+        assert job.status == COMPLETED, job.error
+        summary = service.result_summary(job.job_id)
+        assert summary["points_found"] == 2
+        assert summary["points_covered"] == 1
+        assert summary["experiments"] == 1
+        report = service.report_text(job.job_id)
+        assert "Campaign summary" in report
+        experiments = service.experiments(job.job_id)
+        assert len(experiments) == 1
+        assert experiments[0].failed_round1

@@ -1,0 +1,72 @@
+"""Tests for the service-level regression workflow and the jobs CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.orchestrator.campaign import CampaignConfig
+from repro.service import ProFIPyService
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def completed_job(tmp_path, toy_project, toy_model, toy_workload):
+    service = ProFIPyService(tmp_path / "ws")
+    config = CampaignConfig(
+        name="toy",
+        target_dir=toy_project,
+        fault_model=toy_model,
+        workload=toy_workload,
+        injectable_files=["app.py"],
+        coverage=True,
+        parallelism=1,
+        workspace=tmp_path / "campaign-ws",
+    )
+    job = service.submit_campaign(config, block=True)
+    assert job.status == "completed", job.error
+    return service, job
+
+
+class TestServiceRegression:
+    def test_regression_tests_generated_for_failures(self, completed_job,
+                                                     tmp_path):
+        service, job = completed_job
+        written = service.generate_regression_tests(
+            job.job_id, tmp_path / "regr"
+        )
+        assert len(written) == 1
+        content = written[0].read_text()
+        assert "WRR" in content
+        assert "still causes a service" in content
+
+    def test_missing_config_rejected(self, tmp_path):
+        service = ProFIPyService(tmp_path / "ws")
+        job = service.runner.submit("bare", lambda d: None, block=True)
+        with pytest.raises(FileNotFoundError, match="config"):
+            service.generate_regression_tests(job.job_id, tmp_path / "r")
+
+
+class TestJobsCli:
+    def test_jobs_list_and_report(self, completed_job, tmp_path, capsys):
+        service, job = completed_job
+        workspace = str(service.workspace)
+        assert main(["--workspace", workspace, "jobs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert job.job_id in out
+        assert "completed" in out
+
+        assert main(["--workspace", workspace, "jobs", "report",
+                     job.job_id]) == 0
+        assert "Campaign summary" in capsys.readouterr().out
+
+    def test_regression_cli(self, completed_job, tmp_path, capsys):
+        service, job = completed_job
+        out_dir = tmp_path / "regr-cli"
+        assert main(["--workspace", str(service.workspace), "regression",
+                     job.job_id, "--out", str(out_dir)]) == 0
+        assert list(out_dir.glob("test_regression_*.py"))
+
+    def test_jobs_list_empty(self, tmp_path, capsys):
+        assert main(["--workspace", str(tmp_path / "empty-ws"),
+                     "jobs", "list"]) == 0
+        assert "no jobs" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Tests for the synthetic codebase generator (§V-D substrate)."""
+
+import ast
+
+from repro.faultmodel.library import expand_api_faults, gswfit_model
+from repro.scanner.scan import scan_tree
+from repro.synth import (
+    SynthConfig,
+    generate_codebase,
+    generate_module,
+    scan_pattern_apis,
+)
+
+
+class TestGenerateModule:
+    def test_deterministic_for_seed(self):
+        first = generate_module(SynthConfig(seed=5), "nova", 3)
+        second = generate_module(SynthConfig(seed=5), "nova", 3)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_module(SynthConfig(seed=5), "nova", 3)
+        second = generate_module(SynthConfig(seed=6), "nova", 3)
+        assert first[1] != second[1]
+
+    def test_generated_source_parses(self):
+        for index in range(6):
+            _, source = generate_module(SynthConfig(seed=1), "neutron", index)
+            ast.parse(source)
+
+    def test_contains_target_idioms(self):
+        sources = "".join(
+            generate_module(SynthConfig(seed=2, files=1), "cinder", i)[1]
+            for i in range(8)
+        )
+        assert "delete_" in sources           # MFC / Fig. 1a surface
+        assert "utils.execute(" in sources    # WPF / Fig. 1c surface
+        assert "if node:" in sources          # MIFS / Fig. 1b surface
+        assert "try:" in sources
+
+
+class TestGenerateCodebase:
+    def test_stats_and_layout(self, tmp_path):
+        stats = generate_codebase(tmp_path, SynthConfig(files=6, seed=0))
+        assert stats.files == 6
+        assert stats.lines > 100
+        assert len(stats.paths) == 6
+        packages = {path.parent.name for path in stats.paths}
+        assert packages == {"nova", "neutron", "cinder"}
+        for path in stats.paths:
+            assert (path.parent / "__init__.py").exists()
+
+    def test_all_files_scannable(self, tmp_path):
+        generate_codebase(tmp_path, SynthConfig(files=4, seed=9))
+        result = scan_tree(tmp_path, gswfit_model().enabled_specs())
+        assert not result.parse_errors
+        assert result.points
+
+    def test_parallel_scan_matches_serial(self, tmp_path):
+        generate_codebase(tmp_path, SynthConfig(files=4, seed=9))
+        specs = gswfit_model().enabled_specs()[:4]
+        serial = scan_tree(tmp_path, specs, jobs=1)
+        parallel = scan_tree(tmp_path, specs, jobs=2)
+        serial_ids = [point.point_id for point in serial.points]
+        parallel_ids = [point.point_id for point in parallel.points]
+        assert serial_ids == parallel_ids
+
+
+class TestPatternApis:
+    def test_twenty_apis(self):
+        apis = scan_pattern_apis()
+        assert len(apis) == 20
+        assert len(set(apis)) == 20
+
+    def test_expansion_reaches_120_patterns(self):
+        model = expand_api_faults(scan_pattern_apis(), kinds=None)
+        assert len(model.faults) == 120
+        assert len(model.compile()) == 120

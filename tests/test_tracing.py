@@ -1,0 +1,130 @@
+"""Tests for the tracing substrate and failure visualization."""
+
+import time
+
+import pytest
+
+from repro.analysis.visualization import render_events, render_timeline
+from repro.tracing import Span, Tracer, instrument_object, load_spans
+
+
+class TestTracer:
+    def test_span_records_timing(self):
+        tracer = Tracer("svc")
+        with tracer.span("op"):
+            time.sleep(0.01)
+        [span] = tracer.spans
+        assert span.name == "op"
+        assert span.duration >= 0.01
+        assert span.status == "ok"
+
+    def test_nested_spans_linked(self):
+        tracer = Tracer("svc")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_exception_marks_span(self):
+        tracer = Tracer("svc")
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        [span] = tracer.spans
+        assert span.status == "error: ValueError"
+        assert span.end is not None
+
+    def test_annotations_stringified(self):
+        tracer = Tracer("svc")
+        with tracer.span("op", key=123):
+            pass
+        assert tracer.spans[0].annotations == {"key": "123"}
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        tracer = Tracer("svc", sink=sink)
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        spans = load_spans(sink)
+        assert [span.name for span in spans] == ["one", "two"]
+        assert spans[0].trace_id == tracer.trace_id
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_spans(tmp_path / "none.jsonl") == []
+
+
+class TestInstrumentation:
+    class Api:
+        def __init__(self):
+            self.calls = []
+
+        def ping(self, value):
+            self.calls.append(value)
+            return value * 2
+
+        def explode(self):
+            raise RuntimeError("bang")
+
+    def test_wrapping_preserves_behavior(self):
+        api = self.Api()
+        tracer = Tracer("api")
+        instrument_object(api, tracer, methods=["ping"])
+        assert api.ping(21) == 42
+        assert api.calls == [21]
+        [span] = tracer.spans
+        assert span.name == "ping"
+        assert "21" in span.annotations["args"]
+
+    def test_exceptions_propagate_and_mark(self):
+        api = self.Api()
+        tracer = Tracer("api")
+        instrument_object(api, tracer, methods=["explode"])
+        with pytest.raises(RuntimeError):
+            api.explode()
+        assert tracer.spans[0].status == "error: RuntimeError"
+
+    def test_default_wraps_public_methods(self):
+        api = self.Api()
+        tracer = Tracer("api")
+        instrument_object(api, tracer)
+        api.ping(1)
+        assert len(tracer.spans) == 1
+
+    def test_non_callable_rejected(self):
+        api = self.Api()
+        api.value = 3
+        with pytest.raises(TypeError):
+            instrument_object(api, Tracer("api"), methods=["value"])
+
+
+class TestVisualization:
+    def spans(self):
+        return [
+            Span(service="client", name="set", start=0.0, end=0.5),
+            Span(service="server", name="PUT /k", start=0.1, end=0.3),
+            Span(service="client", name="get", start=0.6, end=0.7,
+                 status="error: EtcdKeyNotFound"),
+        ]
+
+    def test_timeline_contains_lanes_and_bars(self):
+        text = render_timeline(self.spans(), width=40)
+        assert "client" in text and "server" in text
+        assert "#" in text
+        assert "!" in text  # failed span drawn differently
+        assert "error: EtcdKeyNotFound" in text
+
+    def test_timeline_empty(self):
+        assert "no spans" in render_timeline([])
+
+    def test_events_chronological(self):
+        text = render_events(self.spans())
+        lines = text.splitlines()
+        assert "client.set" in lines[0]
+        assert "server.PUT /k" in lines[1]
+        assert "<<error: EtcdKeyNotFound>>" in lines[2]
+
+    def test_events_empty(self):
+        assert "no spans" in render_events([])

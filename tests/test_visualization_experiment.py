@@ -1,0 +1,72 @@
+"""Tests for experiment-level timeline rendering."""
+
+from repro.analysis.visualization import experiment_spans, render_experiment
+from repro.common.procutil import CommandResult
+from repro.orchestrator.experiment import ExperimentResult
+from repro.workload.runner import RoundResult
+
+
+def build_result():
+    result = ExperimentResult(experiment_id="exp-7", point={},
+                              spec_name="MFC")
+    result.rounds.append(RoundResult(
+        round_no=1, fault_enabled=True,
+        commands=[
+            CommandResult(command="python run.py --phase 1", returncode=1,
+                          stdout="", stderr="boom", duration=1.5),
+        ],
+        duration=1.6,
+    ))
+    result.rounds.append(RoundResult(
+        round_no=2, fault_enabled=False,
+        commands=[
+            CommandResult(command="python run.py --phase 2", returncode=0,
+                          stdout="ok", stderr="", duration=1.0),
+        ],
+        duration=1.1,
+    ))
+    return result
+
+
+class TestExperimentSpans:
+    def test_one_lane_per_round_plus_commands(self):
+        spans = experiment_spans(build_result())
+        services = {span.service for span in spans}
+        assert services == {"round-1", "round-2"}
+        assert len(spans) == 4  # 2 round spans + 2 command spans
+
+    def test_round1_marked_failed(self):
+        spans = experiment_spans(build_result())
+        round1 = [s for s in spans if s.service == "round-1"
+                  and s.name == "fault ON"][0]
+        assert round1.status.startswith("error")
+
+    def test_command_failure_status(self):
+        spans = experiment_spans(build_result())
+        failed = [s for s in spans if s.status == "error: exit 1"]
+        assert len(failed) == 1
+
+    def test_rounds_sequential_on_timeline(self):
+        spans = experiment_spans(build_result())
+        round1 = next(s for s in spans if s.name == "fault ON")
+        round2 = next(s for s in spans if s.name == "fault OFF")
+        assert round2.start >= round1.end
+
+    def test_timeout_status(self):
+        result = build_result()
+        result.rounds[0].commands[0].timed_out = True
+        spans = experiment_spans(result)
+        assert any(s.status == "error: timeout" for s in spans)
+
+
+class TestRenderExperiment:
+    def test_render_contains_header_and_lanes(self):
+        text = render_experiment(build_result(), width=40)
+        assert "exp-7" in text and "MFC" in text
+        assert "round-1" in text and "round-2" in text
+        assert "fault ON" in text and "fault OFF" in text
+
+    def test_render_empty_experiment(self):
+        empty = ExperimentResult(experiment_id="x", point={})
+        text = render_experiment(empty)
+        assert "no spans" in text

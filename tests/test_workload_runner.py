@@ -1,0 +1,150 @@
+"""Tests for workload specs, round execution, and the traffic generator."""
+
+import pytest
+
+from repro.etcdsim import EtcdServer
+from repro.sandbox import Sandbox, SandboxImage
+from repro.workload import (
+    HttpTrafficGenerator,
+    ServiceStartError,
+    WorkloadSpec,
+    etcd_case_study_workload,
+    run_round,
+    start_services,
+)
+
+
+@pytest.fixture
+def image(tmp_path):
+    source = tmp_path / "src"
+    source.mkdir()
+    (source / "noop.py").write_text("print('hi')\n")
+    return SandboxImage.build(source, tmp_path / "image")
+
+
+class TestWorkloadSpec:
+    def test_requires_commands(self):
+        with pytest.raises(ValueError, match="at least one command"):
+            WorkloadSpec(commands=[])
+
+    def test_round_trip(self):
+        spec = etcd_case_study_workload()
+        clone = WorkloadSpec.from_dict(spec.to_dict())
+        assert clone.commands == spec.commands
+        assert clone.ready_file == spec.ready_file
+
+    def test_case_study_shape(self):
+        spec = etcd_case_study_workload(command_timeout=33.0)
+        assert spec.command_timeout == 33.0
+        assert any("run_server" in cmd for cmd in spec.service_commands)
+        assert any("run_workload" in cmd for cmd in spec.commands)
+
+
+class TestRunRound:
+    def test_successful_round(self, image, tmp_path):
+        spec = WorkloadSpec(commands=["echo one", "echo two"])
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            result = run_round(sandbox, spec, 1, fault_enabled=True)
+        assert not result.failed
+        assert result.round_no == 1
+        assert result.fault_enabled
+        assert "one" in result.output and "two" in result.output
+
+    def test_failed_command_marks_round(self, image, tmp_path):
+        spec = WorkloadSpec(commands=["exit 1"])
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            result = run_round(sandbox, spec, 1, fault_enabled=True)
+        assert result.failed
+        assert not result.timed_out
+
+    def test_timeout_stops_round(self, image, tmp_path):
+        spec = WorkloadSpec(commands=["sleep 20", "echo never"],
+                            command_timeout=0.3)
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            result = run_round(sandbox, spec, 1, fault_enabled=True)
+        assert result.timed_out
+        assert result.failed
+        assert len(result.commands) == 1  # second command skipped
+
+    def test_dead_service_marks_round(self, image, tmp_path):
+        spec = WorkloadSpec(commands=["echo ok"])
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            sandbox.start_service("true")  # exits immediately
+            import time
+
+            time.sleep(0.2)
+            result = run_round(sandbox, spec, 1, fault_enabled=False)
+        assert result.failed
+        assert not result.services_alive
+
+    def test_round_to_dict(self, image, tmp_path):
+        spec = WorkloadSpec(commands=["echo ok"])
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            result = run_round(sandbox, spec, 2, fault_enabled=False)
+        data = result.to_dict()
+        assert data["round_no"] == 2
+        assert data["failed"] is False
+        assert data["commands"][0]["returncode"] == 0
+
+
+class TestStartServices:
+    def test_ready_file_wait(self, image, tmp_path):
+        spec = WorkloadSpec(
+            service_commands=["sh -c 'sleep 0.2; echo 99 > ready; sleep 30'"],
+            commands=["cat ready"],
+            ready_file="ready",
+            ready_timeout=5.0,
+        )
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            start_services(sandbox, spec)
+            result = run_round(sandbox, spec, 1, fault_enabled=False)
+        assert "99" in result.output
+
+    def test_missing_ready_file_raises(self, image, tmp_path):
+        spec = WorkloadSpec(
+            service_commands=["sleep 5"],
+            commands=["echo never"],
+            ready_file="never-appears",
+            ready_timeout=0.3,
+        )
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            with pytest.raises(ServiceStartError, match="never produced"):
+                start_services(sandbox, spec)
+
+    def test_dead_service_raises(self, image, tmp_path):
+        spec = WorkloadSpec(service_commands=["false"],
+                            commands=["echo hi"])
+        with Sandbox.create(image, tmp_path / "b", "x") as sandbox:
+            with pytest.raises(ServiceStartError, match="exited"):
+                start_services(sandbox, spec)
+
+
+class TestHttpTrafficGenerator:
+    def test_traffic_against_etcdsim(self):
+        with EtcdServer() as server:
+            url = f"http://{server.host}:{server.port}/version"
+            stats = HttpTrafficGenerator(url, requests=20,
+                                         concurrency=4).run()
+        assert stats.requests == 20
+        assert stats.failures == 0
+        assert stats.status_counts.get(200) == 20
+        assert stats.throughput > 0
+
+    def test_failures_counted(self):
+        stats = HttpTrafficGenerator("http://127.0.0.1:1/x", requests=3,
+                                     concurrency=1, timeout=0.2).run()
+        assert stats.failures == 3
+        assert stats.failure_ratio == 1.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            HttpTrafficGenerator("http://x", requests=0)
+
+    def test_cli_exit_code(self):
+        from repro.workload.httpgen import main
+
+        with EtcdServer() as server:
+            url = f"http://{server.host}:{server.port}/version"
+            assert main(["--url", url, "--requests", "5"]) == 0
+        assert main(["--url", "http://127.0.0.1:1/x", "--requests", "2",
+                     "--timeout", "0.2"]) == 1
