@@ -81,8 +81,12 @@ def cmd_models(args) -> int:
 
 
 def cmd_scan(args) -> int:
+    from repro.scanner.cache import ScanCache
+
     model = _load_model(args)
-    result = scan_tree(args.target, model.enabled_specs(), jobs=args.jobs)
+    cache = ScanCache(args.cache_dir) if args.cache_dir else None
+    result = scan_tree(args.target, model.enabled_specs(), jobs=args.jobs,
+                       cache=cache)
     for point in result.points:
         print(f"{point.point_id}  line {point.lineno}  {point.snippet}")
     print(
@@ -143,6 +147,8 @@ def cmd_campaign(args) -> int:
         coverage=not args.no_coverage,
         sample=args.sample,
         parallelism=args.parallel,
+        scan_jobs=args.scan_jobs,
+        scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
         seed=args.seed,
         workspace=workspace,
     )
@@ -246,7 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("target", help="file or directory to scan")
     scan.add_argument("--model", default="gswfit")
     scan.add_argument("--model-file")
-    scan.add_argument("--jobs", type=int, default=1)
+    scan.add_argument("--jobs", type=int, default=1,
+                      help="scan worker processes (warm workers: specs are "
+                           "compiled once per worker)")
+    scan.add_argument("--cache-dir",
+                      help="content-addressed scan cache directory; "
+                           "re-scans of unchanged files are free")
     scan.set_defaults(func=cmd_scan)
 
     mutate = sub.add_parser("mutate", help="generate one mutated version")
@@ -275,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--timeout", type=float, default=60.0)
     campaign.add_argument("--sample", type=int)
     campaign.add_argument("--parallel", type=int)
+    campaign.add_argument("--scan-jobs", type=int, default=None,
+                          help="worker processes for the scan phase "
+                               "(default: in-process indexed scan)")
+    campaign.add_argument("--scan-cache", default=None,
+                          help="persistent scan-cache directory for "
+                               "repeated campaigns over unchanged trees")
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--no-coverage", action="store_true")
     campaign.add_argument("--no-trigger", action="store_true")

@@ -77,6 +77,10 @@ def compile_spec(spec: BugSpec) -> MetaModel:
         bound_tags=bound_tags,
     )
     _validate_block_positions(model)
+    # Imported late: the scanner package imports the DSL at module level.
+    from repro.scanner.prefilter import derive_requirements
+
+    model.requirements = derive_requirements(model)
     return model
 
 

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.dsl.directives import Directive, DirectiveKind
 from repro.dsl.lexer import is_placeholder
 from repro.dsl.parser import BugSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.scanner.prefilter import SpecRequirements
 
 
 @dataclass
@@ -31,6 +35,9 @@ class MetaModel:
     directives: dict[str, Directive] = field(default_factory=dict)
     #: Tags bound on the pattern side, mapped to their binding directive.
     bound_tags: dict[str, Directive] = field(default_factory=dict)
+    #: Fingerprint requirement derived by the compiler; the scan engine
+    #: skips files that cannot satisfy it (None = never prefilter).
+    requirements: "SpecRequirements | None" = None
 
     @property
     def name(self) -> str:

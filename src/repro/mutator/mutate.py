@@ -26,7 +26,8 @@ from repro.common.rng import SeededRandom
 from repro.dsl.metamodel import MetaModel
 from repro.mutator.runtime import RUNTIME_ALIAS, RUNTIME_MODULE_NAME
 from repro.mutator.substitute import ReplacementBuilder, runtime_call
-from repro.scanner.matcher import Match
+from repro.scanner.cache import MatchMemo
+from repro.scanner.matcher import Match, Matcher, pick_match
 from repro.scanner.scan import match_source, nth_match
 
 
@@ -51,9 +52,14 @@ class Mutator:
     """Apply bug specifications to source code."""
 
     def __init__(self, trigger: bool = True,
-                 rng: SeededRandom | None = None) -> None:
+                 rng: SeededRandom | None = None,
+                 match_memo: MatchMemo | None = None) -> None:
         self.trigger = trigger
         self.rng = rng or SeededRandom(0)
+        #: Shared per-batch memo: repeated mutations of the same
+        #: (file, spec) pair reuse one cached match list instead of
+        #: re-running the backtracking matcher per mutant.
+        self.match_memo = match_memo
 
     # -- fault injection -------------------------------------------------------
 
@@ -67,8 +73,11 @@ class Mutator:
     ) -> Mutation:
         """Mutate the ``ordinal``-th match of ``model`` in ``source``."""
         fault_id = fault_id or f"{model.name}:{file}:{ordinal}"
-        tree = ast.parse(source)
-        match = self._nth_match_in_tree(tree, model, ordinal)
+        if self.match_memo is not None:
+            tree, match = self.match_memo.take(source, model, ordinal)
+        else:
+            tree = ast.parse(source)
+            match = self._nth_match_in_tree(tree, model, ordinal)
         original_stmts = match.stmts
         original_snippet = "\n".join(
             ast.unparse(stmt) for stmt in original_stmts
@@ -136,9 +145,16 @@ class Mutator:
         workload reached the corresponding injection point.
         """
         tree = ast.parse(source)
+        # One matcher run per model: targets usually carry many ordinals of
+        # the same spec, and every ordinal resolves from one match list.
+        matches_by_model: dict[int, list[Match]] = {}
         inserts: list[tuple[ast.AST, str, int, str]] = []
         for model, ordinal, point_id in targets:
-            match = self._nth_match_in_tree(tree, model, ordinal)
+            matches = matches_by_model.get(id(model))
+            if matches is None:
+                matches = Matcher(model).find_matches(tree)
+                matches_by_model[id(model)] = matches
+            match = pick_match(matches, model.name, ordinal)
             inserts.append((match.owner, match.field, match.start, point_id))
         # Insert deepest-position first so earlier indices stay valid.
         grouped: dict[tuple[int, str], list[tuple[int, str]]] = {}
@@ -165,15 +181,8 @@ class Mutator:
     @staticmethod
     def _nth_match_in_tree(tree: ast.Module, model: MetaModel,
                            ordinal: int) -> Match:
-        from repro.scanner.matcher import Matcher
-
-        matches = Matcher(model).find_matches(tree)
-        if ordinal >= len(matches):
-            raise IndexError(
-                f"spec {model.name!r} has {len(matches)} matches, "
-                f"ordinal {ordinal} requested"
-            )
-        return matches[ordinal]
+        return pick_match(Matcher(model).find_matches(tree),
+                          model.name, ordinal)
 
 
 def _insert_runtime_import(tree: ast.Module) -> None:

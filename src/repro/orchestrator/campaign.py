@@ -22,7 +22,8 @@ from repro.orchestrator.experiment import ExperimentResult
 from repro.orchestrator.plan import Plan
 from repro.sandbox.image import SandboxImage
 from repro.sandbox.pool import ExperimentPool
-from repro.scanner.scan import ScanResult, scan_file
+from repro.scanner.cache import ScanCache
+from repro.scanner.scan import ScanResult, scan_files
 from repro.workload.spec import WorkloadSpec
 
 
@@ -47,6 +48,11 @@ class CampaignConfig:
     file_filter: list[str] | None = None
     #: None = adaptive N-1 parallelism; an int pins the worker count.
     parallelism: int | None = None
+    #: Scan-phase worker processes (None/1 = in-process indexed scan).
+    scan_jobs: int | None = None
+    #: Persistent scan-cache directory; repeated campaigns over unchanged
+    #: trees skip re-matching (the as-a-Service fast path).
+    scan_cache_dir: Path | None = None
     seed: int = 0
     #: Workspace directory (default: a fresh temporary directory).
     workspace: Path | None = None
@@ -56,6 +62,11 @@ class CampaignConfig:
         self.target_dir = Path(self.target_dir)
         if not self.target_dir.exists():
             raise FileNotFoundError(f"target_dir {self.target_dir} not found")
+        if self.workspace is not None:
+            # Sandboxed workloads run with their own cwd; a relative
+            # workspace (e.g. the CLI's default .profipy) would make the
+            # coverage/trigger paths resolve against the wrong directory.
+            self.workspace = Path(self.workspace).resolve()
 
 
 @dataclass
@@ -92,6 +103,7 @@ class CampaignResult:
         """The §V headline numbers for this campaign."""
         return {
             "campaign": self.name,
+            "scan_errors": len(self.scan_errors),
             "points_found": self.points_found,
             "points_covered": (self.coverage.covered_count
                                if self.coverage else None),
@@ -114,7 +126,14 @@ class Campaign:
     # -- scan phase --------------------------------------------------------------
 
     def scan(self) -> ScanResult:
-        """Find every injection point in the injectable files."""
+        """Find every injection point in the injectable files.
+
+        Runs through the indexed scan engine: spec prefilters, one shared
+        AST walk per file, ``scan_jobs`` warm worker processes, and an
+        optional content-addressed result cache.  Missing or unreadable
+        injectable files are recorded in ``parse_errors`` rather than
+        aborting the campaign.
+        """
         config = self.config
         files = config.injectable_files
         if files is None:
@@ -123,11 +142,20 @@ class Campaign:
             paths = sorted(iter_python_files(config.target_dir))
         else:
             paths = [config.target_dir / rel for rel in files]
-        result = ScanResult()
+        cache = (ScanCache(config.scan_cache_dir)
+                 if config.scan_cache_dir is not None else None)
+        # Specs and models derive from the same compiled set, so the
+        # serial and parallel paths scan an identical faultload (and
+        # produce identical cache digests).
         models = list(self.models.values())
-        for path in paths:
-            result.merge(scan_file(path, models, root=config.target_dir))
-        return result
+        return scan_files(
+            paths,
+            [model.spec for model in models],
+            root=config.target_dir,
+            jobs=config.scan_jobs or 1,
+            cache=cache,
+            models=models,
+        )
 
     # -- full workflow -------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.common.rng import SeededRandom
 from repro.dsl.metamodel import MetaModel
 from repro.mutator.mutate import Mutator
+from repro.scanner.cache import MatchMemo
 from repro.mutator.runtime import SEED_ENV, TRIGGER_ENV
 from repro.orchestrator.experiment import (
     STATUS_COMPLETED,
@@ -51,6 +52,9 @@ class ExperimentExecutor:
     rounds: int = 2
     rng: SeededRandom = field(default_factory=lambda: SeededRandom(0))
     artifacts_dir: Path | None = None
+    #: Shared across the batch: experiments hitting the same (file, spec)
+    #: pair at different ordinals reuse one cached match list.
+    match_memo: MatchMemo = field(default_factory=MatchMemo)
 
     def run(self, planned: PlannedExperiment) -> ExperimentResult:
         """Execute one experiment end-to-end; never raises for target bugs."""
@@ -80,7 +84,8 @@ class ExperimentExecutor:
         point = planned.point
         model = self.models[point.spec_name]
         pristine = self.image.read_file(point.file)
-        mutation = Mutator(trigger=self.trigger, rng=self.rng).mutate_source(
+        mutation = Mutator(trigger=self.trigger, rng=self.rng,
+                           match_memo=self.match_memo).mutate_source(
             pristine, model, point.ordinal,
             fault_id=point.point_id, file=point.file,
         )

@@ -1,13 +1,28 @@
 """Source-code scanner: meta-model matching over program ASTs (§IV-A)."""
 
 from repro.scanner.bindings import Bindings, CallCapture
+from repro.scanner.cache import (
+    MatchMemo,
+    ScanCache,
+    faultload_digest,
+    source_digest,
+)
 from repro.scanner.matcher import Match, Matcher, call_name, name_matches
 from repro.scanner.points import InjectionPoint, component_of
+from repro.scanner.prefilter import (
+    FileFingerprint,
+    SpecRequirements,
+    derive_requirements,
+)
 from repro.scanner.scan import (
+    FileIndex,
+    ScanEngine,
     ScanResult,
+    build_index,
     match_source,
     nth_match,
     scan_file,
+    scan_files,
     scan_source,
     scan_tree,
 )
@@ -15,16 +30,27 @@ from repro.scanner.scan import (
 __all__ = [
     "Bindings",
     "CallCapture",
+    "FileFingerprint",
+    "FileIndex",
     "InjectionPoint",
     "Match",
+    "MatchMemo",
     "Matcher",
+    "ScanCache",
+    "ScanEngine",
     "ScanResult",
+    "SpecRequirements",
+    "build_index",
     "call_name",
     "component_of",
+    "derive_requirements",
+    "faultload_digest",
     "match_source",
     "name_matches",
     "nth_match",
     "scan_file",
+    "scan_files",
     "scan_source",
     "scan_tree",
+    "source_digest",
 ]

@@ -1,0 +1,250 @@
+"""Content-addressed scan memoization (the as-a-Service fast path).
+
+Two memoizers live here:
+
+* :class:`ScanCache` — per-file scan results keyed by
+  ``(sha256(source), faultload_digest)``.  Service-mode campaigns re-scan
+  the same (unchanged) target trees over and over; with a persistent cache
+  directory the second campaign skips the matcher entirely.  Entries store
+  only file-independent match data (spec, ordinal, line span, snippet), so
+  identical file contents share one entry regardless of path.
+* :class:`MatchMemo` — a per-batch memo of pristine parse trees and their
+  matches.  The mutator re-derives the ``ordinal``-th match from pristine
+  source for every generated mutant; within a mutation batch (one campaign
+  executor) the same ``(file, spec)`` pair recurs once per ordinal, and the
+  memo replaces the repeated parse+backtracking-match with one cached match
+  list plus a ``deepcopy`` translation onto a fresh tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.common.fsutil import read_json, write_json
+from repro.dsl.metamodel import MetaModel
+from repro.dsl.parser import BugSpec
+from repro.scanner.bindings import Bindings, CallCapture
+from repro.scanner.matcher import Match, Matcher, pick_match
+
+
+def source_digest(source: str) -> str:
+    """Content address of one source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def faultload_digest(specs: "list[BugSpec] | list[MetaModel]") -> str:
+    """Stable digest of an *ordered* faultload.
+
+    Spec order matters: per-file points are emitted in model order, so two
+    faultloads with the same specs in different orders are distinct.
+    """
+    digest = hashlib.sha256()
+    for spec in specs:
+        raw = spec.spec.raw if isinstance(spec, MetaModel) else spec.raw
+        name = spec.name
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(raw.encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+#: Bump when the entry schema changes; older disk entries become misses.
+CACHE_FORMAT_VERSION = 1
+
+_ROW_KEYS = {"spec_name", "ordinal", "lineno", "end_lineno", "snippet"}
+
+
+def _valid_entry(entry) -> bool:
+    """Schema check: malformed/old disk entries degrade to cache misses."""
+    if not isinstance(entry, dict):
+        return False
+    if entry.get("version") != CACHE_FORMAT_VERSION:
+        return False
+    matches = entry.get("matches")
+    if not isinstance(matches, list):
+        return False
+    return all(
+        isinstance(row, dict) and _ROW_KEYS <= row.keys()
+        for row in matches
+    )
+
+
+class ScanCache:
+    """Memo of per-file scan results, optionally persisted to disk.
+
+    The in-memory map is always consulted first; when ``cache_dir`` is set,
+    misses fall back to a JSON entry on disk and stores write through.
+    Entries are schema-versioned — anything malformed or from another
+    format version is treated as a miss, never a crash.  The disk cache is
+    pruned to ``max_disk_entries`` (oldest first) when the cache is
+    opened, so long-lived service workspaces stay bounded.  Thread-safe
+    (service jobs scan on worker threads).
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 max_disk_entries: int = 4096) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.max_disk_entries = max_disk_entries
+        self._memory: dict[tuple[str, str], dict] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._prune_disk()
+
+    def _entry_path(self, source_sha: str, load_digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{load_digest[:16]}-{source_sha}.json"
+
+    def _prune_disk(self) -> None:
+        """Drop the oldest disk entries beyond ``max_disk_entries``."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return
+        try:
+            entries = sorted(
+                self.cache_dir.glob("*.json"),
+                key=lambda path: path.stat().st_mtime,
+            )
+        except OSError:
+            return
+        for path in entries[:max(0, len(entries) - self.max_disk_entries)]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def lookup(self, source_sha: str, load_digest: str) -> dict | None:
+        """Cached entry ``{"matches": [...], "error": str|None}`` or None."""
+        key = (source_sha, load_digest)
+        with self._lock:
+            entry = self._memory.get(key)
+        if entry is None and self.cache_dir is not None:
+            path = self._entry_path(source_sha, load_digest)
+            if path.exists():
+                try:
+                    entry = read_json(path)
+                except (OSError, ValueError):
+                    entry = None
+                if entry is not None and not _valid_entry(entry):
+                    entry = None
+                if entry is not None:
+                    with self._lock:
+                        self._memory[key] = entry
+                    try:
+                        # Refresh recency so pruning is LRU, not FIFO:
+                        # hot entries survive the max_disk_entries cap.
+                        os.utime(path)
+                    except OSError:
+                        pass
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return entry
+
+    def store(self, source_sha: str, load_digest: str, entry: dict) -> None:
+        entry = {**entry, "version": CACHE_FORMAT_VERSION}
+        key = (source_sha, load_digest)
+        with self._lock:
+            self._memory[key] = entry
+        if self.cache_dir is not None:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                write_json(self._entry_path(source_sha, load_digest), entry)
+            except OSError:
+                pass  # persistence is best-effort; memory entry stands
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._memory)}
+
+
+class MatchMemo:
+    """Bounded memo of ``(source, spec) -> (pristine tree, matches)``.
+
+    :meth:`take` hands out a *fresh* tree plus the requested match
+    translated onto it, so callers may mutate freely.  The translation uses
+    the ``deepcopy`` memo dictionary — ``memo[id(old_node)]`` is the copied
+    node — to remap the match window and every tag binding in O(tree)
+    instead of re-running the backtracking matcher.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str, str],
+                                   tuple[ast.Module, list[Match]]]
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _pristine(self, source: str,
+                  model: MetaModel) -> tuple[ast.Module, list[Match]]:
+        # The raw spec text is part of the key: two models may share a
+        # name while matching different patterns (ScanCache digests
+        # name+raw for the same reason).
+        key = (source_digest(source), model.name, model.spec.raw)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        tree = ast.parse(source)
+        matches = Matcher(model).find_matches(tree)
+        with self._lock:
+            self._entries[key] = (tree, matches)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return tree, matches
+
+    def count(self, source: str, model: MetaModel) -> int:
+        """Number of matches of ``model`` in ``source`` (memoized)."""
+        return len(self._pristine(source, model)[1])
+
+    def take(self, source: str, model: MetaModel,
+             ordinal: int) -> tuple[ast.Module, Match]:
+        """A fresh tree plus the ``ordinal``-th match located in it."""
+        tree, matches = self._pristine(source, model)
+        match = pick_match(matches, model.name, ordinal)
+        node_map: dict[int, object] = {}
+        fresh_tree = copy.deepcopy(tree, node_map)
+        fresh = Match(
+            owner=node_map[id(match.owner)],
+            field=match.field,
+            start=match.start,
+            end=match.end,
+            bindings=_remap_bindings(match.bindings, node_map),
+            spec_name=match.spec_name,
+        )
+        return fresh_tree, fresh
+
+
+def _remap_bindings(bindings: Bindings, node_map: dict) -> Bindings:
+    remapped = Bindings()
+    for tag in bindings.tags():
+        remapped.bind(tag, _remap_value(bindings.get(tag), node_map))
+    return remapped
+
+
+def _remap_value(value, node_map: dict):
+    if isinstance(value, ast.AST):
+        return node_map[id(value)]
+    if isinstance(value, CallCapture):
+        return CallCapture(
+            call=node_map[id(value.call)],
+            wildcards=[[node_map[id(arg)] for arg in group]
+                       for group in value.wildcards],
+            absorbed_keywords=[node_map[id(keyword)]
+                               for keyword in value.absorbed_keywords],
+            containing_stmt=(node_map[id(value.containing_stmt)]
+                             if value.containing_stmt is not None else None),
+        )
+    if isinstance(value, list):
+        return [node_map[id(item)] if isinstance(item, ast.AST) else item
+                for item in value]
+    return value  # anchor tuples and other scalars pass through

@@ -117,15 +117,35 @@ def _is_compound_stmt(stmt: ast.stmt) -> bool:
     )
 
 
+def pick_match(matches: "list[Match]", spec_name: str, ordinal: int) -> "Match":
+    """The ``ordinal``-th match, with the shared out-of-range diagnostic."""
+    if ordinal >= len(matches):
+        raise IndexError(
+            f"spec {spec_name!r} has {len(matches)} matches, "
+            f"ordinal {ordinal} requested"
+        )
+    return matches[ordinal]
+
+
+def is_stmt_list(value) -> bool:
+    """True for a non-empty field value holding only statements.
+
+    Shared by :func:`iter_stmt_lists` and the scan engine's index builder
+    so both walks agree, by construction, on what counts as a matchable
+    statement list.
+    """
+    return (
+        isinstance(value, list)
+        and bool(value)
+        and all(isinstance(item, ast.stmt) for item in value)
+    )
+
+
 def iter_stmt_lists(tree: ast.AST):
     """Yield every ``(owner, field, stmt_list)`` in ``tree``, outside-in."""
     for node in ast.walk(tree):
         for fname, value in ast.iter_fields(node):
-            if (
-                isinstance(value, list)
-                and value
-                and all(isinstance(item, ast.stmt) for item in value)
-            ):
+            if is_stmt_list(value):
                 yield node, fname, value
 
 
@@ -140,7 +160,15 @@ class Matcher:
     # -- public API ----------------------------------------------------------
 
     def find_matches(self, tree: ast.AST) -> list[Match]:
-        """All matches of the pattern in ``tree``, in source order.
+        """All matches of the pattern in ``tree``, in source order."""
+        return self.find_matches_in(iter_stmt_lists(tree))
+
+    def find_matches_in(self, stmt_lists) -> list[Match]:
+        """All matches over pre-collected ``(owner, field, stmts)`` lists.
+
+        The indexed scan engine collects the statement lists of a file once
+        (one AST walk) and runs every surviving matcher against them; see
+        :class:`repro.scanner.scan.FileIndex`.
 
         Overlapping matches that pin the same *anchor* statements (the
         concrete, non-wildcard pattern elements) are duplicates — variable
@@ -150,7 +178,7 @@ class Matcher:
         """
         matches: list[Match] = []
         seen_anchors: set[tuple] = set()
-        for owner, fname, stmts in iter_stmt_lists(tree):
+        for owner, fname, stmts in stmt_lists:
             index = 0
             while index + self._min_len <= len(stmts):
                 bindings = Bindings()
@@ -227,17 +255,19 @@ class Matcher:
 
         if t_index >= len(stmts):
             return None
-        trial = bindings.snapshot()
-        if not self._match_stmt(p_stmt, stmts[t_index], trial):
+        # No snapshot here: every caller that retries alternatives works on
+        # its own trial copy (the $BLOCK take-loop, the expression-sequence
+        # wildcards, the per-window bindings), so a failed concrete match
+        # may safely leave partial bindings behind — they are discarded
+        # with the enclosing trial.  This keeps the common anchor-miss path
+        # allocation-free.
+        if not self._match_stmt(p_stmt, stmts[t_index], bindings):
             return None
-        anchors = trial.get(_ANCHORS_TAG) or ()
-        trial.bind(_ANCHORS_TAG, anchors + (id(stmts[t_index]),))
-        result = self._match_seq(
-            pattern, p_index + 1, stmts, t_index + 1, trial, anchored_end
+        anchors = bindings.get(_ANCHORS_TAG) or ()
+        bindings.bind(_ANCHORS_TAG, anchors + (id(stmts[t_index]),))
+        return self._match_seq(
+            pattern, p_index + 1, stmts, t_index + 1, bindings, anchored_end
         )
-        if result is not None:
-            bindings.adopt(trial)
-        return result
 
     def _match_block(
         self,
@@ -512,7 +542,7 @@ class Matcher:
         trial = bindings.snapshot()
         wildcards = recurse(0, 0, trial, [])
         if wildcards is None:
-            return None if False else False
+            return False
         # Keyword arguments: explicit keyword patterns must match by name;
         # the rest are absorbed when the pattern has any wildcard.
         absorbed = list(t_call.keywords)

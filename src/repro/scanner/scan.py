@@ -1,9 +1,24 @@
 """Source-code scanner: find every injection point in a project (§IV-A).
 
-``scan_tree`` walks a source tree (or a single file), parses each Python
-file once, and runs every compiled bug specification over it.  Scanning is
-"embarrassingly parallel" across files (paper §V-D); pass ``jobs > 1`` to
-fan out over processes.
+The scan hot path is an *indexed engine* (§V-D scalability):
+
+1. each file is parsed once and summarized by a :class:`FileIndex` — the
+   statement lists the matcher windows over plus a
+   :class:`~repro.scanner.prefilter.FileFingerprint`, both collected in a
+   single AST walk;
+2. every spec compiles to a :class:`~repro.scanner.prefilter.SpecRequirements`
+   prefilter; specs the fingerprint cannot satisfy are skipped without
+   running the matcher, which eliminates most ``specs x files`` work for
+   API-glob faultloads;
+3. ``jobs > 1`` fans files out over *warm* worker processes — specs are
+   compiled once per worker (``ProcessPoolExecutor(initializer=...)``) and
+   files are submitted in chunks, with a deterministic merge order;
+4. an optional :class:`~repro.scanner.cache.ScanCache` memoizes per-file
+   results by ``(sha256(source), faultload_digest)`` so repeated campaigns
+   over unchanged trees (the as-a-Service case) skip re-matching.
+
+The engine returns byte-identical :class:`InjectionPoint` lists to the
+naive per-spec matcher (see ``tests/test_scan_engine.py``).
 """
 
 from __future__ import annotations
@@ -18,8 +33,10 @@ from repro.common.textutil import truncate
 from repro.dsl.compiler import compile_spec
 from repro.dsl.metamodel import MetaModel
 from repro.dsl.parser import BugSpec
-from repro.scanner.matcher import Match, Matcher
+from repro.scanner.cache import ScanCache, faultload_digest, source_digest
+from repro.scanner.matcher import Match, Matcher, is_stmt_list, pick_match
 from repro.scanner.points import InjectionPoint, component_of
+from repro.scanner.prefilter import FileFingerprint
 
 
 @dataclass
@@ -42,9 +59,123 @@ class ScanResult:
         self.parse_errors.update(other.parse_errors)
 
 
+# -- the per-file index ---------------------------------------------------------
+
+
+@dataclass
+class FileIndex:
+    """Everything the matchers need from one file, built in one walk."""
+
+    tree: ast.AST
+    stmt_lists: list[tuple[ast.AST, str, list[ast.stmt]]]
+    fingerprint: FileFingerprint
+
+
+def build_index(tree: ast.AST) -> FileIndex:
+    """Collect the statement lists and the fingerprint in a single walk."""
+    fingerprint = FileFingerprint()
+    stmt_lists: list[tuple[ast.AST, str, list[ast.stmt]]] = []
+    for node in ast.walk(tree):
+        fingerprint.add_node(node)
+        for fname, value in ast.iter_fields(node):
+            if is_stmt_list(value):
+                stmt_lists.append((node, fname, value))
+    return FileIndex(tree=tree, stmt_lists=stmt_lists, fingerprint=fingerprint)
+
+
+# -- the scan engine ------------------------------------------------------------
+
+
+class ScanEngine:
+    """Compiled faultload + matchers, reusable across many files.
+
+    One engine per scan (or per warm worker process): matchers are
+    constructed once, the faultload digest is computed once, and prefilter
+    effectiveness is tracked in :attr:`pairs_total` / :attr:`pairs_skipped`.
+    """
+
+    def __init__(self, models: list[MetaModel]) -> None:
+        self.models = models
+        self._matchers = [Matcher(model) for model in models]
+        self._digest: str | None = None
+        self.pairs_total = 0
+        self.pairs_skipped = 0
+
+    @property
+    def digest(self) -> str:
+        if self._digest is None:
+            self._digest = faultload_digest(self.models)
+        return self._digest
+
+    def scan_rows(self, source: str) -> list[dict]:
+        """File-independent match rows of every model, in model order."""
+        index = build_index(ast.parse(source))
+        rows: list[dict] = []
+        for model, matcher in zip(self.models, self._matchers):
+            self.pairs_total += 1
+            requirements = model.requirements
+            if (requirements is not None
+                    and not requirements.satisfied_by(index.fingerprint)):
+                self.pairs_skipped += 1
+                continue
+            for ordinal, match in enumerate(
+                matcher.find_matches_in(index.stmt_lists)
+            ):
+                snippet = "; ".join(
+                    ast.unparse(stmt).splitlines()[0]
+                    for stmt in match.stmts[:3]
+                )
+                rows.append({
+                    "spec_name": model.name,
+                    "ordinal": ordinal,
+                    "lineno": match.lineno,
+                    "end_lineno": match.end_lineno,
+                    "snippet": truncate(snippet, 120),
+                })
+        return rows
+
+    def scan_source(self, source: str,
+                    file: str = "<string>") -> list[InjectionPoint]:
+        return rows_to_points(self.scan_rows(source), file)
+
+    def prefilter_stats(self) -> dict:
+        return {
+            "pairs_total": self.pairs_total,
+            "pairs_skipped": self.pairs_skipped,
+            "skip_rate": (self.pairs_skipped / self.pairs_total
+                          if self.pairs_total else 0.0),
+        }
+
+
+def rows_to_points(rows: list[dict], file: str) -> list[InjectionPoint]:
+    """Attach file identity to cached/engine match rows."""
+    component = component_of(file)
+    return [
+        InjectionPoint(
+            spec_name=row["spec_name"],
+            file=file,
+            ordinal=row["ordinal"],
+            lineno=row["lineno"],
+            end_lineno=row["end_lineno"],
+            snippet=row["snippet"],
+            component=component,
+        )
+        for row in rows
+    ]
+
+
+# -- single-source entry points -------------------------------------------------
+
+
 def match_source(source: str, model: MetaModel) -> list[Match]:
     """All matches of one meta-model in a source string."""
     tree = ast.parse(source)
+    requirements = model.requirements
+    if requirements is not None:
+        index = build_index(tree)
+        if not requirements.satisfied_by(index.fingerprint):
+            return []
+        return Matcher(model).find_matches_in(index.stmt_lists)
     return Matcher(model).find_matches(tree)
 
 
@@ -55,88 +186,238 @@ def nth_match(source: str, model: MetaModel, ordinal: int) -> Match:
     mutation re-parses the pristine file, so matches must be re-derived
     deterministically.
     """
-    matches = match_source(source, model)
-    if ordinal >= len(matches):
-        raise IndexError(
-            f"spec {model.name!r} has {len(matches)} matches, "
-            f"ordinal {ordinal} requested"
-        )
-    return matches[ordinal]
+    return pick_match(match_source(source, model), model.name, ordinal)
 
 
 def scan_source(
     source: str, models: list[MetaModel], file: str = "<string>"
 ) -> list[InjectionPoint]:
     """Scan one source string with every meta-model."""
-    tree = ast.parse(source)
-    points: list[InjectionPoint] = []
-    component = component_of(file)
-    for model in models:
-        matches = Matcher(model).find_matches(tree)
-        for ordinal, match in enumerate(matches):
-            snippet = "; ".join(
-                ast.unparse(stmt).splitlines()[0] for stmt in match.stmts[:3]
-            )
-            points.append(
-                InjectionPoint(
-                    spec_name=model.name,
-                    file=file,
-                    ordinal=ordinal,
-                    lineno=match.lineno,
-                    end_lineno=match.end_lineno,
-                    snippet=truncate(snippet, 120),
-                    component=component,
-                )
-            )
-    return points
+    return ScanEngine(models).scan_source(source, file=file)
 
 
 def scan_file(
-    path: str | Path, models: list[MetaModel], root: str | Path | None = None
+    path: str | Path,
+    models: list[MetaModel] | None = None,
+    root: str | Path | None = None,
+    engine: ScanEngine | None = None,
+    cache: ScanCache | None = None,
 ) -> ScanResult:
-    """Scan one file; unparseable files are recorded, not fatal."""
+    """Scan one file; unreadable/unparseable files are recorded, not fatal."""
     path = Path(path)
-    rel = str(path.relative_to(root)) if root else path.name
+    rel = _rel_name(path, root)
     result = ScanResult(files_scanned=1)
     try:
         source = path.read_text(encoding="utf-8", errors="replace")
-        result.points = scan_source(source, models, file=rel)
+    except OSError as exc:
+        result.parse_errors[rel] = _os_error_text(exc)
+        return result
+    if engine is None:
+        if models is None:
+            raise ValueError("scan_file needs either models or an engine")
+        engine = ScanEngine(models)
+    if cache is not None:
+        sha = source_digest(source)
+        entry = cache.lookup(sha, engine.digest)
+        if entry is not None:
+            _apply_cache_entry(result, entry, rel)
+            return result
+    result = _scan_source_result(source, rel, engine)
+    if cache is not None:
+        cache.store(sha, engine.digest, _result_entry(result, rel))
+    return result
+
+
+def _rel_name(path: Path, root: str | Path | None) -> str:
+    return str(path.relative_to(root)) if root else path.name
+
+
+def _os_error_text(exc: OSError) -> str:
+    reason = exc.strerror or type(exc).__name__
+    return f"unreadable: {reason}"
+
+
+def _scan_source_result(source: str, rel: str,
+                        engine: ScanEngine) -> ScanResult:
+    """Scan one source string into a per-file result (the single place
+    the serial, parallel-parent, and worker paths all go through)."""
+    result = ScanResult(files_scanned=1)
+    try:
+        rows = engine.scan_rows(source)
     except SyntaxError as exc:
         result.parse_errors[rel] = f"{exc.msg} (line {exc.lineno})"
+    else:
+        result.points = rows_to_points(rows, rel)
     return result
+
+
+def _result_entry(result: ScanResult, rel: str) -> dict:
+    """The cache entry describing one per-file result."""
+    if rel in result.parse_errors:
+        return {"matches": [], "error": result.parse_errors[rel]}
+    return {
+        "matches": [_point_row(point) for point in result.points],
+        "error": None,
+    }
+
+
+def _apply_cache_entry(result: ScanResult, entry: dict, rel: str) -> None:
+    error = entry.get("error")
+    if error:
+        result.parse_errors[rel] = error
+    else:
+        result.points = rows_to_points(entry.get("matches", []), rel)
+
+
+# -- tree / file-list scanning --------------------------------------------------
 
 
 def scan_tree(
     root: str | Path,
     specs: list[BugSpec],
     jobs: int = 1,
+    cache: ScanCache | None = None,
 ) -> ScanResult:
     """Scan every Python file under ``root`` with every spec.
 
-    ``jobs > 1`` distributes files over a process pool; each worker compiles
-    the specs once.  Results are returned in deterministic file order.
+    ``jobs > 1`` distributes files over warm worker processes.  Results are
+    returned in deterministic file order regardless of parallelism.
     """
     root = Path(root)
     files = sorted(iter_python_files(root))
     scan_root = root if root.is_dir() else root.parent
-    if jobs <= 1 or len(files) <= 1:
-        models = [compile_spec(spec) for spec in specs]
+    return scan_files(files, specs, root=scan_root, jobs=jobs, cache=cache)
+
+
+def scan_files(
+    paths: list[Path],
+    specs: list[BugSpec],
+    root: str | Path | None = None,
+    jobs: int = 1,
+    cache: ScanCache | None = None,
+    models: list[MetaModel] | None = None,
+) -> ScanResult:
+    """Scan an explicit list of files with the indexed engine.
+
+    Missing or unreadable files are recorded in ``parse_errors`` instead of
+    aborting the scan (campaigns keep running on the files that exist).
+    Pass pre-compiled ``models`` to skip recompilation on the serial path.
+    """
+    paths = [Path(path) for path in paths]
+    if jobs <= 1 or len(paths) <= 1:
+        engine = ScanEngine(models if models is not None
+                            else [compile_spec(spec) for spec in specs])
         total = ScanResult()
-        for path in files:
-            total.merge(scan_file(path, models, root=scan_root))
+        for path in paths:
+            total.merge(scan_file(path, root=root, engine=engine,
+                                  cache=cache))
         return total
+    return _scan_files_parallel(paths, specs, root, jobs, cache)
+
+
+def _scan_files_parallel(
+    paths: list[Path],
+    specs: list[BugSpec],
+    root: str | Path | None,
+    jobs: int,
+    cache: ScanCache | None,
+) -> ScanResult:
+    """Fan files out over warm workers; merge in submission order.
+
+    With a cache, hits are resolved in the parent (workers have no shared
+    cache) and only misses are dispatched; the parent ships the source it
+    hashed to the worker, so the stored entry always describes exactly the
+    content behind its key even if the file changes mid-scan.
+    """
+    resolved: dict[Path, ScanResult] = {}
+    #: (path, source-or-None) pairs to dispatch; None = worker reads.
+    misses: list[tuple[Path, str | None]] = []
+    load_digest = faultload_digest(specs) if cache is not None else ""
+    shas: dict[Path, str] = {}
+    if cache is not None:
+        for path in paths:
+            result = ScanResult(files_scanned=1)
+            rel = _rel_name(path, root)
+            try:
+                source = path.read_text(encoding="utf-8", errors="replace")
+            except OSError as exc:
+                result.parse_errors[rel] = _os_error_text(exc)
+                resolved[path] = result
+                continue
+            sha = source_digest(source)
+            shas[path] = sha
+            entry = cache.lookup(sha, load_digest)
+            if entry is None:
+                misses.append((path, source))
+            else:
+                _apply_cache_entry(result, entry, rel)
+                resolved[path] = result
+    else:
+        misses = [(path, None) for path in paths]
+
+    if misses:
+        chunk_size = max(1, -(-len(misses) // (jobs * 4)))
+        chunks = [misses[i:i + chunk_size]
+                  for i in range(0, len(misses), chunk_size)]
+        flat: list[ScanResult] = []
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)),
+            initializer=_scan_worker_init,
+            initargs=(specs,),
+        ) as pool:
+            futures = [
+                pool.submit(_scan_chunk_task,
+                            [(str(path), source) for path, source in chunk],
+                            str(root) if root is not None else None)
+                for chunk in chunks
+            ]
+            for future in futures:
+                flat.extend(future.result())
+        for (path, _source), result in zip(misses, flat):
+            resolved[path] = result
+            if cache is not None and path in shas:
+                rel = _rel_name(path, root)
+                cache.store(shas[path], load_digest,
+                            _result_entry(result, rel))
 
     total = ScanResult()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(_scan_file_task, str(path), specs, str(scan_root))
-            for path in files
-        ]
-        for future in futures:
-            total.merge(future.result())
+    for path in paths:
+        total.merge(resolved[path])
     return total
 
 
-def _scan_file_task(path: str, specs: list[BugSpec], root: str) -> ScanResult:
-    models = [compile_spec(spec) for spec in specs]
-    return scan_file(path, models, root=root)
+def _point_row(point: InjectionPoint) -> dict:
+    return {
+        "spec_name": point.spec_name,
+        "ordinal": point.ordinal,
+        "lineno": point.lineno,
+        "end_lineno": point.end_lineno,
+        "snippet": point.snippet,
+    }
+
+
+#: Per-process warm engine: specs are compiled once per worker instead of
+#: once per file (the seed behavior, which dwarfed parse cost at 120 specs).
+_WORKER_ENGINE: ScanEngine | None = None
+
+
+def _scan_worker_init(specs: list[BugSpec]) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ScanEngine([compile_spec(spec) for spec in specs])
+
+
+def _scan_chunk_task(
+    items: list[tuple[str, str | None]], root: str | None
+) -> list[ScanResult]:
+    assert _WORKER_ENGINE is not None, "worker initializer did not run"
+    results = []
+    for path, source in items:
+        if source is None:
+            results.append(scan_file(Path(path), root=root,
+                                     engine=_WORKER_ENGINE))
+        else:
+            # The parent already read (and hashed) this content; scan
+            # exactly it rather than re-reading a possibly-changed file.
+            results.append(_scan_source_result(
+                source, _rel_name(Path(path), root), _WORKER_ENGINE))
+    return results

@@ -13,6 +13,7 @@ substitution of the hosted UI):
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 
@@ -83,6 +84,13 @@ class ProFIPyService:
         """Run a campaign as a job; results and report persist on disk."""
         rules = rules or []
         components = components or []
+        # Service campaigns share a persistent scan cache: repeated
+        # campaigns over unchanged target trees skip re-matching entirely.
+        # The caller's config object is left untouched.
+        if config.scan_cache_dir is None:
+            config = dataclasses.replace(
+                config, scan_cache_dir=self.workspace / "scan_cache"
+            )
 
         def body(job_dir: Path) -> None:
             write_json(job_dir / "config.json", {
@@ -91,6 +99,7 @@ class ProFIPyService:
                 "fault_model": config.fault_model.to_dict(),
                 "workload": config.workload.to_dict(),
                 "injectable_files": config.injectable_files,
+                "scan_jobs": config.scan_jobs,
             })
             campaign = Campaign(config)
             result = campaign.run()

@@ -26,6 +26,23 @@ class TestConfigValidation:
         assert config.rounds == 2
         assert config.coverage is True
         assert config.sample is None
+        assert config.scan_jobs is None
+        assert config.scan_cache_dir is None
+
+    def test_relative_workspace_resolved(self, toy_project, toy_model,
+                                         toy_workload, tmp_path,
+                                         monkeypatch):
+        # Regression: sandboxed workloads run with their own cwd, so a
+        # relative workspace (the CLI default) broke coverage/trigger
+        # paths — the config must absolutize it up front.
+        monkeypatch.chdir(tmp_path)
+        config = CampaignConfig(
+            name="x", target_dir=toy_project,
+            fault_model=toy_model, workload=toy_workload,
+            workspace="relative-ws",
+        )
+        assert config.workspace.is_absolute()
+        assert config.workspace == tmp_path / "relative-ws"
 
 
 class TestCampaignScan:

@@ -104,3 +104,7 @@ class TestServiceCampaign:
         experiments = service.experiments(job.job_id)
         assert len(experiments) == 1
         assert experiments[0].failed_round1
+        # The service defaults a persistent scan cache for its own run but
+        # must not mutate the caller's config object.
+        assert config.scan_cache_dir is None
+        assert (tmp_path / "ws" / "scan_cache").is_dir()
