@@ -1,0 +1,178 @@
+"""EX1 — execution engine: batched pre-generation + streaming throughput.
+
+Paper §IV-B dominates campaign wall-clock once the scan is fast (PR 1).
+This bench measures experiments/sec on a synthetic plan and compares the
+streaming engine (mutants pre-generated serially before the fan-out,
+results appended to ``experiments.jsonl``) against the seed-style inline
+path (each experiment mutates inside its own critical section):
+
+* at parallelism 1 the batched path must not be slower (the same work
+  moved out of the loop, minus repeated parse+match);
+* at parallelism N the engine must beat the serial seed path outright.
+"""
+
+import textwrap
+import time
+
+from conftest import write_result
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.plan import Plan
+from repro.orchestrator.stream import ExperimentStream
+from repro.sandbox.image import SandboxImage
+from repro.sandbox.pool import ExperimentPool
+from repro.scanner.scan import scan_file
+from repro.workload.spec import WorkloadSpec
+
+FUNCTIONS = 6
+PARALLEL = 4
+
+SPEC = """
+change {
+    $BLOCK{tag=pre; stmts=1,*}
+    return $EXPR#v
+} into {
+    $BLOCK{tag=pre}
+    return -1
+}
+"""
+
+
+def make_project(root, functions=FUNCTIONS):
+    """A synthetic target with one injection point per function."""
+    chunks = []
+    for index in range(functions):
+        chunks.append(textwrap.dedent(
+            f"""
+            def compute_{index}(x):
+                steps = []
+                steps.append('start')
+                result = x * 2 + {index}
+                steps.append('done')
+                return result
+            """
+        ).strip())
+    (root / "app.py").write_text("\n\n\n".join(chunks) + "\n")
+    (root / "run.py").write_text(textwrap.dedent(
+        f"""
+        import sys
+        import time
+
+        import app
+
+        # Real experiments are latency-bound (paper §V-D: 10-120 s of
+        # service waits per experiment); model that with a short wait so
+        # the parallel fan-out has overlap to exploit.
+        time.sleep(0.15)
+        for index in range({functions}):
+            value = getattr(app, "compute_" + str(index))(3)
+            if value != 6 + index:
+                print("WORKLOAD FAILURE:", index, value, file=sys.stderr)
+                sys.exit(1)
+        print("WORKLOAD SUCCESS")
+        """
+    ).strip() + "\n")
+
+
+def build_fixture(tmp_path):
+    project = tmp_path / "target"
+    project.mkdir()
+    make_project(project)
+    model = FaultModel(name="bench")
+    model.add(parse_spec(SPEC, name="WRR"), description="wrong return")
+    models = {m.name: m for m in model.compile()}
+    scan = scan_file(project / "app.py", model.compile(), root=project)
+    assert len(scan.points) == FUNCTIONS
+    plan = Plan.from_points(scan.points, prefix="bench")
+    image = SandboxImage.build(project, tmp_path / "image")
+    workload = WorkloadSpec(commands=["{python} run.py"],
+                            command_timeout=30.0)
+    return image, workload, models, plan
+
+
+def run_engine(image, workload, models, plan, base_dir, parallelism,
+               batched, stream_path=None):
+    """One execution-phase pass; returns (seconds, results-per-sec)."""
+    executor = ExperimentExecutor(
+        image=image, workload=workload, models=models,
+        base_dir=base_dir, trigger=True, campaign_seed=0,
+    )
+    stream = ExperimentStream(stream_path) if stream_path else None
+    started = time.monotonic()
+    mutations = executor.prepare_mutations(plan) if batched else {}
+    pool = ExperimentPool(parallelism=parallelism)
+
+    def job_for(planned):
+        def job():
+            return executor.run(
+                planned, mutation=mutations.pop(planned.experiment_id, None)
+            )
+        return job
+
+    def on_result(outcome):
+        assert outcome.ok, outcome.error
+        if stream is not None:
+            stream.append(outcome.result)
+
+    outcomes = pool.run((job_for(p) for p in plan), on_result=on_result,
+                        retain_results=False)
+    elapsed = time.monotonic() - started
+    assert len(outcomes) == len(plan)
+    return elapsed
+
+
+def test_execution_throughput(benchmark, tmp_path):
+    image, workload, models, plan = build_fixture(tmp_path)
+
+    def pass_dir(name):
+        path = tmp_path / name
+        path.mkdir(exist_ok=True)
+        return path
+
+    # Warm-up: first sandbox instantiation pays page-cache costs.
+    run_engine(image, workload, models, list(plan)[:1], pass_dir("warm"), 1,
+               batched=True)
+
+    inline_p1 = run_engine(image, workload, models, plan,
+                           pass_dir("inline-p1"), 1, batched=False)
+    batched_p1 = benchmark.pedantic(
+        lambda: run_engine(image, workload, models, plan,
+                           pass_dir("batched-p1"), 1, batched=True,
+                           stream_path=tmp_path / "p1.jsonl"),
+        rounds=1, iterations=1,
+    )
+    batched_pn = run_engine(image, workload, models, plan,
+                            pass_dir("batched-pn"), PARALLEL, batched=True,
+                            stream_path=tmp_path / "pn.jsonl")
+
+    count = len(plan)
+    rate = lambda seconds: count / seconds if seconds > 0 else float("inf")
+
+    # Streamed results landed on disk, one line per experiment.
+    assert len(ExperimentStream(tmp_path / "p1.jsonl").recorded_ids()) == count
+    assert len(ExperimentStream(tmp_path / "pn.jsonl").recorded_ids()) == count
+
+    # Batched pre-generation must not lose to the inline seed path at
+    # parallelism 1 (generous margin: each experiment spawns real
+    # subprocesses, so single-run timing is noisy) ...
+    assert batched_p1 <= inline_p1 * 1.35, (
+        f"batched p1 {batched_p1:.2f}s vs inline p1 {inline_p1:.2f}s"
+    )
+    # ... and the engine at parallelism N must beat the serial seed path.
+    assert batched_pn < inline_p1, (
+        f"batched p{PARALLEL} {batched_pn:.2f}s vs inline p1 {inline_p1:.2f}s"
+    )
+
+    write_result(
+        "execution_engine",
+        f"Execution engine throughput ({count} two-round experiments):\n"
+        f"  inline  p1: {inline_p1:.2f} s ({rate(inline_p1):.2f} exp/s) "
+        "[seed-style: mutate inside the critical section]\n"
+        f"  batched p1: {batched_p1:.2f} s ({rate(batched_p1):.2f} exp/s)\n"
+        f"  batched p{PARALLEL}: {batched_pn:.2f} s "
+        f"({rate(batched_pn):.2f} exp/s)\n"
+        f"  speedup p{PARALLEL} vs seed-style serial: "
+        f"{inline_p1 / batched_pn:.1f}x",
+    )

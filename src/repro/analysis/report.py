@@ -159,6 +159,19 @@ class CampaignReport:
              f"{logging_report.failures} failures logged "
              f"({percent(logging_report.logged, logging_report.failures)})"),
         ]
+        result = self.result
+        fresh = result.executed - result.resumed
+        if result.execution_seconds > 0 and fresh > 0:
+            rate = fresh / result.execution_seconds
+            lines.append(
+                f"execution throughput: {rate:.2f} experiments/s "
+                f"({fresh} experiments in {result.execution_seconds:.1f} s)"
+            )
+        if result.resumed:
+            lines.append(
+                f"resumed: {result.resumed} experiments replayed from the "
+                "result stream (not re-executed)"
+            )
         if self.propagation is not None:
             propagation = self.propagation
             lines.append(

@@ -151,14 +151,24 @@ def cmd_campaign(args) -> int:
         scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
         seed=args.seed,
         workspace=workspace,
+        keep_artifacts=args.keep_artifacts,
+        resume=not args.no_resume,
     )
     service = ProFIPyService(args.workspace)
-    job = service.submit_campaign(config, block=True)
+    job = service.submit_campaign(config, block=True,
+                                  resume_from=args.resume_from)
     if job.status != "completed":
         print(f"campaign job {job.job_id} failed:\n{job.error}",
               file=sys.stderr)
         return 1
     print(service.report_text(job.job_id))
+    summary = service.result_summary(job.job_id)
+    if summary.get("resumed"):
+        print(f"(resumed: {summary['resumed']} experiments replayed from "
+              "the result stream)", file=sys.stderr)
+    if summary.get("artifacts_dir"):
+        print(f"(campaign artifacts kept at {summary['artifacts_dir']}; "
+              f"workspace {summary.get('workspace')})", file=sys.stderr)
     print(f"(job {job.job_id}; run 'profipy regression {job.job_id}' to "
           "generate regression tests)", file=sys.stderr)
     return 0
@@ -295,6 +305,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--no-coverage", action="store_true")
     campaign.add_argument("--no-trigger", action="store_true")
+    campaign.add_argument("--keep-artifacts", action="store_true",
+                          help="keep the campaign workspace (per-experiment "
+                               "JSON artifacts, result stream); its path is "
+                               "printed after the run")
+    campaign.add_argument("--no-resume", action="store_true",
+                          help="re-run every experiment even when the "
+                               "workspace already holds a result stream")
+    campaign.add_argument("--resume-from", metavar="JOB_ID",
+                          help="resume a killed campaign job: experiments "
+                               "already recorded in that job's stream are "
+                               "not re-run")
     campaign.set_defaults(func=cmd_campaign)
 
     jobs = sub.add_parser("jobs", help="inspect campaign jobs")

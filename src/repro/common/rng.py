@@ -12,6 +12,20 @@ import hashlib
 import random
 
 
+def experiment_seed(campaign_seed: int | str, experiment_id: str,
+                    bits: int = 31) -> int:
+    """Stable per-experiment seed from ``(campaign_seed, experiment_id)``.
+
+    Built on sha256, so the value is identical across processes, hosts,
+    and ``PYTHONHASHSEED`` values — unlike ``hash()``, which is salted
+    per-process and broke campaign replay.  The same derivation feeds the
+    sandbox ``SEED_ENV`` and the per-experiment mutation streams.
+    """
+    material = f"{campaign_seed}::{experiment_id}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** bits)
+
+
 class SeededRandom:
     """A :class:`random.Random` wrapper with stable sub-stream derivation.
 

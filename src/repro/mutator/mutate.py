@@ -31,6 +31,66 @@ from repro.scanner.matcher import Match, Matcher, pick_match
 from repro.scanner.scan import match_source, nth_match
 
 
+@dataclass(frozen=True)
+class MutantRequest:
+    """One batched pre-generation request (see :func:`generate_mutants`).
+
+    ``rng`` must be the experiment's own stream (derived from the campaign
+    seed and the experiment id), never a stream shared across requests —
+    sharing is what made mutant generation order-dependent.
+    """
+
+    key: str
+    source: str
+    model: MetaModel
+    ordinal: int
+    fault_id: str
+    file: str
+    rng: SeededRandom
+
+
+def generate_mutants(
+    requests: "list[MutantRequest]",
+    trigger: bool = True,
+    match_memo: MatchMemo | None = None,
+) -> dict[str, Mutation]:
+    """Serially pre-generate one mutant per request, keyed by ``request.key``.
+
+    This is the batch phase of the execution engine: mutation happens
+    *before* experiments fan out to the sandbox pool, so the matcher never
+    runs inside the parallel critical section.  Requests are processed
+    grouped by ``(file, spec, ordinal)``, which populates the
+    :class:`MatchMemo` once per ``(source, spec)`` pair — every later
+    ordinal of the group is a pure cache hit, and no memo entry is ever
+    built from two threads at once.
+
+    Each mutant draws only from its request's own RNG stream, so the
+    output is byte-identical regardless of request order or the
+    parallelism of the execution phase that follows.
+    """
+    memo = match_memo if match_memo is not None else MatchMemo()
+    ordered = sorted(
+        enumerate(requests),
+        key=lambda pair: (pair[1].file, pair[1].model.name,
+                          pair[1].ordinal, pair[0]),
+    )
+    mutants: dict[str, Mutation] = {}
+    for _, request in ordered:
+        mutator = Mutator(trigger=trigger, rng=request.rng, match_memo=memo)
+        try:
+            mutants[request.key] = mutator.mutate_source(
+                request.source, request.model, request.ordinal,
+                fault_id=request.fault_id, file=request.file,
+            )
+        except Exception:  # noqa: BLE001 - deferred to the executor
+            # One bad request (stale ordinal, broken spec) must not sink
+            # the batch.  The executor's inline fallback re-raises the
+            # same error inside its per-experiment try/except, recording
+            # a harness_error result for just that experiment.
+            continue
+    return mutants
+
+
 @dataclass
 class Mutation:
     """One generated mutated version of one source file."""
@@ -214,4 +274,5 @@ def _insert_runtime_import(tree: ast.Module) -> None:
     )
 
 
-__all__ = ["Mutation", "Mutator", "match_source", "nth_match"]
+__all__ = ["MutantRequest", "Mutation", "Mutator", "generate_mutants",
+           "match_source", "nth_match"]

@@ -14,8 +14,10 @@ from repro.orchestrator.experiment import (
     ExperimentResult,
 )
 from repro.orchestrator.plan import Plan, PlannedExperiment
+from repro.orchestrator.stream import ExperimentStream
 
 __all__ = [
+    "ExperimentStream",
     "Campaign",
     "CampaignConfig",
     "CampaignResult",

@@ -2,8 +2,15 @@
 
 :class:`Campaign` wires every phase together: compile the fault model,
 scan the injectable files, build the plan (filter/sample), optionally
-reduce it by coverage, execute experiments in the adaptive parallel pool,
-and hand the results to the analysis layer.
+reduce it by coverage, pre-generate every mutant serially, execute
+experiments in the adaptive parallel pool while streaming results to
+disk, and hand the results to the analysis layer.
+
+The execution phase is deterministic and crash-resumable: every
+per-experiment RNG and runtime seed derives from
+``sha256(campaign_seed, experiment_id)``, and completed experiments are
+appended to an ``experiments.jsonl`` stream as they finish.  A restarted
+campaign over the same stream skips the recorded experiment ids.
 """
 
 from __future__ import annotations
@@ -18,11 +25,15 @@ from repro.common.rng import SeededRandom
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.coverage import CoverageReport, reduce_plan, run_coverage
 from repro.orchestrator.executor import ExperimentExecutor
-from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.experiment import (
+    STATUS_HARNESS_ERROR,
+    ExperimentResult,
+)
 from repro.orchestrator.plan import Plan
+from repro.orchestrator.stream import ExperimentStream
 from repro.sandbox.image import SandboxImage
 from repro.sandbox.pool import ExperimentPool
-from repro.scanner.cache import ScanCache
+from repro.scanner.cache import ScanCache, faultload_digest
 from repro.scanner.scan import ScanResult, scan_files
 from repro.workload.spec import WorkloadSpec
 
@@ -57,6 +68,12 @@ class CampaignConfig:
     #: Workspace directory (default: a fresh temporary directory).
     workspace: Path | None = None
     keep_artifacts: bool = False
+    #: Result stream file (default: ``<workspace>/experiments.jsonl``).
+    results_path: Path | None = None
+    #: Skip experiments already recorded in the result stream.  Leave on
+    #: for crash-resume; turn off to force a full re-run over a reused
+    #: workspace (the stream is truncated first).
+    resume: bool = True
 
     def __post_init__(self) -> None:
         self.target_dir = Path(self.target_dir)
@@ -67,21 +84,57 @@ class CampaignConfig:
             # workspace (e.g. the CLI's default .profipy) would make the
             # coverage/trigger paths resolve against the wrong directory.
             self.workspace = Path(self.workspace).resolve()
+        if self.results_path is not None:
+            self.results_path = Path(self.results_path).resolve()
 
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced, for the analysis phase."""
+    """Everything a campaign produced, for the analysis phase.
+
+    Experiment results live in the ``experiments.jsonl`` stream at
+    ``experiments_path``; :attr:`experiments` loads them lazily (sorted by
+    experiment id, so the order is deterministic regardless of completion
+    order).  During execution nothing accumulates in memory.
+    """
 
     name: str
     points_found: int = 0
     points_planned: int = 0
     coverage: CoverageReport | None = None
-    experiments: list[ExperimentResult] = field(default_factory=list)
     scan_seconds: float = 0.0
     coverage_seconds: float = 0.0
     execution_seconds: float = 0.0
     scan_errors: dict[str, str] = field(default_factory=dict)
+    #: Where the per-experiment result stream lives (None once the
+    #: backing file is gone, e.g. a deleted temporary workspace).
+    experiments_path: Path | None = None
+    #: Kept workspace (explicit, or temporary with ``keep_artifacts``).
+    workspace: Path | None = None
+    artifacts_dir: Path | None = None
+    #: Experiments skipped because the stream already recorded them.
+    resumed: int = 0
+    _experiments: list[ExperimentResult] | None = None
+
+    @property
+    def experiments(self) -> list[ExperimentResult]:
+        if self._experiments is None:
+            if self.experiments_path is not None:
+                self._experiments = sorted(
+                    ExperimentStream(self.experiments_path).load(),
+                    key=lambda experiment: experiment.experiment_id,
+                )
+            else:
+                self._experiments = []
+        return self._experiments
+
+    @experiments.setter
+    def experiments(self, value: list[ExperimentResult]) -> None:
+        self._experiments = list(value)
+
+    def materialize(self) -> None:
+        """Load the stream into memory (call before its file disappears)."""
+        _ = self.experiments
 
     @property
     def executed(self) -> int:
@@ -111,6 +164,10 @@ class CampaignResult:
             "experiments_with_failures": len(self.failures),
             "failures_round1": len(self.failures_round1),
             "failures_round2": len(self.failures_round2),
+            "resumed": self.resumed,
+            "workspace": str(self.workspace) if self.workspace else None,
+            "artifacts_dir": (str(self.artifacts_dir)
+                              if self.artifacts_dir else None),
         }
 
 
@@ -168,7 +225,11 @@ class Campaign:
         )
         workspace.mkdir(parents=True, exist_ok=True)
         result = CampaignResult(name=config.name)
+        result.workspace = workspace
         say = progress or (lambda _msg: None)
+        stream = ExperimentStream(
+            config.results_path or workspace / "experiments.jsonl"
+        )
         try:
             say(f"[{config.name}] building sandbox image")
             image = SandboxImage.build(
@@ -206,11 +267,46 @@ class Campaign:
                                    SeededRandom(config.seed))
             result.points_planned = len(plan)
 
-            say(f"[{config.name}] executing {len(plan)} experiments")
+            # Fingerprint of everything that gives experiment ids their
+            # meaning; a stream recorded under different parameters must
+            # not be silently replayed as this campaign's results.
+            stream_meta = {
+                "campaign": config.name,
+                "seed": config.seed,
+                "faultload": faultload_digest(list(self.models.values())),
+                "target": str(config.target_dir.resolve()),
+            }
+            if config.resume:
+                existing_meta = stream.read_meta()
+                if existing_meta is not None and existing_meta != stream_meta:
+                    changed = sorted(
+                        key for key in stream_meta
+                        if existing_meta.get(key) != stream_meta[key]
+                    )
+                    raise ValueError(
+                        f"result stream {stream.path} was recorded by a "
+                        f"different campaign (changed: {', '.join(changed)}); "
+                        "re-run with resume=False (--no-resume) or use a "
+                        "fresh workspace"
+                    )
+                recorded = stream.recorded_ids()
+                if existing_meta is None:
+                    stream.write_meta(stream_meta)
+            else:
+                stream.clear()
+                recorded = set()
+                stream.write_meta(stream_meta)
+            pending = plan.excluding(recorded)
+            result.resumed = len(plan) - len(pending)
+            if result.resumed:
+                say(f"[{config.name}] resuming: {result.resumed} "
+                    "experiments already recorded in the stream")
+
             artifacts = None
             if config.keep_artifacts:
                 artifacts = workspace / "artifacts"
                 artifacts.mkdir(parents=True, exist_ok=True)
+                result.artifacts_dir = artifacts
             executor = ExperimentExecutor(
                 image=image,
                 workload=config.workload,
@@ -218,32 +314,58 @@ class Campaign:
                 base_dir=workspace / "sandboxes",
                 trigger=config.trigger,
                 rounds=config.rounds,
-                rng=SeededRandom(config.seed),
+                campaign_seed=config.seed,
                 artifacts_dir=artifacts,
             )
+
+            say(f"[{config.name}] pre-generating {len(pending)} mutants")
+            mutations = executor.prepare_mutations(pending)
+
+            say(f"[{config.name}] executing {len(pending)} experiments")
+            pending_list = list(pending)
+
+            def job_for(planned):
+                def job():
+                    # Pop so each consumed mutant is released immediately.
+                    mutation = mutations.pop(planned.experiment_id, None)
+                    return executor.run(planned, mutation=mutation)
+                return job
+
+            def on_result(outcome):
+                if outcome.ok:
+                    stream.append(outcome.result)
+                else:
+                    planned = pending_list[outcome.index]
+                    stream.append(ExperimentResult(
+                        experiment_id=planned.experiment_id,
+                        point=planned.point.to_dict(),
+                        fault_id=planned.point.point_id,
+                        spec_name=planned.point.spec_name,
+                        status=STATUS_HARNESS_ERROR,
+                        error=outcome.error or "unknown pool failure",
+                    ))
+
             pool = ExperimentPool(parallelism=config.parallelism)
             execution_started = time.monotonic()
-            jobs = [
-                (lambda planned=planned: executor.run(planned))
-                for planned in plan
-            ]
-            outcomes = pool.run(jobs)
+            pool.run(
+                (job_for(planned) for planned in pending_list),
+                on_result=on_result,
+                retain_results=False,
+            )
             result.execution_seconds = time.monotonic() - execution_started
-            for outcome in outcomes:
-                if outcome.ok:
-                    result.experiments.append(outcome.result)
-                else:
-                    broken = ExperimentResult(
-                        experiment_id=f"{config.name}-job-{outcome.index}",
-                        point={},
-                        status="harness_error",
-                        error=outcome.error or "unknown pool failure",
-                    )
-                    result.experiments.append(broken)
+            result.experiments_path = stream.path
             say(f"[{config.name}] done: "
                 f"{len(result.failures)}/{result.executed} experiments "
                 "showed failures")
             return result
         finally:
             if owns_workspace and not config.keep_artifacts:
+                # The stream file lives in the workspace we are about to
+                # delete: materialize results first so the analysis layer
+                # still sees them.
+                result.materialize()
+                if (result.experiments_path is not None
+                        and workspace in result.experiments_path.parents):
+                    result.experiments_path = None
+                result.workspace = None
                 remove_tree(workspace)

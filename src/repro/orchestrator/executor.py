@@ -12,6 +12,16 @@ For each experiment the executor:
 
 The trigger is a file re-read by the injected runtime, the shared-memory
 substitute documented in DESIGN.md.
+
+Determinism: every stochastic input of an experiment — the mutation RNG
+and the sandbox runtime seed (``SEED_ENV``) — derives from a sha256
+digest of ``(campaign_seed, experiment_id)``.  Results are therefore
+byte-identical across runs, hosts, ``PYTHONHASHSEED`` values, and
+parallelism levels.  Mutants are normally pre-generated for the whole
+plan via :meth:`ExperimentExecutor.prepare_mutations` (serial, grouped
+per ``(file, spec)``) so the matcher never runs inside the sandbox
+critical section; :meth:`run` falls back to inline generation with the
+same per-experiment stream when no pre-built mutation is supplied.
 """
 
 from __future__ import annotations
@@ -19,10 +29,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
-from repro.common.rng import SeededRandom
+from repro.common.rng import SeededRandom, experiment_seed
 from repro.dsl.metamodel import MetaModel
-from repro.mutator.mutate import Mutator
+from repro.mutator.mutate import (
+    MutantRequest,
+    Mutation,
+    Mutator,
+    generate_mutants,
+)
 from repro.scanner.cache import MatchMemo
 from repro.mutator.runtime import SEED_ENV, TRIGGER_ENV
 from repro.orchestrator.experiment import (
@@ -50,24 +66,85 @@ class ExperimentExecutor:
     base_dir: Path
     trigger: bool = True
     rounds: int = 2
-    rng: SeededRandom = field(default_factory=lambda: SeededRandom(0))
+    #: Campaign-level seed; every per-experiment stream derives from it.
+    campaign_seed: int | str = 0
     artifacts_dir: Path | None = None
     #: Shared across the batch: experiments hitting the same (file, spec)
-    #: pair at different ordinals reuse one cached match list.
+    #: pair at different ordinals reuse one cached match list.  Populated
+    #: serially by :meth:`prepare_mutations`.
     match_memo: MatchMemo = field(default_factory=MatchMemo)
 
-    def run(self, planned: PlannedExperiment) -> ExperimentResult:
-        """Execute one experiment end-to-end; never raises for target bugs."""
+    # -- deterministic derivation ------------------------------------------------
+
+    def experiment_rng(self, experiment_id: str) -> SeededRandom:
+        """The experiment's private RNG stream (stable across runs)."""
+        return SeededRandom(self.campaign_seed).derive(experiment_id)
+
+    def runtime_seed(self, experiment_id: str) -> int:
+        """The sandbox ``SEED_ENV`` value for one experiment."""
+        return experiment_seed(self.campaign_seed, experiment_id)
+
+    # -- batched mutant pre-generation -------------------------------------------
+
+    def prepare_mutations(
+        self, planned: Iterable[PlannedExperiment],
+    ) -> dict[str, Mutation]:
+        """Pre-generate every mutant of the plan, keyed by experiment id.
+
+        Runs serially before the experiments fan out: requests are grouped
+        per ``(file, spec)`` so the :class:`MatchMemo` parses and matches
+        each pair exactly once, with no cross-thread races.  Each file is
+        read from the image once regardless of how many experiments
+        inject into it.
+        """
+        sources: dict[str, str | None] = {}
+        requests: list[MutantRequest] = []
+        for experiment in planned:
+            point = experiment.point
+            if point.file not in sources:
+                try:
+                    sources[point.file] = self.image.read_file(point.file)
+                except OSError:
+                    # An unreadable file must not sink the batch: the
+                    # inline fallback in run() hits the same error and
+                    # records a harness_error for those experiments only.
+                    sources[point.file] = None
+            if sources[point.file] is None:
+                continue
+            requests.append(MutantRequest(
+                key=experiment.experiment_id,
+                source=sources[point.file],
+                model=self.models[point.spec_name],
+                ordinal=point.ordinal,
+                fault_id=point.point_id,
+                file=point.file,
+                rng=self.experiment_rng(experiment.experiment_id),
+            ))
+        return generate_mutants(requests, trigger=self.trigger,
+                                match_memo=self.match_memo)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, planned: PlannedExperiment,
+            mutation: Mutation | None = None) -> ExperimentResult:
+        """Execute one experiment end-to-end; never raises for target bugs.
+
+        ``mutation`` is the pre-generated mutant from
+        :meth:`prepare_mutations`; when omitted the mutant is generated
+        inline from the same per-experiment RNG stream, so both paths
+        produce identical results.
+        """
         point = planned.point
         result = ExperimentResult(
             experiment_id=planned.experiment_id,
             point=point.to_dict(),
             fault_id=point.point_id,
             spec_name=point.spec_name,
+            seed=self.runtime_seed(planned.experiment_id),
         )
         started = time.monotonic()
         try:
-            self._run_inner(planned, result)
+            self._run_inner(planned, result, mutation)
         except ServiceStartError as error:
             result.status = STATUS_SERVICE_START_FAILED
             result.error = str(error)
@@ -80,15 +157,20 @@ class ExperimentExecutor:
         return result
 
     def _run_inner(self, planned: PlannedExperiment,
-                   result: ExperimentResult) -> None:
+                   result: ExperimentResult,
+                   mutation: Mutation | None = None) -> None:
         point = planned.point
-        model = self.models[point.spec_name]
-        pristine = self.image.read_file(point.file)
-        mutation = Mutator(trigger=self.trigger, rng=self.rng,
-                           match_memo=self.match_memo).mutate_source(
-            pristine, model, point.ordinal,
-            fault_id=point.point_id, file=point.file,
-        )
+        if mutation is None:
+            model = self.models[point.spec_name]
+            pristine = self.image.read_file(point.file)
+            mutation = Mutator(
+                trigger=self.trigger,
+                rng=self.experiment_rng(planned.experiment_id),
+                match_memo=self.match_memo,
+            ).mutate_source(
+                pristine, model, point.ordinal,
+                fault_id=point.point_id, file=point.file,
+            )
         result.original_snippet = mutation.original_snippet
         result.mutated_snippet = mutation.mutated_snippet
 
@@ -96,9 +178,7 @@ class ExperimentExecutor:
                             planned.experiment_id) as sandbox:
             trigger_path = sandbox.write_file(TRIGGER_FILE, "0")
             sandbox.env[TRIGGER_ENV] = str(trigger_path)
-            sandbox.env[SEED_ENV] = str(
-                abs(hash(planned.experiment_id)) % (2 ** 31)
-            )
+            sandbox.env[SEED_ENV] = str(result.seed)
             sandbox.write_file(point.file, mutation.source)
 
             start_services(sandbox, self.workload)

@@ -26,6 +26,9 @@ class ExperimentResult:
     point: dict
     fault_id: str = ""
     spec_name: str = ""
+    #: Runtime RNG seed handed to the sandbox (``SEED_ENV``); derived from
+    #: sha256 of (campaign seed, experiment id) so replays are exact.
+    seed: int | None = None
     status: str = STATUS_COMPLETED
     original_snippet: str = ""
     mutated_snippet: str = ""
@@ -89,6 +92,7 @@ class ExperimentResult:
             "point": self.point,
             "fault_id": self.fault_id,
             "spec_name": self.spec_name,
+            "seed": self.seed,
             "status": self.status,
             "original_snippet": self.original_snippet,
             "mutated_snippet": self.mutated_snippet,
@@ -132,6 +136,7 @@ class ExperimentResult:
             point=data.get("point", {}),
             fault_id=data.get("fault_id", ""),
             spec_name=data.get("spec_name", ""),
+            seed=data.get("seed"),
             status=data.get("status", STATUS_COMPLETED),
             original_snippet=data.get("original_snippet", ""),
             mutated_snippet=data.get("mutated_snippet", ""),

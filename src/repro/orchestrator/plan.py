@@ -104,6 +104,20 @@ class Plan:
         chosen = rng.sample(range(len(self.experiments)), count)
         return Plan(experiments=[self.experiments[i] for i in sorted(chosen)])
 
+    def excluding(self, experiment_ids: set[str]) -> "Plan":
+        """Drop experiments whose id is already recorded (crash-resume).
+
+        Experiment ids are stable for a given scan + selection, so a
+        restarted campaign re-plans identically and this subtraction
+        yields exactly the not-yet-executed remainder.
+        """
+        if not experiment_ids:
+            return Plan(experiments=list(self.experiments))
+        return Plan(experiments=[
+            experiment for experiment in self.experiments
+            if experiment.experiment_id not in experiment_ids
+        ])
+
     def restrict_to(self, point_ids: set[str]) -> "Plan":
         """Keep only experiments whose point id is in ``point_ids``
         (coverage reduction, §IV-D)."""

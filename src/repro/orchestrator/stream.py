@@ -1,0 +1,135 @@
+"""Streaming experiment-result sink: an append-only JSONL file.
+
+The execution engine appends each :class:`ExperimentResult` to the stream
+as it completes, instead of accumulating every result (with full logs) in
+memory.  This gives the campaign constant memory during execution and
+makes it crash-resumable: a restarted run reads the ids already recorded
+and skips those experiments (the as-a-service resume path).
+
+The format is one JSON object per line.  A process killed mid-write
+leaves at most one truncated trailing line; readers tolerate and skip it,
+so a partial stream is always a valid resume point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from repro.orchestrator.experiment import STATUS_HARNESS_ERROR, ExperimentResult
+
+
+class ExperimentStream:
+    """Append-only JSONL stream of experiment results (thread-safe).
+
+    Besides result lines, the stream may carry ``{"meta": {...}}`` lines
+    describing the campaign that produced it (seed, faultload digest);
+    result readers skip them, and :meth:`read_meta` exposes the last one
+    so a resuming campaign can refuse a stream recorded under different
+    parameters.  When an experiment id occurs more than once (a
+    harness-errored experiment retried on resume), the *last* record
+    wins.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, result: ExperimentResult) -> None:
+        """Record one finished experiment; flushed and fsynced per line so
+        a crash never loses a completed experiment."""
+        self._append_line(json.dumps(result.to_dict(), sort_keys=True))
+
+    def write_meta(self, meta: dict) -> None:
+        """Append a campaign-metadata line (skipped by result readers)."""
+        self._append_line(json.dumps({"meta": meta}, sort_keys=True))
+
+    def _append_line(self, line: str) -> None:
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A killed run can leave a truncated line with no newline at
+            # the end of the file; terminate it first so the new record
+            # does not get glued onto (and corrupted by) the partial one.
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    needs_newline = existing.read(1) != b"\n"
+            except (FileNotFoundError, OSError):
+                pass
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if needs_newline:
+                    handle.write("\n")
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Drop the stream (fresh, non-resuming campaign runs)."""
+        with self._lock:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- reading -----------------------------------------------------------------
+
+    def _raw_lines(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    continue  # truncated trailing line from a killed run
+                if isinstance(data, dict):
+                    yield data
+
+    def _latest_entries(self) -> dict[str, dict]:
+        """Result entries keyed by experiment id; last record wins."""
+        entries: dict[str, dict] = {}
+        for data in self._raw_lines():
+            if "experiment_id" in data:
+                entries[data["experiment_id"]] = data
+        return entries
+
+    def read_meta(self) -> dict | None:
+        """The last campaign-metadata line, if any."""
+        meta = None
+        for data in self._raw_lines():
+            if "meta" in data and isinstance(data["meta"], dict):
+                meta = data["meta"]
+        return meta
+
+    def recorded_ids(self) -> set[str]:
+        """Ids a resumed campaign may skip: everything recorded except
+        harness errors, which are infrastructure failures worth retrying
+        (the retry's record supersedes the old one — last record wins)."""
+        return {
+            experiment_id
+            for experiment_id, entry in self._latest_entries().items()
+            if entry.get("status") != STATUS_HARNESS_ERROR
+        }
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        for entry in self._latest_entries().values():
+            yield ExperimentResult.from_dict(entry)
+
+    def load(self) -> list[ExperimentResult]:
+        """Every recorded result (one per experiment id)."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return len(self._latest_entries())
+
+
+__all__ = ["ExperimentStream"]

@@ -44,7 +44,7 @@ import pytest
 
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.executor import ExperimentExecutor
-from repro.orchestrator.plan import Plan
+from repro.orchestrator.plan import Plan, PlannedExperiment
 from repro.sandbox.image import SandboxImage
 from repro.scanner.scan import scan_file
 from repro.workload.spec import WorkloadSpec
@@ -54,6 +54,11 @@ WORKLOAD = json.loads(r\'\'\'{workload_json}\'\'\')
 TARGET_DIR = Path(r"{target_dir}")
 POINT_ID = "{point_id}"
 INJECT_FILE = "{file}"
+# Replayed under the original campaign seed and experiment id so the
+# per-experiment RNG streams (mutation choices, runtime SEED_ENV)
+# reproduce the recorded fault exactly.
+CAMPAIGN_SEED = {campaign_seed}
+EXPERIMENT_ID = "{experiment_id}"
 
 
 @pytest.mark.regression
@@ -74,8 +79,11 @@ def test_system_tolerates_{safe_name}(tmp_path):
     executor = ExperimentExecutor(
         image=image, workload=workload, models=models,
         base_dir=tmp_path / "boxes", trigger=True,
+        campaign_seed=CAMPAIGN_SEED,
     )
-    result = executor.run(plan.experiments[0])
+    planned = PlannedExperiment(experiment_id=EXPERIMENT_ID,
+                                point=plan.experiments[0].point)
+    result = executor.run(planned)
     assert result.completed, result.error
     assert not result.failed_round1, (
         "the fault {spec_name} at {file}:{lineno} still causes a service "
@@ -89,11 +97,15 @@ def generate_regression_test(
     fault_model: FaultModel,
     target_dir: str | Path,
     workload: WorkloadSpec,
+    campaign_seed: int = 0,
 ) -> str:
     """Render a pytest module re-injecting the experiment's fault.
 
     ``fault_model`` may be the full campaign model; it is narrowed to the
     one fault type the experiment used so the generated file is minimal.
+    ``campaign_seed`` must be the seed the recording campaign ran with:
+    mutation RNG streams are keyed on ``(campaign_seed, experiment_id)``,
+    so the replay embeds both to re-create the exact recorded mutant.
     """
     if not result.spec_name or not result.point:
         raise ValueError(
@@ -129,6 +141,7 @@ def generate_regression_test(
                            f"{result.spec_name}:{point['file']}:"
                            f"{point['ordinal']}"),
         safe_name=safe_name,
+        campaign_seed=campaign_seed,
     )
 
 
@@ -138,12 +151,13 @@ def write_regression_test(
     target_dir: str | Path,
     workload: WorkloadSpec,
     dest_dir: str | Path,
+    campaign_seed: int = 0,
 ) -> Path:
     """Write the generated test under ``dest_dir`` and return its path."""
     dest_dir = Path(dest_dir)
     dest_dir.mkdir(parents=True, exist_ok=True)
     text = generate_regression_test(result, fault_model, target_dir,
-                                    workload)
+                                    workload, campaign_seed=campaign_seed)
     safe = result.experiment_id.replace("-", "_").replace(".", "_")
     path = dest_dir / f"test_regression_{safe}.py"
     path.write_text(text, encoding="utf-8")

@@ -12,7 +12,7 @@ import threading
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.sandbox.limits import ResourceMonitor
 
@@ -39,47 +39,63 @@ class ExperimentPool:
 
     def run(
         self,
-        jobs: list[Callable[[], object]],
+        jobs: Iterable[Callable[[], object]],
         on_result: Callable[[JobOutcome], None] | None = None,
+        retain_results: bool = True,
     ) -> list[JobOutcome]:
         """Execute ``jobs``; outcomes are returned in submission order.
 
-        Job exceptions are captured per-job (an experiment that breaks the
-        harness must not sink the campaign).
+        ``jobs`` may be any iterable (including a lazy generator — jobs
+        are pulled only as worker slots free up, so a huge plan never
+        materializes all at once).  Job exceptions are captured per-job
+        (an experiment that breaks the harness must not sink the
+        campaign).  ``on_result`` fires from the worker thread as each
+        job completes — the streaming hook the campaign uses to append
+        results to disk; with ``retain_results=False`` the result object
+        is dropped right after the callback, keeping pool memory constant
+        for arbitrarily long campaigns.
         """
-        if not jobs:
-            return []
+        job_iter = iter(jobs)
         hard_limit = self.parallelism or self.monitor.max_parallelism
-        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        outcomes: list[JobOutcome] = []
         lock = threading.Lock()
 
-        def run_job(index: int) -> JobOutcome:
+        def run_job(index: int, job: Callable[[], object]) -> JobOutcome:
             try:
-                result = jobs[index]()
-                outcome = JobOutcome(index=index, result=result)
+                outcome = JobOutcome(index=index, result=job())
             except Exception:  # noqa: BLE001 - captured per job
                 outcome = JobOutcome(index=index,
                                      error=traceback.format_exc())
-            with lock:
-                outcomes[index] = outcome
             if on_result is not None:
                 on_result(outcome)
+            if not retain_results:
+                outcome.result = None
+            with lock:
+                outcomes.append(outcome)
             return outcome
 
         with ThreadPoolExecutor(max_workers=hard_limit) as executor:
             pending: set = set()
             next_index = 0
-            while next_index < len(jobs) or pending:
-                limit = min(hard_limit, self._current_limit())
-                while next_index < len(jobs) and len(pending) < limit:
-                    pending.add(executor.submit(run_job, next_index))
+            exhausted = False
+            while True:
+                limit = max(1, min(hard_limit, self._current_limit()))
+                while not exhausted and len(pending) < limit:
+                    try:
+                        job = next(job_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.add(executor.submit(run_job, next_index, job))
                     next_index += 1
-                if pending:
-                    done, pending = wait(pending, timeout=0.5,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        future.result()  # re-raise harness bugs, if any
-        return [outcome for outcome in outcomes if outcome is not None]
+                if not pending:
+                    break
+                done, pending = wait(pending, timeout=0.5,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    future.result()  # re-raise harness bugs, if any
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
 
     def _current_limit(self) -> int:
         if self.parallelism is not None:

@@ -196,11 +196,27 @@ class MatchMemo:
         tree = ast.parse(source)
         matches = Matcher(model).find_matches(tree)
         with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Another thread computed the same entry first; hand out
+                # that one so every caller shares a single pristine tree.
+                self._entries.move_to_end(key)
+                return existing
             self._entries[key] = (tree, matches)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
         return tree, matches
+
+    def prime(self, source: str, model: MetaModel) -> int:
+        """Parse and match now, serially, so later takes are cache hits.
+
+        The batched mutant pre-generation calls this implicitly by
+        processing requests grouped per ``(file, spec)``; priming from a
+        single thread removes the duplicated parse+match work that
+        concurrent first-touches would otherwise race to do.
+        """
+        return len(self._pristine(source, model)[1])
 
     def count(self, source: str, model: MetaModel) -> int:
         """Number of matches of ``model`` in ``source`` (memoized)."""

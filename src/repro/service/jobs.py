@@ -9,6 +9,7 @@ service workspace.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 import traceback
@@ -16,6 +17,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.fsutil import read_json, write_json
+
+_JOB_ID_RE = re.compile(r"job-(\d+)")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -74,8 +77,14 @@ class JobRunner:
 
     def _load_existing(self) -> None:
         for meta in sorted(self.jobs_dir.glob("*/job.json")):
-            data = read_json(meta)
-            job = Job.from_dict(data, directory=meta.parent)
+            try:
+                data = read_json(meta)
+                job = Job.from_dict(data, directory=meta.parent)
+            except (OSError, ValueError, KeyError):
+                # A corrupt job.json must not take the whole registry
+                # down; the directory still blocks its id (see
+                # _next_job_id) so nothing is silently overwritten.
+                continue
             if job.status == RUNNING:
                 # A previous process died mid-job.
                 job.status = FAILED
@@ -83,10 +92,30 @@ class JobRunner:
                 self._persist(job)
             self._jobs[job.job_id] = job
 
+    def _next_job_id(self) -> str:
+        """One past the highest numeric suffix seen in memory *or* on disk.
+
+        Counting jobs (the old scheme) reused an existing id whenever a
+        job directory had been deleted or its metadata failed to load —
+        the new job would then overwrite the survivor's directory.
+        """
+        highest = 0
+        names = set(self._jobs)
+        try:
+            names.update(path.name for path in self.jobs_dir.iterdir()
+                         if path.is_dir())
+        except OSError:
+            pass
+        for name in names:
+            match = _JOB_ID_RE.fullmatch(name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"job-{highest + 1:04d}"
+
     def submit(self, name: str, body, block: bool = False) -> Job:
         """Register and start a job; ``body(job_dir)`` does the work."""
         with self._lock:
-            job_id = f"job-{len(self._jobs) + 1:04d}"
+            job_id = self._next_job_id()
             directory = self.jobs_dir / job_id
             directory.mkdir(parents=True, exist_ok=True)
             job = Job(job_id=job_id, name=name, directory=directory)
@@ -124,10 +153,21 @@ class JobRunner:
         return sorted(self._jobs.values(), key=lambda job: job.job_id)
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes and return it.
+
+        Raises :class:`TimeoutError` if the job is still running after
+        ``timeout`` seconds, so a returned job is guaranteed to be in a
+        terminal state (previously a still-RUNNING job was returned
+        indistinguishably from a finished one).
+        """
         job = self.get(job_id)
         thread = self._threads.get(job_id)
         if thread is not None:
             thread.join(timeout)
+            if thread.is_alive():
+                raise TimeoutError(
+                    f"job {job_id} still {job.status} after {timeout}s"
+                )
         return job
 
     def _persist(self, job: Job) -> None:

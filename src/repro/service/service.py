@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import shutil
 from pathlib import Path
 
 from repro.analysis.classify import ClassificationRule
@@ -80,8 +81,15 @@ class ProFIPyService:
         rules: list[ClassificationRule] | None = None,
         components: list[ComponentSpec] | None = None,
         block: bool = True,
+        resume_from: str | None = None,
     ) -> Job:
-        """Run a campaign as a job; results and report persist on disk."""
+        """Run a campaign as a job; results and report persist on disk.
+
+        Experiments stream to ``<job_dir>/experiments.jsonl`` as they
+        complete.  ``resume_from`` names a previous job (e.g. one killed
+        mid-campaign); its stream is carried over, so already-recorded
+        experiments are not re-run — only the remainder executes.
+        """
         rules = rules or []
         components = components or []
         # Service campaigns share a persistent scan cache: repeated
@@ -91,6 +99,11 @@ class ProFIPyService:
             config = dataclasses.replace(
                 config, scan_cache_dir=self.workspace / "scan_cache"
             )
+        previous_stream = None
+        if resume_from is not None:
+            previous = self.runner.get(resume_from)
+            previous_stream = (previous.directory or Path()) / \
+                "experiments.jsonl"
 
         def body(job_dir: Path) -> None:
             write_json(job_dir / "config.json", {
@@ -100,8 +113,19 @@ class ProFIPyService:
                 "workload": config.workload.to_dict(),
                 "injectable_files": config.injectable_files,
                 "scan_jobs": config.scan_jobs,
+                "seed": config.seed,
+                "resumed_from": resume_from,
             })
-            campaign = Campaign(config)
+            stream_path = job_dir / "experiments.jsonl"
+            if (previous_stream is not None and previous_stream.exists()
+                    and previous_stream != stream_path):
+                shutil.copyfile(previous_stream, stream_path)
+            run_config = config
+            if run_config.results_path is None:
+                run_config = dataclasses.replace(
+                    run_config, results_path=stream_path
+                )
+            campaign = Campaign(run_config)
             result = campaign.run()
             report = CampaignReport(result, rules=rules,
                                     components=components)
@@ -135,16 +159,17 @@ class ProFIPyService:
         return read_json(path)
 
     def experiments(self, job_id: str) -> list[ExperimentResult]:
+        """Recorded experiments of a job, sorted by experiment id.
+
+        Reads the job's result stream; safe to call on a job that was
+        killed mid-campaign (a truncated trailing line is skipped).
+        """
+        from repro.orchestrator.stream import ExperimentStream
+
         job = self.runner.get(job_id)
         path = (job.directory or Path()) / "experiments.jsonl"
-        results = []
-        if path.exists():
-            for line in path.read_text(encoding="utf-8").splitlines():
-                if line.strip():
-                    results.append(ExperimentResult.from_dict(
-                        json.loads(line)
-                    ))
-        return results
+        return sorted(ExperimentStream(path).load(),
+                      key=lambda experiment: experiment.experiment_id)
 
     def generate_regression_tests(self, job_id: str,
                                   dest_dir: str | Path) -> list[Path]:
@@ -163,11 +188,15 @@ class ProFIPyService:
         fault_model = FaultModel.from_dict(config["fault_model"])
         workload = WorkloadSpec.from_dict(config["workload"])
         target_dir = Path(config["target_dir"])
+        # Replaying the recorded mutant requires the campaign seed: the
+        # per-experiment RNG is keyed on (seed, experiment_id).
+        campaign_seed = config.get("seed", 0)
         written = []
         for experiment in self.experiments(job_id):
             if experiment.completed and experiment.failed_round1:
                 written.append(write_regression_test(
                     experiment, fault_model, target_dir, workload, dest_dir,
+                    campaign_seed=campaign_seed,
                 ))
         return written
 
@@ -176,7 +205,15 @@ class ProFIPyService:
         write_json(job_dir / "summary.json", result.summary())
         (job_dir / "report.txt").write_text(report.render() + "\n",
                                             encoding="utf-8")
-        with open(job_dir / "experiments.jsonl", "w",
-                  encoding="utf-8") as handle:
-            for experiment in result.experiments:
-                handle.write(json.dumps(experiment.to_dict()) + "\n")
+        # The campaign normally streamed straight into the job directory;
+        # only materialize a copy when the results live elsewhere (e.g. a
+        # caller-pinned results_path).  Compare resolved paths: job_dir
+        # may be relative (the CLI's default workspace) while the
+        # campaign resolved its results_path.
+        stream_path = job_dir / "experiments.jsonl"
+        if (result.experiments_path is None
+                or Path(result.experiments_path).resolve()
+                != stream_path.resolve()):
+            with open(stream_path, "w", encoding="utf-8") as handle:
+                for experiment in result.experiments:
+                    handle.write(json.dumps(experiment.to_dict()) + "\n")

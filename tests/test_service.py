@@ -1,5 +1,6 @@
 """Tests for the as-a-service facade: model registry, jobs, campaigns."""
 
+import shutil
 import time
 
 import pytest
@@ -76,6 +77,37 @@ class TestJobRunner:
     def test_unknown_job(self, tmp_path):
         with pytest.raises(KeyError):
             JobRunner(tmp_path).get("job-9999")
+
+    def test_job_ids_never_reused_after_deletion(self, tmp_path):
+        # Regression: ids were job-{len(jobs)+1}, so deleting job-0001
+        # made the next submit reuse job-0002 and overwrite the survivor.
+        runner = JobRunner(tmp_path)
+        runner.submit("a", lambda d: None, block=True)
+        survivor = runner.submit("b", lambda d: None, block=True)
+        shutil.rmtree(tmp_path / "job-0001")
+        reloaded = JobRunner(tmp_path)
+        fresh = reloaded.submit("c", lambda d: None, block=True)
+        assert fresh.job_id == "job-0003"
+        assert reloaded.get(survivor.job_id).name == "b"
+
+    def test_corrupt_job_metadata_blocks_id_but_not_registry(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        runner.submit("a", lambda d: None, block=True)
+        (tmp_path / "job-0001" / "job.json").write_text("{not json",
+                                                        encoding="utf-8")
+        reloaded = JobRunner(tmp_path)
+        assert reloaded.list() == []  # unloadable job skipped, not fatal
+        fresh = reloaded.submit("b", lambda d: None, block=True)
+        # The broken directory still blocks its id from reuse.
+        assert fresh.job_id == "job-0002"
+
+    def test_wait_timeout_raises(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        job = runner.submit("slow", lambda d: time.sleep(0.4), block=False)
+        with pytest.raises(TimeoutError, match="still"):
+            runner.wait(job.job_id, timeout=0.01)
+        finished = runner.wait(job.job_id)
+        assert finished.status == COMPLETED
 
 
 @pytest.mark.integration
