@@ -1,0 +1,137 @@
+"""SV1 — service API: submit/poll/fetch throughput, HTTP vs in-process.
+
+The paper's as-a-service claim (§I) lives or dies on how many small
+campaigns the service front-end can take in, schedule, and hand back
+concurrently.  This bench drives the same burst of small campaigns
+through both transports — the in-process :class:`ProFIPyService` facade
+and the ``/v1`` HTTP API via :class:`ProFIPyClient` — over the bounded
+job scheduler, then measures the pure metadata-plane overhead
+(job get / list / summary fetch) per transport:
+
+* end-to-end: N small campaigns submitted at once (``block=False``),
+  drained by ``max_workers=2``, then summaries + experiment lists
+  fetched — wall-clock per transport must be dominated by campaign
+  execution, not by the transport;
+* metadata plane: repeated job get/list/summary round-trips — the HTTP
+  hop must stay in the low-millisecond range, far below the cost of a
+  single experiment (so remote control of a campaign is effectively
+  free).
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.orchestrator.campaign import CampaignConfig
+from repro.service.client import ProFIPyClient
+from repro.service.http import start_server
+from repro.service.service import ProFIPyService
+
+N_CAMPAIGNS = 6
+MAX_WORKERS = 2
+METADATA_OPS = 60
+
+
+def campaign_config(toy_project, toy_model, toy_workload, name):
+    return CampaignConfig(
+        name=name,
+        target_dir=toy_project,
+        fault_model=toy_model,
+        workload=toy_workload,
+        injectable_files=["app.py"],
+        coverage=False,
+        parallelism=1,
+        seed=3,
+    )
+
+
+def drive_burst(facade, toy_project, toy_model, toy_workload):
+    """Submit N campaigns at once, wait for the queue to drain, fetch
+    everything back; returns (submit_s, drain_s, fetch_s)."""
+    started = time.monotonic()
+    jobs = [
+        facade.submit_campaign(
+            campaign_config(toy_project, toy_model, toy_workload,
+                            f"burst-{index:02d}"),
+            block=False,
+        )
+        for index in range(N_CAMPAIGNS)
+    ]
+    submit_s = time.monotonic() - started
+
+    started = time.monotonic()
+    for job in jobs:
+        finished = facade.wait(job.job_id, timeout=300)
+        assert finished.status == "completed", finished.error
+    drain_s = time.monotonic() - started
+
+    started = time.monotonic()
+    for job in jobs:
+        summary = facade.result_summary(job.job_id)
+        experiments = facade.experiments(job.job_id)
+        assert summary["experiments"] == len(experiments) > 0
+    fetch_s = time.monotonic() - started
+    return submit_s, drain_s, fetch_s
+
+
+def metadata_plane_seconds(facade, job_id):
+    """Average seconds per (job get + list + summary) round-trip."""
+    started = time.monotonic()
+    for _ in range(METADATA_OPS):
+        facade.job(job_id)
+        facade.list_jobs()
+        facade.result_summary(job_id)
+    return (time.monotonic() - started) / METADATA_OPS
+
+
+def test_service_api_throughput(tmp_path, toy_project, toy_model,
+                                toy_workload):
+    # -- in-process facade ------------------------------------------------
+    inprocess = ProFIPyService(tmp_path / "ws-inprocess",
+                               max_workers=MAX_WORKERS)
+    local = drive_burst(inprocess, toy_project, toy_model, toy_workload)
+    local_meta = metadata_plane_seconds(inprocess, "job-0001")
+    inprocess.close()
+
+    # -- HTTP transport over the same core --------------------------------
+    core = ProFIPyService(tmp_path / "ws-http", max_workers=MAX_WORKERS)
+    server, _thread = start_server(core)
+    try:
+        client = ProFIPyClient(server.url)
+        remote = drive_burst(client, toy_project, toy_model, toy_workload)
+        remote_meta = metadata_plane_seconds(client, "job-0001")
+    finally:
+        server.shutdown()
+        core.close()
+
+    local_total = sum(local)
+    remote_total = sum(remote)
+
+    # The HTTP hop must not dominate: the burst is campaign-bound, so
+    # end-to-end wall-clock over HTTP stays within 2x of in-process
+    # (generous: both run real sandboxed experiments and share the host).
+    assert remote_total < local_total * 2 + 5.0, (
+        f"HTTP burst {remote_total:.2f}s vs in-process {local_total:.2f}s"
+    )
+    # Metadata-plane calls are low-millisecond, orders of magnitude below
+    # one experiment; 50 ms/round-trip is an extremely loose CI bound.
+    assert remote_meta < 0.05, f"metadata round-trip {remote_meta * 1e3:.2f}ms"
+
+    rate = N_CAMPAIGNS / remote[1] if remote[1] > 0 else float("inf")
+    write_result(
+        "service_api",
+        f"Service API throughput ({N_CAMPAIGNS} small campaigns, "
+        f"max_workers={MAX_WORKERS}):\n"
+        f"  in-process: submit {local[0] * 1e3:6.1f} ms | drain "
+        f"{local[1]:5.2f} s | fetch {local[2] * 1e3:6.1f} ms\n"
+        f"  HTTP /v1:   submit {remote[0] * 1e3:6.1f} ms | drain "
+        f"{remote[1]:5.2f} s | fetch {remote[2] * 1e3:6.1f} ms\n"
+        f"  campaign drain rate over HTTP: {rate:.2f} campaigns/s\n"
+        f"  metadata plane (job get+list+summary): "
+        f"{local_meta * 1e3:.2f} ms in-process vs "
+        f"{remote_meta * 1e3:.2f} ms HTTP "
+        f"({remote_meta / max(local_meta, 1e-9):.0f}x, both far below one "
+        "experiment)\n"
+        f"  HTTP end-to-end overhead vs in-process: "
+        f"{(remote_total - local_total) / max(local_total, 1e-9) * 100:+.0f}%",
+    )

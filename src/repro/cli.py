@@ -9,6 +9,8 @@ Subcommands mirror the workflow phases (paper Fig. 2)::
     profipy mutate FILE --model gswfit --spec MFC --ordinal 0
     profipy campaign TARGET --model gswfit --run-cmd '...'   # Execution
     profipy casestudy --campaign wrong_inputs # the §V case study
+    profipy serve --port 8080                 # the /v1 HTTP service API
+    profipy jobs list [--server URL]          # jobs, local or remote
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 from repro.analysis.report import summary_table
@@ -174,22 +177,64 @@ def cmd_campaign(args) -> int:
     return 0
 
 
-# -- jobs / regression ----------------------------------------------------------------
+# -- serve / jobs / regression ---------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    from repro.service.http import serve
+
+    serve(args.workspace, host=args.host, port=args.port,
+          max_workers=args.max_workers)
+    return 0
+
+
+def _jobs_facade(args):
+    """The service to talk to: a workspace (in-process) or a running
+    server (HTTP client) — both expose the same method surface."""
+    if getattr(args, "server", None):
+        from repro.service.client import ProFIPyClient
+
+        return ProFIPyClient(args.server)
+    return ProFIPyService(args.workspace)
+
+
+def _stamp(epoch: float | None) -> str:
+    if not epoch:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
 
 
 def cmd_jobs(args) -> int:
-    service = ProFIPyService(args.workspace)
+    service = _jobs_facade(args)
     if args.jobs_command == "list":
         jobs = service.list_jobs()
         if not jobs:
-            print("no jobs in this workspace")
+            where = args.server or f"workspace {args.workspace}"
+            print(f"no jobs in {where}")
             return 0
+        print(f"{'JOB':<10} {'STATUS':<10} {'SUBMITTED':<20} "
+              f"{'STARTED':<20} {'FINISHED':<20} NAME")
         for job in jobs:
-            print(f"{job.job_id}  {job.status:<10} {job.name}")
+            print(f"{job.job_id:<10} {job.status:<10} "
+                  f"{_stamp(job.submitted_at):<20} "
+                  f"{_stamp(job.started_at):<20} "
+                  f"{_stamp(job.finished_at):<20} {job.name}")
         return 0
     if args.jobs_command == "report":
         print(service.report_text(args.job_id))
         return 0
+    if args.jobs_command == "cancel":
+        job = service.cancel(args.job_id)
+        print(f"{job.job_id}  {job.status}")
+        return 0
+    if args.jobs_command == "wait":
+        try:
+            job = service.wait(args.job_id, timeout=args.timeout)
+        except TimeoutError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        print(f"{job.job_id}  {job.status}")
+        return 0 if job.status == "completed" else 1
     raise SystemExit(f"unknown jobs command {args.jobs_command!r}")
 
 
@@ -318,11 +363,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "not re-run")
     campaign.set_defaults(func=cmd_campaign)
 
+    serve = sub.add_parser(
+        "serve", help="run the versioned HTTP service API (/v1)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="concurrent campaign jobs (bounded scheduler)")
+    serve.set_defaults(func=cmd_serve)
+
     jobs = sub.add_parser("jobs", help="inspect campaign jobs")
+    jobs.add_argument("--server", metavar="URL",
+                      help="talk to a running 'profipy serve' instance "
+                           "instead of the local workspace")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
-    jobs_sub.add_parser("list", help="list jobs in the workspace")
+    jobs_sub.add_parser("list",
+                        help="list jobs (id, status, timestamps, name)")
     jobs_report = jobs_sub.add_parser("report", help="print a job report")
     jobs_report.add_argument("job_id")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    jobs_cancel.add_argument("job_id")
+    jobs_wait = jobs_sub.add_parser(
+        "wait", help="block until a job reaches a terminal state"
+    )
+    jobs_wait.add_argument("job_id")
+    jobs_wait.add_argument("--timeout", type=float, default=None)
     jobs.set_defaults(func=cmd_jobs)
 
     regression = sub.add_parser(

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
+import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -57,12 +59,35 @@ def copy_tree(src: str | Path, dst: str | Path) -> Path:
 
 
 def atomic_write(path: str | Path, data: str) -> None:
-    """Write ``data`` to ``path`` atomically (write temp + rename)."""
+    """Write ``data`` to ``path`` atomically (unique temp + fsync + rename).
+
+    A reader never observes a partial file: the data is flushed to a
+    uniquely-named temporary sibling first and renamed over ``path`` only
+    once it is durably on disk, so a process killed mid-write leaves the
+    previous version intact.  The unique temporary name also makes
+    concurrent writers of the same path safe (last rename wins); a fixed
+    ``.tmp`` name raced when two threads persisted the same file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(data, encoding="utf-8")
-    os.replace(tmp, path)
+    fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".",
+                                    suffix=".tmp", dir=path.parent)
+    try:
+        # mkstemp creates 0600; widen to the umask-honoring mode a plain
+        # open() would have used, so the rename does not silently flip
+        # shared-workspace files to owner-only.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 def write_json(path: str | Path, obj) -> None:

@@ -1,6 +1,11 @@
 """Campaign orchestration: the Fig. 2 workflow."""
 
-from repro.orchestrator.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.orchestrator.campaign import (
+    Campaign,
+    CampaignCancelled,
+    CampaignConfig,
+    CampaignResult,
+)
 from repro.orchestrator.coverage import (
     CoverageReport,
     reduce_plan,
@@ -19,6 +24,7 @@ from repro.orchestrator.stream import ExperimentStream
 __all__ = [
     "ExperimentStream",
     "Campaign",
+    "CampaignCancelled",
     "CampaignConfig",
     "CampaignResult",
     "CoverageReport",

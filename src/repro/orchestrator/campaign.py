@@ -38,6 +38,22 @@ from repro.scanner.scan import ScanResult, scan_files
 from repro.workload.spec import WorkloadSpec
 
 
+class CampaignCancelled(Exception):
+    """A campaign stopped early on a cooperative cancellation request.
+
+    Raised by :meth:`Campaign.run` when its ``cancel`` hook reports a
+    request between experiments.  In-flight experiments finish and are
+    recorded; the partial :class:`CampaignResult` (with its result
+    stream) rides on :attr:`result`, so the stream is a valid
+    ``resume_from`` point for a follow-up campaign.
+    """
+
+    def __init__(self, result: "CampaignResult") -> None:
+        super().__init__(f"campaign {result.name!r} cancelled after "
+                         f"{result.executed} experiments")
+        self.result = result
+
+
 @dataclass
 class CampaignConfig:
     """Everything the user configures for one campaign (paper Fig. 2)."""
@@ -216,8 +232,15 @@ class Campaign:
 
     # -- full workflow -------------------------------------------------------------
 
-    def run(self, progress=None) -> CampaignResult:
-        """Scan, plan, (optionally) reduce by coverage, execute, collect."""
+    def run(self, progress=None, cancel=None) -> CampaignResult:
+        """Scan, plan, (optionally) reduce by coverage, execute, collect.
+
+        ``cancel`` is an optional zero-argument callable polled between
+        experiments (the service layer wires it to the job scheduler's
+        cancel flag).  Once it returns true, no further experiment
+        starts; in-flight ones finish and are recorded, then
+        :class:`CampaignCancelled` is raised carrying the partial result.
+        """
         config = self.config
         owns_workspace = config.workspace is None
         workspace = Path(
@@ -316,6 +339,7 @@ class Campaign:
                 rounds=config.rounds,
                 campaign_seed=config.seed,
                 artifacts_dir=artifacts,
+                cancel_check=cancel,
             )
 
             say(f"[{config.name}] pre-generating {len(pending)} mutants")
@@ -333,6 +357,12 @@ class Campaign:
 
             def on_result(outcome):
                 if outcome.ok:
+                    if outcome.result is None:
+                        # The executor declined a not-yet-started
+                        # experiment after a cancellation request;
+                        # nothing ran, so nothing is recorded (resume
+                        # picks it up).
+                        return
                     stream.append(outcome.result)
                 else:
                     planned = pending_list[outcome.index]
@@ -345,15 +375,32 @@ class Campaign:
                         error=outcome.error or "unknown pool failure",
                     ))
 
+            cancelled = False
+
+            def pending_jobs():
+                nonlocal cancelled
+                for planned in pending_list:
+                    # The cooperative cancellation point between
+                    # experiments: the pool pulls jobs lazily, so once
+                    # the hook fires nothing further is handed out.
+                    if cancel is not None and cancel():
+                        cancelled = True
+                        return
+                    yield job_for(planned)
+
             pool = ExperimentPool(parallelism=config.parallelism)
             execution_started = time.monotonic()
             pool.run(
-                (job_for(planned) for planned in pending_list),
+                pending_jobs(),
                 on_result=on_result,
                 retain_results=False,
             )
             result.execution_seconds = time.monotonic() - execution_started
             result.experiments_path = stream.path
+            if cancelled or (cancel is not None and cancel()):
+                say(f"[{config.name}] cancelled after "
+                    f"{result.executed} recorded experiments")
+                raise CampaignCancelled(result)
             say(f"[{config.name}] done: "
                 f"{len(result.failures)}/{result.executed} experiments "
                 "showed failures")

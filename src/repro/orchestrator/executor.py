@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.common.rng import SeededRandom, experiment_seed
 from repro.dsl.metamodel import MetaModel
@@ -69,6 +69,10 @@ class ExperimentExecutor:
     #: Campaign-level seed; every per-experiment stream derives from it.
     campaign_seed: int | str = 0
     artifacts_dir: Path | None = None
+    #: Optional cooperative-cancellation hook polled before an experiment
+    #: starts; once it returns true, :meth:`run` declines new experiments
+    #: (returning ``None``) so a cancelled campaign drains quickly.
+    cancel_check: Callable[[], bool] | None = None
     #: Shared across the batch: experiments hitting the same (file, spec)
     #: pair at different ordinals reuse one cached match list.  Populated
     #: serially by :meth:`prepare_mutations`.
@@ -126,14 +130,19 @@ class ExperimentExecutor:
     # -- execution ---------------------------------------------------------------
 
     def run(self, planned: PlannedExperiment,
-            mutation: Mutation | None = None) -> ExperimentResult:
+            mutation: Mutation | None = None) -> ExperimentResult | None:
         """Execute one experiment end-to-end; never raises for target bugs.
 
         ``mutation`` is the pre-generated mutant from
         :meth:`prepare_mutations`; when omitted the mutant is generated
         inline from the same per-experiment RNG stream, so both paths
-        produce identical results.
+        produce identical results.  Returns ``None`` without running
+        anything when :attr:`cancel_check` reports a cancellation request
+        (the experiment is simply not recorded, so a resumed campaign
+        re-plans it).
         """
+        if self.cancel_check is not None and self.cancel_check():
+            return None
         point = planned.point
         result = ExperimentResult(
             experiment_id=planned.experiment_id,

@@ -22,6 +22,38 @@ from typing import Iterator
 from repro.orchestrator.experiment import STATUS_HARNESS_ERROR, ExperimentResult
 
 
+def parse_stream_lines(lines) -> Iterator[dict]:
+    """Decode stream lines to dicts, skipping blanks, truncated lines
+    (a killed run's partial trailing write), and non-object lines.
+
+    The single definition of the line-level reader semantics: the
+    on-disk reader below and the HTTP client's NDJSON consumer both go
+    through here, so the transports can never diverge on how a stream
+    is interpreted.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue  # truncated trailing line from a killed run
+        if isinstance(data, dict):
+            yield data
+
+
+def latest_entries(lines) -> dict[str, dict]:
+    """Result entries keyed by experiment id; last record wins (a
+    harness-errored experiment retried on resume supersedes the old
+    record).  Meta lines are skipped."""
+    entries: dict[str, dict] = {}
+    for data in parse_stream_lines(lines):
+        if "experiment_id" in data:
+            entries[data["experiment_id"]] = data
+    return entries
+
+
 class ExperimentStream:
     """Append-only JSONL stream of experiment results (thread-safe).
 
@@ -83,24 +115,19 @@ class ExperimentStream:
         if not self.path.exists():
             return
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                except ValueError:
-                    continue  # truncated trailing line from a killed run
-                if isinstance(data, dict):
-                    yield data
+            yield from parse_stream_lines(handle)
 
     def _latest_entries(self) -> dict[str, dict]:
         """Result entries keyed by experiment id; last record wins."""
-        entries: dict[str, dict] = {}
-        for data in self._raw_lines():
-            if "experiment_id" in data:
-                entries[data["experiment_id"]] = data
-        return entries
+        if not self.path.exists():
+            return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return latest_entries(handle)
+
+    def entries(self) -> list[dict]:
+        """Every recorded result as a raw dict, sorted by experiment id
+        (the pagination fast path: no ExperimentResult round-trip)."""
+        return [entry for _id, entry in sorted(self._latest_entries().items())]
 
     def read_meta(self) -> dict | None:
         """The last campaign-metadata line, if any."""
@@ -132,4 +159,4 @@ class ExperimentStream:
         return len(self._latest_entries())
 
 
-__all__ = ["ExperimentStream"]
+__all__ = ["ExperimentStream", "latest_entries", "parse_stream_lines"]

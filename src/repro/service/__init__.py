@@ -1,14 +1,47 @@
-"""Fault injection as-a-service: job registry and service facade."""
+"""Fault injection as-a-service: scheduler, service core, API, transports.
 
-from repro.service.jobs import COMPLETED, FAILED, QUEUED, RUNNING, Job, JobRunner
+Layering::
+
+    jobs.py      bounded job scheduler (queued/running/.../cancelled)
+    service.py   ProFIPyService — the behavioural core, in-process facade
+    api.py       versioned /v1 schemas + error codes over the core
+    http.py      stdlib HTTP server mounting the API   (profipy serve)
+    client.py    ProFIPyClient — HTTP SDK mirroring ProFIPyService
+"""
+
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobCancelled,
+    JobRunner,
+)
 from repro.service.service import ProFIPyService
 
 __all__ = [
+    "CANCELLED",
     "COMPLETED",
     "FAILED",
     "Job",
+    "JobCancelled",
     "JobRunner",
+    "ProFIPyClient",
     "ProFIPyService",
     "QUEUED",
     "RUNNING",
+    "TERMINAL_STATES",
 ]
+
+
+def __getattr__(name: str):
+    # ProFIPyClient is exported lazily so importing the service package
+    # (e.g. from the orchestrator) does not pull in urllib/http modules.
+    if name == "ProFIPyClient":
+        from repro.service.client import ProFIPyClient
+
+        return ProFIPyClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

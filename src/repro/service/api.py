@@ -1,0 +1,489 @@
+"""Transport-agnostic, versioned service API core (``/v1``).
+
+This module is the single definition of the service wire contract shared
+by the HTTP server (:mod:`repro.service.http`) and the client SDK
+(:mod:`repro.service.client`):
+
+* **versioned request/response schemas** — dataclasses with explicit
+  ``to_dict``/``from_dict`` JSON round-trips (:class:`JobView`,
+  :class:`ExperimentPage`, :class:`RegressionTests`), plus lossless
+  converters for :class:`CampaignConfig`, classification rules, and
+  component specs, so a campaign submitted over HTTP is byte-identical
+  to one submitted in-process;
+* **explicit error codes** (:data:`ERROR_STATUS`) — every domain failure
+  maps to one :class:`APIError` code with a fixed HTTP status, and the
+  client maps each code back to the exception type the in-process
+  :class:`~repro.service.service.ProFIPyService` raises;
+* :class:`ServiceAPI` — the ``/v1`` operations expressed in JSON space
+  over a ``ProFIPyService`` core.  Both transports execute the exact
+  same core methods, which is what keeps them behaviourally identical.
+
+The wire format is versioned: every endpoint lives under ``/v1`` and
+responses carry ``api_version``.  Breaking schema changes get a ``/v2``
+mount next to (not instead of) this one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.classify import ClassificationRule
+from repro.analysis.metrics import ComponentSpec
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.campaign import CampaignConfig
+from repro.service.jobs import Job
+from repro.workload.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import ProFIPyService
+
+API_VERSION = "v1"
+
+# -- error codes -----------------------------------------------------------------
+
+#: Every error the API can return, with its fixed HTTP status.  The
+#: client maps codes back to in-process exception types (see
+#: :func:`exception_for`): unknown_* → KeyError, missing_artifact →
+#: FileNotFoundError, invalid_request → ValueError, timeout →
+#: TimeoutError.
+ERROR_STATUS = {
+    "invalid_request": 400,
+    "unknown_job": 404,
+    "unknown_model": 404,
+    "missing_artifact": 404,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "timeout": 408,
+    "internal": 500,
+}
+
+
+class APIError(Exception):
+    """A service error with a wire-level code and HTTP status."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown API error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.http_status = ERROR_STATUS[code]
+
+    def to_dict(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message},
+                "api_version": API_VERSION}
+
+    @classmethod
+    def from_dict(cls, data: dict, http_status: int = 500) -> "APIError":
+        error = data.get("error", {}) if isinstance(data, dict) else {}
+        code = error.get("code")
+        if code not in ERROR_STATUS:
+            code = "internal" if http_status >= 500 else "invalid_request"
+        return cls(code, error.get("message", "unrecognized server error"))
+
+
+def exception_for(error: APIError) -> Exception:
+    """The in-process exception equivalent of a wire error (what the
+    client raises so it mirrors ``ProFIPyService`` exactly)."""
+    if error.code in ("unknown_job", "unknown_model"):
+        return KeyError(error.message)
+    if error.code in ("missing_artifact", "not_found"):
+        return FileNotFoundError(error.message)
+    if error.code == "timeout":
+        return TimeoutError(error.message)
+    if error.code == "invalid_request":
+        return ValueError(error.message)
+    return error
+
+
+# -- schemas ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobView:
+    """Wire projection of one job's lifecycle."""
+
+    job_id: str
+    name: str
+    status: str
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    error: str
+    directory: str | None
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobView":
+        return cls(
+            job_id=job.job_id,
+            name=job.name,
+            status=job.status,
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            error=job.error,
+            directory=str(job.directory) if job.directory else None,
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobView":
+        return cls(
+            job_id=data["job_id"],
+            name=data.get("name", data["job_id"]),
+            status=data["status"],
+            submitted_at=data.get("submitted_at", 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error", ""),
+            directory=data.get("directory"),
+        )
+
+    def to_job(self) -> Job:
+        """A :class:`Job` the client hands back to callers (the
+        ``directory`` is a *server-side* path, kept for workflows where
+        client and server share a filesystem)."""
+        return Job(
+            job_id=self.job_id,
+            name=self.name,
+            status=self.status,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            directory=Path(self.directory) if self.directory else None,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentPage:
+    """One page of a job's recorded experiments, sorted by id."""
+
+    experiments: list
+    total: int
+    offset: int
+    limit: int
+
+    @property
+    def next_offset(self) -> int | None:
+        end = self.offset + len(self.experiments)
+        return end if end < self.total else None
+
+    def to_dict(self) -> dict:
+        return {
+            "experiments": list(self.experiments),
+            "total": self.total,
+            "offset": self.offset,
+            "limit": self.limit,
+            "next_offset": self.next_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentPage":
+        return cls(
+            experiments=list(data.get("experiments", [])),
+            total=data["total"],
+            offset=data.get("offset", 0),
+            limit=data.get("limit", 0),
+        )
+
+
+# -- lossless config round-trips --------------------------------------------------
+
+
+def campaign_config_to_dict(config: CampaignConfig) -> dict:
+    """Serialize every field of a campaign config (paths as strings)."""
+
+    def opt_path(value: Path | None) -> str | None:
+        return str(value) if value is not None else None
+
+    return {
+        "name": config.name,
+        "target_dir": str(config.target_dir),
+        "fault_model": config.fault_model.to_dict(),
+        "workload": config.workload.to_dict(),
+        "injectable_files": (list(config.injectable_files)
+                             if config.injectable_files is not None else None),
+        "containerfile": config.containerfile,
+        "trigger": config.trigger,
+        "rounds": config.rounds,
+        "coverage": config.coverage,
+        "sample": config.sample,
+        "spec_filter": (list(config.spec_filter)
+                        if config.spec_filter is not None else None),
+        "file_filter": (list(config.file_filter)
+                        if config.file_filter is not None else None),
+        "parallelism": config.parallelism,
+        "scan_jobs": config.scan_jobs,
+        "scan_cache_dir": opt_path(config.scan_cache_dir),
+        "seed": config.seed,
+        "workspace": opt_path(config.workspace),
+        "keep_artifacts": config.keep_artifacts,
+        "results_path": opt_path(config.results_path),
+        "resume": config.resume,
+    }
+
+
+def campaign_config_from_dict(data: dict) -> CampaignConfig:
+    """Rebuild a campaign config from its wire form (raises ``KeyError``
+    / ``ValueError`` / ``FileNotFoundError`` for malformed payloads —
+    the API layer maps them to ``invalid_request``)."""
+
+    def opt_path(value) -> Path | None:
+        return Path(value) if value is not None else None
+
+    return CampaignConfig(
+        name=data["name"],
+        target_dir=Path(data["target_dir"]),
+        fault_model=FaultModel.from_dict(data["fault_model"]),
+        workload=WorkloadSpec.from_dict(data["workload"]),
+        injectable_files=data.get("injectable_files"),
+        containerfile=data.get("containerfile"),
+        trigger=data.get("trigger", True),
+        rounds=int(data.get("rounds", 2)),
+        coverage=data.get("coverage", True),
+        sample=data.get("sample"),
+        spec_filter=data.get("spec_filter"),
+        file_filter=data.get("file_filter"),
+        parallelism=data.get("parallelism"),
+        scan_jobs=data.get("scan_jobs"),
+        scan_cache_dir=opt_path(data.get("scan_cache_dir")),
+        seed=data.get("seed", 0),
+        workspace=opt_path(data.get("workspace")),
+        keep_artifacts=data.get("keep_artifacts", False),
+        results_path=opt_path(data.get("results_path")),
+        resume=data.get("resume", True),
+    )
+
+
+def rule_to_dict(rule: ClassificationRule) -> dict:
+    return {"mode": rule.mode, "pattern": rule.pattern,
+            "scope": rule.scope, "description": rule.description}
+
+
+def rule_from_dict(data: dict) -> ClassificationRule:
+    return ClassificationRule(
+        mode=data["mode"], pattern=data["pattern"],
+        scope=data.get("scope", "any"),
+        description=data.get("description", ""),
+    )
+
+
+def component_to_dict(component: ComponentSpec) -> dict:
+    return {"name": component.name,
+            "log_globs": list(component.log_globs),
+            "error_pattern": component.error_pattern}
+
+
+def component_from_dict(data: dict) -> ComponentSpec:
+    return ComponentSpec(
+        name=data["name"],
+        log_globs=tuple(data["log_globs"]),
+        error_pattern=data.get("error_pattern",
+                               ComponentSpec.error_pattern),
+    )
+
+
+# -- the /v1 operations ------------------------------------------------------------
+
+#: Page-size bounds for experiment retrieval.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+#: Longest single long-poll a server answers; clients loop to wait longer.
+MAX_WAIT_SECONDS = 60.0
+
+
+class ServiceAPI:
+    """The ``/v1`` operations in JSON space over a ``ProFIPyService``.
+
+    Every method takes and returns JSON-serializable values and raises
+    only :class:`APIError`, so any transport (the stdlib HTTP server, a
+    test harness calling it directly) exposes identical behaviour.
+    """
+
+    def __init__(self, service: "ProFIPyService") -> None:
+        self.service = service
+
+    # -- meta ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return {"service": "profipy", "api_version": API_VERSION,
+                "workspace": str(self.service.workspace)}
+
+    # -- fault models ----------------------------------------------------------
+
+    def list_models(self) -> dict:
+        from repro.faultmodel.library import predefined_models
+
+        return {
+            "stored": self.service.list_models(),
+            "predefined": sorted(predefined_models()),
+            "api_version": API_VERSION,
+        }
+
+    def get_model(self, name: str) -> dict:
+        try:
+            return self.service.load_model(name).to_dict()
+        except KeyError as error:
+            raise APIError("unknown_model", str(error.args[0])) from None
+
+    def put_model(self, name: str, payload: dict) -> dict:
+        try:
+            model = FaultModel.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise APIError(
+                "invalid_request", f"malformed fault model: {error}"
+            ) from None
+        if model.name != name:
+            raise APIError(
+                "invalid_request",
+                f"model name {model.name!r} does not match URL name {name!r}",
+            )
+        path = self.service.save_model(model)
+        return {"name": model.name, "path": str(path),
+                "api_version": API_VERSION}
+
+    # -- campaigns -------------------------------------------------------------
+
+    def submit_campaign(self, payload: dict) -> dict:
+        """Submit a campaign job from its wire form.
+
+        Payload: ``{"config": {...}, "rules": [...], "components":
+        [...], "resume_from": ..., "block": false}``.  Returns the job
+        view; with ``block`` true the returned job is terminal.
+        """
+        if not isinstance(payload, dict) or "config" not in payload:
+            raise APIError("invalid_request",
+                           'payload must be an object with a "config" key')
+        try:
+            config = campaign_config_from_dict(payload["config"])
+            rules = [rule_from_dict(r) for r in payload.get("rules", [])]
+            components = [component_from_dict(c)
+                          for c in payload.get("components", [])]
+        except (KeyError, TypeError, ValueError, FileNotFoundError) as error:
+            raise APIError("invalid_request",
+                           f"malformed campaign payload: {error}") from None
+        resume_from = payload.get("resume_from")
+        try:
+            job = self.service.submit_campaign(
+                config,
+                rules=rules,
+                components=components,
+                block=bool(payload.get("block", False)),
+                resume_from=resume_from,
+            )
+        except KeyError:
+            raise APIError("unknown_job",
+                           f"unknown job {resume_from!r}") from None
+        except FileNotFoundError as error:
+            raise APIError("missing_artifact", str(error)) from None
+        return JobView.from_job(job).to_dict()
+
+    # -- jobs ------------------------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self.service.job(job_id)
+        except KeyError:
+            raise APIError("unknown_job",
+                           f"unknown job {job_id!r}") from None
+
+    def get_job(self, job_id: str) -> dict:
+        return JobView.from_job(self._job(job_id)).to_dict()
+
+    def list_jobs(self) -> dict:
+        return {
+            "jobs": [JobView.from_job(job).to_dict()
+                     for job in self.service.list_jobs()],
+            "api_version": API_VERSION,
+        }
+
+    def cancel_job(self, job_id: str) -> dict:
+        self._job(job_id)
+        return JobView.from_job(self.service.cancel(job_id)).to_dict()
+
+    def wait_job(self, job_id: str, timeout: float | None) -> dict:
+        """Long-poll until the job is terminal (bounded per request)."""
+        self._job(job_id)
+        if timeout is None or timeout > MAX_WAIT_SECONDS:
+            timeout = MAX_WAIT_SECONDS
+        try:
+            job = self.service.wait(job_id, timeout=timeout)
+        except TimeoutError as error:
+            raise APIError("timeout", str(error)) from None
+        return JobView.from_job(job).to_dict()
+
+    # -- results ---------------------------------------------------------------
+
+    def job_summary(self, job_id: str) -> dict:
+        job = self._job(job_id)
+        try:
+            return self.service.result_summary(job.job_id)
+        except FileNotFoundError as error:
+            raise APIError("missing_artifact", str(error)) from None
+
+    def job_report(self, job_id: str) -> str:
+        job = self._job(job_id)
+        try:
+            return self.service.report_text(job.job_id)
+        except FileNotFoundError as error:
+            raise APIError("missing_artifact", str(error)) from None
+
+    def job_experiments(self, job_id: str, offset: int = 0,
+                        limit: int = DEFAULT_PAGE_LIMIT) -> dict:
+        if offset < 0 or limit < 1:
+            raise APIError("invalid_request",
+                           f"offset must be >= 0 and limit >= 1 "
+                           f"(got offset={offset}, limit={limit})")
+        limit = min(limit, MAX_PAGE_LIMIT)
+        # Serve the recorded dicts straight from the stream (sorted by
+        # experiment id, like the in-process reader) — no
+        # ExperimentResult materialization + re-serialization per page.
+        from repro.orchestrator.stream import ExperimentStream
+
+        entries = ExperimentStream(self.experiments_path(job_id)).entries()
+        return ExperimentPage(
+            experiments=entries[offset:offset + limit],
+            total=len(entries),
+            offset=offset,
+            limit=limit,
+        ).to_dict()
+
+    def experiments_path(self, job_id: str) -> Path:
+        """Filesystem path of the raw result stream (for NDJSON
+        transports that serve the file verbatim).
+
+        The path may not exist yet (job still queued): transports serve
+        an empty stream then, matching the in-process facade's ``[]``
+        for a job with no recorded experiments.
+        """
+        job = self._job(job_id)
+        try:
+            return self.service.experiments_path(job.job_id)
+        except FileNotFoundError as error:
+            raise APIError("missing_artifact", str(error)) from None
+
+    def generate_regression_tests(self, job_id: str) -> dict:
+        """Generate regression tests server-side and return their
+        sources (the client materializes them wherever it wants)."""
+        job = self._job(job_id)
+        dest = self.service._job_dir(job) / "regression_tests"
+        try:
+            written = self.service.generate_regression_tests(job.job_id,
+                                                             dest)
+        except FileNotFoundError as error:
+            raise APIError("missing_artifact", str(error)) from None
+        return {
+            "tests": [
+                {"filename": path.name,
+                 "content": path.read_text(encoding="utf-8")}
+                for path in written
+            ],
+            "api_version": API_VERSION,
+        }

@@ -1,0 +1,276 @@
+"""Typed HTTP client SDK mirroring the in-process service facade.
+
+:class:`ProFIPyClient` exposes the *same method surface* as
+:class:`repro.service.service.ProFIPyService` — ``save_model`` /
+``load_model`` / ``submit_campaign`` / ``job`` / ``wait`` / ``cancel`` /
+``report_text`` / ``experiments`` / ``generate_regression_tests`` — so
+callers swap the in-process facade for a remote server without code
+changes::
+
+    service = ProFIPyService("workspace")          # in-process
+    service = ProFIPyClient("http://host:8080")    # remote, same calls
+
+Equivalence guarantees (the contract tests in
+``tests/test_service_api_contract.py`` enforce them):
+
+* identical return types (:class:`Job`, :class:`FaultModel`,
+  :class:`ExperimentResult` lists sorted by experiment id);
+* identical exception types — the wire error codes map back to what the
+  in-process facade raises (``unknown_job``/``unknown_model`` →
+  ``KeyError``, ``missing_artifact`` → ``FileNotFoundError``,
+  ``timeout`` → ``TimeoutError``, ``invalid_request`` → ``ValueError``);
+* identical campaign behaviour, because the server runs the exact same
+  core with a lossless config round-trip.
+
+``wait`` long-polls (bounded requests in a loop, no busy-polling) and
+``experiments`` consumes the NDJSON stream with the same
+last-record-wins / skip-meta semantics as the on-disk reader.
+
+Only the stdlib is used (``urllib``); the client has no dependency on a
+running event loop or third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.analysis.classify import ClassificationRule
+from repro.analysis.metrics import ComponentSpec
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.campaign import CampaignConfig
+from repro.orchestrator.experiment import (
+    STATUS_HARNESS_ERROR,
+    ExperimentResult,
+)
+from repro.service.api import (
+    API_VERSION,
+    APIError,
+    ExperimentPage,
+    JobView,
+    campaign_config_to_dict,
+    component_to_dict,
+    exception_for,
+    rule_to_dict,
+)
+from repro.service.jobs import Job
+
+#: Per-request long-poll bound; overall waits loop over it.
+WAIT_POLL_SECONDS = 30.0
+
+
+class ProFIPyClient:
+    """Remote fault-injection-as-a-service, same surface as the
+    in-process :class:`~repro.service.service.ProFIPyService`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> tuple[int, bytes, str]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return (response.status, response.read(),
+                        response.headers.get("Content-Type", ""))
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                data = {}
+            raise exception_for(
+                APIError.from_dict(data, http_status=error.code)
+            ) from None
+
+    def _json(self, method: str, path: str, payload: dict | None = None,
+              timeout: float | None = None) -> dict:
+        _status, raw, _ctype = self._request(method, path, payload,
+                                             timeout=timeout)
+        return json.loads(raw.decode("utf-8"))
+
+    def ping(self) -> dict:
+        """Server identity and API version (connectivity check)."""
+        info = self._json("GET", "/v1/ping")
+        if info.get("api_version") != API_VERSION:
+            raise APIError(
+                "invalid_request",
+                f"server speaks API {info.get('api_version')!r}, "
+                f"this client speaks {API_VERSION!r}",
+            )
+        return info
+
+    # -- fault model registry ------------------------------------------------
+
+    def save_model(self, model: FaultModel) -> Path:
+        """Store a fault model in the server's registry; returns the
+        *server-side* path of the stored JSON."""
+        result = self._json("PUT", f"/v1/models/{model.name}",
+                            model.to_dict())
+        return Path(result["path"])
+
+    def import_model(self, path: str | Path) -> FaultModel:
+        """Import a local fault model JSON into the server's registry."""
+        model = FaultModel.load(path)
+        self.save_model(model)
+        return model
+
+    def load_model(self, name: str) -> FaultModel:
+        """A stored model by name, falling back to the pre-defined ones
+        (resolved server-side, exactly like the in-process facade)."""
+        return FaultModel.from_dict(self._json("GET", f"/v1/models/{name}"))
+
+    def list_models(self) -> list[str]:
+        """Names of stored models (pre-defined ones are always available)."""
+        return list(self._json("GET", "/v1/models")["stored"])
+
+    # -- campaign submission -----------------------------------------------------
+
+    def submit_campaign(
+        self,
+        config: CampaignConfig,
+        rules: list[ClassificationRule] | None = None,
+        components: list[ComponentSpec] | None = None,
+        block: bool = True,
+        resume_from: str | None = None,
+    ) -> Job:
+        """Submit a campaign to the server; mirrors the in-process call.
+
+        The config round-trips losslessly over the wire, so the server
+        runs exactly the campaign this process would have run (note the
+        paths inside — target dir, workspace — resolve on the *server's*
+        filesystem).  With ``block=True`` the call long-polls until the
+        job is terminal.
+        """
+        payload = {
+            "config": campaign_config_to_dict(config),
+            "rules": [rule_to_dict(rule) for rule in (rules or [])],
+            "components": [component_to_dict(component)
+                           for component in (components or [])],
+            "resume_from": resume_from,
+            "block": False,
+        }
+        job = self._to_job(self._json("POST", "/v1/campaigns", payload))
+        if block:
+            return self.wait(job.job_id)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        return self._to_job(self._json("GET", f"/v1/jobs/{job_id}"))
+
+    def list_jobs(self) -> list[Job]:
+        return [self._to_job(view)
+                for view in self._json("GET", "/v1/jobs")["jobs"]]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes (long-polling) and return it.
+
+        Raises :class:`TimeoutError` when ``timeout`` seconds pass with
+        the job still queued/running, like the in-process facade.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still running after {timeout}s"
+                    )
+            poll = WAIT_POLL_SECONDS if remaining is None \
+                else min(WAIT_POLL_SECONDS, max(remaining, 0.05))
+            try:
+                view = self._json(
+                    "GET", f"/v1/jobs/{job_id}/wait?timeout={poll:g}",
+                    timeout=poll + self.timeout,
+                )
+            except TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                continue
+            return self._to_job(view)
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation of a queued or running job (idempotent)."""
+        return self._to_job(self._json("POST", f"/v1/jobs/{job_id}/cancel"))
+
+    # -- results ---------------------------------------------------------------------
+
+    def report_text(self, job_id: str) -> str:
+        _status, raw, _ctype = self._request(
+            "GET", f"/v1/jobs/{job_id}/report"
+        )
+        return raw.decode("utf-8")
+
+    def result_summary(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/summary")
+
+    def experiments(self, job_id: str) -> list[ExperimentResult]:
+        """Recorded experiments of a job, sorted by experiment id.
+
+        Consumes the NDJSON stream (the raw ``experiments.jsonl`` file)
+        applying the reader semantics of the on-disk stream: meta and
+        truncated lines are skipped, the last record per experiment id
+        wins.
+        """
+        from repro.orchestrator.stream import latest_entries
+
+        _status, raw, _ctype = self._request(
+            "GET", f"/v1/jobs/{job_id}/experiments.ndjson"
+        )
+        entries = latest_entries(raw.decode("utf-8").splitlines())
+        return sorted(
+            (ExperimentResult.from_dict(entry)
+             for entry in entries.values()),
+            key=lambda experiment: experiment.experiment_id,
+        )
+
+    def experiments_page(self, job_id: str, offset: int = 0,
+                         limit: int = 100) -> ExperimentPage:
+        """One page of experiment dicts (the paginated JSON endpoint,
+        for UIs that render incrementally)."""
+        return ExperimentPage.from_dict(self._json(
+            "GET",
+            f"/v1/jobs/{job_id}/experiments?offset={offset}&limit={limit}",
+        ))
+
+    def recorded_ids(self, job_id: str) -> set[str]:
+        """Resumable ids recorded so far (harness errors excluded,
+        mirroring the stream reader used by campaign resume)."""
+        return {
+            experiment.experiment_id
+            for experiment in self.experiments(job_id)
+            if experiment.status != STATUS_HARNESS_ERROR
+        }
+
+    def generate_regression_tests(self, job_id: str,
+                                  dest_dir: str | Path) -> list[Path]:
+        """Generate regression tests server-side and materialize them
+        locally under ``dest_dir``; returns the local paths."""
+        result = self._json("POST", f"/v1/jobs/{job_id}/regression-tests")
+        dest_dir = Path(dest_dir)
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        for test in result["tests"]:
+            path = dest_dir / test["filename"]
+            path.write_text(test["content"], encoding="utf-8")
+            written.append(path)
+        return written
+
+    def _to_job(self, view: dict) -> Job:
+        return JobView.from_dict(view).to_job()

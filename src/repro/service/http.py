@@ -1,0 +1,328 @@
+"""Stdlib HTTP transport for the versioned service API (``/v1``).
+
+A :class:`ThreadingHTTPServer` mounting :class:`repro.service.api.ServiceAPI`
+— the same core the in-process :class:`ProFIPyService` facade uses — so a
+campaign submitted over the wire behaves byte-identically to one
+submitted in-process.  Started from the CLI via ``profipy serve``.
+
+Endpoints (see ``docs/SERVICE_API.md`` for the full table)::
+
+    GET  /v1/ping
+    GET  /v1/models                         PUT /v1/models/{name}
+    GET  /v1/models/{name}
+    POST /v1/campaigns                      # submit (supports resume_from)
+    GET  /v1/jobs                           GET /v1/jobs/{id}
+    POST /v1/jobs/{id}/cancel               GET /v1/jobs/{id}/wait?timeout=S
+    GET  /v1/jobs/{id}/summary              GET /v1/jobs/{id}/report
+    GET  /v1/jobs/{id}/experiments?offset=N&limit=M
+    GET  /v1/jobs/{id}/experiments.ndjson   # streams experiments.jsonl
+    POST /v1/jobs/{id}/regression-tests
+
+Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
+the HTTP status fixed per code (:data:`repro.service.api.ERROR_STATUS`).
+``/v1/jobs/{id}/wait`` long-polls: the handler thread blocks (bounded to
+``MAX_WAIT_SECONDS`` per request) and answers 408/``timeout`` when the
+job is still running, so clients loop without busy-polling.  The NDJSON
+endpoint streams the raw result stream file in chunks — constant server
+memory regardless of campaign size.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.api import API_VERSION, APIError, ServiceAPI
+from repro.service.service import ProFIPyService
+
+#: Upper bound on accepted request bodies (fault models and campaign
+#: configs are small; a runaway body must not exhaust server memory).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STREAM_CHUNK = 64 * 1024
+
+#: (method, compiled path pattern, handler name) routing table.
+_ROUTES: list[tuple[str, re.Pattern, str]] = [
+    ("GET", re.compile(r"/v1/ping$"), "_route_ping"),
+    ("GET", re.compile(r"/v1/models$"), "_route_list_models"),
+    ("GET", re.compile(r"/v1/models/(?P<name>[^/]+)$"), "_route_get_model"),
+    ("PUT", re.compile(r"/v1/models/(?P<name>[^/]+)$"), "_route_put_model"),
+    ("POST", re.compile(r"/v1/campaigns$"), "_route_submit_campaign"),
+    ("GET", re.compile(r"/v1/jobs$"), "_route_list_jobs"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)$"), "_route_get_job"),
+    ("POST", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/cancel$"),
+     "_route_cancel_job"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/wait$"),
+     "_route_wait_job"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/summary$"),
+     "_route_job_summary"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/report$"),
+     "_route_job_report"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/experiments$"),
+     "_route_job_experiments"),
+    ("GET", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/experiments\.ndjson$"),
+     "_route_job_experiments_ndjson"),
+    ("POST", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/regression-tests$"),
+     "_route_regression_tests"),
+]
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1`` requests onto the shared :class:`ServiceAPI`."""
+
+    server_version = f"ProFIPy/{API_VERSION}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def api(self) -> ServiceAPI:
+        return self.server.api  # type: ignore[attr-defined]
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        self._response_started = False
+        try:
+            allowed: list[str] = []
+            for route_method, pattern, handler_name in _ROUTES:
+                match = pattern.fullmatch(parsed.path)
+                if match is None:
+                    continue
+                if route_method != method:
+                    allowed.append(route_method)
+                    continue
+                query = parse_qs(parsed.query)
+                getattr(self, handler_name)(match, query)
+                return
+            if allowed:
+                error = APIError(
+                    "method_not_allowed",
+                    f"{method} not allowed on {parsed.path} "
+                    f"(allowed: {', '.join(sorted(set(allowed)))})",
+                )
+                error.allow = sorted(set(allowed))
+                raise error
+            raise APIError(
+                "not_found", f"no such endpoint: {method} {parsed.path} "
+                f"(API version {API_VERSION})"
+            )
+        except APIError as error:
+            self._send_error(error)
+        except ConnectionError:  # client went away mid-response
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 - one request, not the server
+            self._send_error(APIError(
+                "internal", f"{type(error).__name__}: {error}"
+            ))
+
+    def _send_error(self, error: APIError) -> None:
+        if self._response_started:
+            # Headers (and possibly part of a streamed body) are already
+            # on the wire; injecting a second response would corrupt the
+            # HTTP framing.  Dropping the connection is the only honest
+            # signal left.
+            self.close_connection = True
+            return
+        headers = {}
+        if getattr(error, "allow", None):
+            headers["Allow"] = ", ".join(error.allow)
+        self._send_json(error.http_status, error.to_dict(), headers=headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the embedding application's business
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise APIError("invalid_request",
+                           f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise APIError("invalid_request", "request body required")
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise APIError("invalid_request",
+                           "request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise APIError("invalid_request",
+                           "request body must be a JSON object")
+        return data
+
+    def _query_number(self, query: dict, key: str, default, cast):
+        values = query.get(key)
+        if not values:
+            return default
+        try:
+            return cast(values[-1])
+        except ValueError:
+            raise APIError("invalid_request",
+                           f"query parameter {key!r} must be a number, "
+                           f"got {values[-1]!r}") from None
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send_body(status, body, "application/json; charset=utf-8",
+                        headers=headers)
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_body(status, text.encode("utf-8"),
+                        "text/plain; charset=utf-8")
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   headers: dict | None = None) -> None:
+        self._response_started = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes ------------------------------------------------------------------
+
+    def _route_ping(self, _match, _query) -> None:
+        self._send_json(200, self.api.ping())
+
+    def _route_list_models(self, _match, _query) -> None:
+        self._send_json(200, self.api.list_models())
+
+    def _route_get_model(self, match, _query) -> None:
+        self._send_json(200, self.api.get_model(match.group("name")))
+
+    def _route_put_model(self, match, _query) -> None:
+        payload = self._read_json()
+        self._send_json(200, self.api.put_model(match.group("name"), payload))
+
+    def _route_submit_campaign(self, _match, _query) -> None:
+        payload = self._read_json()
+        self._send_json(202, self.api.submit_campaign(payload))
+
+    def _route_list_jobs(self, _match, _query) -> None:
+        self._send_json(200, self.api.list_jobs())
+
+    def _route_get_job(self, match, _query) -> None:
+        self._send_json(200, self.api.get_job(match.group("job_id")))
+
+    def _route_cancel_job(self, match, _query) -> None:
+        self._send_json(200, self.api.cancel_job(match.group("job_id")))
+
+    def _route_wait_job(self, match, query) -> None:
+        timeout = self._query_number(query, "timeout", None, float)
+        self._send_json(200, self.api.wait_job(match.group("job_id"),
+                                               timeout))
+
+    def _route_job_summary(self, match, _query) -> None:
+        self._send_json(200, self.api.job_summary(match.group("job_id")))
+
+    def _route_job_report(self, match, _query) -> None:
+        self._send_text(200, self.api.job_report(match.group("job_id")))
+
+    def _route_job_experiments(self, match, query) -> None:
+        offset = self._query_number(query, "offset", 0, int)
+        limit = self._query_number(query, "limit", None, int)
+        from repro.service.api import DEFAULT_PAGE_LIMIT
+
+        self._send_json(200, self.api.job_experiments(
+            match.group("job_id"), offset=offset,
+            limit=DEFAULT_PAGE_LIMIT if limit is None else limit,
+        ))
+
+    def _route_job_experiments_ndjson(self, match, _query) -> None:
+        path = self.api.experiments_path(match.group("job_id"))
+        if not path.exists():
+            # No experiments recorded yet — an empty stream, exactly as
+            # the in-process facade returns [] (transport equivalence).
+            self._send_body(200, b"", "application/x-ndjson")
+            return
+        size = path.stat().st_size
+        self._response_started = True
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(size))
+        self.end_headers()
+        # Stream the result file verbatim in chunks: the wire format IS
+        # the on-disk format, and server memory stays constant no matter
+        # how many experiments the campaign recorded.  The stream is
+        # append-only, so reading up to the size we advertised is safe
+        # even while a campaign is still running.
+        remaining = size
+        with open(path, "rb") as handle:
+            while remaining > 0:
+                chunk = handle.read(min(_STREAM_CHUNK, remaining))
+                if not chunk:
+                    break
+                self.wfile.write(chunk)
+                remaining -= len(chunk)
+
+    def _route_regression_tests(self, match, _query) -> None:
+        self._send_json(
+            200, self.api.generate_regression_tests(match.group("job_id"))
+        )
+
+
+class ProFIPyHTTPServer(ThreadingHTTPServer):
+    """The service API served over HTTP; one handler thread per request
+    (long-polls therefore never starve other callers)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: ProFIPyService) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.api = ServiceAPI(service)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(service: ProFIPyService, host: str = "127.0.0.1",
+                 port: int = 0) -> tuple[ProFIPyHTTPServer, threading.Thread]:
+    """Start a server on a background thread (port 0 = ephemeral);
+    returns it with its thread.  The embedding test/benchmark calls
+    ``server.shutdown()`` when done."""
+    server = ProFIPyHTTPServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
+          max_workers: int | None = None, say=print) -> None:
+    """Run the service API in the foreground (the ``profipy serve`` path)."""
+    from repro.service.jobs import DEFAULT_MAX_WORKERS
+
+    service = ProFIPyService(
+        workspace, max_workers=max_workers or DEFAULT_MAX_WORKERS
+    )
+    server = ProFIPyHTTPServer((host, port), service)
+    say(f"profipy service API {API_VERSION} on {server.url} "
+        f"(workspace {Path(workspace).resolve()}, "
+        f"{service.runner.max_workers} campaign workers)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        say("shutting down")
+    finally:
+        server.shutdown()
+        service.close()

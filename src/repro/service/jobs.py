@@ -1,10 +1,28 @@
-"""Job management for the as-a-service layer.
+"""Job scheduling for the as-a-service layer.
 
 The hosted ProFIPy runs campaigns asynchronously on behalf of users; the
-offline equivalent is a small job registry: submitted campaigns become
-jobs with a lifecycle (``queued`` → ``running`` → ``completed``/``failed``)
-executed on worker threads, with metadata and results persisted under the
-service workspace.
+offline equivalent is a bounded job scheduler: submitted campaigns become
+jobs with a lifecycle (``queued`` → ``running`` →
+``completed``/``failed``/``cancelled``) drained FIFO by a fixed pool of
+``max_workers`` worker threads, with metadata and results persisted under
+the service workspace.
+
+The seed implementation spawned one unbounded daemon thread per submit,
+so N concurrent users meant N concurrent campaigns (each with its own
+sandbox pool) thrashing the host.  The scheduler admits every submit
+immediately as ``queued`` but runs at most ``max_workers`` job bodies at
+a time — the paper's "container pool per host" policy applied to whole
+campaigns.
+
+Cancellation is cooperative: :meth:`JobRunner.cancel` flips a per-job
+event; a queued job is retired before its body ever runs, while a
+running body observes the flag through :meth:`JobRunner.cancel_requested`
+(the campaign layer checks it between experiments) and raises
+:class:`JobCancelled` to land the job in the ``cancelled`` state.
+
+Job metadata (``job.json``) is persisted via a unique-temp-file +
+``os.replace`` write, so a process killed mid-write can never leave a
+corrupt file that would hide the job from the next service process.
 """
 
 from __future__ import annotations
@@ -13,6 +31,7 @@ import re
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -24,6 +43,18 @@ QUEUED = "queued"
 RUNNING = "running"
 COMPLETED = "completed"
 FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+#: Concurrent job bodies per scheduler (campaigns already parallelize
+#: internally, so a small number of concurrent campaigns saturates a host).
+DEFAULT_MAX_WORKERS = 2
+
+
+class JobCancelled(Exception):
+    """Raised by a job body to acknowledge a cancellation request."""
 
 
 @dataclass
@@ -38,6 +69,10 @@ class Job:
     finished_at: float | None = None
     error: str = ""
     directory: Path | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
 
     def to_dict(self) -> dict:
         return {
@@ -65,14 +100,29 @@ class Job:
 
 
 class JobRunner:
-    """Runs job bodies on daemon threads and persists their state."""
+    """Bounded FIFO scheduler for job bodies, with persisted state.
 
-    def __init__(self, jobs_dir: Path) -> None:
+    ``submit(..., block=True)`` still runs the body inline in the caller
+    thread (the CLI's synchronous path); asynchronous submissions queue
+    and are drained by at most ``max_workers`` worker threads.
+    """
+
+    def __init__(self, jobs_dir: Path,
+                 max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.jobs_dir = jobs_dir
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.max_workers = max_workers
         self._jobs: dict[str, Job] = {}
-        self._threads: dict[str, threading.Thread] = {}
+        self._bodies: dict[str, object] = {}
+        self._queue: deque[str] = deque()
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._finished_events: dict[str, threading.Event] = {}
+        self._workers: list[threading.Thread] = []
+        self._closed = False
         self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
         self._load_existing()
 
     def _load_existing(self) -> None:
@@ -85,8 +135,9 @@ class JobRunner:
                 # down; the directory still blocks its id (see
                 # _next_job_id) so nothing is silently overwritten.
                 continue
-            if job.status == RUNNING:
-                # A previous process died mid-job.
+            if job.status in (RUNNING, QUEUED):
+                # A previous process died before finishing this job; its
+                # body (a closure) is gone, so it cannot be resumed here.
                 job.status = FAILED
                 job.error = "interrupted (service restarted)"
                 self._persist(job)
@@ -112,36 +163,89 @@ class JobRunner:
                 highest = max(highest, int(match.group(1)))
         return f"job-{highest + 1:04d}"
 
+    # -- submission --------------------------------------------------------------
+
     def submit(self, name: str, body, block: bool = False) -> Job:
-        """Register and start a job; ``body(job_dir)`` does the work."""
+        """Register a job; ``body(job_dir)`` does the work.
+
+        ``block=True`` executes the body inline and returns the finished
+        job; otherwise the job is queued and picked up by a worker thread
+        as one frees (FIFO, at most ``max_workers`` bodies in flight).
+        """
         with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
             job_id = self._next_job_id()
             directory = self.jobs_dir / job_id
             directory.mkdir(parents=True, exist_ok=True)
             job = Job(job_id=job_id, name=name, directory=directory)
             self._jobs[job_id] = job
+            self._cancel_events[job_id] = threading.Event()
+            self._finished_events[job_id] = threading.Event()
             self._persist(job)
+            if not block:
+                self._bodies[job_id] = body
+                self._queue.append(job_id)
+                self._spawn_workers_locked()
+                self._wake.notify()
+        if block:
+            self._execute(job, body)
+        return job
 
-        def run() -> None:
+    def _spawn_workers_locked(self) -> None:
+        """Grow the worker pool (never beyond ``max_workers``)."""
+        self._workers = [t for t in self._workers if t.is_alive()]
+        needed = min(len(self._queue), self.max_workers - len(self._workers))
+        for _ in range(max(0, needed)):
+            worker = threading.Thread(target=self._worker_loop, daemon=True)
+            self._workers.append(worker)
+            worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait(timeout=1.0)
+                if self._closed and not self._queue:
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                body = self._bodies.pop(job_id, None)
+                if self._cancel_events[job_id].is_set():
+                    # Cancelled while queued: retire without running.
+                    self._finish_locked(job, CANCELLED)
+                    continue
+                # Claim under the lock so cancel() can no longer retire
+                # this job as "queued" while the body is about to start.
+                job.status = RUNNING
+                job.started_at = time.time()
+            self._execute(job, body)
+
+    def _execute(self, job: Job, body) -> None:
+        if job.status != RUNNING:  # inline (block=True) path
             job.status = RUNNING
             job.started_at = time.time()
-            self._persist(job)
-            try:
-                body(directory)
-                job.status = COMPLETED
-            except Exception:  # noqa: BLE001 - recorded on the job
-                job.status = FAILED
-                job.error = traceback.format_exc()
-            job.finished_at = time.time()
-            self._persist(job)
+        self._persist(job)
+        try:
+            body(job.directory)
+            status = COMPLETED
+        except JobCancelled:
+            status = CANCELLED
+        except Exception:  # noqa: BLE001 - recorded on the job
+            status = FAILED
+            job.error = traceback.format_exc()
+        with self._lock:
+            self._finish_locked(job, status)
 
-        if block:
-            run()
-        else:
-            thread = threading.Thread(target=run, daemon=True)
-            self._threads[job_id] = thread
-            thread.start()
-        return job
+    def _finish_locked(self, job: Job, status: str) -> None:
+        job.status = status
+        job.finished_at = time.time()
+        self._persist(job)
+        event = self._finished_events.get(job.job_id)
+        if event is not None:
+            event.set()
+
+    # -- lifecycle ---------------------------------------------------------------
 
     def get(self, job_id: str) -> Job:
         try:
@@ -152,24 +256,65 @@ class JobRunner:
     def list(self) -> list[Job]:
         return sorted(self._jobs.values(), key=lambda job: job.job_id)
 
-    def wait(self, job_id: str, timeout: float | None = None) -> Job:
-        """Block until the job finishes and return it.
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; idempotent, returns the job.
 
-        Raises :class:`TimeoutError` if the job is still running after
-        ``timeout`` seconds, so a returned job is guaranteed to be in a
-        terminal state (previously a still-RUNNING job was returned
+        A queued job is retired to ``cancelled`` immediately; a running
+        job keeps running until its body observes
+        :meth:`cancel_requested` (the campaign checks between
+        experiments) and raises :class:`JobCancelled`.
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job.finished:
+                return job
+            self._cancel_events[job_id].set()
+            if job.status == QUEUED:
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass  # claimed by a worker in the same instant; its
+                    # body observes cancel_requested() and stops early
+                else:
+                    self._bodies.pop(job_id, None)
+                    self._finish_locked(job, CANCELLED)
+        return job
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether :meth:`cancel` was called for this job (the hook a
+        running body polls between units of work)."""
+        event = self._cancel_events.get(job_id)
+        return event is not None and event.is_set()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state and return it.
+
+        Raises :class:`TimeoutError` if the job is still queued/running
+        after ``timeout`` seconds, so a returned job is guaranteed to be
+        terminal (previously a still-RUNNING job was returned
         indistinguishably from a finished one).
         """
         job = self.get(job_id)
-        thread = self._threads.get(job_id)
-        if thread is not None:
-            thread.join(timeout)
-            if thread.is_alive():
-                raise TimeoutError(
-                    f"job {job_id} still {job.status} after {timeout}s"
-                )
+        if job.finished:
+            return job
+        event = self._finished_events.get(job_id)
+        if event is None or not event.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} still {job.status} after {timeout}s"
+            )
         return job
 
+    def close(self) -> None:
+        """Stop accepting work and let idle workers exit (queued jobs
+        already claimed keep running; daemon threads die with the
+        process)."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+
     def _persist(self, job: Job) -> None:
+        # write_json goes through a unique temp file + os.replace (see
+        # fsutil.atomic_write), so concurrent persists of the same job
+        # and kills mid-write both leave a parseable job.json behind.
         if job.directory is not None:
             write_json(job.directory / "job.json", job.to_dict())

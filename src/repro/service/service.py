@@ -1,4 +1,4 @@
-"""The ProFIPy service facade: fault models, campaigns, results (paper §I).
+"""The ProFIPy service core: fault models, campaigns, results (paper §I).
 
 "ProFIPy is provided as software-as-a-service, and includes a workflow for
 configuring the faultload and the workload" — this class is that workflow
@@ -7,8 +7,24 @@ substitution of the hosted UI):
 
 * a persistent **fault-model registry** (save/import/list, plus the
   pre-defined models);
-* **campaign submission** as asynchronous jobs with persisted results;
-* **report retrieval** for finished jobs.
+* **campaign submission** as asynchronous jobs scheduled on a bounded
+  worker pool (``queued`` → ``running`` →
+  ``completed``/``failed``/``cancelled``), with persisted results and
+  cooperative cancellation between experiments;
+* **report retrieval** for finished jobs, streamed experiment results,
+  and regression-test generation.
+
+:class:`ProFIPyService` is the single behavioural core behind *both*
+transports: the versioned ``/v1`` HTTP API
+(:mod:`repro.service.http`, started via ``profipy serve``) projects
+exactly these methods through the JSON schemas in
+:mod:`repro.service.api`, and :class:`repro.service.client.ProFIPyClient`
+mirrors this method surface 1:1 — swap ``ProFIPyService(workspace)`` for
+``ProFIPyClient(url)`` and callers run unchanged, with identical job
+lifecycles, summaries, experiment lists, and exception types
+(``KeyError`` for unknown jobs/models, ``FileNotFoundError`` for missing
+artifacts, ``TimeoutError`` from :meth:`wait`).  ``docs/SERVICE_API.md``
+documents the endpoint table and error codes.
 """
 
 from __future__ import annotations
@@ -26,21 +42,29 @@ from repro.faultmodel.library import predefined_models
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.campaign import (
     Campaign,
+    CampaignCancelled,
     CampaignConfig,
     CampaignResult,
 )
 from repro.orchestrator.experiment import ExperimentResult
-from repro.service.jobs import Job, JobRunner
+from repro.service.jobs import (
+    DEFAULT_MAX_WORKERS,
+    Job,
+    JobCancelled,
+    JobRunner,
+)
 
 
 class ProFIPyService:
     """In-process fault-injection-as-a-service."""
 
-    def __init__(self, workspace: str | Path) -> None:
+    def __init__(self, workspace: str | Path,
+                 max_workers: int = DEFAULT_MAX_WORKERS) -> None:
         self.workspace = Path(workspace)
         self.models_dir = self.workspace / "models"
         self.models_dir.mkdir(parents=True, exist_ok=True)
-        self.runner = JobRunner(self.workspace / "jobs")
+        self.runner = JobRunner(self.workspace / "jobs",
+                                max_workers=max_workers)
 
     # -- fault model registry ------------------------------------------------
 
@@ -87,8 +111,12 @@ class ProFIPyService:
 
         Experiments stream to ``<job_dir>/experiments.jsonl`` as they
         complete.  ``resume_from`` names a previous job (e.g. one killed
-        mid-campaign); its stream is carried over, so already-recorded
-        experiments are not re-run — only the remainder executes.
+        mid-campaign or cancelled); its stream is carried over, so
+        already-recorded experiments are not re-run — only the remainder
+        executes.  With ``block=False`` the job is queued on the bounded
+        scheduler and can be cancelled via :meth:`cancel`; cancellation
+        is observed between experiments, leaving a partial stream that a
+        follow-up ``resume_from`` completes.
         """
         rules = rules or []
         components = components or []
@@ -102,8 +130,7 @@ class ProFIPyService:
         previous_stream = None
         if resume_from is not None:
             previous = self.runner.get(resume_from)
-            previous_stream = (previous.directory or Path()) / \
-                "experiments.jsonl"
+            previous_stream = self._job_dir(previous) / "experiments.jsonl"
 
         def body(job_dir: Path) -> None:
             write_json(job_dir / "config.json", {
@@ -126,7 +153,22 @@ class ProFIPyService:
                     run_config, results_path=stream_path
                 )
             campaign = Campaign(run_config)
-            result = campaign.run()
+            # The job directory is named after the job id, so the body
+            # can poll its own scheduler cancel flag without the id
+            # existing before submit() assigns it.
+            cancel = lambda: self.runner.cancel_requested(job_dir.name)  # noqa: E731
+            try:
+                result = campaign.run(cancel=cancel)
+            except CampaignCancelled as stopped:
+                # Persist what the partial run produced — the stream is
+                # a valid resume_from point and the report summarizes
+                # the experiments that did record.
+                report = CampaignReport(stopped.result, rules=rules,
+                                        components=components)
+                self._persist_result(job_dir, stopped.result, report)
+                raise JobCancelled(
+                    f"cancelled after {stopped.result.executed} experiments"
+                ) from None
             report = CampaignReport(result, rules=rules,
                                     components=components)
             self._persist_result(job_dir, result, report)
@@ -142,11 +184,34 @@ class ProFIPyService:
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         return self.runner.wait(job_id, timeout)
 
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation of a queued or running job (idempotent).
+
+        A queued job retires immediately; a running campaign stops at
+        the next between-experiments checkpoint and lands in the
+        ``cancelled`` state with its partial result stream persisted.
+        """
+        return self.runner.cancel(job_id)
+
     # -- results ---------------------------------------------------------------------
+
+    def _job_dir(self, job: Job) -> Path:
+        """The job's directory, or a clear error when it has none.
+
+        A job without a directory used to resolve artifact paths against
+        the *current working directory* (``Path() / "report.txt"``),
+        silently reading whatever happened to be there.
+        """
+        if job.directory is None:
+            raise FileNotFoundError(
+                f"job {job.job_id} has no directory on disk; its artifacts "
+                "(report, summary, experiments) are unavailable"
+            )
+        return job.directory
 
     def report_text(self, job_id: str) -> str:
         job = self.runner.get(job_id)
-        path = (job.directory or Path()) / "report.txt"
+        path = self._job_dir(job) / "report.txt"
         if not path.exists():
             raise FileNotFoundError(
                 f"job {job_id} has no report (status: {job.status})"
@@ -155,21 +220,31 @@ class ProFIPyService:
 
     def result_summary(self, job_id: str) -> dict:
         job = self.runner.get(job_id)
-        path = (job.directory or Path()) / "summary.json"
+        path = self._job_dir(job) / "summary.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"job {job_id} has no summary (status: {job.status})"
+            )
         return read_json(path)
 
     def experiments(self, job_id: str) -> list[ExperimentResult]:
         """Recorded experiments of a job, sorted by experiment id.
 
         Reads the job's result stream; safe to call on a job that was
-        killed mid-campaign (a truncated trailing line is skipped).
+        killed mid-campaign (a truncated trailing line is skipped) or on
+        a cancelled job (the partial stream is returned).
         """
         from repro.orchestrator.stream import ExperimentStream
 
         job = self.runner.get(job_id)
-        path = (job.directory or Path()) / "experiments.jsonl"
+        path = self._job_dir(job) / "experiments.jsonl"
         return sorted(ExperimentStream(path).load(),
                       key=lambda experiment: experiment.experiment_id)
+
+    def experiments_path(self, job_id: str) -> Path:
+        """Where the job's raw ``experiments.jsonl`` stream lives (the
+        HTTP layer serves it verbatim as NDJSON)."""
+        return self._job_dir(self.runner.get(job_id)) / "experiments.jsonl"
 
     def generate_regression_tests(self, job_id: str,
                                   dest_dir: str | Path) -> list[Path]:
@@ -179,7 +254,7 @@ class ProFIPyService:
         from repro.workload.spec import WorkloadSpec
 
         job = self.runner.get(job_id)
-        config_path = (job.directory or Path()) / "config.json"
+        config_path = self._job_dir(job) / "config.json"
         if not config_path.exists():
             raise FileNotFoundError(
                 f"job {job_id} has no persisted campaign config"
@@ -199,6 +274,10 @@ class ProFIPyService:
                     campaign_seed=campaign_seed,
                 ))
         return written
+
+    def close(self) -> None:
+        """Stop the job scheduler (used by the HTTP server on shutdown)."""
+        self.runner.close()
 
     def _persist_result(self, job_dir: Path, result: CampaignResult,
                         report: CampaignReport) -> None:

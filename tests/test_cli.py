@@ -83,6 +83,57 @@ class TestMutateCommand:
                   "--spec", "NOPE"])
 
 
+class TestJobsCommands:
+    def test_jobs_list_empty(self, tmp_path, capsys):
+        assert main(["--workspace", str(tmp_path), "jobs", "list"]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_jobs_list_with_timestamps(self, tmp_path, capsys):
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path)
+        service.runner.submit("demo", lambda d: None, block=True)
+        assert main(["--workspace", str(tmp_path), "jobs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "JOB" in out and "STATUS" in out and "SUBMITTED" in out
+        assert "job-0001" in out
+        assert "completed" in out
+        assert "demo" in out
+
+    def test_jobs_cancel(self, tmp_path, capsys):
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path)
+        service.runner.submit("demo", lambda d: None, block=True)
+        assert main(["--workspace", str(tmp_path), "jobs", "cancel",
+                     "job-0001"]) == 0
+        assert "completed" in capsys.readouterr().out  # idempotent no-op
+
+    def test_jobs_list_against_server(self, tmp_path, capsys):
+        from repro.service.http import start_server
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path)
+        service.runner.submit("remote-demo", lambda d: None, block=True)
+        server, _thread = start_server(service)
+        try:
+            assert main(["jobs", "--server", server.url, "list"]) == 0
+            out = capsys.readouterr().out
+            assert "job-0001" in out and "remote-demo" in out
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_jobs_wait(self, tmp_path, capsys):
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path)
+        service.runner.submit("demo", lambda d: None, block=True)
+        assert main(["--workspace", str(tmp_path), "jobs", "wait",
+                     "job-0001"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+
 @pytest.mark.integration
 class TestCampaignCommand:
     def test_toy_campaign(self, tmp_path, toy_project, toy_model, capsys):

@@ -110,6 +110,33 @@ class TestJobRunner:
         assert finished.status == COMPLETED
 
 
+class TestJobWithoutDirectory:
+    def test_artifact_accessors_raise_clearly(self, tmp_path):
+        # Regression: a job with no directory silently resolved artifact
+        # paths against the CWD ((job.directory or Path()) / "...").
+        from repro.service.jobs import Job
+
+        service = ProFIPyService(tmp_path)
+        service.runner._jobs["job-x"] = Job(job_id="job-x", name="ghost")
+        for call in (service.report_text, service.result_summary,
+                     service.experiments, service.experiments_path):
+            with pytest.raises(FileNotFoundError, match="no directory"):
+                call("job-x")
+        with pytest.raises(FileNotFoundError, match="no directory"):
+            service.generate_regression_tests("job-x", tmp_path / "out")
+        # resume_from a directory-less job fails at submit, not mid-body.
+        from repro.workload.spec import WorkloadSpec
+
+        target = tmp_path / "target"
+        target.mkdir(exist_ok=True)
+        config = CampaignConfig(
+            name="x", target_dir=target, fault_model=gswfit_model(),
+            workload=WorkloadSpec(commands=["true"]),
+        )
+        with pytest.raises(FileNotFoundError, match="no directory"):
+            service.submit_campaign(config, resume_from="job-x")
+
+
 @pytest.mark.integration
 class TestServiceCampaign:
     def test_submit_campaign_end_to_end(self, tmp_path, toy_project,

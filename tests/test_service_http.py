@@ -1,0 +1,280 @@
+"""HTTP transport tests: routing, error codes, pagination, NDJSON
+streaming, and long-poll waits — against fabricated job artifacts, so no
+real campaign runs here (the contract suite covers end-to-end)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faultmodel.library import gswfit_model
+from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.stream import ExperimentStream
+from repro.service.api import API_VERSION
+from repro.service.client import ProFIPyClient
+from repro.service.http import start_server
+from repro.service.jobs import COMPLETED
+from repro.service.service import ProFIPyService
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A service + running HTTP server + client over one workspace."""
+    service = ProFIPyService(tmp_path / "ws", max_workers=2)
+    server, _thread = start_server(service)
+    client = ProFIPyClient(server.url)
+    yield service, server, client
+    server.shutdown()
+    service.close()
+
+
+def fabricate_result(experiment_id, status="completed", seed=0):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        point={"file": "app.py"},
+        fault_id=f"{experiment_id}-point",
+        spec_name="WRR",
+        status=status,
+        seed=seed,
+    )
+
+
+def fabricate_job(service, count=5):
+    """A finished job whose directory carries a realistic result stream
+    (meta line, duplicate id with last-record-wins, truncated tail)."""
+
+    def body(job_dir):
+        stream = ExperimentStream(job_dir / "experiments.jsonl")
+        stream.write_meta({"campaign": "fab", "seed": 0})
+        for index in range(count):
+            stream.append(fabricate_result(f"fab-{index:04d}", seed=index))
+        # A superseded earlier record: readers must keep the last one.
+        stream.append(fabricate_result("fab-0000", seed=999))
+        with open(job_dir / "experiments.jsonl", "a",
+                  encoding="utf-8") as handle:
+            handle.write('{"experiment_id": "fab-trunc')  # killed mid-write
+
+    job = service.runner.submit("fab", body, block=True)
+    assert job.status == COMPLETED
+    return job
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutingAndErrors:
+    def test_ping(self, stack):
+        _service, server, client = stack
+        info = client.ping()
+        assert info["service"] == "profipy"
+        assert info["api_version"] == API_VERSION
+
+    def test_unknown_endpoint_is_json_404(self, stack):
+        _service, server, _client = stack
+        status, body = http_get(f"{server.url}/v1/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_unknown_job_maps_to_keyerror(self, stack):
+        _service, _server, client = stack
+        with pytest.raises(KeyError, match="job-9999"):
+            client.job("job-9999")
+        with pytest.raises(KeyError):
+            client.cancel("job-9999")
+        with pytest.raises(KeyError):
+            client.report_text("job-9999")
+
+    def test_unknown_model_maps_to_keyerror(self, stack):
+        _service, _server, client = stack
+        with pytest.raises(KeyError, match="unknown fault model"):
+            client.load_model("nope")
+
+    def test_missing_artifact_maps_to_filenotfound(self, stack):
+        service, _server, client = stack
+        job = service.runner.submit("empty", lambda d: None, block=True)
+        with pytest.raises(FileNotFoundError, match="no report"):
+            client.report_text(job.job_id)
+        with pytest.raises(FileNotFoundError, match="no summary"):
+            client.result_summary(job.job_id)
+
+    def test_no_stream_yet_returns_empty_like_inprocess(self, stack):
+        # Transport equivalence: a job with no recorded experiments is
+        # an empty list over both facades, not an error over one.
+        service, _server, client = stack
+        job = service.runner.submit("empty", lambda d: None, block=True)
+        assert service.experiments(job.job_id) == []
+        assert client.experiments(job.job_id) == []
+        page = client.experiments_page(job.job_id)
+        assert page.total == 0 and page.experiments == []
+
+    def test_wrong_method_is_405_with_allow(self, stack):
+        service, server, _client = stack
+        job = fabricate_job(service)
+        request = urllib.request.Request(
+            f"{server.url}/v1/jobs/{job.job_id}", data=b"{}",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 405
+        assert info.value.headers["Allow"] == "GET"
+        assert json.loads(info.value.read())["error"]["code"] == \
+            "method_not_allowed"
+
+    def test_invalid_json_body_is_400(self, stack):
+        _service, server, _client = stack
+        request = urllib.request.Request(
+            f"{server.url}/v1/campaigns", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+        assert json.loads(info.value.read())["error"]["code"] == \
+            "invalid_request"
+
+    def test_submit_without_config_maps_to_valueerror(self, stack):
+        _service, server, _client = stack
+        status, body = None, None
+        request = urllib.request.Request(
+            f"{server.url}/v1/campaigns",
+            data=json.dumps({"wrong": 1}).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as error:
+            status, body = error.code, json.loads(error.read())
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+
+class TestModelsOverHTTP:
+    def test_model_round_trip(self, stack):
+        _service, _server, client = stack
+        model = gswfit_model()
+        model.name = "custom"
+        client.save_model(model)
+        assert "custom" in client.list_models()
+        loaded = client.load_model("custom")
+        assert len(loaded.faults) == len(model.faults)
+
+    def test_predefined_fallback_over_http(self, stack):
+        _service, _server, client = stack
+        assert client.load_model("extended").name == "extended"
+
+    def test_put_name_mismatch_is_invalid_request(self, stack):
+        _service, server, _client = stack
+        model = gswfit_model()
+        request = urllib.request.Request(
+            f"{server.url}/v1/models/other",
+            data=json.dumps(model.to_dict()).encode(),
+            headers={"Content-Type": "application/json"}, method="PUT",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+
+class TestExperimentRetrieval:
+    def test_ndjson_stream_is_raw_file(self, stack):
+        service, server, _client = stack
+        job = fabricate_job(service)
+        with urllib.request.urlopen(
+            f"{server.url}/v1/jobs/{job.job_id}/experiments.ndjson",
+            timeout=10,
+        ) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            raw = response.read()
+        on_disk = (job.directory / "experiments.jsonl").read_bytes()
+        assert raw == on_disk
+
+    def test_client_experiments_match_stream_semantics(self, stack):
+        service, _server, client = stack
+        job = fabricate_job(service, count=5)
+        via_http = client.experiments(job.job_id)
+        via_core = service.experiments(job.job_id)
+        assert [e.to_dict() for e in via_http] == \
+            [e.to_dict() for e in via_core]
+        # Meta skipped, truncated line skipped, last record wins.
+        assert len(via_http) == 5
+        by_id = {e.experiment_id: e for e in via_http}
+        assert by_id["fab-0000"].seed == 999
+
+    def test_pagination(self, stack):
+        service, _server, client = stack
+        job = fabricate_job(service, count=5)
+        page = client.experiments_page(job.job_id, offset=0, limit=2)
+        assert page.total == 5
+        assert [e["experiment_id"] for e in page.experiments] == \
+            ["fab-0000", "fab-0001"]
+        assert page.next_offset == 2
+        last = client.experiments_page(job.job_id, offset=4, limit=2)
+        assert len(last.experiments) == 1
+        assert last.next_offset is None
+
+    def test_pagination_walk_reassembles_everything(self, stack):
+        service, _server, client = stack
+        job = fabricate_job(service, count=5)
+        seen, offset = [], 0
+        while True:
+            page = client.experiments_page(job.job_id, offset=offset,
+                                           limit=2)
+            seen.extend(e["experiment_id"] for e in page.experiments)
+            if page.next_offset is None:
+                break
+            offset = page.next_offset
+        assert seen == [f"fab-{i:04d}" for i in range(5)]
+
+    def test_negative_offset_is_invalid_request(self, stack):
+        service, server, _client = stack
+        job = fabricate_job(service)
+        status, body = http_get(
+            f"{server.url}/v1/jobs/{job.job_id}/experiments?offset=-1"
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+
+class TestJobsOverHTTP:
+    def test_list_jobs_and_get_job(self, stack):
+        service, _server, client = stack
+        job = fabricate_job(service)
+        listed = client.list_jobs()
+        assert [j.job_id for j in listed] == [job.job_id]
+        fetched = client.job(job.job_id)
+        assert fetched.status == COMPLETED
+        assert fetched.name == "fab"
+        assert fetched.submitted_at == pytest.approx(job.submitted_at)
+
+    def test_wait_long_poll_timeout(self, stack):
+        service, _server, client = stack
+        release = threading.Event()
+        job = service.runner.submit("slow", lambda d: release.wait(15))
+        with pytest.raises(TimeoutError):
+            client.wait(job.job_id, timeout=0.3)
+        release.set()
+        finished = client.wait(job.job_id, timeout=30)
+        assert finished.status == COMPLETED
+
+    def test_cancel_queued_job_over_http(self, tmp_path):
+        service = ProFIPyService(tmp_path / "ws", max_workers=1)
+        server, _thread = start_server(service)
+        client = ProFIPyClient(server.url)
+        try:
+            release = threading.Event()
+            service.runner.submit("blocker", lambda d: release.wait(15))
+            queued = service.runner.submit("queued", lambda d: None)
+            cancelled = client.cancel(queued.job_id)
+            assert cancelled.status == "cancelled"
+            release.set()
+        finally:
+            server.shutdown()
+            service.close()

@@ -1,0 +1,194 @@
+"""Scheduler tests: bounded workers, FIFO queue, cancellation, crash
+safety of persisted job metadata."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.common.fsutil import read_json
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    JobCancelled,
+    JobRunner,
+)
+
+
+class TestBoundedScheduler:
+    def test_parallel_submits_get_unique_ids(self, tmp_path):
+        runner = JobRunner(tmp_path, max_workers=4)
+        jobs, errors = [], []
+        lock = threading.Lock()
+
+        def submit(index):
+            try:
+                job = runner.submit(f"job-{index}", lambda d: None)
+                with lock:
+                    jobs.append(job)
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        ids = [job.job_id for job in jobs]
+        assert len(set(ids)) == 12
+        for job in jobs:
+            assert runner.wait(job.job_id, timeout=30).status == COMPLETED
+
+    def test_queue_drains_with_two_workers(self, tmp_path):
+        runner = JobRunner(tmp_path, max_workers=2)
+        lock = threading.Lock()
+        running = 0
+        peak = 0
+
+        def body(_directory):
+            nonlocal running, peak
+            with lock:
+                running += 1
+                peak = max(peak, running)
+            time.sleep(0.15)
+            with lock:
+                running -= 1
+
+        jobs = [runner.submit(f"n{i}", body) for i in range(6)]
+        for job in jobs:
+            assert runner.wait(job.job_id, timeout=30).status == COMPLETED
+        assert peak <= 2, f"{peak} bodies ran concurrently (max_workers=2)"
+
+    def test_blocking_submit_bypasses_queue(self, tmp_path):
+        runner = JobRunner(tmp_path, max_workers=1)
+        release = threading.Event()
+        blocker = runner.submit("blocker", lambda d: release.wait(10))
+        # The single worker is busy, yet block=True still runs inline.
+        inline = runner.submit("inline", lambda d: None, block=True)
+        assert inline.status == COMPLETED
+        release.set()
+        assert runner.wait(blocker.job_id, timeout=30).status == COMPLETED
+
+    def test_invalid_max_workers(self, tmp_path):
+        with pytest.raises(ValueError, match="max_workers"):
+            JobRunner(tmp_path, max_workers=0)
+
+    def test_closed_scheduler_rejects_submit(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.submit("late", lambda d: None)
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        runner = JobRunner(tmp_path, max_workers=1)
+        release = threading.Event()
+        ran = []
+        blocker = runner.submit("blocker", lambda d: release.wait(10))
+        queued = runner.submit("queued", lambda d: ran.append(d))
+        assert queued.status == QUEUED
+        cancelled = runner.cancel(queued.job_id)
+        assert cancelled.status == CANCELLED
+        release.set()
+        assert runner.wait(blocker.job_id, timeout=30).status == COMPLETED
+        assert runner.wait(queued.job_id, timeout=30).status == CANCELLED
+        assert not ran
+        # The terminal state is persisted for the next service process.
+        assert read_json(tmp_path / queued.job_id /
+                         "job.json")["status"] == CANCELLED
+
+    def test_cancel_running_job_cooperatively(self, tmp_path):
+        runner = JobRunner(tmp_path, max_workers=1)
+        started = threading.Event()
+
+        def body(directory):
+            started.set()
+            for _ in range(200):
+                if runner.cancel_requested(directory.name):
+                    raise JobCancelled("observed between work units")
+                time.sleep(0.05)
+            raise AssertionError("cancellation never observed")
+
+        job = runner.submit("loop", body)
+        assert started.wait(10)
+        runner.cancel(job.job_id)
+        finished = runner.wait(job.job_id, timeout=30)
+        assert finished.status == CANCELLED
+        assert finished.finished_at is not None
+
+    def test_cancel_is_idempotent_and_terminal_safe(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        done = runner.submit("done", lambda d: None, block=True)
+        assert runner.cancel(done.job_id).status == COMPLETED
+        assert runner.cancel(done.job_id).status == COMPLETED
+
+    def test_cancel_unknown_job(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobRunner(tmp_path).cancel("job-9999")
+
+
+class TestCrashSafety:
+    def test_interrupted_queued_job_fails_on_reload(self, tmp_path):
+        # A queued job whose process died: its body (a closure) is gone.
+        directory = tmp_path / "job-0001"
+        directory.mkdir()
+        (directory / "job.json").write_text(json.dumps({
+            "job_id": "job-0001", "name": "ghost", "status": QUEUED,
+            "submitted_at": 1.0,
+        }), encoding="utf-8")
+        runner = JobRunner(tmp_path)
+        job = runner.get("job-0001")
+        assert job.status == FAILED
+        assert "interrupted" in job.error
+
+    def test_concurrent_persists_never_corrupt_metadata(self, tmp_path):
+        # The old fixed-name temp file raced: two threads persisting the
+        # same job could os.replace a path the other just unlinked.
+        runner = JobRunner(tmp_path)
+        job = runner.submit("hammer", lambda d: None, block=True)
+        errors = []
+
+        def persist():
+            try:
+                for _ in range(50):
+                    runner._persist(job)
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=persist) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Whatever interleaving happened, the file is complete JSON.
+        assert read_json(job.directory / "job.json")["job_id"] == job.job_id
+
+    def test_persisted_metadata_honors_umask(self, tmp_path):
+        # mkstemp-based atomic writes must not flip shared-workspace
+        # files to owner-only 0600.
+        import os
+
+        runner = JobRunner(tmp_path)
+        job = runner.submit("perms", lambda d: None, block=True)
+        umask = os.umask(0)
+        os.umask(umask)
+        mode = (job.directory / "job.json").stat().st_mode & 0o777
+        assert mode == 0o666 & ~umask
+
+    def test_leftover_temp_file_does_not_hide_job(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        job = runner.submit("real", lambda d: None, block=True)
+        # Simulate a kill mid-write: a stale temp sibling next to a good
+        # job.json must not confuse the registry on reload.
+        (job.directory / "job.json.abc123.tmp").write_text(
+            '{"job_id": "job-', encoding="utf-8"
+        )
+        reloaded = JobRunner(tmp_path)
+        assert reloaded.get(job.job_id).status == COMPLETED
