@@ -150,6 +150,8 @@ def cmd_campaign(args) -> int:
         coverage=not args.no_coverage,
         sample=args.sample,
         parallelism=args.parallel,
+        backend=args.backend,
+        shards=args.shards,
         scan_jobs=args.scan_jobs,
         scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
         seed=args.seed,
@@ -204,6 +206,18 @@ def _stamp(epoch: float | None) -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
 
 
+def _progress_cell(job) -> str:
+    """Live shard progress as ``done/total`` (``-`` before execution)."""
+    progress = getattr(job, "progress", None)
+    if not progress:
+        return "-"
+    done = progress.get("experiments_done")
+    total = progress.get("experiments_total")
+    if done is None or total is None:
+        return "-"
+    return f"{done}/{total}"
+
+
 def cmd_jobs(args) -> int:
     service = _jobs_facade(args)
     if args.jobs_command == "list":
@@ -212,10 +226,11 @@ def cmd_jobs(args) -> int:
             where = args.server or f"workspace {args.workspace}"
             print(f"no jobs in {where}")
             return 0
-        print(f"{'JOB':<10} {'STATUS':<10} {'SUBMITTED':<20} "
-              f"{'STARTED':<20} {'FINISHED':<20} NAME")
+        print(f"{'JOB':<10} {'STATUS':<10} {'PROGRESS':<10} "
+              f"{'SUBMITTED':<20} {'STARTED':<20} {'FINISHED':<20} NAME")
         for job in jobs:
             print(f"{job.job_id:<10} {job.status:<10} "
+                  f"{_progress_cell(job):<10} "
                   f"{_stamp(job.submitted_at):<20} "
                   f"{_stamp(job.started_at):<20} "
                   f"{_stamp(job.finished_at):<20} {job.name}")
@@ -341,6 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--timeout", type=float, default=60.0)
     campaign.add_argument("--sample", type=int)
     campaign.add_argument("--parallel", type=int)
+    campaign.add_argument("--backend", choices=["thread", "process"],
+                          default="thread",
+                          help="execution backend: one in-process pool "
+                               "(thread) or per-shard worker processes "
+                               "(process); results are byte-identical")
+    campaign.add_argument("--shards", type=int, default=1,
+                          help="deterministic shard count for the "
+                               "execution phase (independent of results; "
+                               "a resumed campaign may change it); with "
+                               "--backend process each shard runs at "
+                               "least one experiment concurrently, so "
+                               "total load is max(--parallel, shards)")
     campaign.add_argument("--scan-jobs", type=int, default=None,
                           help="worker processes for the scan phase "
                                "(default: in-process indexed scan)")

@@ -1,0 +1,696 @@
+"""Pluggable, sharded execution backends for the post-scan pipeline.
+
+The campaign's execution phase is a *policy*: how the pending plan's
+experiments are distributed over workers.  This module makes that policy
+pluggable behind one :class:`ExecutionBackend` protocol, selected via
+``CampaignConfig.backend``:
+
+* :class:`ThreadBackend` (``"thread"``) — the in-process engine: one
+  adaptive :class:`~repro.sandbox.pool.ExperimentPool` fed by the
+  pipelined mutant generator (:meth:`ExperimentExecutor.iter_mutations`),
+  streaming results straight into the canonical ``experiments.jsonl``.
+* :class:`ProcessBackend` (``"process"``) — per-shard worker processes:
+  the pending plan is partitioned by the deterministic shard partitioner
+  (:func:`repro.orchestrator.plan.shard_index`), each shard runs the same
+  pipelined engine in its own process, streams to its own
+  ``experiments-<shard>.jsonl``, and the parent merges the shard streams
+  deterministically (sorted by experiment id) into the canonical stream.
+
+Both backends preserve the determinism invariant: experiment ids, seeds,
+and mutants are independent of backend and shard count, so the same
+campaign seed yields byte-identical per-experiment ``point``,
+``mutated_snippet``, and ``seed`` whichever backend runs it — and a
+campaign may even crash under one backend and resume under the other.
+Crash recovery of partial shard streams (:func:`recover_shard_streams`)
+runs before the campaign computes its resume set, so no recorded
+experiment is ever re-run or lost.
+
+Cancellation is cooperative everywhere: the thread backend polls the
+campaign's cancel hook between experiments; the process backend relays it
+to workers through a cancel-flag *file* (the same substitute-for-shared-
+memory idiom as the sandbox trigger file), which each worker polls
+between experiments.
+
+Progress is shard-aware: backends report ``experiments_done/total`` plus
+a per-shard state table through ``ExecutionContext.on_progress`` — the
+feed the service layer persists for ``/v1/jobs/{id}``.  This layer is
+also the substrate the ROADMAP's remote-worker PR plugs into: a remote
+backend implements the same protocol and ships shard payloads over the
+wire instead of to local processes.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Protocol
+
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.executor import ExperimentExecutor
+from repro.orchestrator.experiment import (
+    STATUS_HARNESS_ERROR,
+    ExperimentResult,
+)
+from repro.orchestrator.plan import PlannedExperiment, shard_index
+from repro.orchestrator.stream import ExperimentStream
+from repro.sandbox.image import SandboxImage
+from repro.sandbox.pool import ExperimentPool, JobOutcome
+from repro.workload.spec import WorkloadSpec
+
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+BACKEND_NAMES = (BACKEND_THREAD, BACKEND_PROCESS)
+
+#: Shard stream files are canonical-stream siblings: ``experiments.jsonl``
+#: → ``experiments-3.jsonl``.
+_SHARD_SUFFIX_RE = re.compile(r"-(\d+)$")
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs to run one campaign's pending plan.
+
+    ``executor`` carries the in-process pieces (image, workload, compiled
+    models, seeds); ``fault_model`` is the *serializable* source of the
+    same faultload, which process workers recompile on their side —
+    compiled metamodels hold AST/matcher state that must not cross a
+    process boundary.
+    """
+
+    executor: ExperimentExecutor
+    fault_model: FaultModel
+    shards: int = 1
+    parallelism: int | None = None
+    cancel: Callable[[], bool] | None = None
+    on_progress: Callable[[dict], None] | None = None
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a backend reports back to the campaign."""
+
+    cancelled: bool = False
+    #: Final per-shard states (mirrors the last progress snapshot).
+    shards: list[dict] = field(default_factory=list)
+
+
+class ExecutionBackend(Protocol):
+    """The pluggable execution policy: run ``pending``, stream results."""
+
+    name: str
+
+    def execute(self, context: ExecutionContext,
+                pending: list[PlannedExperiment],
+                stream: ExperimentStream) -> ExecutionOutcome:
+        """Execute every pending experiment, appending each result to
+        ``stream`` as it completes; must never raise for target bugs."""
+        ...  # pragma: no cover - protocol
+
+
+def validate_backend_name(name: str) -> str:
+    """Check ``name`` against the registry (shared by config validation
+    and backend construction, so the two can never disagree)."""
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown execution backend {name!r} "
+            f"(known: {', '.join(BACKEND_NAMES)})"
+        )
+    return name
+
+
+def create_backend(name: str) -> "ExecutionBackend":
+    """The backend registered under ``name`` (``thread`` or ``process``)."""
+    validate_backend_name(name)
+    if name == BACKEND_THREAD:
+        return ThreadBackend()
+    return ProcessBackend()
+
+
+# -- shard stream bookkeeping -----------------------------------------------------
+
+
+def shard_stream_path(canonical: Path, shard: int) -> Path:
+    """Where shard ``shard`` streams its results, next to ``canonical``."""
+    return canonical.with_name(f"{canonical.stem}-{shard}{canonical.suffix}")
+
+
+def leftover_shard_streams(canonical: Path) -> list[Path]:
+    """Partial shard streams a crashed run left next to ``canonical``."""
+    found = []
+    for path in canonical.parent.glob(f"{canonical.stem}-*{canonical.suffix}"):
+        # Strip the suffix by length so a suffixless canonical path
+        # (len 0) keeps the whole name instead of slicing it to "".
+        base = path.name[:len(path.name) - len(canonical.suffix)]
+        if _SHARD_SUFFIX_RE.search(base):
+            found.append(path)
+    return sorted(found)
+
+
+def merge_shard_stream(canonical: ExperimentStream,
+                       shard_path: Path) -> list[str]:
+    """Fold one shard stream into the canonical stream and delete it.
+
+    Entries are appended sorted by experiment id (deterministic merge
+    order) as raw dicts, so merging never reshapes a record.  Returns
+    the experiment ids merged.
+    """
+    shard = ExperimentStream(shard_path)
+    entries = sorted(shard._latest_entries().items())
+    for _experiment_id, entry in entries:
+        canonical.append_entry(entry)
+    try:
+        shard_path.unlink()
+    except FileNotFoundError:
+        pass
+    return [experiment_id for experiment_id, _entry in entries]
+
+
+def recover_shard_streams(stream: ExperimentStream) -> int:
+    """Merge any partial shard streams a crashed run left behind.
+
+    The campaign calls this before computing its resume set, so
+    experiments a killed process-backend run recorded only in shard
+    streams count as recorded — resume re-runs exactly the remainder,
+    whatever backend or shard count the new run uses.
+    """
+    merged = 0
+    for path in leftover_shard_streams(stream.path):
+        merged += len(merge_shard_stream(stream, path))
+    return merged
+
+
+def discard_shard_streams(canonical: Path) -> None:
+    """Drop leftover shard streams (the ``resume=False`` fresh-run path)."""
+    for path in leftover_shard_streams(canonical):
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# -- shard-aware progress ----------------------------------------------------------
+
+
+class ShardProgress:
+    """Thread-safe ``experiments_done/total`` + per-shard state tracker.
+
+    Snapshots are plain dicts, ready for the service layer to persist::
+
+        {"backend": "process", "experiments_done": 7, "experiments_total":
+         20, "shards": [{"shard": 0, "total": 5, "done": 5, "state":
+         "completed"}, ...]}
+    """
+
+    def __init__(self, backend: str, totals: list[int],
+                 sink: Callable[[dict], None] | None = None) -> None:
+        self.backend = backend
+        self.sink = sink
+        self._lock = threading.Lock()
+        # Separate lock (snapshot() takes self._lock): emits serialize,
+        # so concurrent on_result threads can never push a stale
+        # snapshot after a fresher one.
+        self._emit_lock = threading.Lock()
+        self._last: dict | None = None
+        self._shards = [
+            {"shard": index, "total": total, "done": 0,
+             "state": "completed" if total == 0 else "pending"}
+            for index, total in enumerate(totals)
+        ]
+
+    def start(self, shard: int) -> None:
+        with self._lock:
+            if self._shards[shard]["state"] == "pending":
+                self._shards[shard]["state"] = "running"
+        self.emit()
+
+    def record(self, shard: int) -> None:
+        """Advance a shard by one experiment and emit (event-driven
+        feeds like the thread backend's per-result callback)."""
+        self._advance(shard, None)
+        self.emit()
+
+    def set_done(self, shard: int, done: int) -> None:
+        """Pin a shard's done count *without* emitting — poll loops pin
+        every shard then emit one snapshot per tick."""
+        self._advance(shard, done)
+
+    def _advance(self, shard: int, done: int | None) -> None:
+        with self._lock:
+            entry = self._shards[shard]
+            entry["done"] = (entry["done"] + 1 if done is None
+                             else max(entry["done"], done))
+            if entry["state"] == "pending" and entry["done"]:
+                entry["state"] = "running"
+            if entry["done"] >= entry["total"]:
+                entry["state"] = "completed"
+
+    def finish(self, shard: int, state: str = "completed") -> None:
+        with self._lock:
+            entry = self._shards[shard]
+            if entry["done"] >= entry["total"] and state != "failed":
+                state = "completed"
+            elif state == "completed":
+                # Finished without recording everything: cancelled or a
+                # dead worker — either way, not completed.
+                state = "stopped"
+            entry["state"] = state
+        self.emit()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            shards = [dict(entry) for entry in self._shards]
+        return {
+            "backend": self.backend,
+            "experiments_done": sum(entry["done"] for entry in shards),
+            "experiments_total": sum(entry["total"] for entry in shards),
+            "shards": shards,
+        }
+
+    def emit(self) -> None:
+        """Push the current snapshot to the sink, skipping no-op emits
+        (poll loops tick whether or not anything advanced).  Serialized:
+        snapshot, compare, and sink happen under one lock, so the sink
+        always observes monotone progress."""
+        if self.sink is None:
+            return
+        with self._emit_lock:
+            snapshot = self.snapshot()
+            if snapshot == self._last:
+                return
+            self._last = snapshot
+            self.sink(snapshot)
+
+
+# -- shared execution plumbing -----------------------------------------------------
+
+
+def harness_error_result(planned: PlannedExperiment,
+                         error: str) -> ExperimentResult:
+    """The ``harness_error`` record for an experiment the harness lost
+    (pool failure, dead shard worker) — retried on resume."""
+    return ExperimentResult(
+        experiment_id=planned.experiment_id,
+        point=planned.point.to_dict(),
+        fault_id=planned.point.point_id,
+        spec_name=planned.point.spec_name,
+        status=STATUS_HARNESS_ERROR,
+        error=error,
+    )
+
+
+def record_outcome(stream: ExperimentStream, planned: PlannedExperiment,
+                   outcome: JobOutcome) -> bool:
+    """Append one pool outcome to the stream; harness failures become
+    ``harness_error`` records (retried on resume).  Returns whether a
+    record landed — a ``None`` result (an experiment declined after a
+    cancellation request) records nothing, so resume re-plans it."""
+    if outcome.error is None:
+        if outcome.result is None:
+            return False
+        stream.append(outcome.result)
+    else:
+        stream.append(harness_error_result(
+            planned, outcome.error or "unknown pool failure"
+        ))
+    return True
+
+
+def _partition(pending: list[PlannedExperiment],
+               shards: int) -> list[list[PlannedExperiment]]:
+    parts: list[list[PlannedExperiment]] = [[] for _ in range(shards)]
+    for planned in pending:
+        parts[shard_index(planned.experiment_id, shards)].append(planned)
+    return parts
+
+
+def _run_pipelined(executor: ExperimentExecutor,
+                   pending: list[PlannedExperiment],
+                   stream: ExperimentStream,
+                   parallelism: int | None,
+                   cancel: Callable[[], bool] | None,
+                   progress: ShardProgress | None,
+                   shard_for: Callable[[PlannedExperiment], int]) -> bool:
+    """One pool pass over ``pending`` with pipelined mutant generation.
+
+    The single generator thread produces mutants per ``(file, spec)``
+    group (serial :class:`MatchMemo`, bounded memory) while the pool's
+    workers execute experiments already handed out.  One pass over the
+    whole list: ``shard_for`` maps each experiment to its shard for
+    progress accounting only, so shard count never multiplies the
+    parse/match work.  Returns whether a cancellation request stopped
+    the run early.
+
+    The pool captures ``on_result`` exceptions per outcome so one failed
+    stream append cannot kill the campaign mid-flight — but a failed
+    append means that experiment was *never recorded*.  After the pool
+    drains, any such sink failures are raised as one loud error: the
+    stream keeps everything that did land, and a resume re-runs exactly
+    the unrecorded experiments.
+    """
+    jobs_seen: list[PlannedExperiment] = []
+    shard_of: dict[str, int] = {}
+    started_shards: set[int] = set()
+    cancelled = False
+
+    def jobs():
+        nonlocal cancelled
+        for planned, mutation in executor.iter_mutations(pending):
+            # The cooperative cancellation point between experiments:
+            # jobs are pulled lazily, so once the hook fires nothing
+            # further is handed out.
+            if cancel is not None and cancel():
+                cancelled = True
+                return
+            shard = shard_for(planned)
+            if progress is not None and shard not in started_shards:
+                started_shards.add(shard)
+                progress.start(shard)
+            shard_of[planned.experiment_id] = shard
+            jobs_seen.append(planned)
+            yield _job_for(executor, planned, mutation)
+
+    def on_result(outcome: JobOutcome) -> None:
+        planned = jobs_seen[outcome.index]
+        if record_outcome(stream, planned, outcome) and progress is not None:
+            progress.record(shard_of[planned.experiment_id])
+
+    pool = ExperimentPool(parallelism=parallelism)
+    outcomes = pool.run(jobs(), on_result=on_result, retain_results=False)
+    sink_failures = [outcome for outcome in outcomes
+                     if outcome.sink_error is not None]
+    if sink_failures:
+        raise RuntimeError(
+            f"{len(sink_failures)} experiment result(s) could not be "
+            f"appended to {stream.path} (the campaign kept draining; "
+            "resuming will re-run the unrecorded experiments); first "
+            f"failure:\n{sink_failures[0].sink_error}"
+        )
+    return cancelled or (cancel is not None and cancel())
+
+
+def _job_for(executor: ExperimentExecutor, planned: PlannedExperiment,
+             mutation):
+    def job():
+        return executor.run(planned, mutation=mutation)
+    return job
+
+
+# -- thread backend ----------------------------------------------------------------
+
+
+class ThreadBackend:
+    """Today's in-process engine behind the backend protocol.
+
+    One adaptive thread pool and one generation pass execute every
+    pending experiment — the shard partition affects *only* progress
+    grouping, never results or the amount of parse/match work.  Results
+    stream directly into the canonical stream as they complete.
+    """
+
+    name = BACKEND_THREAD
+
+    def execute(self, context: ExecutionContext,
+                pending: list[PlannedExperiment],
+                stream: ExperimentStream) -> ExecutionOutcome:
+        shard_count = context.shards
+        shards = _partition(pending, shard_count)
+        progress = ShardProgress(self.name, [len(s) for s in shards],
+                                 sink=context.on_progress)
+        progress.emit()
+        cancelled = _run_pipelined(
+            context.executor,
+            pending,
+            stream,
+            context.parallelism,
+            context.cancel,
+            progress,
+            lambda planned: shard_index(planned.experiment_id,
+                                        shard_count),
+        )
+        if cancelled:
+            for index, experiments in enumerate(shards):
+                if experiments:
+                    progress.finish(index, state="stopped")
+        progress.emit()
+        return ExecutionOutcome(cancelled=cancelled,
+                                shards=progress.snapshot()["shards"])
+
+
+# -- process backend ---------------------------------------------------------------
+
+
+def _shard_parallelism(parallelism: int | None,
+                       active: int) -> "list[int | None]":
+    """Per-worker parallelism pins for ``active`` shard processes.
+
+    A pinned parallelism is distributed with its remainder (4 over 3
+    shards → 2+1+1, not 1+1+1), floored at one per worker — total
+    in-flight work is ``max(parallelism, active shards)``; pin fewer
+    shards to pin total load exactly.  Unpinned stays unpinned: each
+    worker's monitor halves itself under memory pressure, which is the
+    host-wide throttle the paper's per-host policy wants.
+    """
+    if parallelism is None:
+        return [None] * active
+    base, extra = divmod(parallelism, active)
+    return [max(1, base + (1 if index < extra else 0))
+            for index in range(active)]
+
+
+def _run_shard_worker(payload: dict) -> dict:
+    """Run one shard's experiments in a worker process.
+
+    The payload is JSON-plain (spawn-safe): the worker recompiles the
+    fault model, reattaches to the already-built sandbox image on disk,
+    and runs the same pipelined engine as the thread backend, streaming
+    into its private shard stream.  Cancellation arrives through the
+    cancel-flag file polled between experiments.
+    """
+    fault_model = FaultModel.from_dict(payload["fault_model"])
+    models = {model.name: model for model in fault_model.compile()}
+    image = SandboxImage(
+        source_dir=Path(payload["image"]["source_dir"]),
+        staging_dir=Path(payload["image"]["staging_dir"]),
+        env=dict(payload["image"]["env"]),
+    )
+    workload = (WorkloadSpec.from_dict(payload["workload"])
+                if payload["workload"] is not None else None)
+    cancel_flag = Path(payload["cancel_flag"])
+    cancel = cancel_flag.exists
+    executor = ExperimentExecutor(
+        image=image,
+        workload=workload,
+        models=models,
+        base_dir=Path(payload["base_dir"]),
+        trigger=payload["trigger"],
+        rounds=payload["rounds"],
+        campaign_seed=payload["campaign_seed"],
+        artifacts_dir=(Path(payload["artifacts_dir"])
+                       if payload["artifacts_dir"] else None),
+        cancel_check=cancel,
+    )
+    planned = [PlannedExperiment.from_dict(entry)
+               for entry in payload["planned"]]
+    stream = ExperimentStream(payload["stream_path"])
+    stream.clear()  # recovery merged any previous leftovers already
+    shard = payload["shard"]
+    cancelled = _run_pipelined(
+        executor,
+        planned,
+        stream,
+        payload["parallelism"],
+        cancel,
+        None,
+        lambda _planned: shard,
+    )
+    return {"shard": shard, "recorded": len(stream),
+            "cancelled": cancelled}
+
+
+def _tail_newlines(path: Path, offset: int) -> tuple[int, int]:
+    """Newlines appended to ``path`` past ``offset`` → ``(count,
+    new_offset)``.  The progress poll calls this per tick, so reading
+    only the appended tail keeps polling O(new results), not O(stream).
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return 0, offset
+    return chunk.count(b"\n"), offset + len(chunk)
+
+
+class ProcessBackend:
+    """Per-shard worker processes with deterministic stream merging.
+
+    Each shard runs the pipelined engine in its own (spawned) process —
+    full isolation from the service process and true multi-core fan-out —
+    streaming to ``experiments-<shard>.jsonl``.  The parent polls shard
+    streams for live progress, relays cancellation via the cancel-flag
+    file, and finally merges every shard stream into the canonical
+    stream sorted by experiment id.  A worker that dies mid-shard loses
+    nothing recorded: its partial stream still merges, and its missing
+    experiments are recorded as ``harness_error`` (retried on resume).
+    """
+
+    name = BACKEND_PROCESS
+
+    #: How often the parent polls cancellation and shard progress.
+    poll_seconds = 0.5
+
+    def execute(self, context: ExecutionContext,
+                pending: list[PlannedExperiment],
+                stream: ExperimentStream) -> ExecutionOutcome:
+        executor = context.executor
+        shards = _partition(pending, context.shards)
+        progress = ShardProgress(self.name, [len(s) for s in shards],
+                                 sink=context.on_progress)
+        progress.emit()
+        cancel_flag = stream.path.with_name(stream.path.stem + ".cancel")
+        try:
+            cancel_flag.unlink()
+        except FileNotFoundError:
+            pass
+        stream.path.parent.mkdir(parents=True, exist_ok=True)
+
+        active_indices = [index for index, experiments in enumerate(shards)
+                          if experiments]
+        worker_parallelism = dict(zip(
+            active_indices,
+            _shard_parallelism(context.parallelism, len(active_indices)),
+        ))
+        payloads = {}
+        for index, experiments in enumerate(shards):
+            if not experiments:
+                continue
+            payloads[index] = {
+                "shard": index,
+                "planned": [planned.to_dict() for planned in experiments],
+                "fault_model": context.fault_model.to_dict(),
+                "workload": (executor.workload.to_dict()
+                             if executor.workload is not None else None),
+                "image": {
+                    "source_dir": str(executor.image.source_dir),
+                    "staging_dir": str(executor.image.staging_dir),
+                    "env": dict(executor.image.env),
+                },
+                "base_dir": str(executor.base_dir),
+                "trigger": executor.trigger,
+                "rounds": executor.rounds,
+                "campaign_seed": executor.campaign_seed,
+                "artifacts_dir": (str(executor.artifacts_dir)
+                                  if executor.artifacts_dir else None),
+                "stream_path": str(shard_stream_path(stream.path, index)),
+                "parallelism": worker_parallelism[index],
+                "cancel_flag": str(cancel_flag),
+            }
+
+        cancelled = False
+        failed_shards: dict[int, str] = {}
+        if payloads:
+            # One single-worker executor *per shard*, spawned (not
+            # forked: the service scheduler runs campaigns on worker
+            # threads, and forking a threaded process is undefined
+            # behaviour waiting to happen).  A shared pool would turn
+            # one abruptly-dead worker into BrokenProcessPool for every
+            # sibling shard; separate executors contain the blast radius
+            # to the shard that actually died.
+            spawn = get_context("spawn")
+            executors = {
+                index: ProcessPoolExecutor(max_workers=1, mp_context=spawn)
+                for index in payloads
+            }
+            try:
+                futures = {
+                    executors[index].submit(_run_shard_worker, payload):
+                        index
+                    for index, payload in payloads.items()
+                }
+                for index in futures.values():
+                    progress.start(index)
+                offsets = {index: 0 for index in payloads}
+                counts = {index: 0 for index in payloads}
+                waiting = set(futures)
+                while waiting:
+                    done, waiting = wait(waiting,
+                                         timeout=self.poll_seconds,
+                                         return_when=FIRST_COMPLETED)
+                    if (context.cancel is not None and context.cancel()
+                            and not cancel_flag.exists()):
+                        cancelled = True
+                        cancel_flag.touch()
+                    for index in list(payloads):
+                        added, offsets[index] = _tail_newlines(
+                            shard_stream_path(stream.path, index),
+                            offsets[index],
+                        )
+                        counts[index] += added
+                        progress.set_done(index, counts[index])
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            report = future.result()
+                            cancelled = cancelled or report["cancelled"]
+                            progress.set_done(index, report["recorded"])
+                            progress.finish(index)
+                        except Exception as error:  # noqa: BLE001
+                            # A dead worker (OOM, kill) must not sink the
+                            # campaign: its partial stream merges below
+                            # and the remainder records harness errors.
+                            failed_shards[index] = (
+                                f"{type(error).__name__}: {error}"
+                            )
+                            progress.finish(index, state="failed")
+                    # One snapshot per poll tick (emit() skips no-ops).
+                    progress.emit()
+            finally:
+                for executor in executors.values():
+                    executor.shutdown(wait=True, cancel_futures=True)
+        merged_ids: set[str] = set()
+        for index in sorted(payloads):
+            merged_ids.update(merge_shard_stream(
+                stream, shard_stream_path(stream.path, index)
+            ))
+        for index, error in sorted(failed_shards.items()):
+            for planned in shards[index]:
+                if planned.experiment_id in merged_ids:
+                    continue
+                stream.append(harness_error_result(
+                    planned, f"shard {index} worker died: {error}"
+                ))
+        try:
+            cancel_flag.unlink()
+        except FileNotFoundError:
+            pass
+        cancelled = cancelled or (context.cancel is not None
+                                  and context.cancel())
+        progress.emit()
+        return ExecutionOutcome(cancelled=cancelled,
+                                shards=progress.snapshot()["shards"])
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BACKEND_PROCESS",
+    "BACKEND_THREAD",
+    "ExecutionBackend",
+    "ExecutionContext",
+    "ExecutionOutcome",
+    "ProcessBackend",
+    "ShardProgress",
+    "ThreadBackend",
+    "create_backend",
+    "discard_shard_streams",
+    "harness_error_result",
+    "leftover_shard_streams",
+    "merge_shard_stream",
+    "record_outcome",
+    "recover_shard_streams",
+    "shard_stream_path",
+    "validate_backend_name",
+]

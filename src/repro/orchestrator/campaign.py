@@ -2,9 +2,10 @@
 
 :class:`Campaign` wires every phase together: compile the fault model,
 scan the injectable files, build the plan (filter/sample), optionally
-reduce it by coverage, pre-generate every mutant serially, execute
-experiments in the adaptive parallel pool while streaming results to
-disk, and hand the results to the analysis layer.
+reduce it by coverage, then hand the pending plan to a pluggable
+execution backend (``CampaignConfig.backend``) that pipelines mutant
+generation with sharded experiment execution, streaming results to
+disk, and finally pass everything to the analysis layer.
 
 The execution phase is deterministic and crash-resumable: every
 per-experiment RNG and runtime seed derives from
@@ -23,16 +24,20 @@ from pathlib import Path
 from repro.common.fsutil import remove_tree
 from repro.common.rng import SeededRandom
 from repro.faultmodel.model import FaultModel
+from repro.orchestrator.backends import (
+    BACKEND_THREAD,
+    ExecutionContext,
+    create_backend,
+    discard_shard_streams,
+    recover_shard_streams,
+    validate_backend_name,
+)
 from repro.orchestrator.coverage import CoverageReport, reduce_plan, run_coverage
 from repro.orchestrator.executor import ExperimentExecutor
-from repro.orchestrator.experiment import (
-    STATUS_HARNESS_ERROR,
-    ExperimentResult,
-)
+from repro.orchestrator.experiment import ExperimentResult
 from repro.orchestrator.plan import Plan
 from repro.orchestrator.stream import ExperimentStream
 from repro.sandbox.image import SandboxImage
-from repro.sandbox.pool import ExperimentPool
 from repro.scanner.cache import ScanCache, faultload_digest
 from repro.scanner.scan import ScanResult, scan_files
 from repro.workload.spec import WorkloadSpec
@@ -75,6 +80,13 @@ class CampaignConfig:
     file_filter: list[str] | None = None
     #: None = adaptive N-1 parallelism; an int pins the worker count.
     parallelism: int | None = None
+    #: Execution backend: ``"thread"`` (one in-process pool) or
+    #: ``"process"`` (per-shard worker processes).  Results are
+    #: byte-identical across backends — this is purely a scaling choice.
+    backend: str = BACKEND_THREAD
+    #: Shard count for the deterministic plan partitioner (independent
+    #: of results; a resumed campaign may change it freely).
+    shards: int = 1
     #: Scan-phase worker processes (None/1 = in-process indexed scan).
     scan_jobs: int | None = None
     #: Persistent scan-cache directory; repeated campaigns over unchanged
@@ -95,6 +107,9 @@ class CampaignConfig:
         self.target_dir = Path(self.target_dir)
         if not self.target_dir.exists():
             raise FileNotFoundError(f"target_dir {self.target_dir} not found")
+        validate_backend_name(self.backend)
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.workspace is not None:
             # Sandboxed workloads run with their own cwd; a relative
             # workspace (e.g. the CLI's default .profipy) would make the
@@ -232,7 +247,8 @@ class Campaign:
 
     # -- full workflow -------------------------------------------------------------
 
-    def run(self, progress=None, cancel=None) -> CampaignResult:
+    def run(self, progress=None, cancel=None,
+            on_progress=None) -> CampaignResult:
         """Scan, plan, (optionally) reduce by coverage, execute, collect.
 
         ``cancel`` is an optional zero-argument callable polled between
@@ -240,6 +256,12 @@ class Campaign:
         cancel flag).  Once it returns true, no further experiment
         starts; in-flight ones finish and are recorded, then
         :class:`CampaignCancelled` is raised carrying the partial result.
+
+        ``on_progress`` is an optional callable receiving shard-aware
+        progress snapshots (``experiments_done``/``experiments_total``
+        over the *whole* plan, plus per-shard states) as the execution
+        backend advances — the feed the service layer persists for
+        ``/v1/jobs/{id}``.
         """
         config = self.config
         owns_workspace = config.workspace is None
@@ -312,11 +334,21 @@ class Campaign:
                         "re-run with resume=False (--no-resume) or use a "
                         "fresh workspace"
                     )
+                # A run killed mid-flight under the process backend leaves
+                # partial per-shard streams; fold them into the canonical
+                # stream *before* computing the resume set, so those
+                # experiments count as recorded regardless of the backend
+                # or shard count this run uses.
+                salvaged = recover_shard_streams(stream)
+                if salvaged:
+                    say(f"[{config.name}] recovered {salvaged} experiments "
+                        "from partial shard streams")
                 recorded = stream.recorded_ids()
                 if existing_meta is None:
                     stream.write_meta(stream_meta)
             else:
                 stream.clear()
+                discard_shard_streams(stream.path)
                 recorded = set()
                 stream.write_meta(stream_meta)
             pending = plan.excluding(recorded)
@@ -342,62 +374,36 @@ class Campaign:
                 cancel_check=cancel,
             )
 
-            say(f"[{config.name}] pre-generating {len(pending)} mutants")
-            mutations = executor.prepare_mutations(pending)
-
-            say(f"[{config.name}] executing {len(pending)} experiments")
+            say(f"[{config.name}] executing {len(pending)} experiments "
+                f"({config.backend} backend, {config.shards} shard(s), "
+                "pipelined mutant generation)")
             pending_list = list(pending)
 
-            def job_for(planned):
-                def job():
-                    # Pop so each consumed mutant is released immediately.
-                    mutation = mutations.pop(planned.experiment_id, None)
-                    return executor.run(planned, mutation=mutation)
-                return job
+            def emit_progress(snapshot):
+                # Backends report over the pending remainder; the job
+                # view shows progress over the whole plan, so offset by
+                # the experiments the resume already accounted for.
+                snapshot = dict(snapshot)
+                snapshot["experiments_done"] += result.resumed
+                snapshot["experiments_total"] += result.resumed
+                snapshot["resumed"] = result.resumed
+                on_progress(snapshot)
 
-            def on_result(outcome):
-                if outcome.ok:
-                    if outcome.result is None:
-                        # The executor declined a not-yet-started
-                        # experiment after a cancellation request;
-                        # nothing ran, so nothing is recorded (resume
-                        # picks it up).
-                        return
-                    stream.append(outcome.result)
-                else:
-                    planned = pending_list[outcome.index]
-                    stream.append(ExperimentResult(
-                        experiment_id=planned.experiment_id,
-                        point=planned.point.to_dict(),
-                        fault_id=planned.point.point_id,
-                        spec_name=planned.point.spec_name,
-                        status=STATUS_HARNESS_ERROR,
-                        error=outcome.error or "unknown pool failure",
-                    ))
-
-            cancelled = False
-
-            def pending_jobs():
-                nonlocal cancelled
-                for planned in pending_list:
-                    # The cooperative cancellation point between
-                    # experiments: the pool pulls jobs lazily, so once
-                    # the hook fires nothing further is handed out.
-                    if cancel is not None and cancel():
-                        cancelled = True
-                        return
-                    yield job_for(planned)
-
-            pool = ExperimentPool(parallelism=config.parallelism)
-            execution_started = time.monotonic()
-            pool.run(
-                pending_jobs(),
-                on_result=on_result,
-                retain_results=False,
+            backend = create_backend(config.backend)
+            context = ExecutionContext(
+                executor=executor,
+                fault_model=config.fault_model,
+                shards=config.shards,
+                parallelism=config.parallelism,
+                cancel=cancel,
+                on_progress=(emit_progress if on_progress is not None
+                             else None),
             )
+            execution_started = time.monotonic()
+            outcome = backend.execute(context, pending_list, stream)
             result.execution_seconds = time.monotonic() - execution_started
             result.experiments_path = stream.path
-            if cancelled or (cancel is not None and cancel()):
+            if outcome.cancelled or (cancel is not None and cancel()):
                 say(f"[{config.name}] cancelled after "
                     f"{result.executed} recorded experiments")
                 raise CampaignCancelled(result)

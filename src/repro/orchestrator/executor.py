@@ -17,11 +17,15 @@ Determinism: every stochastic input of an experiment — the mutation RNG
 and the sandbox runtime seed (``SEED_ENV``) — derives from a sha256
 digest of ``(campaign_seed, experiment_id)``.  Results are therefore
 byte-identical across runs, hosts, ``PYTHONHASHSEED`` values, and
-parallelism levels.  Mutants are normally pre-generated for the whole
-plan via :meth:`ExperimentExecutor.prepare_mutations` (serial, grouped
-per ``(file, spec)``) so the matcher never runs inside the sandbox
-critical section; :meth:`run` falls back to inline generation with the
-same per-experiment stream when no pre-built mutation is supplied.
+parallelism levels.  Mutants are normally generated *pipelined* via
+:meth:`ExperimentExecutor.iter_mutations`: a single producer emits one
+``(file, spec)`` group at a time, so generation stays serial (the
+``MatchMemo`` guarantee) while the sandbox pool executes earlier groups
+— peak memory is bounded by the largest group, not the plan.
+:meth:`prepare_mutations` materializes the same pipeline for callers
+that want the whole batch up front, and :meth:`run` falls back to
+inline generation with the same per-experiment stream when no pre-built
+mutation is supplied; all three paths are byte-identical.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
 from repro.common.rng import SeededRandom, experiment_seed
 from repro.dsl.metamodel import MetaModel
@@ -73,9 +77,10 @@ class ExperimentExecutor:
     #: starts; once it returns true, :meth:`run` declines new experiments
     #: (returning ``None``) so a cancelled campaign drains quickly.
     cancel_check: Callable[[], bool] | None = None
-    #: Shared across the batch: experiments hitting the same (file, spec)
-    #: pair at different ordinals reuse one cached match list.  Populated
-    #: serially by :meth:`prepare_mutations`.
+    #: Memo for the *inline* mutation path in :meth:`run` (fallback when
+    #: no pre-built mutation is supplied).  The pipelined generator uses
+    #: a fresh memo per (file, spec) group instead, so pristine trees
+    #: are released group by group.
     match_memo: MatchMemo = field(default_factory=MatchMemo)
 
     # -- deterministic derivation ------------------------------------------------
@@ -88,44 +93,97 @@ class ExperimentExecutor:
         """The sandbox ``SEED_ENV`` value for one experiment."""
         return experiment_seed(self.campaign_seed, experiment_id)
 
-    # -- batched mutant pre-generation -------------------------------------------
+    # -- pipelined mutant generation ----------------------------------------------
+
+    def iter_mutations(
+        self, planned: Iterable[PlannedExperiment],
+    ) -> Iterator[tuple[PlannedExperiment, Mutation | None]]:
+        """Lazily generate the plan's mutants, one ``(file, spec)`` group
+        at a time.
+
+        This is the producer side of the pipelined execution engine: the
+        sandbox pool pulls jobs from this generator as worker slots free,
+        so group N+1 is generated while group N's experiments run.
+        Generation stays on the single consuming thread — the serial
+        :class:`MatchMemo` guarantee of the old whole-plan batch — and
+        peak memory is bounded by the largest group (one pristine source
+        plus its mutants), not by the plan.
+
+        Every request draws only from its experiment's own RNG stream
+        (derived from the campaign seed), so the yielded mutants are
+        byte-identical to the whole-plan batch and to inline generation.
+        An experiment whose mutant cannot be generated (unreadable file,
+        stale ordinal) yields ``None``: :meth:`run`'s inline fallback
+        hits the same error and records a ``harness_error`` for just
+        that experiment.
+        """
+        ordered = sorted(
+            enumerate(planned),
+            key=lambda pair: (pair[1].point.file, pair[1].point.spec_name,
+                              pair[1].point.ordinal, pair[0]),
+        )
+        source_file: str | None = None
+        source: str | None = None
+        index = 0
+        while index < len(ordered):
+            point = ordered[index][1].point
+            group = [ordered[index][1]]
+            index += 1
+            while index < len(ordered) and (
+                ordered[index][1].point.file == point.file
+                and ordered[index][1].point.spec_name == point.spec_name
+            ):
+                group.append(ordered[index][1])
+                index += 1
+            # Groups arrive sorted by file, so caching the previous
+            # file's source is enough to read each file exactly once.
+            if point.file != source_file:
+                source_file = point.file
+                try:
+                    source = self.image.read_file(point.file)
+                except OSError:
+                    source = None
+            if source is None:
+                for experiment in group:
+                    yield experiment, None
+                continue
+            requests = [MutantRequest(
+                key=experiment.experiment_id,
+                source=source,
+                model=self.models[point.spec_name],
+                ordinal=experiment.point.ordinal,
+                fault_id=experiment.point.point_id,
+                file=experiment.point.file,
+                rng=self.experiment_rng(experiment.experiment_id),
+            ) for experiment in group]
+            # A fresh memo per group: each (file, spec) pair IS one
+            # group, so nothing is ever re-matched — and the group's
+            # pristine tree is released with the group instead of
+            # accumulating for the whole plan (the batched engine's
+            # peak-memory problem in miniature).
+            mutations = generate_mutants(requests, trigger=self.trigger,
+                                         match_memo=MatchMemo())
+            for experiment in group:
+                # pop: each mutant is released to its job immediately, so
+                # at most one group's worth is alive at any moment.
+                yield experiment, mutations.pop(experiment.experiment_id,
+                                                None)
 
     def prepare_mutations(
         self, planned: Iterable[PlannedExperiment],
     ) -> dict[str, Mutation]:
         """Pre-generate every mutant of the plan, keyed by experiment id.
 
-        Runs serially before the experiments fan out: requests are grouped
-        per ``(file, spec)`` so the :class:`MatchMemo` parses and matches
-        each pair exactly once, with no cross-thread races.  Each file is
-        read from the image once regardless of how many experiments
-        inject into it.
+        The materialized form of :meth:`iter_mutations` — same grouping,
+        same per-request RNG streams, byte-identical output — for callers
+        that want the whole batch before fanning out (peak memory is then
+        O(plan), which is why the campaign path pipelines instead).
         """
-        sources: dict[str, str | None] = {}
-        requests: list[MutantRequest] = []
-        for experiment in planned:
-            point = experiment.point
-            if point.file not in sources:
-                try:
-                    sources[point.file] = self.image.read_file(point.file)
-                except OSError:
-                    # An unreadable file must not sink the batch: the
-                    # inline fallback in run() hits the same error and
-                    # records a harness_error for those experiments only.
-                    sources[point.file] = None
-            if sources[point.file] is None:
-                continue
-            requests.append(MutantRequest(
-                key=experiment.experiment_id,
-                source=sources[point.file],
-                model=self.models[point.spec_name],
-                ordinal=point.ordinal,
-                fault_id=point.point_id,
-                file=point.file,
-                rng=self.experiment_rng(experiment.experiment_id),
-            ))
-        return generate_mutants(requests, trigger=self.trigger,
-                                match_memo=self.match_memo)
+        return {
+            experiment.experiment_id: mutation
+            for experiment, mutation in self.iter_mutations(planned)
+            if mutation is not None
+        }
 
     # -- execution ---------------------------------------------------------------
 

@@ -9,6 +9,7 @@ re-imported as JSON.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -16,6 +17,25 @@ from repro.common.fsutil import read_json, write_json
 from repro.common.rng import SeededRandom
 from repro.common.textutil import glob_match
 from repro.scanner.points import InjectionPoint
+
+
+def shard_index(experiment_id: str, shard_count: int) -> int:
+    """Deterministic shard assignment for one experiment id.
+
+    Derived from ``sha256(experiment_id)`` — never ``hash()``, which is
+    salted per process (``PYTHONHASHSEED``) and would scatter the same
+    plan differently on every run.  The assignment depends only on the
+    id and the shard count, so re-planning after a crash partitions
+    identically, and a resumed campaign may even change the shard count:
+    experiment ids (and therefore seeds and mutants) are independent of
+    which shard executes them.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if shard_count == 1:
+        return 0
+    digest = hashlib.sha256(experiment_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
 
 
 @dataclass(frozen=True)
@@ -117,6 +137,19 @@ class Plan:
             experiment for experiment in self.experiments
             if experiment.experiment_id not in experiment_ids
         ])
+
+    def shards(self, shard_count: int) -> "list[Plan]":
+        """Partition into ``shard_count`` disjoint sub-plans (stable).
+
+        Experiments keep their plan order within each shard; the union of
+        the shards is exactly this plan.  Empty shards are returned as
+        empty plans so callers can index shards positionally.
+        """
+        parts: list[Plan] = [Plan() for _ in range(shard_count)]
+        for experiment in self.experiments:
+            parts[shard_index(experiment.experiment_id,
+                              shard_count)].experiments.append(experiment)
+        return parts
 
     def restrict_to(self, point_ids: set[str]) -> "Plan":
         """Keep only experiments whose point id is in ``point_ids``

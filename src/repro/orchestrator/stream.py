@@ -77,6 +77,13 @@ class ExperimentStream:
         a crash never loses a completed experiment."""
         self._append_line(json.dumps(result.to_dict(), sort_keys=True))
 
+    def append_entry(self, entry: dict) -> None:
+        """Record one raw result dict (the shard-merge path: entries read
+        from a shard stream are re-appended without an
+        ``ExperimentResult`` round-trip, so merging cannot reshape
+        records)."""
+        self._append_line(json.dumps(entry, sort_keys=True))
+
     def write_meta(self, meta: dict) -> None:
         """Append a campaign-metadata line (skipped by result readers)."""
         self._append_line(json.dumps({"meta": meta}, sort_keys=True))
@@ -146,6 +153,19 @@ class ExperimentStream:
             for experiment_id, entry in self._latest_entries().items()
             if entry.get("status") != STATUS_HARNESS_ERROR
         }
+
+    def canonical_bytes(self) -> bytes:
+        """The stream's deterministic byte form: one sorted-key JSON line
+        per experiment id, sorted by id, meta and superseded records
+        dropped.  Two campaigns recorded the same experiments iff their
+        canonical bytes are equal — regardless of completion order,
+        execution backend, or shard count (the sharded-execution
+        equivalence tests compare exactly this)."""
+        lines = [json.dumps(entry, sort_keys=True)
+                 for _id, entry in sorted(self._latest_entries().items())]
+        if not lines:
+            return b""
+        return ("\n".join(lines) + "\n").encode("utf-8")
 
     def __iter__(self) -> Iterator[ExperimentResult]:
         for entry in self._latest_entries().values():

@@ -24,10 +24,14 @@ class JobOutcome:
     index: int
     result: object = None
     error: str | None = None
+    #: Set when the ``on_result`` callback itself raised: the job ran
+    #: (``error`` still describes the job's own outcome) but its result
+    #: could not be delivered — e.g. a failed stream append.
+    sink_error: str | None = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and self.sink_error is None
 
 
 @dataclass
@@ -53,7 +57,11 @@ class ExperimentPool:
         job completes — the streaming hook the campaign uses to append
         results to disk; with ``retain_results=False`` the result object
         is dropped right after the callback, keeping pool memory constant
-        for arbitrarily long campaigns.
+        for arbitrarily long campaigns.  An exception raised by the
+        callback itself (e.g. a failed stream append) is captured on the
+        outcome's ``sink_error`` (the job's own ``error`` is preserved)
+        and the pool keeps draining — it used to escape through
+        ``future.result()`` and kill the whole campaign mid-flight.
         """
         job_iter = iter(jobs)
         hard_limit = self.parallelism or self.monitor.max_parallelism
@@ -67,7 +75,11 @@ class ExperimentPool:
                 outcome = JobOutcome(index=index,
                                      error=traceback.format_exc())
             if on_result is not None:
-                on_result(outcome)
+                try:
+                    on_result(outcome)
+                except Exception:  # noqa: BLE001 - captured per outcome
+                    outcome.result = None
+                    outcome.sink_error = traceback.format_exc()
             if not retain_results:
                 outcome.result = None
             with lock:

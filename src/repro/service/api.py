@@ -104,7 +104,14 @@ def exception_for(error: APIError) -> Exception:
 
 @dataclass(frozen=True)
 class JobView:
-    """Wire projection of one job's lifecycle."""
+    """Wire projection of one job's lifecycle.
+
+    ``progress`` is the shard-aware execution progress snapshot
+    (``experiments_done``/``experiments_total``, ``backend``, per-shard
+    ``{shard, total, done, state}`` rows) while the campaign runs —
+    ``None`` before execution starts or for jobs submitted by older
+    services.
+    """
 
     job_id: str
     name: str
@@ -114,6 +121,7 @@ class JobView:
     finished_at: float | None
     error: str
     directory: str | None
+    progress: dict | None = None
 
     @classmethod
     def from_job(cls, job: Job) -> "JobView":
@@ -126,6 +134,7 @@ class JobView:
             finished_at=job.finished_at,
             error=job.error,
             directory=str(job.directory) if job.directory else None,
+            progress=job.progress,
         )
 
     def to_dict(self) -> dict:
@@ -142,6 +151,7 @@ class JobView:
             finished_at=data.get("finished_at"),
             error=data.get("error", ""),
             directory=data.get("directory"),
+            progress=data.get("progress"),
         )
 
     def to_job(self) -> Job:
@@ -157,6 +167,7 @@ class JobView:
             finished_at=self.finished_at,
             error=self.error,
             directory=Path(self.directory) if self.directory else None,
+            progress=self.progress,
         )
 
 
@@ -219,6 +230,8 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "file_filter": (list(config.file_filter)
                         if config.file_filter is not None else None),
         "parallelism": config.parallelism,
+        "backend": config.backend,
+        "shards": config.shards,
         "scan_jobs": config.scan_jobs,
         "scan_cache_dir": opt_path(config.scan_cache_dir),
         "seed": config.seed,
@@ -251,6 +264,8 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         spec_filter=data.get("spec_filter"),
         file_filter=data.get("file_filter"),
         parallelism=data.get("parallelism"),
+        backend=data.get("backend", "thread"),
+        shards=int(data.get("shards", 1)),
         scan_jobs=data.get("scan_jobs"),
         scan_cache_dir=opt_path(data.get("scan_cache_dir")),
         seed=data.get("seed", 0),

@@ -14,7 +14,10 @@ Equivalence guarantees (the contract tests in
 ``tests/test_service_api_contract.py`` enforce them):
 
 * identical return types (:class:`Job`, :class:`FaultModel`,
-  :class:`ExperimentResult` lists sorted by experiment id);
+  :class:`ExperimentResult` lists sorted by experiment id), including
+  the shard-aware ``Job.progress`` snapshot
+  (``experiments_done``/``experiments_total`` + per-shard states) a
+  running campaign publishes;
 * identical exception types — the wire error codes map back to what the
   in-process facade raises (``unknown_job``/``unknown_model`` →
   ``KeyError``, ``missing_artifact`` → ``FileNotFoundError``,
@@ -171,7 +174,14 @@ class ProFIPyClient:
         return job
 
     def job(self, job_id: str) -> Job:
+        """One job's lifecycle view; ``job.progress`` carries the live
+        shard-aware progress snapshot while the campaign runs."""
         return self._to_job(self._json("GET", f"/v1/jobs/{job_id}"))
+
+    def job_progress(self, job_id: str) -> dict | None:
+        """The job's latest progress snapshot (mirrors
+        :meth:`ProFIPyService.job_progress`)."""
+        return self.job(job_id).progress
 
     def list_jobs(self) -> list[Job]:
         return [self._to_job(view)

@@ -12,6 +12,8 @@ Endpoints (see ``docs/SERVICE_API.md`` for the full table)::
     GET  /v1/models/{name}
     POST /v1/campaigns                      # submit (supports resume_from)
     GET  /v1/jobs                           GET /v1/jobs/{id}
+                                            # job views carry shard-aware
+                                            # "progress" while running
     POST /v1/jobs/{id}/cancel               GET /v1/jobs/{id}/wait?timeout=S
     GET  /v1/jobs/{id}/summary              GET /v1/jobs/{id}/report
     GET  /v1/jobs/{id}/experiments?offset=N&limit=M

@@ -69,6 +69,12 @@ class Job:
     finished_at: float | None = None
     error: str = ""
     directory: Path | None = None
+    #: Shard-aware execution progress (``experiments_done``/
+    #: ``experiments_total`` + per-shard states), attached by the
+    #: service layer from the job's ``progress.json`` — deliberately
+    #: *not* part of ``to_dict``: it changes per experiment and is
+    #: persisted separately from the lifecycle metadata.
+    progress: dict | None = field(default=None, compare=False)
 
     @property
     def finished(self) -> bool:

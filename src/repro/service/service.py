@@ -140,6 +140,8 @@ class ProFIPyService:
                 "workload": config.workload.to_dict(),
                 "injectable_files": config.injectable_files,
                 "scan_jobs": config.scan_jobs,
+                "backend": config.backend,
+                "shards": config.shards,
                 "seed": config.seed,
                 "resumed_from": resume_from,
             })
@@ -147,6 +149,14 @@ class ProFIPyService:
             if (previous_stream is not None and previous_stream.exists()
                     and previous_stream != stream_path):
                 shutil.copyfile(previous_stream, stream_path)
+                # Carry over partial *shard* streams too: a job killed
+                # mid-campaign under the process backend recorded some
+                # experiments only there; the campaign's recovery merges
+                # them before computing the resume set.
+                from repro.orchestrator.backends import leftover_shard_streams
+
+                for shard_path in leftover_shard_streams(previous_stream):
+                    shutil.copyfile(shard_path, job_dir / shard_path.name)
             run_config = config
             if run_config.results_path is None:
                 run_config = dataclasses.replace(
@@ -157,8 +167,19 @@ class ProFIPyService:
             # can poll its own scheduler cancel flag without the id
             # existing before submit() assigns it.
             cancel = lambda: self.runner.cancel_requested(job_dir.name)  # noqa: E731
+
+            def on_progress(snapshot: dict) -> None:
+                # Atomic write (unique temp + os.replace) so readers
+                # never see a torn snapshot; best-effort — progress must
+                # never sink a campaign.
+                try:
+                    write_json(job_dir / "progress.json", snapshot)
+                except OSError:
+                    pass
+
             try:
-                result = campaign.run(cancel=cancel)
+                result = campaign.run(cancel=cancel,
+                                      on_progress=on_progress)
             except CampaignCancelled as stopped:
                 # Persist what the partial run produced — the stream is
                 # a valid resume_from point and the report summarizes
@@ -176,13 +197,39 @@ class ProFIPyService:
         return self.runner.submit(config.name, body, block=block)
 
     def job(self, job_id: str) -> Job:
-        return self.runner.get(job_id)
+        job = self.runner.get(job_id)
+        job.progress = self._progress_for(job)
+        return job
 
     def list_jobs(self) -> list[Job]:
-        return self.runner.list()
+        jobs = self.runner.list()
+        for job in jobs:
+            job.progress = self._progress_for(job)
+        return jobs
+
+    def job_progress(self, job_id: str) -> dict | None:
+        """The job's latest shard-aware progress snapshot, or ``None``.
+
+        Read from ``<job_dir>/progress.json`` (written atomically by the
+        running campaign), so it works across processes: a CLI pointed
+        at the workspace sees the same live numbers as the HTTP API.
+        """
+        return self._progress_for(self.runner.get(job_id))
+
+    @staticmethod
+    def _progress_for(job: Job) -> dict | None:
+        if job.directory is None:
+            return None
+        try:
+            data = read_json(job.directory / "progress.json")
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
-        return self.runner.wait(job_id, timeout)
+        job = self.runner.wait(job_id, timeout)
+        job.progress = self._progress_for(job)
+        return job
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation of a queued or running job (idempotent).
@@ -191,7 +238,9 @@ class ProFIPyService:
         the next between-experiments checkpoint and lands in the
         ``cancelled`` state with its partial result stream persisted.
         """
-        return self.runner.cancel(job_id)
+        job = self.runner.cancel(job_id)
+        job.progress = self._progress_for(job)
+        return job
 
     # -- results ---------------------------------------------------------------------
 

@@ -28,6 +28,42 @@ class TestConfigValidation:
         assert config.sample is None
         assert config.scan_jobs is None
         assert config.scan_cache_dir is None
+        assert config.backend == "thread"
+        assert config.shards == 1
+
+    def test_unknown_backend_rejected(self, toy_project, toy_model,
+                                      toy_workload):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            CampaignConfig(
+                name="x", target_dir=toy_project,
+                fault_model=toy_model, workload=toy_workload,
+                backend="quantum",
+            )
+
+    def test_invalid_shard_count_rejected(self, toy_project, toy_model,
+                                          toy_workload):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            CampaignConfig(
+                name="x", target_dir=toy_project,
+                fault_model=toy_model, workload=toy_workload,
+                shards=0,
+            )
+
+    def test_wire_round_trip_preserves_execution_policy(
+            self, toy_project, toy_model, toy_workload):
+        from repro.service.api import (
+            campaign_config_from_dict,
+            campaign_config_to_dict,
+        )
+
+        config = CampaignConfig(
+            name="x", target_dir=toy_project,
+            fault_model=toy_model, workload=toy_workload,
+            backend="process", shards=4,
+        )
+        clone = campaign_config_from_dict(campaign_config_to_dict(config))
+        assert clone.backend == "process"
+        assert clone.shards == 4
 
     def test_relative_workspace_resolved(self, toy_project, toy_model,
                                          toy_workload, tmp_path,

@@ -100,6 +100,23 @@ class TestJobsCommands:
         assert "completed" in out
         assert "demo" in out
 
+    def test_jobs_list_shows_progress(self, tmp_path, capsys):
+        from repro.common.fsutil import write_json
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path)
+        job = service.runner.submit("demo", lambda d: None, block=True)
+        write_json(job.directory / "progress.json", {
+            "backend": "process", "experiments_done": 3,
+            "experiments_total": 8,
+            "shards": [{"shard": 0, "total": 8, "done": 3,
+                        "state": "running"}],
+        })
+        assert main(["--workspace", str(tmp_path), "jobs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "PROGRESS" in out
+        assert "3/8" in out
+
     def test_jobs_cancel(self, tmp_path, capsys):
         from repro.service.service import ProFIPyService
 
@@ -151,3 +168,28 @@ class TestCampaignCommand:
         out = capsys.readouterr().out
         assert "Campaign summary" in out
         assert "Failure mode distribution" in out
+
+    def test_toy_campaign_process_backend_with_shards(
+            self, tmp_path, toy_project, toy_model, capsys):
+        model_path = tmp_path / "toy.json"
+        toy_model.save(model_path)
+        assert main([
+            "--workspace", str(tmp_path / "ws"),
+            "campaign", str(toy_project),
+            "--model", str(model_path),
+            "--run-cmd", "{python} run.py",
+            "--files", "app.py",
+            "--no-coverage",
+            "--backend", "process",
+            "--shards", "2",
+            "--parallel", "2",
+            "--timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        # The job's final shard-aware progress is visible in the listing.
+        assert main(["--workspace", str(tmp_path / "ws"),
+                     "jobs", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "PROGRESS" in listing
+        assert "2/2" in listing

@@ -1,9 +1,10 @@
-"""Tests for fault injection plans: filtering, sampling, persistence."""
+"""Tests for fault injection plans: filtering, sampling, sharding,
+persistence."""
 
 import pytest
 
 from repro.common.rng import SeededRandom
-from repro.orchestrator.plan import Plan, PlannedExperiment
+from repro.orchestrator.plan import Plan, PlannedExperiment, shard_index
 from repro.scanner.points import InjectionPoint, component_of
 
 
@@ -76,6 +77,40 @@ class TestSelection:
         keep = {plan.experiments[0].point.point_id}
         reduced = plan.restrict_to(keep)
         assert len(reduced) == 1
+
+
+class TestSharding:
+    def test_pinned_assignment(self):
+        # sha256-derived, so a constant of the tool: changing the
+        # partitioner silently re-shards resumed campaigns.
+        assert shard_index("exp-0001", 4) == 1
+
+    def test_depends_only_on_id_and_count(self, plan):
+        for experiment in plan:
+            assert shard_index(experiment.experiment_id, 4) == \
+                shard_index(experiment.experiment_id, 4)
+
+    def test_single_shard_is_identity(self, plan):
+        [only] = plan.shards(1)
+        assert [e.experiment_id for e in only] == \
+            [e.experiment_id for e in plan]
+
+    def test_partition_is_disjoint_and_complete(self, plan):
+        for count in (2, 3, 4, 7):
+            parts = plan.shards(count)
+            assert len(parts) == count
+            ids = [e.experiment_id for part in parts for e in part]
+            assert sorted(ids) == sorted(e.experiment_id for e in plan)
+            assert len(ids) == len(set(ids))
+
+    def test_order_preserved_within_shard(self, plan):
+        for part in plan.shards(3):
+            ids = [e.experiment_id for e in part]
+            assert ids == sorted(ids)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_index("exp-0001", 0)
 
 
 class TestPersistence:

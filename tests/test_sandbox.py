@@ -209,5 +209,32 @@ class TestPool:
         pool.run([lambda: 1, lambda: 2], on_result=lambda o: seen.append(o))
         assert len(seen) == 2
 
+    def test_on_result_exception_captured_and_pool_drains(self):
+        # Regression: an exception raised by the on_result callback
+        # (e.g. a failed stream append) escaped run_job, was re-raised
+        # by future.result(), and killed the whole campaign mid-flight.
+        calls = []
+
+        def flaky_sink(outcome):
+            calls.append(outcome.index)
+            if outcome.result == 1:
+                raise OSError("disk full")
+
+        pool = ExperimentPool(parallelism=2)
+        outcomes = pool.run([lambda: 0, lambda: 1, lambda: 2, lambda: 3],
+                            on_result=flaky_sink)
+        assert len(outcomes) == 4  # the pool drained every job
+        assert sorted(calls) == [0, 1, 2, 3]
+        failed = [o for o in outcomes if not o.ok]
+        assert len(failed) == 1
+        assert failed[0].index == 1
+        # The sink failure is structured: the job's own error stays
+        # untouched (it succeeded), the callback traceback rides
+        # sink_error.
+        assert failed[0].error is None
+        assert "disk full" in failed[0].sink_error
+        assert failed[0].result is None
+        assert all(o.ok for o in outcomes if o.index != 1)
+
     def test_empty_jobs(self):
         assert ExperimentPool().run([]) == []

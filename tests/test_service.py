@@ -167,3 +167,40 @@ class TestServiceCampaign:
         # must not mutate the caller's config object.
         assert config.scan_cache_dir is None
         assert (tmp_path / "ws" / "scan_cache").is_dir()
+
+    def test_process_backend_job_with_shard_progress(
+            self, tmp_path, toy_project, toy_model, toy_workload):
+        from repro.common.fsutil import read_json
+
+        service = ProFIPyService(tmp_path / "ws")
+        config = CampaignConfig(
+            name="sharded",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=toy_workload,
+            injectable_files=["app.py"],
+            coverage=False,
+            parallelism=2,
+            backend="process",
+            shards=2,
+            workspace=tmp_path / "campaign-ws",
+        )
+        job = service.submit_campaign(config, block=True)
+        assert job.status == COMPLETED, job.error
+        assert service.result_summary(job.job_id)["experiments"] == 2
+        # The persisted campaign config records the execution policy.
+        persisted = read_json(job.directory / "config.json")
+        assert persisted["backend"] == "process"
+        assert persisted["shards"] == 2
+        # progress.json persisted the final shard-aware snapshot, and
+        # job views (single and list) carry it.
+        progress = service.job_progress(job.job_id)
+        assert progress is not None
+        assert progress["backend"] == "process"
+        assert progress["experiments_done"] == 2
+        assert progress["experiments_total"] == 2
+        assert len(progress["shards"]) == 2
+        assert service.job(job.job_id).progress == progress
+        [listed] = [item for item in service.list_jobs()
+                    if item.job_id == job.job_id]
+        assert listed.progress == progress

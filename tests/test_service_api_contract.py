@@ -131,6 +131,29 @@ class TestCampaignContract:
             sorted(e.experiment_id for e in experiments)
         assert len(experiments) == 2
 
+    def test_job_progress_exposed(self, tmp_path, facade_factory,
+                                  toy_project, toy_model, toy_workload):
+        # Shard-aware progress rides the job view identically over both
+        # transports: after a completed campaign the final snapshot shows
+        # every experiment done and every shard completed.
+        facade = facade_factory(tmp_path / "ws")
+        config = self.campaign_config(toy_project, toy_model, toy_workload)
+        job = facade.submit_campaign(config, block=True)
+        assert job.status == "completed", job.error
+        progress = facade.job(job.job_id).progress
+        assert progress is not None
+        assert progress["backend"] == "thread"
+        assert progress["experiments_done"] == 2
+        assert progress["experiments_total"] == 2
+        assert {entry["state"] for entry in progress["shards"]} == \
+            {"completed"}
+        [listed] = [item for item in facade.list_jobs()
+                    if item.job_id == job.job_id]
+        assert listed.progress == progress
+        # wait() on a finished job returns the same snapshot too (the
+        # natural submit-then-wait flow must not lose progress).
+        assert facade.wait(job.job_id, timeout=10).progress == progress
+
     def test_async_submit_then_wait(self, tmp_path, facade_factory,
                                     toy_project, toy_model, toy_workload):
         facade = facade_factory(tmp_path / "ws")
