@@ -152,6 +152,7 @@ def cmd_campaign(args) -> int:
         parallelism=args.parallel,
         backend=args.backend,
         shards=args.shards,
+        workers=args.worker or None,
         scan_jobs=args.scan_jobs,
         scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
         seed=args.seed,
@@ -187,6 +188,21 @@ def cmd_serve(args) -> int:
 
     serve(args.workspace, host=args.host, port=args.port,
           max_workers=args.max_workers)
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Serve the worker role for remote-backend campaigns.
+
+    A worker is a full ``/v1`` service instance — the shard endpoints
+    (``POST /v1/shards`` …) are what a dispatching campaign's remote
+    backend talks to.  Run one per execution host and point
+    ``profipy campaign --backend remote --worker URL`` at them.
+    """
+    from repro.service.http import serve
+
+    serve(args.workspace, host=args.host, port=args.port,
+          max_workers=args.max_workers, role="worker")
     return 0
 
 
@@ -356,11 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--timeout", type=float, default=60.0)
     campaign.add_argument("--sample", type=int)
     campaign.add_argument("--parallel", type=int)
-    campaign.add_argument("--backend", choices=["thread", "process"],
+    campaign.add_argument("--backend",
+                          choices=["thread", "process", "remote"],
                           default="thread",
                           help="execution backend: one in-process pool "
-                               "(thread) or per-shard worker processes "
-                               "(process); results are byte-identical")
+                               "(thread), per-shard worker processes "
+                               "(process), or per-shard remote workers "
+                               "over the /v1 API (remote, see --worker); "
+                               "results are byte-identical")
     campaign.add_argument("--shards", type=int, default=1,
                           help="deterministic shard count for the "
                                "execution phase (independent of results; "
@@ -368,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "--backend process each shard runs at "
                                "least one experiment concurrently, so "
                                "total load is max(--parallel, shards)")
+    campaign.add_argument("--worker", action="append", metavar="URL",
+                          help="remote worker base URL (repeatable; a "
+                               "'profipy worker' instance); shards are "
+                               "distributed round-robin and fail over to "
+                               "another worker on connection loss")
     campaign.add_argument("--scan-jobs", type=int, default=None,
                           help="worker processes for the scan phase "
                                "(default: in-process indexed scan)")
@@ -398,6 +422,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-workers", type=int, default=None,
                        help="concurrent campaign jobs (bounded scheduler)")
     serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve the remote-backend worker role (accepts shard "
+             "payloads on POST /v1/shards)",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=8081)
+    worker.add_argument("--max-workers", type=int, default=None,
+                        help="concurrent campaign jobs, should this "
+                             "worker also serve campaigns")
+    worker.set_defaults(func=cmd_worker)
 
     jobs = sub.add_parser("jobs", help="inspect campaign jobs")
     jobs.add_argument("--server", metavar="URL",

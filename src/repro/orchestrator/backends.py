@@ -15,6 +15,16 @@ pluggable behind one :class:`ExecutionBackend` protocol, selected via
   pipelined engine in its own process, streams to its own
   ``experiments-<shard>.jsonl``, and the parent merges the shard streams
   deterministically (sorted by experiment id) into the canonical stream.
+* :class:`RemoteBackend` (``"remote"``) — per-shard *remote* workers:
+  the same shard payloads are dispatched over the versioned ``/v1``
+  service API (``POST /v1/shards`` on a ``profipy worker`` host) instead
+  of to local processes.  The parent polls each worker's shard status,
+  incrementally mirrors the worker's shard stream into a local
+  ``experiments-<shard>.jsonl`` (so a killed campaign still resumes from
+  everything fetched so far), relays cooperative cancellation, and fails
+  a shard over to another worker on connection loss.  The merge is the
+  exact machinery :class:`ProcessBackend` uses, so a dead worker's shard
+  degrades to retried ``harness_error`` records identically.
 
 Both backends preserve the determinism invariant: experiment ids, seeds,
 and mutants are independent of backend and shard count, so the same
@@ -29,20 +39,21 @@ Cancellation is cooperative everywhere: the thread backend polls the
 campaign's cancel hook between experiments; the process backend relays it
 to workers through a cancel-flag *file* (the same substitute-for-shared-
 memory idiom as the sandbox trigger file), which each worker polls
-between experiments.
+between experiments; the remote backend relays it as
+``POST /v1/shards/{id}/cancel``, behind which the worker's own
+cancel-flag file sits.
 
 Progress is shard-aware: backends report ``experiments_done/total`` plus
 a per-shard state table through ``ExecutionContext.on_progress`` — the
-feed the service layer persists for ``/v1/jobs/{id}``.  This layer is
-also the substrate the ROADMAP's remote-worker PR plugs into: a remote
-backend implements the same protocol and ships shard payloads over the
-wire instead of to local processes.
+feed the service layer persists for ``/v1/jobs/{id}``.
 """
 
 from __future__ import annotations
 
+import http.client
 import re
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -63,7 +74,8 @@ from repro.workload.spec import WorkloadSpec
 
 BACKEND_THREAD = "thread"
 BACKEND_PROCESS = "process"
-BACKEND_NAMES = (BACKEND_THREAD, BACKEND_PROCESS)
+BACKEND_REMOTE = "remote"
+BACKEND_NAMES = (BACKEND_THREAD, BACKEND_PROCESS, BACKEND_REMOTE)
 
 #: Shard stream files are canonical-stream siblings: ``experiments.jsonl``
 #: → ``experiments-3.jsonl``.
@@ -87,6 +99,8 @@ class ExecutionContext:
     parallelism: int | None = None
     cancel: Callable[[], bool] | None = None
     on_progress: Callable[[dict], None] | None = None
+    #: Worker base URLs (``http://host:port``) for the remote backend.
+    workers: list[str] | None = None
 
 
 @dataclass
@@ -123,10 +137,13 @@ def validate_backend_name(name: str) -> str:
 
 
 def create_backend(name: str) -> "ExecutionBackend":
-    """The backend registered under ``name`` (``thread`` or ``process``)."""
+    """The backend registered under ``name`` (``thread``, ``process``,
+    or ``remote``)."""
     validate_backend_name(name)
     if name == BACKEND_THREAD:
         return ThreadBackend()
+    if name == BACKEND_REMOTE:
+        return RemoteBackend()
     return ProcessBackend()
 
 
@@ -454,11 +471,69 @@ def _shard_parallelism(parallelism: int | None,
     worker's monitor halves itself under memory pressure, which is the
     host-wide throttle the paper's per-host policy wants.
     """
-    if parallelism is None:
+    if parallelism is None or active == 0:
+        # No active shards happens on a fully-resumed campaign (nothing
+        # pending): there is nobody to pin.
         return [None] * active
     base, extra = divmod(parallelism, active)
     return [max(1, base + (1 if index < extra else 0))
             for index in range(active)]
+
+
+def build_shard_payload(executor: ExperimentExecutor,
+                        fault_model: FaultModel, shard: int,
+                        experiments: list[PlannedExperiment],
+                        parallelism: int | None) -> dict:
+    """The JSON-plain wire form of one shard's work.
+
+    This is the single payload schema shared by every sharded backend:
+    :class:`ProcessBackend` adds the local-only ``stream_path`` /
+    ``cancel_flag`` keys and hands it to a spawned process, while
+    :class:`RemoteBackend` ships it verbatim to ``POST /v1/shards`` —
+    the worker host fills in its own stream/cancel/scratch paths.  Paths
+    inside (image, artifacts) resolve on the *executing* host's
+    filesystem, the same caveat the campaign-over-HTTP API documents.
+    """
+    return {
+        "shard": shard,
+        "planned": [planned.to_dict() for planned in experiments],
+        "fault_model": fault_model.to_dict(),
+        "workload": (executor.workload.to_dict()
+                     if executor.workload is not None else None),
+        "image": {
+            "source_dir": str(executor.image.source_dir),
+            "staging_dir": str(executor.image.staging_dir),
+            "env": dict(executor.image.env),
+        },
+        "base_dir": str(executor.base_dir),
+        "trigger": executor.trigger,
+        "rounds": executor.rounds,
+        "campaign_seed": executor.campaign_seed,
+        "artifacts_dir": (str(executor.artifacts_dir)
+                          if executor.artifacts_dir else None),
+        "parallelism": parallelism,
+    }
+
+
+def merge_and_backfill(stream: ExperimentStream,
+                       shards: list[list[PlannedExperiment]],
+                       indices, failed_shards: dict[int, str]) -> set[str]:
+    """Fold every shard stream into the canonical stream, then record a
+    ``harness_error`` for each experiment of a failed shard that never
+    made it into a stream (retried on resume).  Shared by the process
+    and remote backends so dead local workers and dead remote workers
+    degrade identically.  Returns the merged experiment ids."""
+    merged_ids: set[str] = set()
+    for index in sorted(indices):
+        merged_ids.update(merge_shard_stream(
+            stream, shard_stream_path(stream.path, index)
+        ))
+    for index, error in sorted(failed_shards.items()):
+        for planned in shards[index]:
+            if planned.experiment_id in merged_ids:
+                continue
+            stream.append(harness_error_result(planned, error))
+    return merged_ids
 
 
 def _run_shard_worker(payload: dict) -> dict:
@@ -468,7 +543,10 @@ def _run_shard_worker(payload: dict) -> dict:
     fault model, reattaches to the already-built sandbox image on disk,
     and runs the same pipelined engine as the thread backend, streaming
     into its private shard stream.  Cancellation arrives through the
-    cancel-flag file polled between experiments.
+    cancel-flag file polled between experiments.  This is also the
+    remote worker's execution core: ``POST /v1/shards`` rewrites the
+    local-only paths (stream, cancel flag, sandbox scratch) into the
+    worker's own workspace and runs exactly this function.
     """
     fault_model = FaultModel.from_dict(payload["fault_model"])
     models = {model.name: model for model in fault_model.compile()}
@@ -569,24 +647,10 @@ class ProcessBackend:
             if not experiments:
                 continue
             payloads[index] = {
-                "shard": index,
-                "planned": [planned.to_dict() for planned in experiments],
-                "fault_model": context.fault_model.to_dict(),
-                "workload": (executor.workload.to_dict()
-                             if executor.workload is not None else None),
-                "image": {
-                    "source_dir": str(executor.image.source_dir),
-                    "staging_dir": str(executor.image.staging_dir),
-                    "env": dict(executor.image.env),
-                },
-                "base_dir": str(executor.base_dir),
-                "trigger": executor.trigger,
-                "rounds": executor.rounds,
-                "campaign_seed": executor.campaign_seed,
-                "artifacts_dir": (str(executor.artifacts_dir)
-                                  if executor.artifacts_dir else None),
+                **build_shard_payload(executor, context.fault_model,
+                                      index, experiments,
+                                      worker_parallelism[index]),
                 "stream_path": str(shard_stream_path(stream.path, index)),
-                "parallelism": worker_parallelism[index],
                 "cancel_flag": str(cancel_flag),
             }
 
@@ -643,6 +707,7 @@ class ProcessBackend:
                             # campaign: its partial stream merges below
                             # and the remainder records harness errors.
                             failed_shards[index] = (
+                                f"shard {index} worker died: "
                                 f"{type(error).__name__}: {error}"
                             )
                             progress.finish(index, state="failed")
@@ -651,18 +716,7 @@ class ProcessBackend:
             finally:
                 for executor in executors.values():
                     executor.shutdown(wait=True, cancel_futures=True)
-        merged_ids: set[str] = set()
-        for index in sorted(payloads):
-            merged_ids.update(merge_shard_stream(
-                stream, shard_stream_path(stream.path, index)
-            ))
-        for index, error in sorted(failed_shards.items()):
-            for planned in shards[index]:
-                if planned.experiment_id in merged_ids:
-                    continue
-                stream.append(harness_error_result(
-                    planned, f"shard {index} worker died: {error}"
-                ))
+        merge_and_backfill(stream, shards, payloads, failed_shards)
         try:
             cancel_flag.unlink()
         except FileNotFoundError:
@@ -674,20 +728,252 @@ class ProcessBackend:
                                 shards=progress.snapshot()["shards"])
 
 
+# -- remote backend ----------------------------------------------------------------
+
+#: Everything a lost worker connection can look like from urllib: refused
+#: / reset / timed-out sockets (``URLError`` subclasses ``OSError``) and
+#: torn HTTP framing from a worker killed mid-response.
+_WORKER_CONNECTION_ERRORS = (OSError, http.client.HTTPException)
+
+
+@dataclass
+class _RemoteShard:
+    """Parent-side state of one shard dispatched to a remote worker."""
+
+    index: int
+    experiments: list[PlannedExperiment]
+    #: Submission attempts so far (failover counts a new attempt).
+    attempts: int = 0
+    #: Workers that dropped this shard's connection (avoided on retry).
+    excluded: set = field(default_factory=set)
+    url: str | None = None
+    remote_id: str | None = None
+    #: Bytes of the *current* remote stream mirrored locally.
+    offset: int = 0
+    #: Result lines mirrored into the local shard stream (all attempts).
+    done_count: int = 0
+    cancel_relayed: bool = False
+
+
+class RemoteBackend:
+    """Per-shard remote workers behind the ``/v1`` service API.
+
+    Each non-empty shard's payload (:func:`build_shard_payload`) is
+    POSTed to a worker host (``profipy worker``) chosen round-robin from
+    the configured pool; the worker runs the exact
+    :func:`_run_shard_worker` engine into its own workspace.  The parent
+    polls shard status, incrementally mirrors each worker's shard stream
+    into the local ``experiments-<shard>.jsonl`` (newline-aligned tail
+    fetches, so the local copy only ever holds complete records), and
+    finally merges the local shard streams into the canonical stream
+    exactly as :class:`ProcessBackend` does — so a campaign killed
+    mid-run resumes from everything mirrored so far, on any backend.
+
+    Failure policy: a *connection* loss (worker died, network gone)
+    fails the shard over to another worker, resubmitting only the
+    experiments not already mirrored locally; determinism makes the
+    re-run byte-identical.  A worker-*reported* failure (the shard
+    engine itself raised) is not retried elsewhere — the shard's
+    unrecorded experiments become ``harness_error`` records, retried on
+    resume, exactly like a dead local process worker.
+
+    Cancellation is relayed as ``POST /v1/shards/{id}/cancel``; workers
+    observe their cancel-flag file between experiments.
+    """
+
+    name = BACKEND_REMOTE
+
+    #: How often the parent polls worker shard status and stream tails.
+    poll_seconds = 0.25
+    #: Per-request timeout towards workers (a stalled worker counts as a
+    #: lost connection once this expires).  The poll loop is sequential,
+    #: so this also bounds how long one hung worker can delay mirroring
+    #: and cancel relay for its siblings — keep it short.
+    request_timeout = 10.0
+
+    def execute(self, context: ExecutionContext,
+                pending: list[PlannedExperiment],
+                stream: ExperimentStream) -> ExecutionOutcome:
+        # Imported lazily: the client module imports the campaign layer,
+        # which imports this module at import time.
+        from repro.service.api import APIError
+        from repro.service.client import ProFIPyClient
+
+        # A worker answering 500s (disk full, handler bug) is as lost as
+        # one refusing connections: the client surfaces those as
+        # APIError, which must fail the shard over, not kill the
+        # campaign.  (invalid_request → ValueError stays loud: that is a
+        # dispatcher bug, and retrying it elsewhere cannot succeed.)
+        worker_errors = _WORKER_CONNECTION_ERRORS + (APIError,)
+
+        workers = [url.rstrip("/") for url in (context.workers or []) if url]
+        if not workers:
+            raise ValueError(
+                "remote backend requires at least one worker URL "
+                "(CampaignConfig.workers / --worker)"
+            )
+        shards = _partition(pending, context.shards)
+        progress = ShardProgress(self.name, [len(s) for s in shards],
+                                 sink=context.on_progress)
+        progress.emit()
+        stream.path.parent.mkdir(parents=True, exist_ok=True)
+        clients = {url: ProFIPyClient(url, timeout=self.request_timeout)
+                   for url in workers}
+
+        active = {
+            index: _RemoteShard(index=index, experiments=experiments)
+            for index, experiments in enumerate(shards) if experiments
+        }
+        worker_parallelism = dict(zip(
+            sorted(active),
+            _shard_parallelism(context.parallelism, len(active)),
+        ))
+        #: One initial try plus a failover to every other worker.
+        max_attempts = len(workers) + 1
+        rotation = 0
+        cancelled = False
+        failed_shards: dict[int, str] = {}
+        unfinished = set(active)
+
+        def local_recorded_ids(index: int) -> set[str]:
+            return set(ExperimentStream(
+                shard_stream_path(stream.path, index)
+            )._latest_entries())
+
+        def lose_connection(state: _RemoteShard, error: Exception) -> None:
+            """Handle a dropped worker: fail over or give the shard up."""
+            if state.url is not None:
+                state.excluded.add(state.url)
+            state.url = None
+            state.remote_id = None
+            state.offset = 0
+            state.cancel_relayed = False
+            if state.attempts >= max_attempts:
+                failed_shards[state.index] = (
+                    f"shard {state.index} remote worker unreachable after "
+                    f"{state.attempts} attempt(s): "
+                    f"{type(error).__name__}: {error}"
+                )
+                unfinished.discard(state.index)
+                progress.finish(state.index, state="failed")
+
+        def submit(state: _RemoteShard) -> None:
+            nonlocal rotation
+            candidates = ([url for url in workers
+                           if url not in state.excluded] or workers)
+            url = candidates[rotation % len(candidates)]
+            rotation += 1
+            state.attempts += 1
+            # Failover resubmits only what the dead worker never got
+            # mirrored: everything already fetched is recorded locally.
+            recorded = (local_recorded_ids(state.index)
+                        if state.attempts > 1 else set())
+            remaining = [planned for planned in state.experiments
+                         if planned.experiment_id not in recorded]
+            payload = build_shard_payload(
+                context.executor, context.fault_model, state.index,
+                remaining, worker_parallelism[state.index],
+            )
+            try:
+                view = clients[url].submit_shard(payload)
+            except worker_errors as error:
+                state.excluded.add(url)
+                lose_connection(state, error)
+                return
+            state.url = url
+            state.remote_id = view["shard_id"]
+            state.offset = 0
+            state.cancel_relayed = False
+            progress.start(state.index)
+
+        def sync_tail(state: _RemoteShard) -> None:
+            """Mirror the worker stream's newline-aligned tail locally."""
+            raw = clients[state.url].shard_stream(state.remote_id,
+                                                  offset=state.offset)
+            if not raw:
+                return
+            path = shard_stream_path(stream.path, state.index)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "ab") as handle:
+                handle.write(raw)
+            state.offset += len(raw)
+            state.done_count += raw.count(b"\n")
+
+        while unfinished:
+            if (context.cancel is not None and context.cancel()
+                    and not cancelled):
+                cancelled = True
+            for index in sorted(unfinished):
+                state = active[index]
+                if state.remote_id is None:
+                    if cancelled:
+                        # Nothing dispatched and the campaign is
+                        # stopping: leave the shard for the resume.
+                        unfinished.discard(index)
+                        progress.finish(index, state="stopped")
+                        continue
+                    submit(state)
+                    continue
+                client = clients[state.url]
+                if cancelled and not state.cancel_relayed:
+                    try:
+                        client.cancel_shard(state.remote_id)
+                        state.cancel_relayed = True
+                    except (KeyError, *worker_errors):
+                        pass  # retried next tick; the status poll below
+                        # handles a worker that is actually gone (or one
+                        # that restarted and answers unknown_shard)
+                try:
+                    status = client.shard_status(state.remote_id)
+                    sync_tail(state)
+                except (KeyError, *worker_errors) as error:
+                    # KeyError: the worker restarted and forgot the
+                    # shard — its stream is gone with it.  Either way,
+                    # a lost worker: fail the shard over.
+                    lose_connection(state, error)
+                    continue
+                progress.set_done(index, state.done_count)
+                if status["state"] == "failed":
+                    failed_shards[index] = (
+                        f"shard {index} remote worker failed: "
+                        f"{status.get('error') or 'unknown failure'}"
+                    )
+                    unfinished.discard(index)
+                    progress.finish(index, state="failed")
+                elif status["state"] in ("completed", "cancelled"):
+                    cancelled = cancelled or status["state"] == "cancelled"
+                    unfinished.discard(index)
+                    progress.finish(index)
+            progress.emit()
+            if unfinished:
+                time.sleep(self.poll_seconds)
+
+        merge_and_backfill(stream, shards, active, failed_shards)
+        cancelled = cancelled or (context.cancel is not None
+                                  and context.cancel())
+        progress.emit()
+        return ExecutionOutcome(cancelled=cancelled,
+                                shards=progress.snapshot()["shards"])
+
+
 __all__ = [
     "BACKEND_NAMES",
     "BACKEND_PROCESS",
+    "BACKEND_REMOTE",
     "BACKEND_THREAD",
     "ExecutionBackend",
     "ExecutionContext",
     "ExecutionOutcome",
     "ProcessBackend",
+    "RemoteBackend",
     "ShardProgress",
     "ThreadBackend",
+    "build_shard_payload",
     "create_backend",
     "discard_shard_streams",
     "harness_error_result",
     "leftover_shard_streams",
+    "merge_and_backfill",
     "merge_shard_stream",
     "record_outcome",
     "recover_shard_streams",

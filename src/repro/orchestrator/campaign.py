@@ -25,6 +25,7 @@ from repro.common.fsutil import remove_tree
 from repro.common.rng import SeededRandom
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.backends import (
+    BACKEND_REMOTE,
     BACKEND_THREAD,
     ExecutionContext,
     create_backend,
@@ -80,13 +81,18 @@ class CampaignConfig:
     file_filter: list[str] | None = None
     #: None = adaptive N-1 parallelism; an int pins the worker count.
     parallelism: int | None = None
-    #: Execution backend: ``"thread"`` (one in-process pool) or
-    #: ``"process"`` (per-shard worker processes).  Results are
-    #: byte-identical across backends — this is purely a scaling choice.
+    #: Execution backend: ``"thread"`` (one in-process pool),
+    #: ``"process"`` (per-shard worker processes), or ``"remote"``
+    #: (per-shard workers over the /v1 API).  Results are byte-identical
+    #: across backends — this is purely a scaling choice.
     backend: str = BACKEND_THREAD
     #: Shard count for the deterministic plan partitioner (independent
     #: of results; a resumed campaign may change it freely).
     shards: int = 1
+    #: Worker base URLs (``http://host:port`` of ``profipy worker``
+    #: instances) for the remote backend; required iff backend is
+    #: ``"remote"``.
+    workers: list[str] | None = None
     #: Scan-phase worker processes (None/1 = in-process indexed scan).
     scan_jobs: int | None = None
     #: Persistent scan-cache directory; repeated campaigns over unchanged
@@ -110,6 +116,11 @@ class CampaignConfig:
         validate_backend_name(self.backend)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.backend == BACKEND_REMOTE and not self.workers:
+            raise ValueError(
+                "backend 'remote' requires at least one worker URL "
+                "(CampaignConfig.workers / --worker)"
+            )
         if self.workspace is not None:
             # Sandboxed workloads run with their own cwd; a relative
             # workspace (e.g. the CLI's default .profipy) would make the
@@ -398,6 +409,7 @@ class Campaign:
                 cancel=cancel,
                 on_progress=(emit_progress if on_progress is not None
                              else None),
+                workers=config.workers,
             )
             execution_started = time.monotonic()
             outcome = backend.execute(context, pending_list, stream)

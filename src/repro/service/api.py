@@ -53,6 +53,7 @@ ERROR_STATUS = {
     "invalid_request": 400,
     "unknown_job": 404,
     "unknown_model": 404,
+    "unknown_shard": 404,
     "missing_artifact": 404,
     "not_found": 404,
     "method_not_allowed": 405,
@@ -88,7 +89,7 @@ class APIError(Exception):
 def exception_for(error: APIError) -> Exception:
     """The in-process exception equivalent of a wire error (what the
     client raises so it mirrors ``ProFIPyService`` exactly)."""
-    if error.code in ("unknown_job", "unknown_model"):
+    if error.code in ("unknown_job", "unknown_model", "unknown_shard"):
         return KeyError(error.message)
     if error.code in ("missing_artifact", "not_found"):
         return FileNotFoundError(error.message)
@@ -232,6 +233,8 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "parallelism": config.parallelism,
         "backend": config.backend,
         "shards": config.shards,
+        "workers": (list(config.workers)
+                    if config.workers is not None else None),
         "scan_jobs": config.scan_jobs,
         "scan_cache_dir": opt_path(config.scan_cache_dir),
         "seed": config.seed,
@@ -266,6 +269,7 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         parallelism=data.get("parallelism"),
         backend=data.get("backend", "thread"),
         shards=int(data.get("shards", 1)),
+        workers=data.get("workers"),
         scan_jobs=data.get("scan_jobs"),
         scan_cache_dir=opt_path(data.get("scan_cache_dir")),
         seed=data.get("seed", 0),
@@ -483,6 +487,60 @@ class ServiceAPI:
             return self.service.experiments_path(job.job_id)
         except FileNotFoundError as error:
             raise APIError("missing_artifact", str(error)) from None
+
+    # -- remote-backend worker endpoints ----------------------------------------
+
+    def submit_shard(self, payload: dict) -> dict:
+        """Accept a remote-backend shard payload (``POST /v1/shards``).
+
+        The payload is the JSON-plain shard form built by
+        :func:`repro.orchestrator.backends.build_shard_payload`; the
+        worker rewrites the local-only paths into its own workspace.
+        Returns the shard's status view (``queued`` until an execution
+        slot frees, then ``running``).
+        """
+        if not isinstance(payload, dict):
+            raise APIError("invalid_request",
+                           "shard payload must be a JSON object")
+        try:
+            view = self.service.submit_shard(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise APIError("invalid_request",
+                           f"malformed shard payload: {error}") from None
+        return {**view, "api_version": API_VERSION}
+
+    def list_shards(self) -> dict:
+        """Every shard this worker accepted (operator introspection)."""
+        return {"shards": self.service.list_shards(),
+                "api_version": API_VERSION}
+
+    def get_shard(self, shard_id: str) -> dict:
+        """One shard's ``{state, total, recorded, cancelled, error}``
+        status view (the dispatcher's progress poll)."""
+        try:
+            view = self.service.shard_status(shard_id)
+        except KeyError:
+            raise APIError("unknown_shard",
+                           f"unknown shard {shard_id!r}") from None
+        return {**view, "api_version": API_VERSION}
+
+    def cancel_shard(self, shard_id: str) -> dict:
+        """Request cooperative shard cancellation (idempotent)."""
+        try:
+            view = self.service.cancel_shard(shard_id)
+        except KeyError:
+            raise APIError("unknown_shard",
+                           f"unknown shard {shard_id!r}") from None
+        return {**view, "api_version": API_VERSION}
+
+    def shard_stream_path(self, shard_id: str) -> Path:
+        """Filesystem path of the shard's raw result stream (for the
+        NDJSON tail endpoint; may not exist yet — served as empty)."""
+        try:
+            return self.service.shard_stream_path(shard_id)
+        except KeyError:
+            raise APIError("unknown_shard",
+                           f"unknown shard {shard_id!r}") from None
 
     def generate_regression_tests(self, job_id: str) -> dict:
         """Generate regression tests server-side and return their

@@ -268,6 +268,41 @@ class ProFIPyClient:
             if experiment.status != STATUS_HARNESS_ERROR
         }
 
+    # -- remote-backend worker endpoints ----------------------------------------
+
+    def submit_shard(self, payload: dict) -> dict:
+        """Dispatch one shard payload to this worker host
+        (``POST /v1/shards``); returns the shard's status view (carrying
+        the worker-assigned ``shard_id``).  Mirrors
+        :meth:`ProFIPyService.submit_shard` — a malformed payload raises
+        ``ValueError``."""
+        return self._json("POST", "/v1/shards", payload)
+
+    def shard_status(self, shard_id: str) -> dict:
+        """The shard's ``{state, total, recorded, cancelled, error}``
+        status view; raises ``KeyError`` for an unknown shard (e.g. a
+        worker that restarted and forgot it)."""
+        return self._json("GET", f"/v1/shards/{shard_id}")
+
+    def list_shards(self) -> list[dict]:
+        """Status views of every shard this worker accepted."""
+        return list(self._json("GET", "/v1/shards")["shards"])
+
+    def cancel_shard(self, shard_id: str) -> dict:
+        """Request cooperative cancellation of a running shard
+        (idempotent); the worker observes it between experiments."""
+        return self._json("POST", f"/v1/shards/{shard_id}/cancel")
+
+    def shard_stream(self, shard_id: str, offset: int = 0) -> bytes:
+        """The shard stream's newline-aligned NDJSON tail from byte
+        ``offset``.  Only complete records are returned, so the caller
+        may append the bytes verbatim to a local mirror and poll again
+        at ``offset + len(returned)``."""
+        _status, raw, _ctype = self._request(
+            "GET", f"/v1/shards/{shard_id}/stream.ndjson?offset={int(offset)}"
+        )
+        return raw
+
     def generate_regression_tests(self, job_id: str,
                                   dest_dir: str | Path) -> list[Path]:
         """Generate regression tests server-side and materialize them

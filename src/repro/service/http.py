@@ -19,6 +19,11 @@ Endpoints (see ``docs/SERVICE_API.md`` for the full table)::
     GET  /v1/jobs/{id}/experiments?offset=N&limit=M
     GET  /v1/jobs/{id}/experiments.ndjson   # streams experiments.jsonl
     POST /v1/jobs/{id}/regression-tests
+    POST /v1/shards                         # worker role: accept a shard
+    GET  /v1/shards                         # accepted shards (operator)
+    GET  /v1/shards/{id}                    # shard status/progress
+    POST /v1/shards/{id}/cancel             # cooperative shard cancel
+    GET  /v1/shards/{id}/stream.ndjson?offset=N   # newline-aligned tail
 
 Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
 the HTTP status fixed per code (:data:`repro.service.api.ERROR_STATUS`).
@@ -70,6 +75,14 @@ _ROUTES: list[tuple[str, re.Pattern, str]] = [
      "_route_job_experiments_ndjson"),
     ("POST", re.compile(r"/v1/jobs/(?P<job_id>[^/]+)/regression-tests$"),
      "_route_regression_tests"),
+    ("POST", re.compile(r"/v1/shards$"), "_route_submit_shard"),
+    ("GET", re.compile(r"/v1/shards$"), "_route_list_shards"),
+    ("GET", re.compile(r"/v1/shards/(?P<shard_id>[^/]+)$"),
+     "_route_get_shard"),
+    ("POST", re.compile(r"/v1/shards/(?P<shard_id>[^/]+)/cancel$"),
+     "_route_cancel_shard"),
+    ("GET", re.compile(r"/v1/shards/(?P<shard_id>[^/]+)/stream\.ndjson$"),
+     "_route_shard_stream"),
 ]
 
 
@@ -279,6 +292,50 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             200, self.api.generate_regression_tests(match.group("job_id"))
         )
 
+    # -- remote-backend worker routes --------------------------------------------
+
+    def _route_submit_shard(self, _match, _query) -> None:
+        payload = self._read_json()
+        self._send_json(202, self.api.submit_shard(payload))
+
+    def _route_list_shards(self, _match, _query) -> None:
+        self._send_json(200, self.api.list_shards())
+
+    def _route_get_shard(self, match, _query) -> None:
+        self._send_json(200, self.api.get_shard(match.group("shard_id")))
+
+    def _route_cancel_shard(self, match, _query) -> None:
+        self._send_json(200,
+                        self.api.cancel_shard(match.group("shard_id")))
+
+    def _route_shard_stream(self, match, query) -> None:
+        """The shard stream's newline-aligned tail from ``offset``.
+
+        Dispatchers poll this incrementally (``offset`` = bytes already
+        mirrored); the response is truncated at the last newline so a
+        read racing an in-flight append never ships half a record —
+        the next poll picks the completed line up.  The next offset is
+        simply ``offset + len(body)``.
+        """
+        offset = self._query_number(query, "offset", 0, int)
+        if offset < 0:
+            raise APIError("invalid_request",
+                           f"offset must be >= 0, got {offset}")
+        path = self.api.shard_stream_path(match.group("shard_id"))
+        try:
+            size = path.stat().st_size
+        except OSError:
+            # Nothing recorded yet: an empty tail, not an error.
+            self._send_body(200, b"", "application/x-ndjson")
+            return
+        start = min(offset, size)
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            data = handle.read(size - start)
+        end = data.rfind(b"\n")
+        data = data[:end + 1] if end >= 0 else b""
+        self._send_body(200, data, "application/x-ndjson")
+
 
 class ProFIPyHTTPServer(ThreadingHTTPServer):
     """The service API served over HTTP; one handler thread per request
@@ -310,15 +367,18 @@ def start_server(service: ProFIPyService, host: str = "127.0.0.1",
 
 
 def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
-          max_workers: int | None = None, say=print) -> None:
-    """Run the service API in the foreground (the ``profipy serve`` path)."""
+          max_workers: int | None = None, say=print,
+          role: str = "service") -> None:
+    """Run the service API in the foreground (``profipy serve`` /
+    ``profipy worker`` — the worker role is the same server, announced
+    as such; shard endpoints are mounted either way)."""
     from repro.service.jobs import DEFAULT_MAX_WORKERS
 
     service = ProFIPyService(
         workspace, max_workers=max_workers or DEFAULT_MAX_WORKERS
     )
     server = ProFIPyHTTPServer((host, port), service)
-    say(f"profipy service API {API_VERSION} on {server.url} "
+    say(f"profipy {role} API {API_VERSION} on {server.url} "
         f"(workspace {Path(workspace).resolve()}, "
         f"{service.runner.max_workers} campaign workers)")
     try:

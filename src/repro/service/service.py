@@ -53,6 +53,7 @@ from repro.service.jobs import (
     JobCancelled,
     JobRunner,
 )
+from repro.service.shards import ShardHost
 
 
 class ProFIPyService:
@@ -65,6 +66,11 @@ class ProFIPyService:
         self.models_dir.mkdir(parents=True, exist_ok=True)
         self.runner = JobRunner(self.workspace / "jobs",
                                 max_workers=max_workers)
+        # The worker role: shard payloads accepted over /v1/shards run
+        # out of their own corner of the workspace.  Constructed eagerly
+        # (it is one mkdir) so every service instance can act as a
+        # remote-backend worker.
+        self.shards = ShardHost(self.workspace / "shards")
 
     # -- fault model registry ------------------------------------------------
 
@@ -142,6 +148,7 @@ class ProFIPyService:
                 "scan_jobs": config.scan_jobs,
                 "backend": config.backend,
                 "shards": config.shards,
+                "workers": config.workers,
                 "seed": config.seed,
                 "resumed_from": resume_from,
             })
@@ -218,11 +225,19 @@ class ProFIPyService:
 
     @staticmethod
     def _progress_for(job: Job) -> dict | None:
+        # ``progress.json`` is advisory: a corrupt, truncated, or
+        # otherwise unreadable snapshot (a crash mid-write, a stray
+        # directory, bad encoding) must degrade to "no progress", never
+        # crash a job view.  Anything the read raises lands here —
+        # decode errors (``json.JSONDecodeError``/``UnicodeDecodeError``
+        # are ``ValueError``\ s), filesystem errors, and pathological
+        # payloads (e.g. nesting deep enough to exhaust the recursion
+        # limit raises ``RecursionError``).
         if job.directory is None:
             return None
         try:
             data = read_json(job.directory / "progress.json")
-        except (OSError, ValueError):
+        except (OSError, ValueError, RecursionError):
             return None
         return data if isinstance(data, dict) else None
 
@@ -323,6 +338,35 @@ class ProFIPyService:
                     campaign_seed=campaign_seed,
                 ))
         return written
+
+    # -- remote-backend worker role ---------------------------------------------
+
+    def submit_shard(self, payload: dict) -> dict:
+        """Accept one remote-backend shard payload and start executing
+        it (the worker side of ``POST /v1/shards``); returns the
+        shard's status view.  Raises ``ValueError`` for a malformed
+        payload."""
+        return self.shards.submit(payload)
+
+    def shard_status(self, shard_id: str) -> dict:
+        """One shard's ``{state, total, recorded, cancelled, error}``
+        view; raises ``KeyError`` for an unknown shard."""
+        return self.shards.status(shard_id)
+
+    def list_shards(self) -> list[dict]:
+        """Status views of every shard this worker accepted (operator
+        introspection of a worker host)."""
+        return self.shards.list()
+
+    def cancel_shard(self, shard_id: str) -> dict:
+        """Request cooperative cancellation of a running shard
+        (idempotent); the engine observes it between experiments."""
+        return self.shards.cancel(shard_id)
+
+    def shard_stream_path(self, shard_id: str) -> Path:
+        """Where the shard's raw result stream lives (served as a
+        newline-aligned NDJSON tail by the HTTP layer)."""
+        return self.shards.stream_path(shard_id)
 
     def close(self) -> None:
         """Stop the job scheduler (used by the HTTP server on shutdown)."""

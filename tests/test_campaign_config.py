@@ -64,6 +64,17 @@ class TestConfigValidation:
         clone = campaign_config_from_dict(campaign_config_to_dict(config))
         assert clone.backend == "process"
         assert clone.shards == 4
+        assert clone.workers is None
+
+        remote = CampaignConfig(
+            name="x", target_dir=toy_project,
+            fault_model=toy_model, workload=toy_workload,
+            backend="remote", shards=2,
+            workers=["http://a:8081", "http://b:8081"],
+        )
+        clone = campaign_config_from_dict(campaign_config_to_dict(remote))
+        assert clone.backend == "remote"
+        assert clone.workers == ["http://a:8081", "http://b:8081"]
 
     def test_relative_workspace_resolved(self, toy_project, toy_model,
                                          toy_workload, tmp_path,

@@ -1,0 +1,329 @@
+"""Chaos matrix over the execution stack: {thread, process, remote} ×
+{kill, truncate, cancel}.
+
+Every cell hurts a running (or finished) campaign — SIGKILL of the whole
+process group (workers included), a stream truncated mid-record, a
+cooperative cancel mid-run — and then asserts the canonical-stream
+byte-equality oracle: a follow-up resume records byte-identical
+experiments (modulo volatile timing/log fields) to one uninterrupted
+reference run, whatever backend or shard count either side used.
+
+Remote-specific chaos rides along: a worker killed mid-pool fails its
+shards over to a survivor, and a worker-*reported* shard failure
+degrades to retried ``harness_error`` records exactly like a dead local
+process worker.
+"""
+
+import threading
+
+import pytest
+
+from chaos import (
+    WorkerProcess,
+    assert_streams_equivalent,
+    build_chaos_project,
+    kill_group,
+    launch_campaign,
+    make_chaos_config,
+    recorded_total,
+    stream_projection,
+    truncate_mid_record,
+    wait_until,
+)
+from conftest import TOY_SPEC
+from repro.orchestrator.backends import leftover_shard_streams
+from repro.orchestrator.campaign import Campaign, CampaignCancelled
+from repro.service.http import start_server
+from repro.service.service import ProFIPyService
+
+pytestmark = pytest.mark.integration
+
+EXPERIMENTS = 6
+
+
+@pytest.fixture(scope="module")
+def chaos_env(tmp_path_factory):
+    """The shared chaos target plus one uninterrupted reference run."""
+    base = tmp_path_factory.mktemp("chaos")
+    project = build_chaos_project(base / "target", functions=EXPERIMENTS)
+    reference_ws = base / "reference"
+    result = Campaign(make_chaos_config(
+        project, TOY_SPEC, reference_ws, "thread", 1
+    )).run()
+    assert result.executed == EXPERIMENTS
+
+    class Env:
+        pass
+
+    env = Env()
+    env.project = project
+    env.reference_stream = reference_ws / "experiments.jsonl"
+    return env
+
+
+@pytest.fixture
+def worker_urls(tmp_path):
+    """Two in-process worker servers (real HTTP, cheap startup)."""
+    servers = []
+    for index in range(2):
+        service = ProFIPyService(tmp_path / f"inworker-{index}")
+        server, _thread = start_server(service)
+        servers.append((server, service))
+    yield [server.url for server, _service in servers]
+    for server, service in servers:
+        server.shutdown()
+        service.close()
+
+
+def _workers_for(backend, request, tmp_path):
+    return (request.getfixturevalue("worker_urls")
+            if backend == "remote" else None)
+
+
+# -- kill --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend,shards", [
+    ("thread", 1), ("process", 4), ("remote", 2),
+])
+def test_killed_campaign_resumes_byte_identically(chaos_env, tmp_path,
+                                                  backend, shards):
+    """SIGKILL the campaign's whole session mid-run (remote workers die
+    too), then resume on the *thread* backend with a different shard
+    count: the canonical stream must match the uninterrupted reference.
+    """
+    workspace = tmp_path / "ws"
+    worker_procs = []
+    workers = None
+    if backend == "remote":
+        worker_procs = [WorkerProcess(tmp_path / f"worker-{index}")
+                        for index in range(2)]
+        workers = [proc.url for proc in worker_procs]
+    child = launch_campaign(chaos_env.project, TOY_SPEC, workspace,
+                            backend, shards, workers=workers)
+    try:
+        recorded = wait_until(
+            lambda: recorded_total(workspace) >= 1
+            or child.poll() is not None
+        )
+        assert recorded, "nothing recorded before the deadline"
+    finally:
+        kill_group(child)
+        for proc in worker_procs:
+            proc.stop()  # the worker dies with the campaign
+
+    resumed = Campaign(make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, "thread", 3
+    )).run()
+    assert resumed.executed == EXPERIMENTS
+    assert_streams_equivalent(workspace / "experiments.jsonl",
+                              chaos_env.reference_stream)
+    assert leftover_shard_streams(workspace / "experiments.jsonl") == []
+
+
+# -- truncate ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend,shards", [
+    ("thread", 2), ("process", 2), ("remote", 2),
+])
+def test_truncated_stream_resumes_byte_identically(chaos_env, tmp_path,
+                                                   request, backend,
+                                                   shards):
+    """Truncate the canonical stream *inside* its last record (a crash
+    mid-write): the damaged record is re-run, everything else resumes,
+    and the result is byte-identical to the reference."""
+    workers = _workers_for(backend, request, tmp_path)
+    workspace = tmp_path / "ws"
+    first = Campaign(make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, backend, shards,
+        workers=workers,
+    )).run()
+    assert first.executed == EXPERIMENTS
+    canonical = workspace / "experiments.jsonl"
+    truncate_mid_record(canonical)
+
+    resumed = Campaign(make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, backend, shards,
+        workers=workers,
+    )).run()
+    assert resumed.executed == EXPERIMENTS
+    assert resumed.resumed < EXPERIMENTS  # the damaged record re-ran
+    assert_streams_equivalent(canonical, chaos_env.reference_stream)
+
+
+# -- cancel ------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend,shards", [
+    ("thread", 2), ("process", 2), ("remote", 2),
+])
+def test_cancelled_campaign_resumes_byte_identically(chaos_env, tmp_path,
+                                                     request, backend,
+                                                     shards):
+    """Cancel cooperatively once the first experiment lands; the partial
+    stream is a valid resume point and the follow-up run completes it
+    byte-identically (remote relays the cancel to its workers)."""
+    workers = _workers_for(backend, request, tmp_path)
+    workspace = tmp_path / "ws"
+    progressed = threading.Event()
+
+    def on_progress(snapshot):
+        if snapshot.get("experiments_done", 0) >= 1:
+            progressed.set()
+
+    with pytest.raises(CampaignCancelled) as stopped:
+        Campaign(make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, backend, shards,
+            workers=workers,
+        )).run(cancel=progressed.is_set, on_progress=on_progress)
+    assert stopped.value.result.executed <= EXPERIMENTS
+
+    resumed = Campaign(make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, backend, shards,
+        workers=workers,
+    )).run()
+    assert resumed.executed == EXPERIMENTS
+    assert_streams_equivalent(workspace / "experiments.jsonl",
+                              chaos_env.reference_stream)
+
+
+# -- remote-specific chaos ---------------------------------------------------------
+
+
+def test_remote_fails_over_a_dead_worker(chaos_env, tmp_path,
+                                         worker_urls):
+    """A worker that is already gone when shards are dispatched: every
+    shard fails over to the survivor and the campaign completes without
+    needing a resume."""
+    victim = WorkerProcess(tmp_path / "victim")
+    victim.kill()  # connection refused from the first request on
+    workspace = tmp_path / "ws"
+    result = Campaign(make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+        workers=[victim.url, worker_urls[0]],
+    )).run()
+    assert result.executed == EXPERIMENTS
+    assert_streams_equivalent(workspace / "experiments.jsonl",
+                              chaos_env.reference_stream)
+
+
+def test_remote_worker_killed_mid_shard_fails_over(chaos_env, tmp_path,
+                                                   worker_urls):
+    """Kill a worker once results start flowing: its unfinished shard
+    fails over to the survivor (resubmitting only what was never
+    mirrored) and the campaign still completes byte-identically."""
+    victim = WorkerProcess(tmp_path / "victim")
+    workspace = tmp_path / "ws"
+    config = make_chaos_config(
+        chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+        workers=[victim.url, worker_urls[0]],
+    )
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = Campaign(config).run()
+        except BaseException as error:  # noqa: BLE001 - reraised below
+            outcome["error"] = error
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    try:
+        assert wait_until(lambda: recorded_total(workspace) >= 1
+                          or not thread.is_alive())
+    finally:
+        victim.kill()
+    thread.join(timeout=180)
+    assert not thread.is_alive(), "campaign hung after the worker died"
+    if "error" in outcome:
+        raise outcome["error"]
+    result = outcome["result"]
+    assert result.executed == EXPERIMENTS
+    assert_streams_equivalent(workspace / "experiments.jsonl",
+                              chaos_env.reference_stream)
+
+
+def test_remote_worker_internal_errors_fail_over(chaos_env, tmp_path,
+                                                 worker_urls):
+    """A worker answering 500 on every submit (server-side fault, not a
+    connection loss) is excluded like a dead one: shards fail over to
+    the healthy worker and the campaign completes cleanly."""
+    service = ProFIPyService(tmp_path / "bad-worker")
+
+    def explode(_payload):
+        raise RuntimeError("disk full")
+
+    service.shards.submit = explode
+    server, _thread = start_server(service)
+    try:
+        workspace = tmp_path / "ws"
+        result = Campaign(make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+            workers=[server.url, worker_urls[0]],
+        )).run()
+        assert result.executed == EXPERIMENTS
+        assert all(e.status != "harness_error"
+                   for e in result.experiments)
+        assert_streams_equivalent(workspace / "experiments.jsonl",
+                                  chaos_env.reference_stream)
+    finally:
+        server.shutdown()
+        service.close()
+
+
+def test_remote_worker_failure_degrades_to_harness_errors(
+        chaos_env, tmp_path):
+    """A worker-*reported* shard failure (the shard engine raised) is
+    not failed over: the shard's experiments become ``harness_error``
+    records — retried on resume, exactly like a dead process worker."""
+    service = ProFIPyService(tmp_path / "worker")
+    sabotaged = []
+    original_submit = service.shards.submit
+
+    def sabotage(payload):
+        payload = dict(payload)
+        if not sabotaged:
+            sabotaged.append(payload["shard"])
+            # An unknown spec name: the shard engine raises while
+            # generating mutants, after the submit was accepted.
+            payload["fault_model"] = {"name": "toy", "description": "",
+                                      "faults": []}
+        return original_submit(payload)
+
+    service.shards.submit = sabotage
+    server, _thread = start_server(service)
+    try:
+        workspace = tmp_path / "ws"
+        result = Campaign(make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+            workers=[server.url],
+        )).run()
+        assert sabotaged, "no shard was sabotaged"
+        errored = [e for e in result.experiments
+                   if e.status == "harness_error"]
+        assert errored, "sabotaged shard produced no harness errors"
+        assert all("remote worker failed" in e.error for e in errored)
+
+        resumed = Campaign(make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "thread", 1
+        )).run()
+        assert resumed.executed == EXPERIMENTS
+        assert_streams_equivalent(workspace / "experiments.jsonl",
+                                  chaos_env.reference_stream)
+    finally:
+        server.shutdown()
+        service.close()
+
+
+def test_stream_projection_oracle_detects_divergence(chaos_env,
+                                                     tmp_path):
+    """The oracle itself: projections ignore volatile fields but flag a
+    real divergence (sanity check that the matrix can actually fail)."""
+    reference = stream_projection(chaos_env.reference_stream)
+    copy = tmp_path / "copy.jsonl"
+    copy.write_bytes(chaos_env.reference_stream.read_bytes())
+    assert stream_projection(copy) == reference
+    with open(copy, "a", encoding="utf-8") as handle:
+        handle.write('{"experiment_id": "chaos-9999", "status": "x"}\n')
+    assert stream_projection(copy) != reference

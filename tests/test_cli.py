@@ -193,3 +193,34 @@ class TestCampaignCommand:
         listing = capsys.readouterr().out
         assert "PROGRESS" in listing
         assert "2/2" in listing
+
+    def test_toy_campaign_remote_backend_with_worker(
+            self, tmp_path, toy_project, toy_model, capsys):
+        from repro.service.http import start_server
+        from repro.service.service import ProFIPyService
+
+        model_path = tmp_path / "toy.json"
+        toy_model.save(model_path)
+        worker_service = ProFIPyService(tmp_path / "worker-ws")
+        server, _thread = start_server(worker_service)
+        try:
+            assert main([
+                "--workspace", str(tmp_path / "ws"),
+                "campaign", str(toy_project),
+                "--model", str(model_path),
+                "--run-cmd", "{python} run.py",
+                "--files", "app.py",
+                "--no-coverage",
+                "--backend", "remote",
+                "--worker", server.url,
+                "--shards", "2",
+                "--parallel", "2",
+                "--timeout", "30",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "Campaign summary" in out
+            # The worker actually ran shards for this campaign.
+            assert worker_service.list_shards()
+        finally:
+            server.shutdown()
+            worker_service.close()

@@ -172,6 +172,59 @@ class TestShardStreamRecovery:
         assert recover_shard_streams(canonical) == 0
         assert (tmp_path / "experiments-old.jsonl").exists()
 
+    def test_merge_empty_shard_stream(self, tmp_path):
+        # A shard that died before recording anything leaves a zero-byte
+        # stream: merging records nothing and still cleans the file up.
+        canonical = ExperimentStream(tmp_path / "experiments.jsonl")
+        empty = shard_stream_path(canonical.path, 1)
+        empty.write_bytes(b"")
+        assert leftover_shard_streams(canonical.path) == [empty]
+        from repro.orchestrator.backends import merge_shard_stream
+
+        assert merge_shard_stream(canonical, empty) == []
+        assert not empty.exists()
+        assert not canonical.path.exists()  # nothing was appended
+
+    def test_merge_missing_shard_stream(self, tmp_path):
+        # Merging a path that never existed is a no-op, not an error
+        # (the process backend merges every *payload* index, whether or
+        # not its worker got far enough to create a stream).
+        from repro.orchestrator.backends import merge_shard_stream
+
+        canonical = ExperimentStream(tmp_path / "experiments.jsonl")
+        missing = shard_stream_path(canonical.path, 5)
+        assert merge_shard_stream(canonical, missing) == []
+
+    def test_duplicate_ids_across_shards_last_record_wins(self, tmp_path):
+        # The same experiment id recorded by two shards (a failover
+        # re-ran it): the higher shard merges later, so its record wins
+        # in the canonical read — same last-record-wins rule as resume
+        # retries within one stream.
+        canonical = ExperimentStream(tmp_path / "experiments.jsonl")
+        for shard, status in ((0, "harness_error"), (2, "completed")):
+            shard_stream = ExperimentStream(
+                shard_stream_path(canonical.path, shard)
+            )
+            shard_stream.append_entry(_result_entry("exp-0001",
+                                                    status=status))
+        assert recover_shard_streams(canonical) == 2  # one id, twice
+        entries = canonical._latest_entries()
+        assert set(entries) == {"exp-0001"}
+        assert entries["exp-0001"]["status"] == "completed"
+
+    def test_meta_line_only_stream_merges_nothing(self, tmp_path):
+        # A shard stream holding only a meta line (nothing recorded yet)
+        # contributes no entries — and the meta line is *not* promoted
+        # into the canonical stream.
+        canonical = ExperimentStream(tmp_path / "experiments.jsonl")
+        shard_stream = ExperimentStream(
+            shard_stream_path(canonical.path, 3)
+        )
+        shard_stream.write_meta({"campaign": "x"})
+        assert recover_shard_streams(canonical) == 0
+        assert not shard_stream.path.exists()
+        assert canonical.read_meta() is None
+
     def test_discard_removes_leftovers(self, tmp_path):
         canonical = tmp_path / "experiments.jsonl"
         shard = shard_stream_path(canonical, 2)
@@ -237,6 +290,19 @@ class TestShardProgress:
         with pytest.raises(ValueError, match="unknown execution backend"):
             create_backend("quantum")
 
+    def test_remote_backend_registered(self):
+        from repro.orchestrator.backends import RemoteBackend
+
+        assert isinstance(create_backend("remote"), RemoteBackend)
+
+    def test_remote_config_requires_workers(self, toy_project, toy_model,
+                                            toy_workload):
+        with pytest.raises(ValueError, match="worker URL"):
+            CampaignConfig(
+                name="x", target_dir=toy_project, fault_model=toy_model,
+                workload=toy_workload, backend="remote",
+            )
+
     def test_shard_parallelism_distributes_remainder(self):
         from repro.orchestrator.backends import _shard_parallelism
 
@@ -246,6 +312,10 @@ class TestShardProgress:
         assert _shard_parallelism(8, 3) == [3, 3, 2]
         assert _shard_parallelism(2, 4) == [1, 1, 1, 1]
         assert _shard_parallelism(None, 3) == [None, None, None]
+        # A fully-resumed campaign has no active shards to pin
+        # (regression: pinned parallelism divided by zero).
+        assert _shard_parallelism(2, 0) == []
+        assert _shard_parallelism(None, 0) == []
 
 
 class TestSinkFailureSurfaced:
@@ -299,7 +369,7 @@ def _stream_projection(path):
 
 
 def _run_campaign(toy_project, toy_model, toy_workload, workspace,
-                  backend, shards, parallelism=2):
+                  backend, shards, parallelism=2, workers=None):
     config = CampaignConfig(
         name="sharded",
         target_dir=toy_project,
@@ -310,23 +380,43 @@ def _run_campaign(toy_project, toy_model, toy_workload, workspace,
         parallelism=parallelism,
         backend=backend,
         shards=shards,
+        workers=workers,
         seed=7,
         workspace=workspace,
     )
     return Campaign(config).run()
 
 
+@pytest.fixture
+def worker_urls(tmp_path):
+    """Two live worker servers for the remote backend (real HTTP)."""
+    from repro.service.http import start_server
+    from repro.service.service import ProFIPyService
+
+    servers = []
+    for index in range(2):
+        service = ProFIPyService(tmp_path / f"worker-{index}")
+        server, _thread = start_server(service)
+        servers.append((server, service))
+    yield [server.url for server, _service in servers]
+    for server, service in servers:
+        server.shutdown()
+        service.close()
+
+
 @pytest.mark.integration
 class TestBackendDeterminism:
-    def test_thread_vs_process_and_shard_counts(self, toy_project,
-                                                toy_model, toy_workload,
-                                                tmp_path):
+    def test_backends_and_shard_counts_byte_identical(
+            self, toy_project, toy_model, toy_workload, tmp_path,
+            worker_urls):
         projections = {}
         for backend, shards in (("thread", 1), ("thread", 4),
-                                ("process", 1), ("process", 4)):
+                                ("process", 1), ("process", 4),
+                                ("remote", 1), ("remote", 4)):
             result = _run_campaign(
                 toy_project, toy_model, toy_workload,
                 tmp_path / f"ws-{backend}-{shards}", backend, shards,
+                workers=(worker_urls if backend == "remote" else None),
             )
             assert result.executed == 2
             projections[(backend, shards)] = _campaign_projection(result)
@@ -402,6 +492,27 @@ class TestResumeAcrossShardBoundaries:
             _campaign_projection(reference)
         assert ExperimentStream(resumed.experiments_path).canonical_bytes() \
             == ref_stream.canonical_bytes()
+
+    @pytest.mark.integration
+    def test_fully_resumed_campaign_reruns_nothing(
+            self, toy_project, toy_model, toy_workload, tmp_path,
+            worker_urls):
+        # Regression: re-running a campaign whose stream already records
+        # everything leaves zero pending experiments — the sharded
+        # backends must handle an empty active set (pinned parallelism
+        # used to divide by zero) and change nothing.
+        workspace = tmp_path / "ws"
+        first = _run_campaign(toy_project, toy_model, toy_workload,
+                              workspace, "thread", 1)
+        assert first.executed == 2
+        for backend, workers in (("process", None),
+                                 ("remote", worker_urls)):
+            again = _run_campaign(toy_project, toy_model, toy_workload,
+                                  workspace, backend, 2, workers=workers)
+            assert again.resumed == 2
+            assert again.executed == 2
+            assert _campaign_projection(again) == \
+                _campaign_projection(first)
 
     @pytest.mark.integration
     def test_killed_process_campaign_resumes_on_other_backend(
