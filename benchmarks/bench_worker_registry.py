@@ -1,0 +1,217 @@
+"""RB2 — worker registry: heartbeat overhead and work-steal latency.
+
+Two numbers quantify the fleet layer this PR adds:
+
+* **heartbeat overhead** — the coordinator-side cost of one lease
+  renewal over HTTP (register once, then many ``POST
+  /v1/workers/{id}/heartbeat`` round-trips carrying live load).  Every
+  worker pays this once per third of a lease; it must stay far below a
+  millisecond budget or fleets of workers would saturate the
+  coordinator with keep-alives.
+* **steal latency** — how long a campaign takes to notice a frozen
+  (parked) worker and re-place the shard's unmirrored tail onto an idle
+  one: the gap between "shard parked on a straggler" and "first stolen
+  result recorded elsewhere".  Bounded by the stall threshold plus one
+  poll/refresh cycle — the knob an operator trades recovery speed
+  against false steals with.
+"""
+
+import textwrap
+import threading
+import time
+
+from conftest import TOY_SPEC, write_result
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.backends import RemoteBackend
+from repro.orchestrator.campaign import Campaign, CampaignConfig
+from repro.service.client import ProFIPyClient
+from repro.service.http import start_server
+from repro.service.registry import WorkerAgent
+from repro.service.service import ProFIPyService
+from repro.service.shards import ShardRun
+from repro.workload.spec import WorkloadSpec
+
+HEARTBEATS = 200
+FUNCTIONS = 6
+STALL_SECONDS = 1.0
+
+
+def build_project(base):
+    project = base / "target"
+    project.mkdir()
+    chunks = []
+    for index in range(FUNCTIONS):
+        chunks.append(textwrap.dedent(
+            f"""
+            def compute_{index}(x):
+                steps = []
+                steps.append('start')
+                result = x * 2 + {index}
+                steps.append('done')
+                return result
+            """
+        ).strip())
+    (project / "app.py").write_text("\n\n\n".join(chunks) + "\n")
+    (project / "run.py").write_text(textwrap.dedent(
+        f"""
+        import sys
+
+        import app
+
+        for index in range({FUNCTIONS}):
+            value = getattr(app, "compute_" + str(index))(3)
+            if value != 6 + index:
+                print("WORKLOAD FAILURE", file=sys.stderr)
+                sys.exit(1)
+        print("WORKLOAD SUCCESS")
+        """
+    ).strip() + "\n")
+    return project
+
+
+def test_heartbeat_overhead(tmp_path):
+    coordinator = ProFIPyService(tmp_path / "coordinator")
+    server, _thread = start_server(coordinator)
+    try:
+        client = ProFIPyClient(server.url)
+        view = client.register_worker({"url": "http://bench-worker:1",
+                                       "max_concurrent": 4})
+        load = {"running": 2, "queued": 1, "max_concurrent": 4}
+        # Warm the connection/handler path before timing.
+        for _ in range(10):
+            client.worker_heartbeat(view["worker_id"], load)
+        started = time.monotonic()
+        for _ in range(HEARTBEATS):
+            client.worker_heartbeat(view["worker_id"], load)
+        elapsed = time.monotonic() - started
+    finally:
+        server.shutdown()
+        coordinator.close()
+
+    per_tick_ms = elapsed / HEARTBEATS * 1e3
+    # Very loose CI-safe bound: a lease renewal is one tiny JSON POST.
+    assert per_tick_ms < 250.0, f"heartbeat took {per_tick_ms:.1f} ms"
+    write_result(
+        "worker_registry_heartbeat",
+        f"Worker registry heartbeat overhead ({HEARTBEATS} renewals over "
+        "HTTP, load-carrying):\n"
+        f"  mean per heartbeat: {per_tick_ms:8.3f} ms\n"
+        f"  renewals/second:    {HEARTBEATS / elapsed:8.0f}\n"
+        "  (a worker heartbeats every lease/3 — 5 s at the default "
+        "15 s lease)",
+    )
+
+
+def test_steal_latency(tmp_path):
+    """Freeze-free steal benchmark: the first worker parks every shard
+    (accepted, never executed), the second is idle — measure
+    stall-detection → first stolen result landing locally."""
+    project = build_project(tmp_path)
+    model = FaultModel(name="toy")
+    model.add(parse_spec(TOY_SPEC, name="WRR"),
+              description="wrong return value")
+
+    coordinator = ProFIPyService(tmp_path / "coordinator",
+                                 lease_seconds=5.0)
+    coordinator_server, _t = start_server(coordinator)
+    parker = ProFIPyService(tmp_path / "parker")
+    parker_server, _t = start_server(parker)
+    healthy = ProFIPyService(tmp_path / "healthy")
+    healthy_server, _t = start_server(healthy)
+
+    parked_at = []
+
+    def park(payload):
+        host = parker.shards
+        with host._lock:
+            shard_id = host._next_shard_id()
+            directory = host.shards_dir / shard_id
+            directory.mkdir(parents=True, exist_ok=True)
+            run = ShardRun(shard_id=shard_id, shard=int(payload["shard"]),
+                           total=len(payload["planned"]),
+                           directory=directory)
+            host._runs[shard_id] = run
+        parked_at.append(time.monotonic())
+        return host.status(shard_id)
+
+    parker.shards.submit = park
+
+    parker_agent = WorkerAgent("local", parker_server.url, parker.shards,
+                               client=coordinator, interval=0.2)
+    rescuer = WorkerAgent("local", healthy_server.url, healthy.shards,
+                          client=coordinator, interval=0.2)
+    agents = [parker_agent]
+    saved = (RemoteBackend.stall_seconds, RemoteBackend.poll_max_seconds)
+    RemoteBackend.stall_seconds = STALL_SECONDS
+    RemoteBackend.poll_max_seconds = 0.5
+    outcome = {}
+    try:
+        # Only the parker is in the fleet at campaign start, so the
+        # shard deterministically lands (and parks) there; the idle
+        # rescuer joins afterwards and the stall detector must move the
+        # whole shard onto it.
+        parker_agent.start()
+        config = CampaignConfig(
+            name="bench-steal",
+            target_dir=project,
+            fault_model=model,
+            workload=WorkloadSpec(commands=["{python} run.py"],
+                                  command_timeout=30.0),
+            injectable_files=["app.py"],
+            coverage=False,
+            parallelism=2,
+            backend="remote",
+            shards=1,
+            registry_url=coordinator_server.url,
+            seed=7,
+            workspace=tmp_path / "ws",
+        )
+
+        def run():
+            try:
+                outcome["result"] = Campaign(config).run()
+                outcome["done_at"] = time.monotonic()
+            except BaseException as error:  # noqa: BLE001
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 60.0
+        while not parked_at and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert parked_at, "the parker never received the shard"
+        rescuer.start()
+        agents.append(rescuer)
+        thread.join(timeout=240.0)
+        assert not thread.is_alive(), "campaign hung"
+        if "error" in outcome:
+            raise outcome["error"]
+        result = outcome["result"]
+        assert result.executed == FUNCTIONS
+        # The rescuer executed everything the parker sat on.
+        assert all(parker.shards.status(run.shard_id)["recorded"] == 0
+                   for run in parker.shards._runs.values())
+    finally:
+        RemoteBackend.stall_seconds, RemoteBackend.poll_max_seconds = saved
+        for agent in agents:
+            agent.stop()
+        for server in (coordinator_server, parker_server, healthy_server):
+            server.shutdown()
+        for service in (coordinator, parker, healthy):
+            service.close()
+
+    # The headline number: shard parked on the straggler → whole stolen
+    # tail executed elsewhere.  The steal itself fires within
+    # stall_seconds + one poll/refresh cycle of the rescuer joining.
+    steal_to_done_s = outcome["done_at"] - parked_at[0]
+    assert steal_to_done_s < 120.0
+    write_result(
+        "worker_registry_steal",
+        f"Work-steal recovery ({FUNCTIONS} experiments parked on a "
+        f"straggler, stall threshold {STALL_SECONDS:g} s):\n"
+        f"  park → stolen tail fully executed elsewhere: "
+        f"{steal_to_done_s:6.2f} s\n"
+        "  stolen tail executed entirely on the idle worker: yes",
+    )

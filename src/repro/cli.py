@@ -10,7 +10,9 @@ Subcommands mirror the workflow phases (paper Fig. 2)::
     profipy campaign TARGET --model gswfit --run-cmd '...'   # Execution
     profipy casestudy --campaign wrong_inputs # the §V case study
     profipy serve --port 8080                 # the /v1 HTTP service API
+    profipy worker --join URL                 # join a coordinator's fleet
     profipy jobs list [--server URL]          # jobs, local or remote
+    profipy workers list [--server URL]       # the registered fleet
 """
 
 from __future__ import annotations
@@ -153,6 +155,7 @@ def cmd_campaign(args) -> int:
         backend=args.backend,
         shards=args.shards,
         workers=args.worker or None,
+        registry_url=args.registry,
         scan_jobs=args.scan_jobs,
         scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
         seed=args.seed,
@@ -196,13 +199,17 @@ def cmd_worker(args) -> int:
 
     A worker is a full ``/v1`` service instance — the shard endpoints
     (``POST /v1/shards`` …) are what a dispatching campaign's remote
-    backend talks to.  Run one per execution host and point
-    ``profipy campaign --backend remote --worker URL`` at them.
+    backend talks to.  Run one per execution host and either point
+    ``profipy campaign --backend remote --worker URL`` at them, or give
+    each worker ``--join COORDINATOR_URL`` and point campaigns at the
+    coordinator with ``--registry`` — joined workers register, heartbeat
+    their live load, and are placed/health-tracked automatically.
     """
     from repro.service.http import serve
 
     serve(args.workspace, host=args.host, port=args.port,
-          max_workers=args.max_workers, role="worker")
+          max_workers=args.max_workers, role="worker",
+          join=args.join, advertise=args.advertise)
     return 0
 
 
@@ -267,6 +274,36 @@ def cmd_jobs(args) -> int:
         print(f"{job.job_id}  {job.status}")
         return 0 if job.status == "completed" else 1
     raise SystemExit(f"unknown jobs command {args.jobs_command!r}")
+
+
+def _load_cell(view: dict) -> str:
+    load = view.get("load")
+    if not load:
+        return "-"
+    capacity = load.get("max_concurrent", view.get("max_concurrent"))
+    busy = (load.get("running") or 0) + (load.get("queued") or 0)
+    return f"{busy}/{capacity if capacity is not None else '?'}"
+
+
+def cmd_workers(args) -> int:
+    service = _jobs_facade(args)
+    if args.workers_command == "list":
+        workers = service.list_workers()
+        if not workers:
+            where = args.server or f"workspace {args.workspace}"
+            print(f"no registered workers in {where}")
+            return 0
+        print(f"{'WORKER':<14} {'STATE':<9} {'LOAD':<7} {'AGE':<9} "
+              f"{'MANAGED':<8} URL")
+        for view in workers:
+            age = view.get("seconds_since_heartbeat")
+            print(f"{view['worker_id']:<14} {view['state']:<9} "
+                  f"{_load_cell(view):<7} "
+                  f"{(f'{age:.1f}s' if age is not None else '-'):<9} "
+                  f"{('yes' if view.get('managed') else 'no'):<8} "
+                  f"{view['url']}")
+        return 0
+    raise SystemExit(f"unknown workers command {args.workers_command!r}")
 
 
 def cmd_regression(args) -> int:
@@ -390,8 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--worker", action="append", metavar="URL",
                           help="remote worker base URL (repeatable; a "
                                "'profipy worker' instance); shards are "
-                               "distributed round-robin and fail over to "
+                               "placed by least load and fail over to "
                                "another worker on connection loss")
+    campaign.add_argument("--registry", metavar="URL", default=None,
+                          help="coordinator URL whose /v1/workers "
+                               "registry supplies the remote-backend "
+                               "fleet (workers that ran with --join); "
+                               "may be combined with --worker pins")
     campaign.add_argument("--scan-jobs", type=int, default=None,
                           help="worker processes for the scan phase "
                                "(default: in-process indexed scan)")
@@ -433,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-workers", type=int, default=None,
                         help="concurrent campaign jobs, should this "
                              "worker also serve campaigns")
+    worker.add_argument("--join", metavar="URL", default=None,
+                        help="register with this coordinator's worker "
+                             "registry and heartbeat a lease (campaigns "
+                             "pointed at the coordinator with --registry "
+                             "then place shards here automatically)")
+    worker.add_argument("--advertise", metavar="URL", default=None,
+                        help="base URL to register under (default: the "
+                             "listen address; set when the coordinator "
+                             "must reach this worker through NAT or a "
+                             "different interface)")
     worker.set_defaults(func=cmd_worker)
 
     jobs = sub.add_parser("jobs", help="inspect campaign jobs")
@@ -454,6 +506,21 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_wait.add_argument("job_id")
     jobs_wait.add_argument("--timeout", type=float, default=None)
     jobs.set_defaults(func=cmd_jobs)
+
+    workers = sub.add_parser(
+        "workers", help="inspect the registered worker fleet"
+    )
+    workers.add_argument("--server", metavar="URL",
+                         help="talk to a running coordinator instead of "
+                              "the local workspace")
+    workers_sub = workers.add_subparsers(dest="workers_command",
+                                         required=True)
+    workers_sub.add_parser(
+        "list",
+        help="list registered workers (id, lease state, live load, "
+             "heartbeat age, URL)",
+    )
+    workers.set_defaults(func=cmd_workers)
 
     regression = sub.add_parser(
         "regression",

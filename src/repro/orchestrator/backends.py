@@ -101,6 +101,14 @@ class ExecutionContext:
     on_progress: Callable[[dict], None] | None = None
     #: Worker base URLs (``http://host:port``) for the remote backend.
     workers: list[str] | None = None
+    #: Worker registry facade for the remote backend — anything with
+    #: ``list_workers()`` / ``register_worker()`` (a
+    #: :class:`~repro.service.registry.WorkerRegistry`, a
+    #: :class:`~repro.service.service.ProFIPyService`, or a
+    #: :class:`~repro.service.client.ProFIPyClient` pointed at a
+    #: coordinator).  When set, the fleet is resolved and health-tracked
+    #: from it; static ``workers`` URLs become unmanaged pins.
+    registry: object | None = None
 
 
 @dataclass
@@ -731,9 +739,90 @@ class ProcessBackend:
 # -- remote backend ----------------------------------------------------------------
 
 #: Everything a lost worker connection can look like from urllib: refused
-#: / reset / timed-out sockets (``URLError`` subclasses ``OSError``) and
+#: / reset / timed-out sockets (``URLError`` subclasses ``OSError``, and
+#: the client's ``TransportError`` subclasses ``ConnectionError``) and
 #: torn HTTP framing from a worker killed mid-response.
 _WORKER_CONNECTION_ERRORS = (OSError, http.client.HTTPException)
+
+#: Registry worker states the dispatcher keys placement on (string
+#: literals rather than an import: the orchestrator layer must not pull
+#: the service layer in at import time).
+_ALIVE = "alive"
+_DEAD = "dead"
+
+
+class _AdaptivePoll:
+    """Exponential poll backoff: fast while results flow, slow when the
+    fleet is quiet.  ``record(progressed)`` resets the interval to the
+    minimum on any progress and multiplies it towards the maximum
+    otherwise — so an active campaign mirrors results at ``minimum``
+    cadence while an idle wait (long experiments, queued shards) decays
+    to ``maximum`` instead of burning a request per worker per tick."""
+
+    def __init__(self, minimum: float, maximum: float,
+                 backoff: float) -> None:
+        self.minimum = minimum
+        self.maximum = max(maximum, minimum)
+        self.backoff = max(backoff, 1.0)
+        self.interval = minimum
+
+    def record(self, progressed: bool) -> None:
+        if progressed:
+            self.interval = self.minimum
+        else:
+            self.interval = min(self.interval * self.backoff,
+                                self.maximum)
+
+
+def _fleet_load(view: dict, assigned: "dict[str, int]") -> tuple:
+    """Sort key for placement: normalized live load (heartbeat
+    ``running + queued`` plus shards *this* dispatcher has in flight
+    there, over capacity), URL as the deterministic tie-break."""
+    load = view.get("load") or {}
+    busy = int(load.get("running") or 0) + int(load.get("queued") or 0)
+    busy += assigned.get(view["url"], 0)
+    capacity = view.get("max_concurrent") or 0
+    return (busy / max(capacity, 1), view["url"])
+
+
+def least_loaded_worker(fleet: "dict[str, dict]",
+                        assigned: "dict[str, int]",
+                        excluded=()) -> dict | None:
+    """The alive worker with the lowest normalized load, or ``None``.
+
+    ``excluded`` workers (ones that already dropped or stalled this
+    shard) are avoided — unless exclusion rules out *every* alive
+    worker, in which case they become eligible again: a one-worker fleet
+    whose worker restarted must still be able to take the shard back.
+    """
+    alive = [view for view in fleet.values()
+             if view.get("state", _ALIVE) == _ALIVE]
+    if not alive:
+        return None
+    preferred = [view for view in alive if view["url"] not in excluded]
+    candidates = preferred or alive
+    return min(candidates, key=lambda view: _fleet_load(view, assigned))
+
+
+def idle_capacity(fleet: "dict[str, dict]", assigned: "dict[str, int]",
+                  excluded=()) -> bool:
+    """Whether some alive, non-excluded worker has a free execution
+    slot — the gate for stealing a stalled shard (stealing onto a fleet
+    that is saturated anyway just doubles the queue).  A worker of
+    unknown capacity (a static pin that never heartbeats) counts as
+    having room: without load data, stealing must stay possible."""
+    for view in fleet.values():
+        if view.get("state", _ALIVE) != _ALIVE or view["url"] in excluded:
+            continue
+        capacity = view.get("max_concurrent")
+        if capacity is None:
+            return True
+        load = view.get("load") or {}
+        busy = (int(load.get("running") or 0) + int(load.get("queued") or 0)
+                + assigned.get(view["url"], 0))
+        if busy < capacity:
+            return True
+    return False
 
 
 @dataclass
@@ -744,7 +833,11 @@ class _RemoteShard:
     experiments: list[PlannedExperiment]
     #: Submission attempts so far (failover counts a new attempt).
     attempts: int = 0
-    #: Workers that dropped this shard's connection (avoided on retry).
+    #: Connection failures since the last mirrored progress — the
+    #: failover give-up budget.  Steals do not count: a shard stolen
+    #: twice must still survive its first real connection blip.
+    failures: int = 0
+    #: Workers that dropped or stalled this shard (avoided on retry).
     excluded: set = field(default_factory=set)
     url: str | None = None
     remote_id: str | None = None
@@ -753,29 +846,55 @@ class _RemoteShard:
     #: Result lines mirrored into the local shard stream (all attempts).
     done_count: int = 0
     cancel_relayed: bool = False
+    #: Last time this shard visibly moved (submitted, mirrored bytes, or
+    #: remote state transition) — the straggler detector's clock.
+    last_progress: float = 0.0
+    #: The remote state last observed (transitions count as progress).
+    last_remote_state: str | None = None
+    #: When the shard started waiting for an alive worker to appear.
+    wait_since: float | None = None
+    #: Times this shard's tail was stolen from a dead/stalled worker.
+    stolen: int = 0
 
 
 class RemoteBackend:
     """Per-shard remote workers behind the ``/v1`` service API.
 
     Each non-empty shard's payload (:func:`build_shard_payload`) is
-    POSTed to a worker host (``profipy worker``) chosen round-robin from
-    the configured pool; the worker runs the exact
-    :func:`_run_shard_worker` engine into its own workspace.  The parent
-    polls shard status, incrementally mirrors each worker's shard stream
-    into the local ``experiments-<shard>.jsonl`` (newline-aligned tail
-    fetches, so the local copy only ever holds complete records), and
-    finally merges the local shard streams into the canonical stream
-    exactly as :class:`ProcessBackend` does — so a campaign killed
-    mid-run resumes from everything mirrored so far, on any backend.
+    POSTed to the *least-loaded alive* worker — the fleet comes from the
+    worker registry (``context.registry``) when one is configured,
+    refreshed every :attr:`fleet_refresh_seconds`, with static
+    ``--worker`` URLs mirrored in as unmanaged pins; without a registry
+    the static URLs are the fleet, every one pinned alive.  The worker
+    runs the exact :func:`_run_shard_worker` engine into its own
+    workspace.  The parent polls shard status, incrementally mirrors
+    each worker's shard stream into the local
+    ``experiments-<shard>.jsonl`` (newline-aligned tail fetches, so the
+    local copy only ever holds complete records), and finally merges the
+    local shard streams into the canonical stream exactly as
+    :class:`ProcessBackend` does — so a campaign killed mid-run resumes
+    from everything mirrored so far, on any backend.
 
-    Failure policy: a *connection* loss (worker died, network gone)
-    fails the shard over to another worker, resubmitting only the
-    experiments not already mirrored locally; determinism makes the
-    re-run byte-identical.  A worker-*reported* failure (the shard
-    engine itself raised) is not retried elsewhere — the shard's
-    unrecorded experiments become ``harness_error`` records, retried on
-    resume, exactly like a dead local process worker.
+    Failure policy — three ways a placed shard moves, all ending in the
+    same *steal*: resubmit only the experiments not already mirrored
+    locally to another worker (determinism makes the re-run
+    byte-identical, so stealing is free):
+
+    * a *connection* loss (worker died, network gone) fails the shard
+      over immediately;
+    * a registry lease going ``dead`` steals the shard *without
+      contacting the worker first* — a SIGSTOPped host's sockets hang
+      until timeout, and the lease already proved it missed heartbeats;
+    * a *straggler* past :attr:`stall_seconds` with no visible progress
+      is stolen when (and only when) another alive worker has idle
+      capacity — a best-effort cancel is sent to the old worker, and
+      last-record-wins merging absorbs any overlap if it finishes its
+      copy anyway.
+
+    A worker-*reported* failure (the shard engine itself raised) is not
+    retried elsewhere — the shard's unrecorded experiments become
+    ``harness_error`` records, retried on resume, exactly like a dead
+    local process worker.
 
     Cancellation is relayed as ``POST /v1/shards/{id}/cancel``; workers
     observe their cancel-flag file between experiments.
@@ -783,19 +902,34 @@ class RemoteBackend:
 
     name = BACKEND_REMOTE
 
-    #: How often the parent polls worker shard status and stream tails.
-    poll_seconds = 0.25
+    #: Poll cadence bounds: the loop runs at ``poll_min_seconds`` while
+    #: results flow and decays by ``poll_backoff`` per quiet tick up to
+    #: ``poll_max_seconds`` — long experiments stop costing a status
+    #: request per worker per quarter second.
+    poll_min_seconds = 0.25
+    poll_max_seconds = 2.0
+    poll_backoff = 1.6
     #: Per-request timeout towards workers (a stalled worker counts as a
     #: lost connection once this expires).  The poll loop is sequential,
     #: so this also bounds how long one hung worker can delay mirroring
     #: and cancel relay for its siblings — keep it short.
     request_timeout = 10.0
+    #: No visible progress on a placed shard for this long (while idle
+    #: capacity exists elsewhere) → steal its unmirrored tail.
+    stall_seconds = 30.0
+    #: How long a shard may wait for an alive worker to appear before
+    #: the campaign gives it up as unplaceable (its experiments become
+    #: ``harness_error`` records, retried on resume).
+    placement_timeout = 60.0
+    #: Registry fleet-view refresh cadence.
+    fleet_refresh_seconds = 1.0
 
     def execute(self, context: ExecutionContext,
                 pending: list[PlannedExperiment],
                 stream: ExperimentStream) -> ExecutionOutcome:
         # Imported lazily: the client module imports the campaign layer,
         # which imports this module at import time.
+        from repro.common.retry import RetryPolicy
         from repro.service.api import APIError
         from repro.service.client import ProFIPyClient
 
@@ -806,19 +940,90 @@ class RemoteBackend:
         # dispatcher bug, and retrying it elsewhere cannot succeed.)
         worker_errors = _WORKER_CONNECTION_ERRORS + (APIError,)
 
-        workers = [url.rstrip("/") for url in (context.workers or []) if url]
-        if not workers:
+        static_workers = [url.rstrip("/")
+                          for url in (context.workers or []) if url]
+        registry = context.registry
+        if not static_workers and registry is None:
             raise ValueError(
-                "remote backend requires at least one worker URL "
-                "(CampaignConfig.workers / --worker)"
+                "remote backend requires worker URLs "
+                "(CampaignConfig.workers / --worker) or a registry "
+                "(CampaignConfig.registry_url / --registry)"
             )
         shards = _partition(pending, context.shards)
         progress = ShardProgress(self.name, [len(s) for s in shards],
                                  sink=context.on_progress)
         progress.emit()
         stream.path.parent.mkdir(parents=True, exist_ok=True)
-        clients = {url: ProFIPyClient(url, timeout=self.request_timeout)
-                   for url in workers}
+
+        # Status/tail polls are idempotent GETs: a couple of quick
+        # retries (bounded well under one poll tick's worth of damage)
+        # absorb connection blips without masking a dead worker.
+        poll_retry = RetryPolicy(attempts=2, base_delay=0.05,
+                                 max_delay=0.25,
+                                 deadline=self.request_timeout * 1.5,
+                                 attempt_timeout=self.request_timeout)
+        clients: dict[str, ProFIPyClient] = {}
+
+        def client_for(url: str) -> ProFIPyClient:
+            if url not in clients:
+                clients[url] = ProFIPyClient(url,
+                                             timeout=self.request_timeout,
+                                             retry_policy=poll_retry)
+            return clients[url]
+
+        # Static URLs are *pins*: always present, never lease-expired
+        # (nobody heartbeats for them).  Mirror them into the registry as
+        # unmanaged peers so `profipy workers list` shows the whole
+        # fleet; best-effort — placement works off the local view either
+        # way.
+        if registry is not None:
+            for url in static_workers:
+                try:
+                    registry.register_worker({"url": url,
+                                              "managed": False})
+                except Exception:  # noqa: BLE001 - visibility only
+                    pass
+
+        fleet: dict[str, dict] = {
+            url: {"url": url, "state": _ALIVE, "managed": False,
+                  "load": None, "max_concurrent": None}
+            for url in static_workers
+        }
+        static_set = set(static_workers)
+        last_refresh: float | None = None
+
+        def refresh_fleet(now: float, force: bool = False) -> None:
+            nonlocal last_refresh
+            if registry is None:
+                return
+            if (not force and last_refresh is not None
+                    and now - last_refresh < self.fleet_refresh_seconds):
+                return
+            last_refresh = now
+            try:
+                views = registry.list_workers()
+            except Exception:  # noqa: BLE001 - keep the last view
+                # A registry blip must not strand the campaign: the
+                # previous fleet view stays in force until the next
+                # successful refresh.
+                return
+            seen = set()
+            for view in views:
+                url = str(view.get("url", "")).rstrip("/")
+                if not url:
+                    continue
+                seen.add(url)
+                fleet[url] = {
+                    "url": url,
+                    "state": view.get("state", _ALIVE),
+                    "managed": bool(view.get("managed", True)),
+                    "load": view.get("load"),
+                    "max_concurrent": view.get("max_concurrent"),
+                }
+            for url in list(fleet):
+                if url not in seen and url not in static_set:
+                    # Pruned from the registry entirely: dead.
+                    fleet[url]["state"] = _DEAD
 
         active = {
             index: _RemoteShard(index=index, experiments=experiments)
@@ -828,44 +1033,98 @@ class RemoteBackend:
             sorted(active),
             _shard_parallelism(context.parallelism, len(active)),
         ))
-        #: One initial try plus a failover to every other worker.
-        max_attempts = len(workers) + 1
-        rotation = 0
+        #: Shards this dispatcher currently has placed per worker URL —
+        #: folded into placement scores so N same-tick placements do not
+        #: all pile onto the worker whose heartbeat looked idlest.
+        assigned: dict[str, int] = {}
         cancelled = False
         failed_shards: dict[int, str] = {}
         unfinished = set(active)
+
+        def max_attempts() -> int:
+            """One initial try plus a failover to every other non-dead
+            worker — recomputed live, since the registry fleet grows and
+            shrinks mid-campaign."""
+            not_dead = sum(1 for view in fleet.values()
+                           if view["state"] != _DEAD)
+            return max(2, not_dead + 1)
 
         def local_recorded_ids(index: int) -> set[str]:
             return set(ExperimentStream(
                 shard_stream_path(stream.path, index)
             )._latest_entries())
 
-        def lose_connection(state: _RemoteShard, error: Exception) -> None:
-            """Handle a dropped worker: fail over or give the shard up."""
+        def detach(state: _RemoteShard, exclude: bool = True) -> None:
+            """Unbind the shard from its worker, releasing the
+            placement slot (and excluding the worker from its retry)."""
             if state.url is not None:
-                state.excluded.add(state.url)
+                assigned[state.url] = max(
+                    0, assigned.get(state.url, 1) - 1
+                )
+                if exclude:
+                    state.excluded.add(state.url)
             state.url = None
             state.remote_id = None
             state.offset = 0
             state.cancel_relayed = False
-            if state.attempts >= max_attempts:
+            state.last_remote_state = None
+
+        def lose_connection(state: _RemoteShard, error: Exception) -> None:
+            """Handle a dropped worker: fail over or give the shard up."""
+            detach(state)
+            state.failures += 1
+            if state.failures >= max_attempts():
                 failed_shards[state.index] = (
                     f"shard {state.index} remote worker unreachable after "
-                    f"{state.attempts} attempt(s): "
+                    f"{state.failures} failure(s): "
                     f"{type(error).__name__}: {error}"
                 )
                 unfinished.discard(state.index)
                 progress.finish(state.index, state="failed")
 
-        def submit(state: _RemoteShard) -> None:
-            nonlocal rotation
-            candidates = ([url for url in workers
-                           if url not in state.excluded] or workers)
-            url = candidates[rotation % len(candidates)]
-            rotation += 1
+        def steal(state: _RemoteShard, now: float, reason: str,
+                  cancel_old: bool) -> None:
+            """Take the shard's unmirrored tail away from its worker;
+            the next tick re-places it by least load.  ``cancel_old``
+            sends a best-effort cancel (stalled-but-alive workers should
+            stop burning sandboxes on work that now runs elsewhere);
+            lease-dead workers are never contacted — their sockets hang.
+            Everything already mirrored stays mirrored, and determinism
+            plus last-record-wins merging make the re-run byte-identical
+            even if the old worker finishes its copy anyway."""
+            old_url, old_id = state.url, state.remote_id
+            if cancel_old and old_url is not None and old_id is not None:
+                try:
+                    ProFIPyClient(old_url, timeout=3.0,
+                                  retry_policy=None).cancel_shard(old_id)
+                except Exception:  # noqa: BLE001 - best effort
+                    pass
+            detach(state)
+            state.stolen += 1
+            state.last_progress = now
+
+        def place(state: _RemoteShard, now: float) -> bool:
+            """Dispatch the shard's unmirrored remainder to the
+            least-loaded alive worker; returns whether it was placed.
+            No alive worker → wait (give up past placement_timeout)."""
+            refresh_fleet(now)
+            choice = least_loaded_worker(fleet, assigned, state.excluded)
+            if choice is None:
+                if state.wait_since is None:
+                    state.wait_since = now
+                elif now - state.wait_since > self.placement_timeout:
+                    failed_shards[state.index] = (
+                        f"shard {state.index} unplaceable: no alive "
+                        f"worker for {self.placement_timeout:g}s"
+                    )
+                    unfinished.discard(state.index)
+                    progress.finish(state.index, state="failed")
+                return False
+            state.wait_since = None
+            url = choice["url"]
             state.attempts += 1
-            # Failover resubmits only what the dead worker never got
-            # mirrored: everything already fetched is recorded locally.
+            # Failover/steal resubmits only what was never mirrored:
+            # everything already fetched is recorded locally.
             recorded = (local_recorded_ids(state.index)
                         if state.attempts > 1 else set())
             remaining = [planned for planned in state.experiments
@@ -875,36 +1134,48 @@ class RemoteBackend:
                 remaining, worker_parallelism[state.index],
             )
             try:
-                view = clients[url].submit_shard(payload)
+                view = client_for(url).submit_shard(payload)
             except worker_errors as error:
                 state.excluded.add(url)
                 lose_connection(state, error)
-                return
+                return False
             state.url = url
+            assigned[url] = assigned.get(url, 0) + 1
             state.remote_id = view["shard_id"]
             state.offset = 0
             state.cancel_relayed = False
+            state.last_remote_state = view.get("state")
+            state.last_progress = now
             progress.start(state.index)
+            return True
 
-        def sync_tail(state: _RemoteShard) -> None:
-            """Mirror the worker stream's newline-aligned tail locally."""
-            raw = clients[state.url].shard_stream(state.remote_id,
-                                                  offset=state.offset)
+        def sync_tail(state: _RemoteShard) -> bool:
+            """Mirror the worker stream's newline-aligned tail locally;
+            returns whether any bytes arrived."""
+            raw = client_for(state.url).shard_stream(state.remote_id,
+                                                     offset=state.offset)
             if not raw:
-                return
+                return False
             path = shard_stream_path(stream.path, state.index)
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "ab") as handle:
                 handle.write(raw)
             state.offset += len(raw)
             state.done_count += raw.count(b"\n")
+            return True
 
+        poll = _AdaptivePoll(self.poll_min_seconds, self.poll_max_seconds,
+                             self.poll_backoff)
         while unfinished:
+            now = time.monotonic()
+            refresh_fleet(now)
+            progressed = False
             if (context.cancel is not None and context.cancel()
                     and not cancelled):
                 cancelled = True
             for index in sorted(unfinished):
                 state = active[index]
+                now = time.monotonic()
                 if state.remote_id is None:
                     if cancelled:
                         # Nothing dispatched and the campaign is
@@ -912,9 +1183,18 @@ class RemoteBackend:
                         unfinished.discard(index)
                         progress.finish(index, state="stopped")
                         continue
-                    submit(state)
+                    progressed = place(state, now) or progressed
                     continue
-                client = clients[state.url]
+                view = fleet.get(state.url)
+                if view is not None and view["state"] == _DEAD:
+                    # The lease already proved this worker missed its
+                    # heartbeats — steal without touching its sockets
+                    # (a SIGSTOPped host would stall us until timeout).
+                    steal(state, now, reason="lease expired",
+                          cancel_old=False)
+                    progressed = True
+                    continue
+                client = client_for(state.url)
                 if cancelled and not state.cancel_relayed:
                     try:
                         client.cancel_shard(state.remote_id)
@@ -925,28 +1205,48 @@ class RemoteBackend:
                         # that restarted and answers unknown_shard)
                 try:
                     status = client.shard_status(state.remote_id)
-                    sync_tail(state)
+                    if sync_tail(state):
+                        state.last_progress = now
+                        state.failures = 0
+                        progressed = True
                 except (KeyError, *worker_errors) as error:
                     # KeyError: the worker restarted and forgot the
                     # shard — its stream is gone with it.  Either way,
                     # a lost worker: fail the shard over.
                     lose_connection(state, error)
+                    progressed = True
                     continue
+                if status["state"] != state.last_remote_state:
+                    state.last_remote_state = status["state"]
+                    state.last_progress = now
                 progress.set_done(index, state.done_count)
                 if status["state"] == "failed":
                     failed_shards[index] = (
                         f"shard {index} remote worker failed: "
                         f"{status.get('error') or 'unknown failure'}"
                     )
+                    detach(state, exclude=False)
                     unfinished.discard(index)
                     progress.finish(index, state="failed")
+                    progressed = True
                 elif status["state"] in ("completed", "cancelled"):
                     cancelled = cancelled or status["state"] == "cancelled"
+                    detach(state, exclude=False)
                     unfinished.discard(index)
                     progress.finish(index)
+                    progressed = True
+                elif (not cancelled
+                      and now - state.last_progress > self.stall_seconds
+                      and idle_capacity(fleet, assigned,
+                                        state.excluded | {state.url})):
+                    # A straggler with idle capacity elsewhere: steal
+                    # its unmirrored tail rather than wait it out.
+                    steal(state, now, reason="stalled", cancel_old=True)
+                    progressed = True
             progress.emit()
             if unfinished:
-                time.sleep(self.poll_seconds)
+                poll.record(progressed)
+                time.sleep(poll.interval)
 
         merge_and_backfill(stream, shards, active, failed_shards)
         cancelled = cancelled or (context.cancel is not None
@@ -972,6 +1272,8 @@ __all__ = [
     "create_backend",
     "discard_shard_streams",
     "harness_error_result",
+    "idle_capacity",
+    "least_loaded_worker",
     "leftover_shard_streams",
     "merge_and_backfill",
     "merge_shard_stream",

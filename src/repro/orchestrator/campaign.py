@@ -90,9 +90,14 @@ class CampaignConfig:
     #: of results; a resumed campaign may change it freely).
     shards: int = 1
     #: Worker base URLs (``http://host:port`` of ``profipy worker``
-    #: instances) for the remote backend; required iff backend is
-    #: ``"remote"``.
+    #: instances) for the remote backend.  The remote backend needs
+    #: at least one of ``workers`` / ``registry_url``.
     workers: list[str] | None = None
+    #: Coordinator URL whose ``/v1/workers`` registry supplies (and
+    #: health-tracks) the fleet for the remote backend.  Static
+    #: ``workers`` URLs still work and are registered there as
+    #: unmanaged peers when both are given.
+    registry_url: str | None = None
     #: Scan-phase worker processes (None/1 = in-process indexed scan).
     scan_jobs: int | None = None
     #: Persistent scan-cache directory; repeated campaigns over unchanged
@@ -116,10 +121,12 @@ class CampaignConfig:
         validate_backend_name(self.backend)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
-        if self.backend == BACKEND_REMOTE and not self.workers:
+        if (self.backend == BACKEND_REMOTE and not self.workers
+                and not self.registry_url):
             raise ValueError(
-                "backend 'remote' requires at least one worker URL "
-                "(CampaignConfig.workers / --worker)"
+                "backend 'remote' requires worker URLs "
+                "(CampaignConfig.workers / --worker) or a registry "
+                "(CampaignConfig.registry_url / --registry)"
             )
         if self.workspace is not None:
             # Sandboxed workloads run with their own cwd; a relative
@@ -401,6 +408,12 @@ class Campaign:
                 on_progress(snapshot)
 
             backend = create_backend(config.backend)
+            registry = None
+            if config.registry_url:
+                # Lazy: client.py imports this module at load time.
+                from repro.service.client import ProFIPyClient
+
+                registry = ProFIPyClient(config.registry_url, timeout=10.0)
             context = ExecutionContext(
                 executor=executor,
                 fault_model=config.fault_model,
@@ -410,6 +423,7 @@ class Campaign:
                 on_progress=(emit_progress if on_progress is not None
                              else None),
                 workers=config.workers,
+                registry=registry,
             )
             execution_started = time.monotonic()
             outcome = backend.execute(context, pending_list, stream)

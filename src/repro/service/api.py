@@ -54,9 +54,11 @@ ERROR_STATUS = {
     "unknown_job": 404,
     "unknown_model": 404,
     "unknown_shard": 404,
+    "unknown_worker": 404,
     "missing_artifact": 404,
     "not_found": 404,
     "method_not_allowed": 405,
+    "lease_expired": 409,
     "timeout": 408,
     "internal": 500,
 }
@@ -89,7 +91,8 @@ class APIError(Exception):
 def exception_for(error: APIError) -> Exception:
     """The in-process exception equivalent of a wire error (what the
     client raises so it mirrors ``ProFIPyService`` exactly)."""
-    if error.code in ("unknown_job", "unknown_model", "unknown_shard"):
+    if error.code in ("unknown_job", "unknown_model", "unknown_shard",
+                      "unknown_worker"):
         return KeyError(error.message)
     if error.code in ("missing_artifact", "not_found"):
         return FileNotFoundError(error.message)
@@ -97,6 +100,10 @@ def exception_for(error: APIError) -> Exception:
         return TimeoutError(error.message)
     if error.code == "invalid_request":
         return ValueError(error.message)
+    if error.code == "lease_expired":
+        from repro.service.registry import LeaseExpiredError
+
+        return LeaseExpiredError(error.message)
     return error
 
 
@@ -235,6 +242,7 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "shards": config.shards,
         "workers": (list(config.workers)
                     if config.workers is not None else None),
+        "registry_url": config.registry_url,
         "scan_jobs": config.scan_jobs,
         "scan_cache_dir": opt_path(config.scan_cache_dir),
         "seed": config.seed,
@@ -270,6 +278,7 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         backend=data.get("backend", "thread"),
         shards=int(data.get("shards", 1)),
         workers=data.get("workers"),
+        registry_url=data.get("registry_url"),
         scan_jobs=data.get("scan_jobs"),
         scan_cache_dir=opt_path(data.get("scan_cache_dir")),
         seed=data.get("seed", 0),
@@ -541,6 +550,42 @@ class ServiceAPI:
         except KeyError:
             raise APIError("unknown_shard",
                            f"unknown shard {shard_id!r}") from None
+
+    # -- worker fleet registry ---------------------------------------------------
+
+    def register_worker(self, payload: dict) -> dict:
+        """Grant a worker lease (``POST /v1/workers/register``)."""
+        if not isinstance(payload, dict):
+            raise APIError("invalid_request",
+                           "worker registration must be a JSON object")
+        try:
+            view = self.service.register_worker(payload)
+        except ValueError as error:
+            raise APIError("invalid_request", str(error)) from None
+        return {**view, "api_version": API_VERSION}
+
+    def worker_heartbeat(self, worker_id: str, payload: dict) -> dict:
+        """Refresh a worker lease
+        (``POST /v1/workers/{id}/heartbeat``); the body optionally
+        carries the worker's live ``load``."""
+        from repro.service.registry import LeaseExpiredError
+
+        load = payload.get("load") if isinstance(payload, dict) else None
+        try:
+            view = self.service.worker_heartbeat(worker_id, load)
+        except KeyError:
+            raise APIError("unknown_worker",
+                           f"unknown worker {worker_id!r}") from None
+        except LeaseExpiredError as error:
+            raise APIError("lease_expired", str(error)) from None
+        except ValueError as error:
+            raise APIError("invalid_request", str(error)) from None
+        return {**view, "api_version": API_VERSION}
+
+    def list_workers(self) -> dict:
+        """The fleet view (``GET /v1/workers``), lease states swept."""
+        return {"workers": self.service.list_workers(),
+                "api_version": API_VERSION}
 
     def generate_regression_tests(self, job_id: str) -> dict:
         """Generate regression tests server-side and return their

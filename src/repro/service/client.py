@@ -35,6 +35,7 @@ running event loop or third-party HTTP stack.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -43,6 +44,7 @@ from pathlib import Path
 
 from repro.analysis.classify import ClassificationRule
 from repro.analysis.metrics import ComponentSpec
+from repro.common.retry import RetryPolicy, retry_call
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.campaign import CampaignConfig
 from repro.orchestrator.experiment import (
@@ -65,13 +67,36 @@ from repro.service.jobs import Job
 WAIT_POLL_SECONDS = 30.0
 
 
+class TransportError(ConnectionError):
+    """The server could not be reached or the connection died mid-request
+    — refused/reset sockets, DNS failure, timeouts, torn HTTP framing.
+
+    Distinct from an HTTP-level :class:`APIError`: a transport error
+    means the server never (verifiably) answered, so retrying an
+    idempotent request is safe, while an HTTP error is an authoritative
+    answer that must not be retried.  Subclasses :class:`ConnectionError`
+    so existing ``OSError``-based failover handling keeps working.
+    """
+
+
+#: Default retry for idempotent GETs: a couple of quick, jittered
+#: retries smooth over connection blips without masking a dead server
+#: for long.  Writes (POST/PUT) never retry at the transport layer —
+#: ``POST /v1/shards`` in particular must stay exactly-once on the wire.
+DEFAULT_GET_RETRY = RetryPolicy(attempts=3, base_delay=0.05,
+                                max_delay=0.5, jitter=0.25)
+
+
 class ProFIPyClient:
     """Remote fault-injection-as-a-service, same surface as the
     in-process :class:`~repro.service.service.ProFIPyService`."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retry_policy: RetryPolicy | None = DEFAULT_GET_RETRY) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Applied to idempotent GETs only; ``None`` disables retries.
+        self.retry_policy = retry_policy
 
     # -- transport ---------------------------------------------------------------
 
@@ -82,16 +107,36 @@ class ProFIPyClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
+        request_timeout = timeout or self.timeout
+        # Only idempotent GETs (status, stream tails, listings) retry:
+        # a retried non-idempotent write could double-execute server
+        # side — a resubmitted shard, a duplicate campaign.
+        policy = self.retry_policy if method == "GET" else None
+        if policy is None:
+            return self._send(method, path, body, headers, request_timeout)
+        return retry_call(
+            lambda attempt_timeout: self._send(
+                method, path, body, headers,
+                attempt_timeout or request_timeout,
+            ),
+            policy=policy, retry_on=(TransportError,),
         )
+
+    def _send(self, method: str, path: str, body: bytes | None,
+              headers: dict, timeout: float) -> tuple[int, bytes, str]:
+        url = self.base_url + path
+        request = urllib.request.Request(url, data=body,
+                                         headers=dict(headers),
+                                         method=method)
         try:
             with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout
+                request, timeout=timeout
             ) as response:
                 return (response.status, response.read(),
                         response.headers.get("Content-Type", ""))
         except urllib.error.HTTPError as error:
+            # HTTP-level: the server is up and answered.  Authoritative —
+            # map the wire code back to the in-process exception type.
             raw = error.read()
             try:
                 data = json.loads(raw.decode("utf-8"))
@@ -100,6 +145,15 @@ class ProFIPyClient:
             raise exception_for(
                 APIError.from_dict(data, http_status=error.code)
             ) from None
+        except urllib.error.URLError as error:
+            raise TransportError(
+                f"{method} {url}: {error.reason}"
+            ) from error
+        except (http.client.HTTPException, ConnectionError,
+                TimeoutError) as error:
+            raise TransportError(
+                f"{method} {url}: {type(error).__name__}: {error}"
+            ) from error
 
     def _json(self, method: str, path: str, payload: dict | None = None,
               timeout: float | None = None) -> dict:
@@ -302,6 +356,31 @@ class ProFIPyClient:
             "GET", f"/v1/shards/{shard_id}/stream.ndjson?offset={int(offset)}"
         )
         return raw
+
+    # -- worker registry (fleet membership) --------------------------------------
+
+    def register_worker(self, payload: dict) -> dict:
+        """Join (or re-join) the coordinator's fleet
+        (``POST /v1/workers/register``); returns the lease view carrying
+        the coordinator-assigned ``worker_id`` and ``lease_seconds``.
+        Mirrors :meth:`ProFIPyService.register_worker`."""
+        return self._json("POST", "/v1/workers/register", payload)
+
+    def worker_heartbeat(self, worker_id: str, load: dict | None = None) -> dict:
+        """Renew the worker's lease, carrying its live load
+        (``POST /v1/workers/{id}/heartbeat``).  Raises ``KeyError`` for
+        an id the coordinator never saw (``unknown_worker``) and
+        :class:`~repro.service.registry.LeaseExpiredError` for an
+        evicted or fenced lease (``lease_expired``) — the agent
+        re-registers on either."""
+        return self._json(
+            "POST", f"/v1/workers/{worker_id}/heartbeat", {"load": load}
+        )
+
+    def list_workers(self) -> list[dict]:
+        """The fleet as the coordinator sees it — one view per worker
+        with ``state`` (alive/suspect/dead), live load, and lease age."""
+        return list(self._json("GET", "/v1/workers")["workers"])
 
     def generate_regression_tests(self, job_id: str,
                                   dest_dir: str | Path) -> list[Path]:

@@ -24,6 +24,9 @@ Endpoints (see ``docs/SERVICE_API.md`` for the full table)::
     GET  /v1/shards/{id}                    # shard status/progress
     POST /v1/shards/{id}/cancel             # cooperative shard cancel
     GET  /v1/shards/{id}/stream.ndjson?offset=N   # newline-aligned tail
+    POST /v1/workers/register               # join the worker fleet
+    POST /v1/workers/{id}/heartbeat         # renew lease, report load
+    GET  /v1/workers                        # fleet view (lease states)
 
 Errors are JSON bodies ``{"error": {"code": ..., "message": ...}}`` with
 the HTTP status fixed per code (:data:`repro.service.api.ERROR_STATUS`).
@@ -83,6 +86,10 @@ _ROUTES: list[tuple[str, re.Pattern, str]] = [
      "_route_cancel_shard"),
     ("GET", re.compile(r"/v1/shards/(?P<shard_id>[^/]+)/stream\.ndjson$"),
      "_route_shard_stream"),
+    ("POST", re.compile(r"/v1/workers/register$"), "_route_register_worker"),
+    ("GET", re.compile(r"/v1/workers$"), "_route_list_workers"),
+    ("POST", re.compile(r"/v1/workers/(?P<worker_id>[^/]+)/heartbeat$"),
+     "_route_worker_heartbeat"),
 ]
 
 
@@ -161,13 +168,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers -----------------------------------------------------------------
 
-    def _read_json(self) -> dict:
+    def _read_json(self, optional: bool = False) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             raise APIError("invalid_request",
                            f"request body exceeds {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length) if length else b""
         if not raw:
+            if optional:
+                return {}
             raise APIError("invalid_request", "request body required")
         try:
             data = json.loads(raw.decode("utf-8"))
@@ -308,6 +317,23 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200,
                         self.api.cancel_shard(match.group("shard_id")))
 
+    # -- worker fleet registry routes ---------------------------------------------
+
+    def _route_register_worker(self, _match, _query) -> None:
+        payload = self._read_json()
+        self._send_json(200, self.api.register_worker(payload))
+
+    def _route_list_workers(self, _match, _query) -> None:
+        self._send_json(200, self.api.list_workers())
+
+    def _route_worker_heartbeat(self, match, _query) -> None:
+        # The body is optional: a load-less heartbeat still renews the
+        # lease (minimal agents need not track load).
+        payload = self._read_json(optional=True)
+        self._send_json(200, self.api.worker_heartbeat(
+            match.group("worker_id"), payload
+        ))
+
     def _route_shard_stream(self, match, query) -> None:
         """The shard stream's newline-aligned tail from ``offset``.
 
@@ -368,10 +394,18 @@ def start_server(service: ProFIPyService, host: str = "127.0.0.1",
 
 def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
           max_workers: int | None = None, say=print,
-          role: str = "service") -> None:
+          role: str = "service", join: str | None = None,
+          advertise: str | None = None) -> None:
     """Run the service API in the foreground (``profipy serve`` /
     ``profipy worker`` — the worker role is the same server, announced
-    as such; shard endpoints are mounted either way)."""
+    as such; shard endpoints are mounted either way).
+
+    ``join`` is a coordinator URL: the server registers itself in that
+    coordinator's worker fleet and heartbeats its live shard load for
+    as long as it runs (``profipy worker --join URL``).  ``advertise``
+    overrides the URL the coordinator hands to dispatchers — required
+    when the bind address (e.g. ``0.0.0.0``) is not reachable as-is.
+    """
     from repro.service.jobs import DEFAULT_MAX_WORKERS
 
     service = ProFIPyService(
@@ -381,10 +415,20 @@ def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
     say(f"profipy {role} API {API_VERSION} on {server.url} "
         f"(workspace {Path(workspace).resolve()}, "
         f"{service.runner.max_workers} campaign workers)")
+    agent = None
+    if join:
+        from repro.service.registry import WorkerAgent
+
+        agent = WorkerAgent(join, advertise or server.url, service.shards)
+        agent.start()
+        say(f"joined fleet at {join} as {agent.worker_id} "
+            f"(lease {agent.lease_seconds:g}s)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         say("shutting down")
     finally:
+        if agent is not None:
+            agent.stop()
         server.shutdown()
         service.close()

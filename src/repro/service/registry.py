@@ -1,0 +1,380 @@
+"""Worker fleet membership with heartbeat leases (``/v1/workers``).
+
+The step from "remote backend with static ``--worker`` URLs" to a real
+fleet: workers announce themselves to a coordinator and keep a *lease*
+alive by heartbeating; the dispatcher resolves its worker set from the
+registry instead of (or in addition to) a static list, and detects death
+by missed leases rather than per-request connection errors.
+
+* :class:`WorkerRegistry` — the coordinator side.  ``register`` grants a
+  lease and a ``worker_id``; ``heartbeat`` refreshes it, carrying the
+  worker's live load (``running``/``queued``/``max_concurrent``); a
+  worker past its lease is marked ``suspect``, past
+  :data:`DEAD_AFTER_LEASES` leases ``dead`` and evicted from placement
+  (dead entries linger briefly in listings for operators, then prune).
+  Time is injectable (``clock``), so the alive→suspect→dead transitions
+  are deterministic under a fake clock in tests.  Sweeping happens
+  lazily on every access — no monitor thread, so the in-process and
+  HTTP-served registries behave identically.
+* :class:`WorkerAgent` — the worker side.  ``profipy worker --join URL``
+  starts one: it registers the worker's advertised URL and heartbeats on
+  a daemon thread every third of the lease, through the unified retry
+  policy.  A heartbeat answered with ``unknown_worker`` /
+  ``lease_expired`` (the coordinator restarted, or this worker was
+  evicted while unreachable) re-registers under a *fresh* id — the old
+  id stays fenced, so anything the dead incarnation still answers for
+  is ignored by dispatchers.
+
+Stale-lease fencing: a re-registration for the same URL replaces the
+previous entry, and the replaced ``worker_id`` immediately raises
+:class:`LeaseExpiredError` on heartbeat.  Dispatchers key their fleet
+view on the registry listing, so a stolen shard's old worker instance
+answering late is simply no longer consulted.
+
+The registry is in-memory, like the shard host: a restarted coordinator
+starts empty and workers re-register on their next heartbeat failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.retry import RetryPolicy, retry_call
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+#: Seconds a heartbeat keeps a worker's lease alive.
+DEFAULT_LEASE_SECONDS = 15.0
+#: Missed leases before a suspect worker is declared dead and evicted
+#: from placement (1 missed lease = suspect).
+DEAD_AFTER_LEASES = 2
+#: Leases a dead entry lingers in listings before it is pruned.
+PRUNE_AFTER_LEASES = 10
+
+
+class LeaseExpiredError(Exception):
+    """The worker's lease is gone (evicted or replaced); it must
+    re-register for a fresh id before heartbeating again."""
+
+
+def _normalized_load(load) -> dict | None:
+    if load is None:
+        return None
+    if not isinstance(load, dict):
+        raise ValueError("worker load must be a JSON object")
+    normalized = {}
+    for key in ("running", "queued", "max_concurrent"):
+        value = load.get(key)
+        if value is None:
+            continue
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"worker load {key!r} must be an integer, got {value!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(f"worker load {key!r} must be >= 0")
+        normalized[key] = value
+    return normalized
+
+
+@dataclass
+class WorkerEntry:
+    """One registered worker and its lease state."""
+
+    worker_id: str
+    url: str
+    managed: bool = True
+    max_concurrent: int | None = None
+    state: str = ALIVE
+    #: Permanently dead: replaced by a newer registration for the same
+    #: URL.  The sweep must never resurrect a fenced lease.
+    fenced: bool = False
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    load: dict | None = field(default=None)
+
+
+class WorkerRegistry:
+    """Coordinator-side fleet membership with heartbeat leases."""
+
+    def __init__(self, lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 clock=time.monotonic) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        self.lease_seconds = lease_seconds
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerEntry] = {}
+        self._counter = 0
+
+    # -- facade / wire forms -----------------------------------------------------
+
+    def register_worker(self, payload: dict) -> dict:
+        """Wire-form registration (``POST /v1/workers/register``); the
+        same signature :class:`ProFIPyService` and the HTTP client
+        expose.  Raises ``ValueError`` for a malformed payload."""
+        if not isinstance(payload, dict):
+            raise ValueError("worker registration must be a JSON object")
+        url = payload.get("url")
+        if not isinstance(url, str) or not url.strip():
+            raise ValueError(
+                "worker registration requires a non-empty 'url'"
+            )
+        max_concurrent = payload.get("max_concurrent")
+        if max_concurrent is not None:
+            try:
+                max_concurrent = int(max_concurrent)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "worker 'max_concurrent' must be an integer"
+                ) from None
+            if max_concurrent < 1:
+                raise ValueError("worker 'max_concurrent' must be >= 1")
+        return self.register(url, max_concurrent=max_concurrent,
+                             managed=bool(payload.get("managed", True)))
+
+    def worker_heartbeat(self, worker_id: str, load: dict | None = None) -> dict:
+        """Facade alias of :meth:`heartbeat` (1:1 with the client)."""
+        return self.heartbeat(worker_id, load)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def register(self, url: str, max_concurrent: int | None = None,
+                 managed: bool = True) -> dict:
+        """Grant a lease for the worker at ``url``; returns its view.
+
+        A managed registration for an already-known URL *replaces* the
+        previous entry under a fresh ``worker_id`` — the old lease is
+        fenced (its heartbeats answer ``lease_expired``), which is what
+        makes a restarted worker safe: dispatchers only ever see the
+        live incarnation.  Unmanaged peers (static ``--worker`` URLs a
+        dispatcher mirrors into the registry for visibility) are
+        idempotent instead: re-registering one refreshes the existing
+        entry, and the sweep never expires them — nobody heartbeats on
+        their behalf.
+        """
+        url = url.strip().rstrip("/")
+        now = self.clock()
+        with self._lock:
+            previous = [wid for wid, entry in self._workers.items()
+                        if entry.url == url]
+            if not managed:
+                for wid in previous:
+                    entry = self._workers[wid]
+                    if not entry.managed:
+                        entry.last_heartbeat = now
+                        if max_concurrent is not None:
+                            entry.max_concurrent = max_concurrent
+                        return self._view(entry)
+            for wid in previous:
+                old = self._workers[wid]
+                if old.managed:
+                    # Tombstone, don't delete: the replaced incarnation's
+                    # late heartbeats must answer ``lease_expired`` (the
+                    # fence), not ``unknown_worker``.  The sweep prunes
+                    # the tombstone eventually.
+                    old.state = DEAD
+                    old.fenced = True
+                else:
+                    del self._workers[wid]
+            self._counter += 1
+            entry = WorkerEntry(
+                worker_id=f"worker-{self._counter:04d}",
+                url=url,
+                managed=managed,
+                max_concurrent=max_concurrent,
+                registered_at=now,
+                last_heartbeat=now,
+            )
+            self._workers[entry.worker_id] = entry
+            return self._view(entry)
+
+    def heartbeat(self, worker_id: str, load: dict | None = None) -> dict:
+        """Refresh the worker's lease, updating its live load.
+
+        Raises ``KeyError`` for an id the registry never knew (or
+        already pruned) and :class:`LeaseExpiredError` for a dead or
+        replaced lease — either way the worker must re-register.
+        """
+        load = _normalized_load(load)
+        now = self.clock()
+        with self._lock:
+            self._sweep_locked(now)
+            entry = self._workers.get(worker_id)
+            if entry is None:
+                raise KeyError(f"unknown worker {worker_id!r}")
+            if entry.state == DEAD:
+                raise LeaseExpiredError(
+                    f"worker {worker_id} lease expired "
+                    f"({self.lease_seconds:g}s × {DEAD_AFTER_LEASES} missed); "
+                    "re-register for a fresh id"
+                )
+            entry.last_heartbeat = now
+            entry.state = ALIVE
+            if load is not None:
+                entry.load = load
+                if "max_concurrent" in load:
+                    entry.max_concurrent = load["max_concurrent"]
+            return self._view(entry)
+
+    def list_workers(self) -> list[dict]:
+        """Every worker's view, sorted by id (``GET /v1/workers``)."""
+        now = self.clock()
+        with self._lock:
+            self._sweep_locked(now)
+            return [self._view(entry)
+                    for _wid, entry in sorted(self._workers.items())]
+
+    def alive(self) -> list[dict]:
+        """Placeable workers only (``alive``; suspects are skipped for
+        *new* placements, dead ones are evicted entirely)."""
+        return [view for view in self.list_workers()
+                if view["state"] == ALIVE]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _sweep_locked(self, now: float) -> None:
+        for worker_id, entry in list(self._workers.items()):
+            if not entry.managed:
+                continue
+            age = now - entry.last_heartbeat
+            if entry.fenced:
+                if age > self.lease_seconds * PRUNE_AFTER_LEASES:
+                    del self._workers[worker_id]
+                continue
+            if age > self.lease_seconds * PRUNE_AFTER_LEASES:
+                del self._workers[worker_id]
+            elif age > self.lease_seconds * DEAD_AFTER_LEASES:
+                entry.state = DEAD
+            elif age > self.lease_seconds:
+                if entry.state == ALIVE:
+                    entry.state = SUSPECT
+            else:
+                entry.state = ALIVE
+
+    def _view(self, entry: WorkerEntry) -> dict:
+        return {
+            "worker_id": entry.worker_id,
+            "url": entry.url,
+            "state": entry.state,
+            "managed": entry.managed,
+            "max_concurrent": entry.max_concurrent,
+            "load": dict(entry.load) if entry.load is not None else None,
+            "lease_seconds": self.lease_seconds,
+            "seconds_since_heartbeat": round(
+                max(0.0, self.clock() - entry.last_heartbeat), 3
+            ),
+        }
+
+
+#: Heartbeats/registrations retry briefly and give up until the next
+#: tick — a coordinator blip must neither kill the agent thread nor
+#: pile up concurrent retries past the heartbeat interval.
+AGENT_RETRY = RetryPolicy(attempts=3, base_delay=0.2, max_delay=1.0,
+                          deadline=5.0)
+
+
+class WorkerAgent:
+    """The worker side of the lease: register, then heartbeat forever.
+
+    ``client`` is anything exposing the registry facade
+    (``register_worker`` / ``worker_heartbeat``) — the HTTP client for a
+    real coordinator, or a :class:`WorkerRegistry` /
+    :class:`ProFIPyService` directly in tests.  ``shard_host`` supplies
+    the live load each heartbeat carries.
+    """
+
+    def __init__(self, coordinator_url: str, worker_url: str,
+                 shard_host=None, *, interval: float | None = None,
+                 client=None, retry: RetryPolicy = AGENT_RETRY) -> None:
+        if client is None:
+            from repro.service.client import ProFIPyClient
+
+            client = ProFIPyClient(coordinator_url, timeout=10.0)
+        self.client = client
+        self.coordinator_url = coordinator_url
+        self.worker_url = worker_url
+        self.shard_host = shard_host
+        self.interval = interval
+        self.retry = retry
+        self.worker_id: str | None = None
+        self.lease_seconds: float = DEFAULT_LEASE_SECONDS
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _load(self) -> dict | None:
+        return self.shard_host.load() if self.shard_host is not None else None
+
+    def register(self) -> dict:
+        payload = {"url": self.worker_url}
+        if self.shard_host is not None:
+            payload["max_concurrent"] = self.shard_host.max_concurrent
+        view = retry_call(
+            lambda _timeout: self.client.register_worker(payload),
+            policy=self.retry, retry_on=(ConnectionError,),
+        )
+        self.worker_id = view["worker_id"]
+        self.lease_seconds = float(
+            view.get("lease_seconds") or DEFAULT_LEASE_SECONDS
+        )
+        return view
+
+    def heartbeat(self) -> dict:
+        """One heartbeat; an evicted/replaced lease re-registers under a
+        fresh id (the coordinator fenced the old one)."""
+        try:
+            return retry_call(
+                lambda _timeout: self.client.worker_heartbeat(
+                    self.worker_id, self._load()
+                ),
+                policy=self.retry, retry_on=(ConnectionError,),
+            )
+        except (KeyError, LeaseExpiredError):
+            return self.register()
+
+    def start(self) -> None:
+        """Register and start the heartbeat thread (daemon)."""
+        self.register()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="profipy-worker-agent")
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval
+                                  or self.lease_seconds / 3.0):
+            try:
+                self.heartbeat()
+            except Exception:  # noqa: BLE001 - next tick retries
+                # The coordinator is unreachable beyond the retry
+                # budget: the lease decays to suspect/dead on its side,
+                # and the next successful heartbeat (or re-register)
+                # revives it.  The agent thread must survive regardless.
+                pass
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+__all__ = [
+    "ALIVE",
+    "AGENT_RETRY",
+    "DEAD",
+    "DEAD_AFTER_LEASES",
+    "DEFAULT_LEASE_SECONDS",
+    "LeaseExpiredError",
+    "PRUNE_AFTER_LEASES",
+    "SUSPECT",
+    "WorkerAgent",
+    "WorkerEntry",
+    "WorkerRegistry",
+]

@@ -53,6 +53,7 @@ from repro.service.jobs import (
     JobCancelled,
     JobRunner,
 )
+from repro.service.registry import DEFAULT_LEASE_SECONDS, WorkerRegistry
 from repro.service.shards import ShardHost
 
 
@@ -60,7 +61,8 @@ class ProFIPyService:
     """In-process fault-injection-as-a-service."""
 
     def __init__(self, workspace: str | Path,
-                 max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
         self.workspace = Path(workspace)
         self.models_dir = self.workspace / "models"
         self.models_dir.mkdir(parents=True, exist_ok=True)
@@ -71,6 +73,10 @@ class ProFIPyService:
         # (it is one mkdir) so every service instance can act as a
         # remote-backend worker.
         self.shards = ShardHost(self.workspace / "shards")
+        # The coordinator role: fleet membership for remote-backend
+        # dispatchers (/v1/workers).  In-memory, like the shard host —
+        # workers re-register after a coordinator restart.
+        self.registry = WorkerRegistry(lease_seconds=lease_seconds)
 
     # -- fault model registry ------------------------------------------------
 
@@ -367,6 +373,26 @@ class ProFIPyService:
         """Where the shard's raw result stream lives (served as a
         newline-aligned NDJSON tail by the HTTP layer)."""
         return self.shards.stream_path(shard_id)
+
+    # -- worker fleet registry ---------------------------------------------------
+
+    def register_worker(self, payload: dict) -> dict:
+        """Grant a lease to the worker described by ``payload``
+        (``{"url": ..., "max_concurrent": ..., "managed": ...}``);
+        raises ``ValueError`` for a malformed payload."""
+        return self.registry.register_worker(payload)
+
+    def worker_heartbeat(self, worker_id: str,
+                         load: dict | None = None) -> dict:
+        """Refresh a worker's lease with its live load; raises
+        ``KeyError`` for an unknown id and
+        :class:`~repro.service.registry.LeaseExpiredError` for a dead
+        or replaced lease (the worker must re-register)."""
+        return self.registry.heartbeat(worker_id, load)
+
+    def list_workers(self) -> list[dict]:
+        """Every registered worker's view, lease states swept."""
+        return self.registry.list_workers()
 
     def close(self) -> None:
         """Stop the job scheduler (used by the HTTP server on shutdown)."""

@@ -211,6 +211,17 @@ class ShardHost:
             "error": error,
         }
 
+    def load(self) -> dict:
+        """This worker's live load — what its heartbeats carry so the
+        dispatcher can place shards by least load instead of blindly."""
+        with self._lock:
+            running = sum(1 for run in self._runs.values()
+                          if run.state == RUNNING)
+            queued = sum(1 for run in self._runs.values()
+                         if run.state == QUEUED)
+        return {"running": running, "queued": queued,
+                "max_concurrent": self.max_concurrent}
+
     def list(self) -> list[dict]:
         """Status views of every shard this worker accepted (newest id
         last), for operators inspecting a worker."""

@@ -90,7 +90,8 @@ def build_chaos_project(project: Path, functions: int = 6,
 def make_chaos_config(project: Path, spec_text: str, workspace: Path,
                       backend: str, shards: int,
                       workers: list[str] | None = None,
-                      parallelism: int = 2) -> CampaignConfig:
+                      parallelism: int = 2,
+                      registry_url: str | None = None) -> CampaignConfig:
     """The chaos campaign config — identical (name/seed/target/spec)
     across backends and resumes, so stream metas always match."""
     from repro.dsl.parser import parse_spec
@@ -112,6 +113,7 @@ def make_chaos_config(project: Path, spec_text: str, workspace: Path,
         backend=backend,
         shards=shards,
         workers=workers,
+        registry_url=registry_url,
         seed=7,
         workspace=workspace,
     )
@@ -145,6 +147,7 @@ config = CampaignConfig(
     backend=params["backend"],
     shards=params["shards"],
     workers=params.get("workers"),
+    registry_url=params.get("registry_url"),
     seed=7,
     workspace=Path(params["workspace"]),
 )
@@ -155,7 +158,8 @@ Campaign(config).run()
 def launch_campaign(project: Path, spec_text: str, workspace: Path,
                     backend: str, shards: int,
                     workers: list[str] | None = None,
-                    parallelism: int = 4) -> subprocess.Popen:
+                    parallelism: int = 4,
+                    registry_url: str | None = None) -> subprocess.Popen:
     """Run the chaos campaign in its own session (killable as a group)."""
     params = {
         "target": str(project),
@@ -164,6 +168,7 @@ def launch_campaign(project: Path, spec_text: str, workspace: Path,
         "backend": backend,
         "shards": shards,
         "workers": workers,
+        "registry_url": registry_url,
         "parallelism": parallelism,
     }
     return subprocess.Popen(
@@ -188,13 +193,21 @@ _URL_RE = re.compile(r"on (http://[\w.:\[\]-]+)")
 
 
 class WorkerProcess:
-    """A live ``profipy worker`` subprocess on an ephemeral port."""
+    """A live ``profipy worker`` subprocess on an ephemeral port.
 
-    def __init__(self, workspace: Path, timeout: float = 30.0) -> None:
+    ``join`` makes it register with a coordinator's worker registry and
+    heartbeat its lease (``profipy worker --join URL``).
+    """
+
+    def __init__(self, workspace: Path, timeout: float = 30.0,
+                 join: str | None = None) -> None:
+        argv = [sys.executable, "-u", "-m", "repro.cli",
+                "--workspace", str(workspace),
+                "worker", "--host", "127.0.0.1", "--port", "0"]
+        if join:
+            argv += ["--join", join]
         self.proc = subprocess.Popen(
-            [sys.executable, "-u", "-m", "repro.cli",
-             "--workspace", str(workspace),
-             "worker", "--host", "127.0.0.1", "--port", "0"],
+            argv,
             env=child_env(), start_new_session=True,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         )
@@ -219,8 +232,24 @@ class WorkerProcess:
         """SIGKILL the worker and its whole session (mid-shard death)."""
         kill_group(self.proc)
 
+    def sigstop(self) -> None:
+        """Freeze the worker's whole session (SIGSTOP): the process
+        stays alive but stops heartbeating and answering requests — the
+        hung-host failure mode only lease expiry can detect."""
+        os.killpg(self.proc.pid, signal.SIGSTOP)
+
+    def sigcont(self) -> None:
+        """Thaw a frozen worker (SIGCONT)."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+
     def stop(self) -> None:
         if self.proc.poll() is None:
+            # SIGKILL lands on stopped processes too, so a frozen
+            # worker still dies; SIGCONT first keeps the wait prompt.
+            self.sigcont()
             self.kill()
 
 

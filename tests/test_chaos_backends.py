@@ -15,6 +15,7 @@ process worker.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -314,6 +315,273 @@ def test_remote_worker_failure_degrades_to_harness_errors(
     finally:
         server.shutdown()
         service.close()
+
+
+# -- registry fleet chaos (leases, stalls, work stealing) --------------------------
+
+
+def _await_fleet(client, count, timeout=30.0):
+    assert wait_until(
+        lambda: len([w for w in client.list_workers()
+                     if w["state"] == "alive"]) >= count,
+        timeout=timeout,
+    ), f"fleet never reached {count} alive workers"
+
+
+def _campaign_thread(config):
+    """Run a campaign on a thread, returning (thread, outcome dict)."""
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = Campaign(config).run()
+        except BaseException as error:  # noqa: BLE001 - reraised by caller
+            outcome["error"] = error
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread, outcome
+
+
+def _finish(thread, outcome, timeout=240.0):
+    thread.join(timeout=timeout)
+    assert not thread.is_alive(), "campaign hung"
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+def test_stalled_shard_is_stolen_to_an_idle_worker(chaos_env, tmp_path,
+                                                   monkeypatch):
+    """Deterministic stall-steal, no signals involved: the only worker
+    in the fleet *parks* every submitted shard (accepted, never
+    executed).  Once an idle worker joins, the straggler detector must
+    steal the parked shards onto it — there is no other way for this
+    campaign to finish."""
+    from repro.orchestrator.backends import RemoteBackend
+    from repro.service.registry import WorkerAgent
+    from repro.service.shards import ShardRun
+
+    monkeypatch.setattr(RemoteBackend, "stall_seconds", 1.0)
+    monkeypatch.setattr(RemoteBackend, "poll_max_seconds", 0.5)
+
+    coordinator = ProFIPyService(tmp_path / "coordinator",
+                                 lease_seconds=5.0)
+    coordinator_server, _t = start_server(coordinator)
+    parker = ProFIPyService(tmp_path / "parker")
+    parker_server, _t = start_server(parker)
+    healthy = ProFIPyService(tmp_path / "healthy")
+    healthy_server, _t = start_server(healthy)
+    agents = []
+
+    parked = []
+
+    def park(payload):
+        # Accept the shard but never start its thread: it sits queued
+        # forever — the silent-straggler failure mode.
+        host = parker.shards
+        with host._lock:
+            shard_id = host._next_shard_id()
+            directory = host.shards_dir / shard_id
+            directory.mkdir(parents=True, exist_ok=True)
+            run = ShardRun(shard_id=shard_id,
+                           shard=int(payload["shard"]),
+                           total=len(payload["planned"]),
+                           directory=directory)
+            host._runs[shard_id] = run
+        parked.append(shard_id)
+        return host.status(shard_id)
+
+    parker.shards.submit = park
+    try:
+        agent = WorkerAgent("local", parker_server.url, parker.shards,
+                            client=coordinator, interval=0.2)
+        agent.start()
+        agents.append(agent)
+
+        workspace = tmp_path / "ws"
+        config = make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+            registry_url=coordinator_server.url,
+        )
+        thread, outcome = _campaign_thread(config)
+        try:
+            # Every shard must be parked on the only fleet member
+            # before the rescuer appears.
+            assert wait_until(lambda: len(parked) >= 1, timeout=30.0)
+            time.sleep(0.5)
+            rescuer = WorkerAgent("local", healthy_server.url,
+                                  healthy.shards, client=coordinator,
+                                  interval=0.2)
+            rescuer.start()
+            agents.append(rescuer)
+        except BaseException:
+            _finish(thread, outcome)
+            raise
+        result = _finish(thread, outcome)
+        assert result.executed == EXPERIMENTS
+        assert all(e.status != "harness_error" for e in result.experiments)
+        assert_streams_equivalent(workspace / "experiments.jsonl",
+                                  chaos_env.reference_stream)
+        # The parked shards never ran where they were first placed.
+        assert parked
+        assert all(parker.shards.status(sid)["recorded"] == 0
+                   for sid in parked)
+    finally:
+        for agent in agents:
+            agent.stop()
+        for server in (coordinator_server, parker_server, healthy_server):
+            server.shutdown()
+        for service in (coordinator, parker, healthy):
+            service.close()
+
+
+def test_sigstopped_worker_loses_its_lease_and_its_tail_is_stolen(
+        chaos_env, tmp_path, monkeypatch):
+    """The ``stall`` chaos cell: SIGSTOP a registered worker mid-shard.
+    The frozen process holds its sockets open (requests hang, they are
+    not refused), so only the missed heartbeats can expose it.  The
+    dispatcher must steal the unmirrored tail without operator help and
+    finish byte-identically — and the frozen worker's on-disk shard
+    stream must be missing the stolen experiments."""
+    from repro.orchestrator.backends import RemoteBackend
+    from repro.orchestrator.plan import shard_index
+    from repro.orchestrator.stream import ExperimentStream
+    from repro.service.client import ProFIPyClient
+
+    monkeypatch.setattr(RemoteBackend, "request_timeout", 3.0)
+    monkeypatch.setattr(RemoteBackend, "stall_seconds", 60.0)
+
+    coordinator = ProFIPyService(tmp_path / "coordinator",
+                                 lease_seconds=1.0)
+    coordinator_server, _t = start_server(coordinator)
+    workers = []
+    try:
+        workers = [
+            WorkerProcess(tmp_path / f"worker-{index}",
+                          join=coordinator_server.url)
+            for index in range(2)
+        ]
+        _await_fleet(ProFIPyClient(coordinator_server.url), 2)
+
+        shards = 2
+        workspace = tmp_path / "ws"
+        config = make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", shards,
+            registry_url=coordinator_server.url,
+        )
+        thread, outcome = _campaign_thread(config)
+
+        frozen = {}
+
+        def freeze_a_busy_worker():
+            for worker in workers:
+                try:
+                    views = ProFIPyClient(
+                        worker.url, timeout=2.0
+                    ).list_shards()
+                except Exception:  # noqa: BLE001 - not up yet
+                    continue
+                for view in views:
+                    if (view["state"] in ("queued", "running")
+                            and view["recorded"] < view["total"]):
+                        worker.sigstop()
+                        frozen["worker"] = worker
+                        frozen["view"] = view
+                        return True
+            return not thread.is_alive()
+
+        try:
+            assert wait_until(freeze_a_busy_worker, timeout=60.0)
+            assert "worker" in frozen, "campaign finished before a " \
+                                       "worker could be frozen mid-shard"
+        except BaseException:
+            _finish(thread, outcome)
+            raise
+        result = _finish(thread, outcome)
+        assert result.executed == EXPERIMENTS
+        assert all(e.status != "harness_error" for e in result.experiments)
+        canonical = workspace / "experiments.jsonl"
+        assert_streams_equivalent(canonical, chaos_env.reference_stream)
+
+        # The frozen worker could not have written a byte since the
+        # freeze: its on-disk stream for the frozen shard must be
+        # missing experiments the canonical stream has — the stolen
+        # tail ran elsewhere.
+        view = frozen["view"]
+        frozen_ws = tmp_path / f"worker-{workers.index(frozen['worker'])}"
+        frozen_stream = (frozen_ws / "shards" / view["shard_id"]
+                         / "experiments.jsonl")
+        frozen_ids = set(
+            ExperimentStream(frozen_stream)._latest_entries()
+        )
+        shard_ids = {
+            experiment_id
+            for experiment_id in ExperimentStream(
+                canonical)._latest_entries()
+            if shard_index(experiment_id, shards) == view["shard"]
+        }
+        assert frozen_ids < shard_ids, (
+            "no experiments were stolen from the frozen worker "
+            f"(frozen={sorted(frozen_ids)} shard={sorted(shard_ids)})"
+        )
+    finally:
+        for worker in workers:
+            worker.stop()
+        coordinator_server.shutdown()
+        coordinator.close()
+
+
+def test_registered_fleet_survives_sigstop_and_sigkill(chaos_env,
+                                                       tmp_path,
+                                                       monkeypatch):
+    """The full ISSUE oracle: a three-worker registered fleet (no
+    static ``--worker`` fallback) with one worker SIGSTOPped and
+    another SIGKILLed mid-run still completes every experiment on the
+    survivor, byte-identical to the uninterrupted reference, with no
+    operator intervention."""
+    from repro.orchestrator.backends import RemoteBackend
+    from repro.service.client import ProFIPyClient
+
+    monkeypatch.setattr(RemoteBackend, "request_timeout", 3.0)
+    monkeypatch.setattr(RemoteBackend, "stall_seconds", 30.0)
+
+    coordinator = ProFIPyService(tmp_path / "coordinator",
+                                 lease_seconds=1.0)
+    coordinator_server, _t = start_server(coordinator)
+    workers = []
+    try:
+        workers = [
+            WorkerProcess(tmp_path / f"worker-{index}",
+                          join=coordinator_server.url)
+            for index in range(3)
+        ]
+        _await_fleet(ProFIPyClient(coordinator_server.url), 3)
+
+        workspace = tmp_path / "ws"
+        config = make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", 3,
+            registry_url=coordinator_server.url,
+        )
+        thread, outcome = _campaign_thread(config)
+        try:
+            assert wait_until(lambda: recorded_total(workspace) >= 1
+                              or not thread.is_alive(), timeout=60.0)
+            workers[0].sigstop()
+            workers[1].kill()
+        except BaseException:
+            _finish(thread, outcome)
+            raise
+        result = _finish(thread, outcome)
+        assert result.executed == EXPERIMENTS
+        assert all(e.status != "harness_error" for e in result.experiments)
+        assert_streams_equivalent(workspace / "experiments.jsonl",
+                                  chaos_env.reference_stream)
+    finally:
+        for worker in workers:
+            worker.stop()
+        coordinator_server.shutdown()
+        coordinator.close()
 
 
 def test_stream_projection_oracle_detects_divergence(chaos_env,

@@ -1,0 +1,214 @@
+"""Unit tests for the unified retry policy (``repro.common.retry``)
+and its adoption in the service client (GET-only transport retries)."""
+
+import pytest
+
+from repro.common.retry import RetryPolicy, retry_call
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class FixedRng:
+    """rng.random() pinned to 0.5 → jitter factor exactly 1.0."""
+
+    def random(self):
+        return 0.5
+
+
+def call_counting(failures, exc=ConnectionError):
+    """A call that raises ``exc`` for the first ``failures`` attempts."""
+    calls = []
+
+    def call(attempt_timeout):
+        calls.append(attempt_timeout)
+        if len(calls) <= failures:
+            raise exc(f"boom {len(calls)}")
+        return f"ok after {len(calls)}"
+
+    return call, calls
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.35, jitter=0.0)
+        delays = [policy.backoff(attempt, FixedRng())
+                  for attempt in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.35, 0.35]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(attempts=3, base_delay=1.0, jitter=0.25)
+
+        class Lo:
+            def random(self):
+                return 0.0
+
+        class Hi:
+            def random(self):
+                return 1.0
+
+        assert policy.backoff(1, Lo()) == pytest.approx(0.75)
+        assert policy.backoff(1, Hi()) == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRetryCall:
+    def test_retries_until_success(self):
+        clock = FakeClock()
+        call, calls = call_counting(failures=2)
+        result = retry_call(call,
+                            policy=RetryPolicy(attempts=3, base_delay=0.1,
+                                               jitter=0.0),
+                            clock=clock, sleep=clock.sleep, rng=FixedRng())
+        assert result == "ok after 3"
+        assert len(calls) == 3
+        assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        clock = FakeClock()
+        call, calls = call_counting(failures=99)
+        with pytest.raises(ConnectionError, match="boom 3"):
+            retry_call(call,
+                       policy=RetryPolicy(attempts=3, base_delay=0.0),
+                       clock=clock, sleep=clock.sleep)
+        assert len(calls) == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        clock = FakeClock()
+        call, calls = call_counting(failures=99, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(call,
+                       policy=RetryPolicy(attempts=5, base_delay=0.0),
+                       retry_on=(ConnectionError,),
+                       clock=clock, sleep=clock.sleep)
+        assert len(calls) == 1
+
+    def test_deadline_stops_retries_early(self):
+        clock = FakeClock()
+        call, calls = call_counting(failures=99)
+        with pytest.raises(ConnectionError):
+            retry_call(call,
+                       policy=RetryPolicy(attempts=10, base_delay=1.0,
+                                          multiplier=1.0, jitter=0.0,
+                                          deadline=2.5),
+                       clock=clock, sleep=clock.sleep, rng=FixedRng())
+        # t=0 try, sleep 1, t=1 try, sleep 1, t=2 try, remaining 0.5
+        # cannot fit another full backoff tick → give up.
+        assert len(calls) == 3
+
+    def test_attempt_timeout_clipped_to_deadline(self):
+        clock = FakeClock()
+        seen = []
+
+        def call(attempt_timeout):
+            seen.append(attempt_timeout)
+            clock.now += 4.0  # each attempt burns 4s of wall clock
+            raise ConnectionError("slow")
+
+        with pytest.raises(ConnectionError):
+            retry_call(call,
+                       policy=RetryPolicy(attempts=5, base_delay=0.0,
+                                          deadline=6.0,
+                                          attempt_timeout=5.0),
+                       clock=clock, sleep=clock.sleep, rng=FixedRng())
+        # First attempt gets the full 5s; the second only the 2s left.
+        assert seen[0] == pytest.approx(5.0)
+        assert seen[1] == pytest.approx(2.0)
+        assert len(seen) == 2
+
+    def test_no_deadline_no_attempt_timeout_passes_none(self):
+        def call(attempt_timeout):
+            assert attempt_timeout is None
+            return "ok"
+
+        assert retry_call(call, policy=RetryPolicy(attempts=1)) == "ok"
+
+
+class TestClientTransportRetry:
+    """The service client retries idempotent GETs only — a resubmitted
+    POST /v1/shards could double-execute a shard on the worker."""
+
+    def _client(self, fail_with):
+        from repro.common.retry import RetryPolicy
+        from repro.service.client import ProFIPyClient
+
+        client = ProFIPyClient(
+            "http://unreachable.invalid:1",
+            retry_policy=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        calls = []
+
+        def fake_send(method, path, body, headers, timeout):
+            calls.append((method, path))
+            raise fail_with
+
+        client._send = fake_send
+        return client, calls
+
+    def test_get_retries_on_transport_error(self):
+        from repro.service.client import TransportError
+
+        client, calls = self._client(TransportError("refused"))
+        with pytest.raises(TransportError):
+            client.list_workers()
+        assert len(calls) == 3
+        assert all(method == "GET" for method, _path in calls)
+
+    def test_post_never_retries(self):
+        from repro.service.client import TransportError
+
+        client, calls = self._client(TransportError("reset mid-write"))
+        with pytest.raises(TransportError):
+            client.submit_shard({"shard": 0})
+        assert len(calls) == 1
+        assert calls[0][0] == "POST"
+
+    def test_http_level_errors_do_not_retry(self):
+        client, calls = self._client(KeyError("unknown shard"))
+        with pytest.raises(KeyError):
+            client.shard_status("shard-0001")
+        assert len(calls) == 1
+
+    def test_transport_error_is_a_connection_error(self):
+        from repro.service.client import TransportError
+
+        # The remote backend's failover net catches OSError; transport
+        # failures must fall inside it.
+        assert issubclass(TransportError, ConnectionError)
+        assert issubclass(TransportError, OSError)
+
+    def test_retry_policy_none_disables_get_retries(self):
+        from repro.service.client import ProFIPyClient, TransportError
+
+        client = ProFIPyClient("http://unreachable.invalid:1",
+                               retry_policy=None)
+        calls = []
+
+        def fake_send(method, path, body, headers, timeout):
+            calls.append(method)
+            raise TransportError("refused")
+
+        client._send = fake_send
+        with pytest.raises(TransportError):
+            client.list_shards()
+        assert calls == ["GET"]
