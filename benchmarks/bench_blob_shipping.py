@@ -1,0 +1,156 @@
+"""RB3 — content-addressed target shipping: cold vs warm dispatch.
+
+The remote backend ships the target image by content (``/v1/blobs``)
+instead of assuming a filesystem shared with every worker.  The
+questions this bench answers: what does a cold dispatch cost (empty
+worker cache — every blob uploads over HTTP), what does a warm one cost
+(one batched ``missing`` probe, nothing ships), and does a re-campaign
+over the unchanged target really put **zero** blob bytes on the wire?
+
+Method: snapshot a staged image into a manifest, then replay the exact
+sync the dispatcher runs per placement (probe + upload of the missing
+subset) against a cold and then a warm worker.  Then run the same
+remote campaign twice against one worker with every ``put_blob``
+counted: the second run must upload nothing.
+"""
+
+import time
+
+from conftest import TOY_SPEC, write_result
+
+from repro.dsl.parser import parse_spec
+from repro.faultmodel.model import FaultModel
+from repro.orchestrator.campaign import Campaign, CampaignConfig
+from repro.sandbox.image import SandboxImage
+from repro.service.blobs import BlobStore, ImageManifest
+from repro.service.client import ProFIPyClient
+from repro.service.http import start_server
+from repro.service.service import ProFIPyService
+from repro.workload.spec import WorkloadSpec
+
+#: Synthetic target size: enough files that the batched probe matters.
+FILES = 40
+FILE_BYTES = 4096
+
+
+def build_project(base):
+    project = base / "target"
+    project.mkdir()
+    for index in range(FILES):
+        filler = f"# module {index}\n" + ("x" * 63 + "\n") * (
+            FILE_BYTES // 64
+        )
+        (project / f"mod_{index:03d}.py").write_text(filler)
+    (project / "app.py").write_text(
+        "def compute(x):\n"
+        "    steps = []\n"
+        "    steps.append('start')\n"
+        "    return x * 2 + 1\n"
+    )
+    (project / "run.py").write_text(
+        "import sys\n"
+        "import app\n"
+        "sys.exit(0 if app.compute(3) == 7 else 1)\n"
+    )
+    return project
+
+
+def make_config(project, workspace, worker_url):
+    model = FaultModel(name="toy")
+    model.add(parse_spec(TOY_SPEC, name="WRR"),
+              description="wrong return value")
+    return CampaignConfig(
+        name="bench-blobs",
+        target_dir=project,
+        fault_model=model,
+        workload=WorkloadSpec(commands=["{python} run.py"],
+                              command_timeout=30.0),
+        injectable_files=["app.py"],
+        coverage=False,
+        parallelism=2,
+        backend="remote",
+        shards=1,
+        workers=[worker_url],
+        seed=7,
+        workspace=workspace,
+    )
+
+
+def sync(client, manifest, store):
+    """The dispatcher's per-placement blob sync, verbatim."""
+    missing = client.missing_blobs(manifest.digests())
+    shipped = 0
+    for digest in missing:
+        data = store.get_bytes(digest)
+        client.put_blob(digest, data)
+        shipped += len(data)
+    return len(missing), shipped
+
+
+def test_blob_shipping_cold_vs_warm(tmp_path, monkeypatch):
+    project = build_project(tmp_path)
+    image = SandboxImage.build(project, tmp_path / "image")
+    store = BlobStore(tmp_path / "blobs")
+    manifest = ImageManifest.from_image(image, store=store)
+
+    # Two workers: one for the sync micro-bench, one kept cold for the
+    # campaign half (so campaign #1 genuinely ships the tree).
+    services = [ProFIPyService(tmp_path / f"worker-{index}")
+                for index in range(2)]
+    servers = [start_server(service)[0] for service in services]
+    try:
+        client = ProFIPyClient(servers[0].url)
+        # -- cold dispatch: every blob crosses the wire -------------------
+        started = time.monotonic()
+        cold_missing, cold_bytes = sync(client, manifest, store)
+        cold_s = time.monotonic() - started
+        assert cold_missing == len(manifest.digests())
+        assert cold_bytes >= manifest.total_bytes()
+
+        # -- warm dispatch: one batched probe, nothing ships --------------
+        started = time.monotonic()
+        warm_missing, warm_bytes = sync(client, manifest, store)
+        warm_s = time.monotonic() - started
+        assert (warm_missing, warm_bytes) == (0, 0)
+
+        # -- re-campaign bytes-on-wire ------------------------------------
+        uploaded = []
+        original_put = ProFIPyClient.put_blob
+
+        def counting_put(self, digest, data):
+            uploaded.append(len(data))
+            return original_put(self, digest, data)
+
+        monkeypatch.setattr(ProFIPyClient, "put_blob", counting_put)
+        first = Campaign(make_config(project, tmp_path / "ws-1",
+                                     servers[1].url)).run()
+        assert first.executed >= 1
+        first_bytes = sum(uploaded)
+        assert first_bytes > 0, "cold campaign shipped no blobs"
+        uploaded.clear()
+        second = Campaign(make_config(project, tmp_path / "ws-2",
+                                      servers[1].url)).run()
+        assert second.executed == first.executed
+        second_bytes = sum(uploaded)
+        assert second_bytes == 0, (
+            f"re-campaign re-uploaded {second_bytes} blob bytes"
+        )
+    finally:
+        for server in servers:
+            server.shutdown()
+        for service in services:
+            service.close()
+
+    write_result(
+        "blob_shipping",
+        f"Content-addressed target shipping ({len(manifest.entries)} "
+        f"files, {manifest.total_bytes() / 1024:.0f} KiB tree):\n"
+        f"  cold dispatch (probe + {cold_missing} uploads, "
+        f"{cold_bytes / 1024:.0f} KiB): {cold_s * 1e3:7.1f} ms\n"
+        f"  warm dispatch (probe only, 0 uploads):       "
+        f"{warm_s * 1e3:7.1f} ms\n"
+        f"  campaign #1 blob bytes on the wire: {first_bytes / 1024:.0f} "
+        f"KiB\n"
+        f"  campaign #2 blob bytes on the wire: {second_bytes} "
+        "(asserted == 0)",
+    )

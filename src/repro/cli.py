@@ -209,7 +209,8 @@ def cmd_worker(args) -> int:
 
     serve(args.workspace, host=args.host, port=args.port,
           max_workers=args.max_workers, role="worker",
-          join=args.join, advertise=args.advertise)
+          join=args.join, advertise=args.advertise,
+          blob_cache=args.blob_cache, blob_cache_limit=args.blob_cache_limit)
     return 0
 
 
@@ -485,6 +486,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "listen address; set when the coordinator "
                              "must reach this worker through NAT or a "
                              "different interface)")
+    worker.add_argument("--blob-cache", metavar="DIR", default=None,
+                        help="content-addressed blob cache directory for "
+                             "shipped target images (default: "
+                             "<workspace>/blobs; share it between worker "
+                             "instances on one host to pool downloads)")
+    worker.add_argument("--blob-cache-limit", metavar="BYTES", type=int,
+                        default=None,
+                        help="evict least-recently-used blobs once the "
+                             "cache exceeds this many bytes (default: "
+                             "unbounded)")
     worker.set_defaults(func=cmd_worker)
 
     jobs = sub.add_parser("jobs", help="inspect campaign jobs")

@@ -58,7 +58,8 @@ def copy_tree(src: str | Path, dst: str | Path) -> Path:
     return dst
 
 
-def atomic_write(path: str | Path, data: str) -> None:
+def atomic_write_bytes(path: str | Path, data: bytes,
+                       mode: int | None = None) -> None:
     """Write ``data`` to ``path`` atomically (unique temp + fsync + rename).
 
     A reader never observes a partial file: the data is flushed to a
@@ -67,19 +68,25 @@ def atomic_write(path: str | Path, data: str) -> None:
     previous version intact.  The unique temporary name also makes
     concurrent writers of the same path safe (last rename wins); a fixed
     ``.tmp`` name raced when two threads persisted the same file.
+
+    ``mode`` pins the permission bits of the written file (e.g. ``0o755``
+    for an executable workload script); ``None`` uses the umask-honoring
+    default a plain ``open()`` would have produced.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".",
                                     suffix=".tmp", dir=path.parent)
     try:
-        # mkstemp creates 0600; widen to the umask-honoring mode a plain
-        # open() would have used, so the rename does not silently flip
-        # shared-workspace files to owner-only.
-        umask = os.umask(0)
-        os.umask(umask)
-        os.fchmod(fd, 0o666 & ~umask)
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        if mode is None:
+            # mkstemp creates 0600; widen to the umask-honoring mode a
+            # plain open() would have used, so the rename does not
+            # silently flip shared-workspace files to owner-only.
+            umask = os.umask(0)
+            os.umask(umask)
+            mode = 0o666 & ~umask
+        os.fchmod(fd, mode)
+        with os.fdopen(fd, "wb") as handle:
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
@@ -88,6 +95,11 @@ def atomic_write(path: str | Path, data: str) -> None:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
         raise
+
+
+def atomic_write(path: str | Path, data: str) -> None:
+    """Text variant of :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, data.encode("utf-8"))
 
 
 def write_json(path: str | Path, obj) -> None:

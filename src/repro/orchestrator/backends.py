@@ -109,6 +109,15 @@ class ExecutionContext:
     #: coordinator).  When set, the fleet is resolved and health-tracked
     #: from it; static ``workers`` URLs become unmanaged pins.
     registry: object | None = None
+    #: Content-addressed identity of the staged image
+    #: (:class:`~repro.service.blobs.ImageManifest`).  When set, the
+    #: remote backend ships shards *without* filesystem paths: each
+    #: worker is asked which blobs it lacks, exactly those are uploaded,
+    #: and the payload carries the manifest instead of staging paths.
+    image_manifest: object | None = None
+    #: The :class:`~repro.service.blobs.BlobStore` holding the
+    #: manifest's blobs (the upload source for missing ones).
+    blob_store: object | None = None
 
 
 @dataclass
@@ -491,36 +500,51 @@ def _shard_parallelism(parallelism: int | None,
 def build_shard_payload(executor: ExperimentExecutor,
                         fault_model: FaultModel, shard: int,
                         experiments: list[PlannedExperiment],
-                        parallelism: int | None) -> dict:
+                        parallelism: int | None,
+                        image_manifest=None) -> dict:
     """The JSON-plain wire form of one shard's work.
 
     This is the single payload schema shared by every sharded backend:
     :class:`ProcessBackend` adds the local-only ``stream_path`` /
     ``cancel_flag`` keys and hands it to a spawned process, while
     :class:`RemoteBackend` ships it verbatim to ``POST /v1/shards`` —
-    the worker host fills in its own stream/cancel/scratch paths.  Paths
-    inside (image, artifacts) resolve on the *executing* host's
-    filesystem, the same caveat the campaign-over-HTTP API documents.
+    the worker host fills in its own stream/cancel/scratch paths.
+
+    The image travels in one of two forms.  With ``image_manifest``
+    (an :class:`~repro.service.blobs.ImageManifest`) the payload is
+    fully content-addressed: no coordinator filesystem path appears in
+    it, and the executing host materializes the staged tree
+    byte-identically from its local blob store.  Without a manifest the
+    ``image`` key carries host-local staging paths — the same-host form
+    the process backend uses.
     """
-    return {
+    payload = {
         "shard": shard,
         "planned": [planned.to_dict() for planned in experiments],
         "fault_model": fault_model.to_dict(),
         "workload": (executor.workload.to_dict()
                      if executor.workload is not None else None),
-        "image": {
-            "source_dir": str(executor.image.source_dir),
-            "staging_dir": str(executor.image.staging_dir),
-            "env": dict(executor.image.env),
-        },
-        "base_dir": str(executor.base_dir),
         "trigger": executor.trigger,
         "rounds": executor.rounds,
         "campaign_seed": executor.campaign_seed,
-        "artifacts_dir": (str(executor.artifacts_dir)
-                          if executor.artifacts_dir else None),
         "parallelism": parallelism,
     }
+    if image_manifest is not None:
+        # Fully content-addressed: no dispatcher filesystem path rides
+        # in the payload (scratch/stream/artifact paths are the
+        # executing host's to choose), so the worker needs nothing
+        # mounted from the coordinator.
+        payload["image_manifest"] = image_manifest.to_dict()
+    else:
+        payload["image"] = {
+            "source_dir": str(executor.image.source_dir),
+            "staging_dir": str(executor.image.staging_dir),
+            "env": dict(executor.image.env),
+        }
+        payload["base_dir"] = str(executor.base_dir)
+        payload["artifacts_dir"] = (str(executor.artifacts_dir)
+                                    if executor.artifacts_dir else None)
+    return payload
 
 
 def merge_and_backfill(stream: ExperimentStream,
@@ -1132,8 +1156,25 @@ class RemoteBackend:
             payload = build_shard_payload(
                 context.executor, context.fault_model, state.index,
                 remaining, worker_parallelism[state.index],
+                image_manifest=context.image_manifest,
             )
             try:
+                if (context.image_manifest is not None
+                        and context.blob_store is not None):
+                    # Content-addressed shipping: ask the worker which
+                    # blobs it lacks and upload exactly those.  The
+                    # probe runs per placement (not once per worker):
+                    # a worker that restarted mid-campaign lost its
+                    # in-memory shards but usually not its blob cache,
+                    # and a cold one reports everything missing.
+                    # Dedup across shards and campaigns falls out — an
+                    # unchanged tree re-ships nothing but digests.
+                    sync = client_for(url)
+                    for digest in sync.missing_blobs(
+                            context.image_manifest.digests()):
+                        sync.put_blob(
+                            digest, context.blob_store.get_bytes(digest)
+                        )
                 view = client_for(url).submit_shard(payload)
             except worker_errors as error:
                 state.excluded.add(url)

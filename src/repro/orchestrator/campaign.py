@@ -16,6 +16,7 @@ campaign over the same stream skips the recorded experiment ids.
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -98,6 +99,19 @@ class CampaignConfig:
     #: ``workers`` URLs still work and are registered there as
     #: unmanaged peers when both are given.
     registry_url: str | None = None
+    #: Content-addressed snapshot of the pristine target tree
+    #: (``ImageManifest.to_dict()`` form).  When set and ``target_dir``
+    #: is absent on this host, the campaign materializes the tree from
+    #: the blob store into its workspace first — how a campaign
+    #: submitted over the /v1 API runs without any filesystem path
+    #: shared with the client.
+    image_manifest: dict | None = None
+    #: Local blob store directory: where a manifest-bearing campaign
+    #: materializes its target from, and where the remote backend
+    #: ingests the built image before shipping it to workers (default:
+    #: ``<workspace>/blobs``; the service points submitted campaigns at
+    #: its own persistent store).
+    blob_cache_dir: Path | None = None
     #: Scan-phase worker processes (None/1 = in-process indexed scan).
     scan_jobs: int | None = None
     #: Persistent scan-cache directory; repeated campaigns over unchanged
@@ -116,8 +130,11 @@ class CampaignConfig:
 
     def __post_init__(self) -> None:
         self.target_dir = Path(self.target_dir)
-        if not self.target_dir.exists():
-            raise FileNotFoundError(f"target_dir {self.target_dir} not found")
+        # target_dir existence is checked where the tree is actually
+        # read (scan / run), not at construction: a config may legally
+        # name a tree that exists only as a content-addressed manifest,
+        # or round-trip through the API on a host that never sees the
+        # client's filesystem.
         validate_backend_name(self.backend)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
@@ -135,6 +152,8 @@ class CampaignConfig:
             self.workspace = Path(self.workspace).resolve()
         if self.results_path is not None:
             self.results_path = Path(self.results_path).resolve()
+        if self.blob_cache_dir is not None:
+            self.blob_cache_dir = Path(self.blob_cache_dir).resolve()
 
 
 @dataclass
@@ -241,6 +260,10 @@ class Campaign:
         aborting the campaign.
         """
         config = self.config
+        if not config.target_dir.exists():
+            raise FileNotFoundError(
+                f"target_dir {config.target_dir} not found"
+            )
         files = config.injectable_files
         if files is None:
             from repro.common.fsutil import iter_python_files
@@ -294,6 +317,33 @@ class Campaign:
             config.results_path or workspace / "experiments.jsonl"
         )
         try:
+            target_manifest = None
+            if config.image_manifest is not None:
+                # Lazy: the service package imports orchestrator modules.
+                from repro.service.blobs import BlobStore, ImageManifest
+
+                target_manifest = ImageManifest.from_dict(
+                    config.image_manifest
+                )
+                if not config.target_dir.exists():
+                    # The target tree never touched this host's disk:
+                    # rebuild it byte-for-byte from the local blob store
+                    # and run the normal workflow over the copy.
+                    say(f"[{config.name}] materializing target from "
+                        f"manifest {target_manifest.tree_digest[:12]}")
+                    materialized = workspace / "target"
+                    target_manifest.materialize(
+                        materialized,
+                        BlobStore(config.blob_cache_dir
+                                  or workspace / "blobs"),
+                    )
+                    config = self.config = dataclasses.replace(
+                        config, target_dir=materialized
+                    )
+            if not config.target_dir.exists():
+                raise FileNotFoundError(
+                    f"target_dir {config.target_dir} not found"
+                )
             say(f"[{config.name}] building sandbox image")
             image = SandboxImage.build(
                 config.target_dir, workspace / "image",
@@ -337,7 +387,12 @@ class Campaign:
                 "campaign": config.name,
                 "seed": config.seed,
                 "faultload": faultload_digest(list(self.models.values())),
-                "target": str(config.target_dir.resolve()),
+                # A manifest names the target by *content*, so the same
+                # campaign resumes cleanly on any host; a path-based
+                # target keeps its host-local identity.
+                "target": (f"manifest:{target_manifest.tree_digest}"
+                           if target_manifest is not None
+                           else str(config.target_dir.resolve())),
             }
             if config.resume:
                 existing_meta = stream.read_meta()
@@ -414,6 +469,20 @@ class Campaign:
                 from repro.service.client import ProFIPyClient
 
                 registry = ProFIPyClient(config.registry_url, timeout=10.0)
+            shard_manifest = None
+            blob_store = None
+            if config.backend == BACKEND_REMOTE:
+                # Snapshot the *built* image (runtime + containerfile
+                # effects included) into the local blob store; the
+                # backend ships workers the manifest plus only the blobs
+                # each one reports missing — no shared filesystem.
+                from repro.service.blobs import BlobStore, ImageManifest
+
+                blob_store = BlobStore(config.blob_cache_dir
+                                       or workspace / "blobs")
+                shard_manifest = ImageManifest.from_image(
+                    image, store=blob_store
+                )
             context = ExecutionContext(
                 executor=executor,
                 fault_model=config.fault_model,
@@ -424,6 +493,8 @@ class Campaign:
                              else None),
                 workers=config.workers,
                 registry=registry,
+                image_manifest=shard_manifest,
+                blob_store=blob_store,
             )
             execution_started = time.monotonic()
             outcome = backend.execute(context, pending_list, stream)

@@ -20,6 +20,7 @@ A small subset of containerfile directives is honoured at build time:
 from __future__ import annotations
 
 import shlex
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -64,6 +65,31 @@ class SandboxImage:
             )
         return image
 
+    @classmethod
+    def build_from_manifest(
+        cls,
+        manifest,
+        staging_dir: str | Path,
+        store,
+    ) -> "SandboxImage":
+        """Stage an image from its content-addressed manifest.
+
+        The worker-side counterpart of :meth:`build`: the tree is
+        materialized byte-identically (permission bits included) from a
+        local :class:`~repro.service.blobs.BlobStore` instead of copied
+        from a source directory, so no path shared with the dispatching
+        host is needed.  Containerfile directives are *not* re-applied —
+        the manifest snapshots the coordinator's fully-built staging
+        tree, COPY/RUN effects and all, which keeps the materialized
+        image deterministic.  The runtime module is (re)written so the
+        sandbox engine on this host always matches its own mutator.
+        """
+        staging_dir = Path(staging_dir)
+        manifest.materialize(staging_dir, store)
+        write_runtime(staging_dir)
+        return cls(source_dir=staging_dir, staging_dir=staging_dir,
+                   env=dict(manifest.env))
+
     def _apply_containerfile(self, text: str, context: Path,
                              timeout: float) -> None:
         for line_no, raw in enumerate(text.splitlines(), start=1):
@@ -96,7 +122,11 @@ class SandboxImage:
                     copy_tree(src, dst)
                 else:
                     dst.parent.mkdir(parents=True, exist_ok=True)
-                    dst.write_bytes(src.read_bytes())
+                    # copy2, not write_bytes: an executable workload
+                    # script COPYed into the image must keep its +x bit
+                    # (it also has to survive the manifest round-trip
+                    # when the image ships to a remote worker).
+                    shutil.copy2(src, dst)
             elif directive == "RUN":
                 import os
 

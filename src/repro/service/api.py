@@ -55,6 +55,7 @@ ERROR_STATUS = {
     "unknown_model": 404,
     "unknown_shard": 404,
     "unknown_worker": 404,
+    "unknown_blob": 404,
     "missing_artifact": 404,
     "not_found": 404,
     "method_not_allowed": 405,
@@ -92,7 +93,7 @@ def exception_for(error: APIError) -> Exception:
     """The in-process exception equivalent of a wire error (what the
     client raises so it mirrors ``ProFIPyService`` exactly)."""
     if error.code in ("unknown_job", "unknown_model", "unknown_shard",
-                      "unknown_worker"):
+                      "unknown_worker", "unknown_blob"):
         return KeyError(error.message)
     if error.code in ("missing_artifact", "not_found"):
         return FileNotFoundError(error.message)
@@ -245,6 +246,9 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "registry_url": config.registry_url,
         "scan_jobs": config.scan_jobs,
         "scan_cache_dir": opt_path(config.scan_cache_dir),
+        "image_manifest": (dict(config.image_manifest)
+                           if config.image_manifest is not None else None),
+        "blob_cache_dir": opt_path(config.blob_cache_dir),
         "seed": config.seed,
         "workspace": opt_path(config.workspace),
         "keep_artifacts": config.keep_artifacts,
@@ -255,8 +259,11 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
 
 def campaign_config_from_dict(data: dict) -> CampaignConfig:
     """Rebuild a campaign config from its wire form (raises ``KeyError``
-    / ``ValueError`` / ``FileNotFoundError`` for malformed payloads —
-    the API layer maps them to ``invalid_request``)."""
+    / ``ValueError`` for malformed payloads — the API layer maps them to
+    ``invalid_request``).  A ``target_dir`` that does not exist on this
+    host is *not* rejected here: it is validated at scan/build time, so
+    a config (possibly carrying an ``image_manifest``) round-trips on
+    hosts whose filesystem lacks the path."""
 
     def opt_path(value) -> Path | None:
         return Path(value) if value is not None else None
@@ -281,6 +288,8 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         registry_url=data.get("registry_url"),
         scan_jobs=data.get("scan_jobs"),
         scan_cache_dir=opt_path(data.get("scan_cache_dir")),
+        image_manifest=data.get("image_manifest"),
+        blob_cache_dir=opt_path(data.get("blob_cache_dir")),
         seed=data.get("seed", 0),
         workspace=opt_path(data.get("workspace")),
         keep_artifacts=data.get("keep_artifacts", False),
@@ -550,6 +559,49 @@ class ServiceAPI:
         except KeyError:
             raise APIError("unknown_shard",
                            f"unknown shard {shard_id!r}") from None
+
+    # -- content-addressed blobs --------------------------------------------------
+
+    def blob_path(self, digest: str) -> Path:
+        """Filesystem path of a stored blob (the raw-bytes GET serves
+        it verbatim); ``unknown_blob`` when this host lacks it."""
+        try:
+            return self.service.blob_path(digest)
+        except ValueError as error:
+            raise APIError("invalid_request", str(error)) from None
+        except KeyError:
+            raise APIError("unknown_blob",
+                           f"unknown blob {digest!r}") from None
+
+    def put_blob(self, digest: str, data: bytes) -> dict:
+        """Store one blob (``PUT /v1/blobs/{digest}``, raw body).
+
+        The content is verified against the URL digest — a mismatch is
+        a corrupt upload and answers ``invalid_request``.  Idempotent:
+        re-putting a stored blob is a no-op.
+        """
+        try:
+            stored = self.service.put_blob(digest, data)
+        except (TypeError, ValueError) as error:
+            raise APIError("invalid_request", str(error)) from None
+        return {"digest": stored, "size": len(data),
+                "api_version": API_VERSION}
+
+    def missing_blobs(self, payload: dict) -> dict:
+        """The batched have/have-not probe (``POST /v1/blobs/missing``):
+        answers which of the asked digests this host lacks, so a
+        dispatcher uploads only those."""
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("digests"), list)):
+            raise APIError(
+                "invalid_request",
+                'payload must be an object with a "digests" list',
+            )
+        try:
+            missing = self.service.missing_blobs(payload["digests"])
+        except ValueError as error:
+            raise APIError("invalid_request", str(error)) from None
+        return {"missing": missing, "api_version": API_VERSION}
 
     # -- worker fleet registry ---------------------------------------------------
 

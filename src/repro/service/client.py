@@ -100,11 +100,16 @@ class ProFIPyClient:
 
     # -- transport ---------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None,
+    def _request(self, method: str, path: str,
+                 payload: dict | bytes | None = None,
                  timeout: float | None = None) -> tuple[int, bytes, str]:
         body = None
         headers = {"Accept": "application/json"}
-        if payload is not None:
+        if isinstance(payload, bytes):
+            # Raw-body endpoints (blob uploads) ship the bytes verbatim.
+            body = payload
+            headers["Content-Type"] = "application/octet-stream"
+        elif payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request_timeout = timeout or self.timeout
@@ -356,6 +361,31 @@ class ProFIPyClient:
             "GET", f"/v1/shards/{shard_id}/stream.ndjson?offset={int(offset)}"
         )
         return raw
+
+    # -- content-addressed blobs --------------------------------------------------
+
+    def get_blob(self, digest: str) -> bytes:
+        """One blob's raw content (``GET /v1/blobs/{digest}``); raises
+        ``KeyError`` for a blob the host lacks (``unknown_blob``),
+        mirroring :meth:`ProFIPyService.blob_path` + read."""
+        _status, raw, _ctype = self._request("GET", f"/v1/blobs/{digest}")
+        return raw
+
+    def put_blob(self, digest: str, data: bytes) -> dict:
+        """Upload one content-addressed blob (``PUT /v1/blobs/{digest}``,
+        raw body).  Idempotent — re-putting a stored blob is a no-op —
+        and verified: content that does not hash to ``digest`` raises
+        ``ValueError``.  Safe to retry despite being a write, but the
+        transport keeps its no-retry-on-writes policy for uniformity."""
+        return self._json("PUT", f"/v1/blobs/{digest}", data)
+
+    def missing_blobs(self, digests) -> list[str]:
+        """Which of ``digests`` the host lacks
+        (``POST /v1/blobs/missing``) — upload exactly those before
+        submitting a manifest-bearing shard."""
+        result = self._json("POST", "/v1/blobs/missing",
+                            {"digests": sorted(set(digests))})
+        return list(result["missing"])
 
     # -- worker registry (fleet membership) --------------------------------------
 

@@ -24,6 +24,9 @@ Endpoints (see ``docs/SERVICE_API.md`` for the full table)::
     GET  /v1/shards/{id}                    # shard status/progress
     POST /v1/shards/{id}/cancel             # cooperative shard cancel
     GET  /v1/shards/{id}/stream.ndjson?offset=N   # newline-aligned tail
+    GET  /v1/blobs/{digest}                 # raw content-addressed blob
+    PUT  /v1/blobs/{digest}                 # upload one blob (raw body)
+    POST /v1/blobs/missing                  # which digests this host lacks
     POST /v1/workers/register               # join the worker fleet
     POST /v1/workers/{id}/heartbeat         # renew lease, report load
     GET  /v1/workers                        # fleet view (lease states)
@@ -86,6 +89,9 @@ _ROUTES: list[tuple[str, re.Pattern, str]] = [
      "_route_cancel_shard"),
     ("GET", re.compile(r"/v1/shards/(?P<shard_id>[^/]+)/stream\.ndjson$"),
      "_route_shard_stream"),
+    ("POST", re.compile(r"/v1/blobs/missing$"), "_route_missing_blobs"),
+    ("GET", re.compile(r"/v1/blobs/(?P<digest>[^/]+)$"), "_route_get_blob"),
+    ("PUT", re.compile(r"/v1/blobs/(?P<digest>[^/]+)$"), "_route_put_blob"),
     ("POST", re.compile(r"/v1/workers/register$"), "_route_register_worker"),
     ("GET", re.compile(r"/v1/workers$"), "_route_list_workers"),
     ("POST", re.compile(r"/v1/workers/(?P<worker_id>[^/]+)/heartbeat$"),
@@ -168,12 +174,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers -----------------------------------------------------------------
 
-    def _read_json(self, optional: bool = False) -> dict:
+    def _read_raw(self) -> bytes:
+        """The request body verbatim (blob uploads are raw bytes, not
+        JSON), bounded like every accepted body."""
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             raise APIError("invalid_request",
                            f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length) if length else b""
+        return self.rfile.read(length) if length else b""
+
+    def _read_json(self, optional: bool = False) -> dict:
+        raw = self._read_raw()
         if not raw:
             if optional:
                 return {}
@@ -317,6 +328,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200,
                         self.api.cancel_shard(match.group("shard_id")))
 
+    # -- content-addressed blob routes ---------------------------------------------
+
+    def _route_get_blob(self, match, _query) -> None:
+        """One blob's raw content — the wire format IS the stored file."""
+        path = self.api.blob_path(match.group("digest"))
+        try:
+            body = path.read_bytes()
+        except OSError:
+            # Evicted between the existence check and the read: to the
+            # client that is indistinguishable from never-stored.
+            raise APIError(
+                "unknown_blob", f"unknown blob {match.group('digest')!r}"
+            ) from None
+        self._send_body(200, body, "application/octet-stream")
+
+    def _route_put_blob(self, match, _query) -> None:
+        body = self._read_raw()
+        self._send_json(200, self.api.put_blob(match.group("digest"), body))
+
+    def _route_missing_blobs(self, _match, _query) -> None:
+        self._send_json(200, self.api.missing_blobs(self._read_json()))
+
     # -- worker fleet registry routes ---------------------------------------------
 
     def _route_register_worker(self, _match, _query) -> None:
@@ -395,21 +428,28 @@ def start_server(service: ProFIPyService, host: str = "127.0.0.1",
 def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
           max_workers: int | None = None, say=print,
           role: str = "service", join: str | None = None,
-          advertise: str | None = None) -> None:
+          advertise: str | None = None,
+          blob_cache: str | Path | None = None,
+          blob_cache_limit: int | None = None) -> None:
     """Run the service API in the foreground (``profipy serve`` /
     ``profipy worker`` — the worker role is the same server, announced
-    as such; shard endpoints are mounted either way).
+    as such; shard and blob endpoints are mounted either way).
 
     ``join`` is a coordinator URL: the server registers itself in that
     coordinator's worker fleet and heartbeats its live shard load for
     as long as it runs (``profipy worker --join URL``).  ``advertise``
     overrides the URL the coordinator hands to dispatchers — required
     when the bind address (e.g. ``0.0.0.0``) is not reachable as-is.
+    ``blob_cache`` relocates the content-addressed blob cache
+    (default ``<workspace>/blobs``) and ``blob_cache_limit`` bounds it
+    in bytes with least-recently-used eviction (``profipy worker
+    --blob-cache DIR --blob-cache-limit BYTES``).
     """
     from repro.service.jobs import DEFAULT_MAX_WORKERS
 
     service = ProFIPyService(
-        workspace, max_workers=max_workers or DEFAULT_MAX_WORKERS
+        workspace, max_workers=max_workers or DEFAULT_MAX_WORKERS,
+        blob_cache_dir=blob_cache, blob_cache_bytes=blob_cache_limit,
     )
     server = ProFIPyHTTPServer((host, port), service)
     say(f"profipy {role} API {API_VERSION} on {server.url} "

@@ -53,6 +53,7 @@ from repro.service.jobs import (
     JobCancelled,
     JobRunner,
 )
+from repro.service.blobs import BlobStore
 from repro.service.registry import DEFAULT_LEASE_SECONDS, WorkerRegistry
 from repro.service.shards import ShardHost
 
@@ -62,17 +63,28 @@ class ProFIPyService:
 
     def __init__(self, workspace: str | Path,
                  max_workers: int = DEFAULT_MAX_WORKERS,
-                 lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 blob_cache_dir: str | Path | None = None,
+                 blob_cache_bytes: int | None = None) -> None:
         self.workspace = Path(workspace)
         self.models_dir = self.workspace / "models"
         self.models_dir.mkdir(parents=True, exist_ok=True)
         self.runner = JobRunner(self.workspace / "jobs",
                                 max_workers=max_workers)
+        # Content-addressed blob cache (/v1/blobs): target trees arrive
+        # as sha256-keyed blobs, persist across shards and campaigns, so
+        # a dispatcher re-shipping an unchanged tree uploads nothing.
+        # ``blob_cache_bytes`` bounds the cache LRU-style (worker hosts
+        # with small disks); unbounded by default.
+        self.blobs = BlobStore(blob_cache_dir or self.workspace / "blobs",
+                               max_bytes=blob_cache_bytes)
         # The worker role: shard payloads accepted over /v1/shards run
-        # out of their own corner of the workspace.  Constructed eagerly
-        # (it is one mkdir) so every service instance can act as a
-        # remote-backend worker.
-        self.shards = ShardHost(self.workspace / "shards")
+        # out of their own corner of the workspace, materializing their
+        # image from the blob cache when the payload ships a manifest.
+        # Constructed eagerly (it is one mkdir) so every service
+        # instance can act as a remote-backend worker.
+        self.shards = ShardHost(self.workspace / "shards",
+                                blob_store=self.blobs)
         # The coordinator role: fleet membership for remote-backend
         # dispatchers (/v1/workers).  In-memory, like the shard host —
         # workers re-register after a coordinator restart.
@@ -138,6 +150,13 @@ class ProFIPyService:
         if config.scan_cache_dir is None:
             config = dataclasses.replace(
                 config, scan_cache_dir=self.workspace / "scan_cache"
+            )
+        # Likewise the blob store: remote-backend campaigns ingest their
+        # staged image into the service's persistent content-addressed
+        # store, so repeat campaigns re-upload nothing.
+        if config.blob_cache_dir is None:
+            config = dataclasses.replace(
+                config, blob_cache_dir=self.blobs.root
             )
         previous_stream = None
         if resume_from is not None:
@@ -373,6 +392,28 @@ class ProFIPyService:
         """Where the shard's raw result stream lives (served as a
         newline-aligned NDJSON tail by the HTTP layer)."""
         return self.shards.stream_path(shard_id)
+
+    # -- content-addressed blobs --------------------------------------------------
+
+    def blob_path(self, digest: str) -> Path:
+        """Where a stored blob lives (the HTTP layer serves the file
+        verbatim); raises ``KeyError`` for a blob this host lacks and
+        ``ValueError`` for a malformed digest."""
+        path = self.blobs.path(digest)
+        if not path.is_file():
+            raise KeyError(f"unknown blob {digest}")
+        return path
+
+    def put_blob(self, digest: str, data: bytes) -> str:
+        """Store one content-addressed blob (idempotent); the content
+        is verified against ``digest`` — raises ``ValueError`` on
+        mismatch."""
+        return self.blobs.put_bytes(data, digest=digest)
+
+    def missing_blobs(self, digests: list[str]) -> list[str]:
+        """Which of ``digests`` this host's blob store lacks — the
+        dispatcher uploads only those before submitting a shard."""
+        return self.blobs.missing(digests)
 
     # -- worker fleet registry ---------------------------------------------------
 

@@ -54,12 +54,15 @@ DEFAULT_MAX_CONCURRENT = 4
 
 #: Payload keys a dispatcher must provide (the wire schema of
 #: ``build_shard_payload``; local-only paths are filled in worker-side).
+#: The image arrives either as ``image`` (host-local staging paths, the
+#: process backend's form) or as ``image_manifest`` (content-addressed,
+#: materialized from this worker's blob store) — one of the two is
+#: required on top of these.
 REQUIRED_PAYLOAD_KEYS = (
     "shard",
     "planned",
     "fault_model",
     "workload",
-    "image",
     "trigger",
     "rounds",
     "campaign_seed",
@@ -93,7 +96,8 @@ class ShardHost:
     """Accepts and executes shard payloads on behalf of a dispatcher."""
 
     def __init__(self, shards_dir: str | Path,
-                 max_concurrent: int = DEFAULT_MAX_CONCURRENT) -> None:
+                 max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+                 blob_store=None) -> None:
         if max_concurrent < 1:
             raise ValueError(
                 f"max_concurrent must be >= 1, got {max_concurrent}"
@@ -101,6 +105,10 @@ class ShardHost:
         self.shards_dir = Path(shards_dir)
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         self.max_concurrent = max_concurrent
+        #: Local :class:`~repro.service.blobs.BlobStore` that
+        #: manifest-bearing payloads materialize their image from;
+        #: ``None`` restricts this host to path-based payloads.
+        self.blob_store = blob_store
         self._slots = threading.Semaphore(max_concurrent)
         self._runs: dict[str, ShardRun] = {}
         self._lock = threading.Lock()
@@ -143,6 +151,23 @@ class ShardHost:
             )
         if not isinstance(payload["planned"], list):
             raise ValueError("shard payload 'planned' must be a list")
+        manifest = payload.get("image_manifest")
+        if manifest is None and "image" not in payload:
+            raise ValueError(
+                "shard payload needs 'image' (host-local staging paths) "
+                "or 'image_manifest' (content-addressed)"
+            )
+        if manifest is not None:
+            if self.blob_store is None:
+                raise ValueError(
+                    "this worker has no blob store; it cannot accept "
+                    "manifest-bearing shard payloads"
+                )
+            from repro.service.blobs import ImageManifest
+
+            # Parse eagerly: a malformed manifest is the dispatcher's
+            # bug and must answer invalid_request, not a failed shard.
+            ImageManifest.from_dict(manifest)
         with self._lock:
             shard_id = self._next_shard_id()
             directory = self.shards_dir / shard_id
@@ -156,8 +181,11 @@ class ShardHost:
             self._runs[shard_id] = run
         # The executing engine is exactly the local process worker's;
         # only the local-only paths are rewritten into the shard's
-        # private directory (image/artifact paths resolve on *this*
-        # host's filesystem — the documented service-API caveat).
+        # private directory.  A manifest-bearing payload needs no
+        # coordinator paths at all — the image is materialized from this
+        # host's blob store in the worker thread below; a path-based
+        # "image" still resolves on *this* host's filesystem (the
+        # process backend's same-host form).
         body = dict(payload)
         body["stream_path"] = str(run.stream_path)
         body["cancel_flag"] = str(run.cancel_flag)
@@ -180,6 +208,26 @@ class ShardHost:
             with self._lock:
                 run.state = RUNNING
             try:
+                manifest = body.pop("image_manifest", None)
+                if manifest is not None:
+                    # Materialize the content-addressed image into the
+                    # shard's scratch corner (byte-identical to the
+                    # coordinator's staging tree, permission bits
+                    # included).  A blob the dispatcher never uploaded
+                    # surfaces as this shard's failed state.
+                    from repro.sandbox.image import SandboxImage
+                    from repro.service.blobs import ImageManifest
+
+                    image = SandboxImage.build_from_manifest(
+                        ImageManifest.from_dict(manifest),
+                        run.directory / "image",
+                        self.blob_store,
+                    )
+                    body["image"] = {
+                        "source_dir": str(image.source_dir),
+                        "staging_dir": str(image.staging_dir),
+                        "env": dict(image.env),
+                    }
                 report = _run_shard_worker(body)
             except Exception as error:  # noqa: BLE001 - via status
                 with self._lock:

@@ -1,0 +1,203 @@
+"""Tests for the content-addressed blob store and image manifests."""
+
+import os
+
+import pytest
+
+from repro.sandbox.image import SandboxImage
+from repro.service.blobs import (
+    BlobStore,
+    ImageManifest,
+    blob_digest,
+    validate_digest,
+)
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip_and_layout(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        digest = store.put_bytes(b"hello fleet")
+        assert digest == blob_digest(b"hello fleet")
+        # Fanned out: <root>/<digest[:2]>/<digest>.
+        assert store.path(digest) == (
+            tmp_path / "blobs" / digest[:2] / digest
+        )
+        assert store.has(digest)
+        assert store.get_bytes(digest) == b"hello fleet"
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        first = store.put_bytes(b"same bytes")
+        second = store.put_bytes(b"same bytes")
+        assert first == second
+        assert store.total_bytes() == len(b"same bytes")
+
+    def test_declared_digest_must_match_content(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        wrong = blob_digest(b"other bytes")
+        with pytest.raises(ValueError, match="hashes to"):
+            store.put_bytes(b"actual bytes", digest=wrong)
+        assert not store.has(wrong)
+        # The right declared digest is accepted (the PUT endpoint's path).
+        right = blob_digest(b"actual bytes")
+        assert store.put_bytes(b"actual bytes", digest=right) == right
+
+    def test_missing_is_the_sorted_absent_subset(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        held = store.put_bytes(b"held")
+        absent_a = blob_digest(b"absent a")
+        absent_b = blob_digest(b"absent b")
+        assert store.missing([held]) == []
+        assert store.missing([held, absent_b, absent_a, absent_a]) == sorted(
+            {absent_a, absent_b}
+        )
+
+    def test_get_unknown_blob_raises_keyerror(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        digest = blob_digest(b"never stored")
+        with pytest.raises(KeyError, match="unknown blob"):
+            store.get_bytes(digest)
+
+    def test_malformed_digest_rejected(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        for bad in ("xyz", "1234", 42, None, "../../etc/passwd", "g" * 64):
+            with pytest.raises(ValueError, match="64 hex chars"):
+                store.path(bad)
+        # Uppercase hex is normalized, not rejected.
+        assert validate_digest("A" * 64) == "a" * 64
+
+    def test_lru_eviction_drops_oldest_first(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs", max_bytes=25)
+        old = store.put_bytes(b"0" * 10)
+        os.utime(store.path(old), (1_000, 1_000))
+        warm = store.put_bytes(b"1" * 10)
+        os.utime(store.path(warm), (2_000, 2_000))
+        # get_bytes bumps recency, so `old` is now the freshest.
+        store.get_bytes(old)
+        newest = store.put_bytes(b"2" * 10)
+        # 30 bytes > 25: the least recently used blob (warm) went.
+        assert not store.has(warm)
+        assert store.has(old)
+        assert store.has(newest)
+        assert store.total_bytes() <= 25
+
+    def test_oversized_blob_survives_its_own_eviction(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs", max_bytes=4)
+        digest = store.put_bytes(b"bigger than the bound")
+        # A single blob above max_bytes must stay usable by the shard
+        # that just fetched it.
+        assert store.get_bytes(digest) == b"bigger than the bound"
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        digests = [store.put_bytes(bytes([i]) * 64) for i in range(8)]
+        assert store.evict() == []
+        assert all(store.has(digest) for digest in digests)
+
+
+def _write_tree(root, files):
+    for relpath, content in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(content)
+
+
+class TestImageManifest:
+    def test_identical_trees_yield_byte_identical_manifests(self, tmp_path):
+        files = {"app.py": b"print('x')\n", "pkg/util.py": b"VALUE = 3\n"}
+        _write_tree(tmp_path / "a", files)
+        _write_tree(tmp_path / "b", files)
+        left = ImageManifest.from_tree(tmp_path / "a")
+        right = ImageManifest.from_tree(tmp_path / "b")
+        assert left.canonical_bytes() == right.canonical_bytes()
+        assert left.tree_digest == right.tree_digest
+        changed = dict(files, **{"app.py": b"print('y')\n"})
+        _write_tree(tmp_path / "c", changed)
+        assert (ImageManifest.from_tree(tmp_path / "c").tree_digest
+                != left.tree_digest)
+
+    def test_ignored_dirs_are_skipped(self, tmp_path):
+        _write_tree(tmp_path / "tree", {
+            "app.py": b"pass\n",
+            "__pycache__/app.cpython-312.pyc": b"\x00",
+            ".git/HEAD": b"ref: refs/heads/main\n",
+        })
+        manifest = ImageManifest.from_tree(tmp_path / "tree")
+        assert sorted(manifest.entries) == ["app.py"]
+
+    def test_dict_roundtrip_preserves_identity(self, tmp_path):
+        _write_tree(tmp_path / "tree", {"a.py": b"A\n", "d/b.py": b"B\n"})
+        manifest = ImageManifest.from_tree(tmp_path / "tree",
+                                           env={"PROFIPY_X": "1"})
+        clone = ImageManifest.from_dict(manifest.to_dict())
+        assert clone.entries == manifest.entries
+        assert clone.env == manifest.env
+        assert clone.tree_digest == manifest.tree_digest
+
+    def test_tampered_tree_digest_rejected(self, tmp_path):
+        _write_tree(tmp_path / "tree", {"a.py": b"A\n"})
+        data = ImageManifest.from_tree(tmp_path / "tree").to_dict()
+        data["tree_digest"] = blob_digest(b"forged")
+        with pytest.raises(ValueError, match="declares tree digest"):
+            ImageManifest.from_dict(data)
+
+    def test_escaping_relpaths_rejected(self, tmp_path):
+        _write_tree(tmp_path / "tree", {"a.py": b"A\n"})
+        base = ImageManifest.from_tree(tmp_path / "tree")
+        entry = base.entries["a.py"]
+        for hostile in ("../evil.py", "/etc/evil.py", "d/../../evil.py"):
+            data = {"entries": {hostile: dict(entry)}, "env": {}}
+            with pytest.raises(ValueError, match="escapes the tree"):
+                ImageManifest.from_dict(data)
+
+    def test_materialize_rebuilds_tree_byte_identically(self, tmp_path):
+        files = {"app.py": b"print('x')\n", "pkg/deep/u.py": b"U = 1\n"}
+        _write_tree(tmp_path / "tree", files)
+        store = BlobStore(tmp_path / "blobs")
+        manifest = ImageManifest.from_tree(tmp_path / "tree", store=store)
+        dest = manifest.materialize(tmp_path / "copy", store)
+        for relpath, content in files.items():
+            assert (dest / relpath).read_bytes() == content
+        # Re-manifesting the copy yields the same identity.
+        assert (ImageManifest.from_tree(dest).tree_digest
+                == manifest.tree_digest)
+
+    def test_materialize_names_the_missing_blob(self, tmp_path):
+        _write_tree(tmp_path / "tree", {"a.py": b"A\n"})
+        manifest = ImageManifest.from_tree(tmp_path / "tree")  # no store
+        empty = BlobStore(tmp_path / "blobs")
+        with pytest.raises(KeyError, match="a.py"):
+            manifest.materialize(tmp_path / "copy", empty)
+
+    def test_executable_mode_survives_the_roundtrip(self, tmp_path):
+        """Regression: +x workload scripts must keep their bit through
+        staging, the blob store, and materialization."""
+        tree = tmp_path / "tree"
+        _write_tree(tree, {"run.sh": b"#!/bin/sh\necho ok\n",
+                           "app.py": b"pass\n"})
+        os.chmod(tree / "run.sh", 0o755)
+        store = BlobStore(tmp_path / "blobs")
+        manifest = ImageManifest.from_tree(tree, store=store)
+        assert manifest.entries["run.sh"]["mode"] == 0o755
+        dest = manifest.materialize(tmp_path / "copy", store)
+        assert os.stat(dest / "run.sh").st_mode & 0o777 == 0o755
+        assert os.access(dest / "run.sh", os.X_OK)
+
+
+class TestBuildFromManifest:
+    def test_worker_side_image_matches_the_staged_tree(self, tmp_path):
+        _write_tree(tmp_path / "src", {"app.py": b"X = 1\n"})
+        image = SandboxImage.build(tmp_path / "src", tmp_path / "image",
+                                   containerfile="ENV PROFIPY_DEMO=yes")
+        store = BlobStore(tmp_path / "blobs")
+        manifest = ImageManifest.from_image(image, store=store)
+        clone = SandboxImage.build_from_manifest(
+            ImageManifest.from_dict(manifest.to_dict()),
+            tmp_path / "worker-image", store,
+        )
+        assert clone.env == {"PROFIPY_DEMO": "yes"}
+        # Byte-identical staging trees: re-snapshotting the clone (env
+        # included — tree_digest covers it) reproduces the original
+        # identity, runtime module and all.
+        assert (ImageManifest.from_image(clone).tree_digest
+                == manifest.tree_digest)

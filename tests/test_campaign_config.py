@@ -11,11 +11,18 @@ from repro.orchestrator.experiment import ExperimentResult
 class TestConfigValidation:
     def test_missing_target_rejected(self, toy_model, toy_workload,
                                      tmp_path):
-        with pytest.raises(FileNotFoundError):
-            CampaignConfig(
-                name="x", target_dir=tmp_path / "nope",
-                fault_model=toy_model, workload=toy_workload,
-            )
+        # Construction is lazy about the filesystem (a config may name a
+        # tree that only exists as a manifest, or round-trip through the
+        # API on another host); the clear error moves to scan/run time.
+        config = CampaignConfig(
+            name="x", target_dir=tmp_path / "nope",
+            fault_model=toy_model, workload=toy_workload,
+        )
+        campaign = Campaign(config)
+        with pytest.raises(FileNotFoundError, match="target_dir"):
+            campaign.scan()
+        with pytest.raises(FileNotFoundError, match="target_dir"):
+            campaign.run()
 
     def test_defaults(self, toy_project, toy_model, toy_workload):
         config = CampaignConfig(

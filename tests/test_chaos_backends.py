@@ -436,6 +436,94 @@ def test_stalled_shard_is_stolen_to_an_idle_worker(chaos_env, tmp_path,
             service.close()
 
 
+def test_cold_cache_joiner_fetches_blobs_before_running_stolen_tail(
+        chaos_env, tmp_path, monkeypatch):
+    """The blob-shipping steal cell: the only fleet member parks every
+    shard, and the rescuer that joins mid-campaign is *cold* — an empty
+    blob store, no shared filesystem, nothing but its registration.
+    The steal path must ship it the image blobs before the stolen tail
+    runs, and the results must still be byte-identical to the
+    uninterrupted reference."""
+    from repro.orchestrator.backends import RemoteBackend
+    from repro.service.registry import WorkerAgent
+    from repro.service.shards import ShardRun
+
+    monkeypatch.setattr(RemoteBackend, "stall_seconds", 1.0)
+    monkeypatch.setattr(RemoteBackend, "poll_max_seconds", 0.5)
+
+    coordinator = ProFIPyService(tmp_path / "coordinator",
+                                 lease_seconds=5.0)
+    coordinator_server, _t = start_server(coordinator)
+    parker = ProFIPyService(tmp_path / "parker")
+    parker_server, _t = start_server(parker)
+    rescuer_service = ProFIPyService(tmp_path / "rescuer")
+    rescuer_server, _t = start_server(rescuer_service)
+    agents = []
+
+    parked = []
+
+    def park(payload):
+        # Accept but never execute (see the stall-steal cell above).
+        host = parker.shards
+        with host._lock:
+            shard_id = host._next_shard_id()
+            directory = host.shards_dir / shard_id
+            directory.mkdir(parents=True, exist_ok=True)
+            run = ShardRun(shard_id=shard_id,
+                           shard=int(payload["shard"]),
+                           total=len(payload["planned"]),
+                           directory=directory)
+            host._runs[shard_id] = run
+        parked.append(shard_id)
+        return host.status(shard_id)
+
+    parker.shards.submit = park
+    try:
+        agent = WorkerAgent("local", parker_server.url, parker.shards,
+                            client=coordinator, interval=0.2)
+        agent.start()
+        agents.append(agent)
+
+        workspace = tmp_path / "ws"
+        config = make_chaos_config(
+            chaos_env.project, TOY_SPEC, workspace, "remote", 2,
+            registry_url=coordinator_server.url,
+        )
+        thread, outcome = _campaign_thread(config)
+        try:
+            assert wait_until(lambda: len(parked) >= 1, timeout=30.0)
+            # The rescuer joins only now, with nothing in its store.
+            assert rescuer_service.blobs.total_bytes() == 0
+            rescuer = WorkerAgent("local", rescuer_server.url,
+                                  rescuer_service.shards,
+                                  client=coordinator, interval=0.2)
+            rescuer.start()
+            agents.append(rescuer)
+        except BaseException:
+            _finish(thread, outcome)
+            raise
+        result = _finish(thread, outcome)
+        assert result.executed == EXPERIMENTS
+        assert all(e.status != "harness_error" for e in result.experiments)
+        assert_streams_equivalent(workspace / "experiments.jsonl",
+                                  chaos_env.reference_stream)
+        # The stolen tail really ran on the joiner, from blobs it was
+        # shipped after joining — not on the parker, not from our disk.
+        assert parked
+        assert all(parker.shards.status(sid)["recorded"] == 0
+                   for sid in parked)
+        assert rescuer_service.blobs.total_bytes() > 0
+        assert any(view["state"] == "completed"
+                   for view in rescuer_service.shards.list())
+    finally:
+        for agent in agents:
+            agent.stop()
+        for server in (coordinator_server, parker_server, rescuer_server):
+            server.shutdown()
+        for service in (coordinator, parker, rescuer_service):
+            service.close()
+
+
 def test_sigstopped_worker_loses_its_lease_and_its_tail_is_stolen(
         chaos_env, tmp_path, monkeypatch):
     """The ``stall`` chaos cell: SIGSTOP a registered worker mid-shard.

@@ -130,7 +130,7 @@ class TestShardHost:
                             slow_worker)
         host = ShardHost(tmp_path / "shards", max_concurrent=1)
         payload = {key: None for key in REQUIRED_PAYLOAD_KEYS}
-        payload.update(shard=0, planned=[])
+        payload.update(shard=0, planned=[], image=None)
         first = host.submit(dict(payload))
         assert started.wait(timeout=30)
         second = host.submit(dict(payload))
