@@ -1,0 +1,161 @@
+"""ST1 — statistical engine: sequential stopping cost and monotone resume.
+
+The statistical campaign engine's pitch is *bounded cost*: a campaign
+with a margin target stops as soon as the Wilson intervals are tight
+enough, and a sampled campaign grows toward exhaustive by resume without
+re-executing anything.  This bench quantifies both over a synthetic
+1000-experiment plan — no sandboxes, so the numbers isolate the engine:
+
+* sequential stopping: drawing experiments in monotone sample order and
+  feeding a deterministic outcome per id into the streaming estimator,
+  the margin rule (eps=0.05 at 95%) must trip in well under half the
+  exhaustive cost;
+* monotone resume: extending a sampled-k stream to exhaustive via
+  ``Plan.excluding`` executes exactly ``N - k`` experiments and lands on
+  byte-identical canonical streams (the extend-vs-uninterrupted oracle).
+"""
+
+import hashlib
+
+from conftest import write_result
+
+from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.plan import Plan, PlannedExperiment
+from repro.orchestrator.stream import ExperimentStream
+from repro.scanner.points import InjectionPoint
+from repro.stats.estimate import StreamingEstimator
+from repro.stats.sampler import monotone_sample, sample_order
+from repro.stats.stopping import MarginBelow, MinSampleFloor
+
+PLAN_SIZE = 1000
+SEED = 7
+MARGIN = 0.05
+#: The margin rule must trip within this fraction of exhaustive cost.
+STOP_BUDGET = 0.45
+SAMPLE_K = 200
+
+
+def synthetic_plan() -> Plan:
+    experiments = []
+    for index in range(PLAN_SIZE):
+        point = InjectionPoint(
+            spec_name="WRR", file=f"mod{index % 7}.py", ordinal=index,
+            lineno=1, end_lineno=1, snippet="",
+            component=f"comp{index % 7}",
+        )
+        experiments.append(PlannedExperiment(
+            experiment_id=f"exp-{index:04d}", point=point))
+    return Plan(experiments=experiments)
+
+
+def outcome_for(experiment_id: str) -> bool:
+    """Deterministic synthetic verdict: ~30% of ids fail (a pure hash of
+    the id, so the 'campaign' is reproducible across processes)."""
+    digest = hashlib.sha256(experiment_id.encode("utf-8")).digest()
+    return digest[0] < 77  # 77/256 ~ 0.30
+
+
+def synthetic_result(experiment_id: str) -> ExperimentResult:
+    from repro.common.procutil import CommandResult
+    from repro.workload.runner import RoundResult
+
+    failed = outcome_for(experiment_id)
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        point={"file": "mod0.py", "component": "comp0",
+               "spec_name": "WRR"},
+        spec_name="WRR", status="completed",
+    )
+    command = CommandResult(
+        command="run", returncode=1 if failed else 0, stdout="",
+        stderr="WORKLOAD FAILURE" if failed else "", duration=0.0,
+    )
+    result.rounds.append(RoundResult(round_no=1, fault_enabled=True,
+                                     commands=[command]))
+    return result
+
+
+def stop_point(plan: Plan) -> tuple[int, dict]:
+    """Experiments consumed before the margin rule trips, walking the
+    plan in monotone sample order."""
+    estimator = StreamingEstimator(confidence=0.95)
+    rule = MinSampleFloor(20, MarginBelow(MARGIN))
+    order = sample_order(plan, SEED)
+    for drawn, planned in enumerate(order, start=1):
+        estimator.observe_result(synthetic_result(planned.experiment_id))
+        if rule.should_stop(estimator) is not None:
+            return drawn, estimator.summary()
+    return len(order), estimator.summary()
+
+
+def test_sequential_stopping_beats_exhaustive_cost(benchmark):
+    plan = synthetic_plan()
+    n_stop, summary = benchmark(stop_point, plan)
+    assert n_stop <= PLAN_SIZE * STOP_BUDGET, (
+        f"margin {MARGIN} needed {n_stop}/{PLAN_SIZE} experiments"
+    )
+    failure = summary["modes"]["workload_failure"]
+    assert failure["margin"] <= MARGIN
+
+    write_result(
+        "statistical_engine_stopping",
+        f"Sequential stopping on a synthetic {PLAN_SIZE}-experiment "
+        f"plan (true failure rate ~30%):\n"
+        f"  margin target: {MARGIN} at 95% confidence\n"
+        f"  stopped after: {n_stop} experiments "
+        f"({n_stop / PLAN_SIZE * 100:.1f}% of exhaustive)\n"
+        f"  workload_failure estimate: {failure['proportion']:.3f} "
+        f"[{failure['low']:.3f}, {failure['high']:.3f}] "
+        f"(margin {failure['margin']:.4f})\n"
+        f"  cost bound asserted: <= {STOP_BUDGET * 100:.0f}% of "
+        "exhaustive",
+    )
+
+
+def extend_to_exhaustive(plan: Plan, tmp_path):
+    """Record a sampled-k prefix, extend to exhaustive via resume
+    semantics, and return (re_executed, delta, grown, uninterrupted)."""
+    grown = ExperimentStream(tmp_path / "grown.jsonl")
+    grown.write_meta({"campaign": "bench"})
+    sampled = monotone_sample(plan, SAMPLE_K, SEED)
+    for planned in sampled:
+        grown.append(synthetic_result(planned.experiment_id))
+
+    # The resume path: everything recorded is excluded from the plan.
+    recorded = grown.recorded_ids()
+    delta = plan.excluding(recorded)
+    re_executed = sum(
+        1 for planned in delta if planned.experiment_id in recorded
+    )
+    for planned in delta:
+        grown.append(synthetic_result(planned.experiment_id))
+
+    uninterrupted = ExperimentStream(tmp_path / "full.jsonl")
+    uninterrupted.write_meta({"campaign": "bench"})
+    for planned in plan:
+        uninterrupted.append(synthetic_result(planned.experiment_id))
+    return re_executed, delta, grown, uninterrupted
+
+
+def test_monotone_resume_executes_zero_recorded(benchmark, tmp_path_factory):
+    plan = synthetic_plan()
+
+    def run():
+        tmp_path = tmp_path_factory.mktemp("stat-resume")
+        return extend_to_exhaustive(plan, tmp_path)
+
+    re_executed, delta, grown, uninterrupted = benchmark(run)
+    assert re_executed == 0, "resume re-executed recorded experiments"
+    assert len(delta) == PLAN_SIZE - SAMPLE_K
+    # Byte-equality oracle: growing the sample to exhaustive lands on
+    # the same canonical stream as never having sampled at all.
+    assert grown.canonical_bytes() == uninterrupted.canonical_bytes()
+
+    write_result(
+        "statistical_engine_resume",
+        f"Monotone resume on a synthetic {PLAN_SIZE}-experiment plan:\n"
+        f"  sampled prefix: {SAMPLE_K} experiments\n"
+        f"  extension executed: {len(delta)} "
+        f"(= {PLAN_SIZE} - {SAMPLE_K}; re-executed: {re_executed})\n"
+        "  canonical streams byte-identical: yes",
+    )

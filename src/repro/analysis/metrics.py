@@ -35,12 +35,18 @@ class AvailabilityReport:
     unavailable_ids: list[str] = field(default_factory=list)
 
     @property
-    def availability(self) -> float:
-        return self.available / self.total if self.total else 1.0
+    def availability(self) -> float | None:
+        """Availability ratio, or None with zero completed experiments.
+
+        An empty campaign is *no evidence*, not 100% availability —
+        report tables render the None case as ``n/a``.
+        """
+        return self.available / self.total if self.total else None
 
     @property
-    def unavailability(self) -> float:
-        return 1.0 - self.availability
+    def unavailability(self) -> float | None:
+        availability = self.availability
+        return None if availability is None else 1.0 - availability
 
 
 def service_availability(results: list[ExperimentResult]) -> AvailabilityReport:
@@ -66,8 +72,9 @@ class LoggingReport:
     silent_ids: list[str] = field(default_factory=list)
 
     @property
-    def logging_ratio(self) -> float:
-        return self.logged / self.failures if self.failures else 1.0
+    def logging_ratio(self) -> float | None:
+        """Logged-failure ratio, or None when no failure was analyzed."""
+        return self.logged / self.failures if self.failures else None
 
 
 def failure_logging(
@@ -109,8 +116,9 @@ class PropagationReport:
     propagated_ids: list[str] = field(default_factory=list)
 
     @property
-    def propagation_ratio(self) -> float:
-        return self.propagated / self.analyzed if self.analyzed else 0.0
+    def propagation_ratio(self) -> float | None:
+        """Propagated-failure ratio, or None with nothing analyzed."""
+        return self.propagated / self.analyzed if self.analyzed else None
 
 
 def failure_propagation(

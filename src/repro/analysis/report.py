@@ -70,6 +70,7 @@ class CampaignReport:
             self._render_distribution(),
             self._render_by_spec(),
             self._render_metrics(),
+            self._render_estimates(),
         ]
         return "\n\n".join(section for section in sections if section)
 
@@ -179,6 +180,37 @@ class CampaignReport:
                 f"{propagation.analyzed} faults affected >1 component "
                 f"({percent(propagation.propagated, propagation.analyzed)})"
             )
+        return "\n".join(lines)
+
+    def _render_estimates(self) -> str:
+        """Per-mode Wilson estimates when a sampling policy was active.
+
+        Empty-denominator ratios elsewhere render as ``n/a`` (via
+        :func:`percent`); this section only appears once the campaign
+        actually observed experiments under a statistical policy.
+        """
+        result = self.result
+        block = result.stopped_early or result.mode_estimates
+        if not block or not block.get("modes"):
+            return ""
+        confidence = block.get("confidence", 0.95)
+        rows = [
+            [mode, str(row["count"]), f"{row['proportion']:.3f}",
+             f"[{row['low']:.3f}, {row['high']:.3f}]",
+             f"{row['margin']:.3f}"]
+            for mode, row in sorted(block["modes"].items())
+        ]
+        lines = [
+            (f"== Failure mode estimates (n={block.get('experiments', 0)}, "
+             f"{100.0 * confidence:.0f}% Wilson intervals) =="),
+            format_table(
+                ["failure mode", "count", "estimate", "interval", "margin"],
+                rows,
+            ),
+        ]
+        if result.stopped_early is not None:
+            lines.append(
+                f"stopped early: {result.stopped_early.get('reason')}")
         return "\n".join(lines)
 
 

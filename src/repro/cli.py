@@ -31,6 +31,8 @@ from repro.faultmodel.model import FaultModel
 from repro.orchestrator.campaign import CampaignConfig
 from repro.scanner.scan import scan_tree
 from repro.service.service import ProFIPyService
+from repro.stats.config import SamplingConfig
+from repro.stats.sampler import STRATIFY_CHOICES
 from repro.workload.spec import WorkloadSpec
 
 
@@ -142,6 +144,16 @@ def cmd_campaign(args) -> int:
         command_timeout=args.timeout,
     )
     workspace = Path(args.workspace) if args.workspace else None
+    sampling = None
+    if (args.sample_margin is not None or args.stratify_by
+            or args.min_sample):
+        sampling = SamplingConfig(
+            max_experiments=args.sample,
+            min_experiments=args.min_sample or 0,
+            margin=args.sample_margin,
+            confidence=args.sample_confidence,
+            stratify_by=args.stratify_by,
+        )
     config = CampaignConfig(
         name=args.name,
         target_dir=Path(args.target),
@@ -151,6 +163,7 @@ def cmd_campaign(args) -> int:
         trigger=not args.no_trigger,
         coverage=not args.no_coverage,
         sample=args.sample,
+        sampling=sampling,
         parallelism=args.parallel,
         backend=args.backend,
         shards=args.shards,
@@ -307,6 +320,60 @@ def cmd_workers(args) -> int:
     raise SystemExit(f"unknown workers command {args.workers_command!r}")
 
 
+def cmd_stats(args) -> int:
+    service = _jobs_facade(args)
+    if args.stats_command == "add":
+        if getattr(args, "server", None):
+            raise SystemExit(
+                "stats add registers a local stream file; it only works "
+                "against a local workspace (drop --server)")
+        for stream in args.streams:
+            entry = service.stats_add(stream)
+            print(f"indexed {entry['campaign'] or '?'}: {entry['stream']} "
+                  f"({entry['experiments']} experiments)")
+        return 0
+    if args.stats_command == "list":
+        rows = service.stats_campaigns()
+        if not rows:
+            where = (getattr(args, "server", None)
+                     or f"workspace {args.workspace}")
+            print(f"no campaigns indexed in {where}")
+            return 0
+        print(f"{'CAMPAIGN':<18} {'SEED':<6} {'EXPERIMENTS':<12} "
+              f"{'EARLY-STOP':<10} STREAM")
+        for row in rows:
+            stopped = "yes" if row.get("stopped_early") else "no"
+            print(f"{str(row.get('campaign') or '?'):<18} "
+                  f"{str(row.get('seed', '?')):<6} "
+                  f"{row.get('experiments', 0):<12} "
+                  f"{stopped:<10} {row['stream']}")
+        return 0
+    if args.stats_command == "aggregate":
+        report = service.stats_aggregate(
+            campaign=args.campaign, spec=args.spec, file=args.file,
+            component=args.component, confidence=args.confidence,
+        )
+        n = report.get("experiments", 0)
+        campaigns = report.get("campaigns", [])
+        confidence = report.get("confidence", args.confidence)
+        print(f"{len(campaigns)} campaign(s), {n} experiments, "
+              f"{100.0 * confidence:.0f}% Wilson intervals")
+        modes = report.get("modes", {})
+        if not modes:
+            print("(no experiments matched the filters)")
+            return 0
+        print(f"{'FAILURE MODE':<22} {'COUNT':<7} {'ESTIMATE':<10} "
+              f"{'INTERVAL':<18} MARGIN")
+        for mode in sorted(modes):
+            row = modes[mode]
+            interval = f"[{row['low']:.3f}, {row['high']:.3f}]"
+            print(f"{mode:<22} {row['count']:<7} "
+                  f"{row['proportion']:<10.3f} {interval:<18} "
+                  f"{row['margin']:.3f}")
+        return 0
+    raise SystemExit(f"unknown stats command {args.stats_command!r}")
+
+
 def cmd_regression(args) -> int:
     service = ProFIPyService(args.workspace)
     written = service.generate_regression_tests(args.job_id, args.out)
@@ -408,7 +475,26 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--files", action="append",
                           help="injectable file (relative, repeatable)")
     campaign.add_argument("--timeout", type=float, default=60.0)
-    campaign.add_argument("--sample", type=int)
+    campaign.add_argument("--sample", type=int,
+                          help="cap the plan to a prefix-stable seeded "
+                               "sample of this size (raise it and "
+                               "re-run to execute only the delta)")
+    campaign.add_argument("--sample-margin", type=float, default=None,
+                          metavar="EPS",
+                          help="stop early once every failure mode's "
+                               "Wilson interval half-width falls below "
+                               "EPS (statistical early stopping)")
+    campaign.add_argument("--sample-confidence", type=float, default=0.95,
+                          help="confidence level for the Wilson "
+                               "intervals (default: 0.95)")
+    campaign.add_argument("--min-sample", type=int, default=0,
+                          help="never stop on margins before this many "
+                               "experiments")
+    campaign.add_argument("--stratify-by", choices=list(STRATIFY_CHOICES),
+                          default=None,
+                          help="stratify the seeded sample so rare "
+                               "files/components/fault types aren't "
+                               "starved")
     campaign.add_argument("--parallel", type=int)
     campaign.add_argument("--backend",
                           choices=["thread", "process", "remote"],
@@ -532,6 +618,43 @@ def build_parser() -> argparse.ArgumentParser:
              "heartbeat age, URL)",
     )
     workers.set_defaults(func=cmd_workers)
+
+    stats = sub.add_parser(
+        "stats",
+        help="cross-campaign statistical result store: per-failure-mode "
+             "Wilson estimates over stored experiment streams",
+    )
+    stats.add_argument("--workspace", default=".profipy")
+    stats.add_argument("--server", metavar="URL",
+                       help="talk to a running service instead of the "
+                            "local workspace")
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+    stats_sub.add_parser(
+        "list",
+        help="list indexed campaigns (name, seed, experiments, stream)",
+    )
+    stats_add = stats_sub.add_parser(
+        "add",
+        help="index experiment stream files (completed service jobs "
+             "register automatically)",
+    )
+    stats_add.add_argument("streams", nargs="+", metavar="STREAM",
+                           help="experiments.jsonl path")
+    stats_agg = stats_sub.add_parser(
+        "aggregate",
+        help="aggregate per-mode counts and Wilson estimates across "
+             "stored campaigns",
+    )
+    stats_agg.add_argument("--campaign", default=None,
+                           help="only campaigns with this name")
+    stats_agg.add_argument("--spec", default=None,
+                           help="only points injected by this spec")
+    stats_agg.add_argument("--file", default=None,
+                           help="only points in this file")
+    stats_agg.add_argument("--component", default=None,
+                           help="only points in this component")
+    stats_agg.add_argument("--confidence", type=float, default=0.95)
+    stats.set_defaults(func=cmd_stats)
 
     regression = sub.add_parser(
         "regression",

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.fsutil import remove_tree
-from repro.common.rng import SeededRandom
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.backends import (
     BACKEND_REMOTE,
@@ -42,6 +41,9 @@ from repro.orchestrator.stream import ExperimentStream
 from repro.sandbox.image import SandboxImage
 from repro.scanner.cache import ScanCache, faultload_digest
 from repro.scanner.scan import ScanResult, scan_files
+from repro.stats.config import SamplingConfig
+from repro.stats.sampler import monotone_sample
+from repro.stats.stopping import StoppingMonitor, rule_from_sampling
 from repro.workload.spec import WorkloadSpec
 
 
@@ -76,7 +78,13 @@ class CampaignConfig:
     rounds: int = 2
     coverage: bool = True
     #: Random sample size over the plan (None = inject everywhere).
+    #: Drawn through the prefix-stable seeded sampler, so raising the
+    #: size and resuming executes only the delta.
     sample: int | None = None
+    #: Statistical sampling / early-stopping policy (see
+    #: :class:`repro.stats.config.SamplingConfig`).  Its
+    #: ``max_experiments`` supersedes :attr:`sample` when both are set.
+    sampling: SamplingConfig | None = None
     #: Filters applied to the plan before sampling.
     spec_filter: list[str] | None = None
     file_filter: list[str] | None = None
@@ -136,6 +144,10 @@ class CampaignConfig:
         # or round-trip through the API on a host that never sees the
         # client's filesystem.
         validate_backend_name(self.backend)
+        if isinstance(self.sampling, dict):
+            # Wire-format configs arrive with the sampling block as a
+            # plain dict; normalize (and validate) it here.
+            self.sampling = SamplingConfig.from_dict(self.sampling)
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if (self.backend == BACKEND_REMOTE and not self.workers
@@ -169,6 +181,9 @@ class CampaignResult:
     name: str
     points_found: int = 0
     points_planned: int = 0
+    #: Plan size before sampling truncated it (== points_planned for
+    #: unsampled campaigns).
+    population: int = 0
     coverage: CoverageReport | None = None
     scan_seconds: float = 0.0
     coverage_seconds: float = 0.0
@@ -182,6 +197,14 @@ class CampaignResult:
     artifacts_dir: Path | None = None
     #: Experiments skipped because the stream already recorded them.
     resumed: int = 0
+    #: Set when a stopping rule ended the campaign before the plan was
+    #: exhausted: ``{reason, experiments, confidence, modes: {...}}``
+    #: with per-mode Wilson estimates.  The stream stays a valid resume
+    #: point — a follow-up campaign extends it toward exhaustive.
+    stopped_early: dict | None = None
+    #: Final per-failure-mode estimates (same shape as the
+    #: ``stopped_early`` block) whenever a sampling policy was active.
+    mode_estimates: dict | None = None
     _experiments: list[ExperimentResult] | None = None
 
     @property
@@ -233,6 +256,9 @@ class CampaignResult:
             "failures_round1": len(self.failures_round1),
             "failures_round2": len(self.failures_round2),
             "resumed": self.resumed,
+            "population": self.population,
+            "stopped_early": self.stopped_early,
+            "mode_estimates": self.mode_estimates,
             "workspace": str(self.workspace) if self.workspace else None,
             "artifacts_dir": (str(self.artifacts_dir)
                               if self.artifacts_dir else None),
@@ -375,9 +401,23 @@ class Campaign:
                 )
                 result.coverage = report
                 plan = reduce_plan(plan, report)
-            if config.sample is not None:
-                plan = plan.sample(config.sample,
-                                   SeededRandom(config.seed))
+            result.population = len(plan)
+            sampling = config.sampling
+            sample_target = (sampling.max_experiments
+                             if sampling is not None else None)
+            if sample_target is None:
+                sample_target = config.sample
+            if sample_target is not None:
+                # Prefix-stable draw: re-running with a larger target
+                # (or none) plans a superset, so resume executes only
+                # the delta.
+                plan = monotone_sample(
+                    plan, sample_target, config.seed,
+                    stratify_by=(sampling.stratify_by
+                                 if sampling is not None else None),
+                )
+                say(f"[{config.name}] sampled {len(plan)} of "
+                    f"{result.population} planned experiments")
             result.points_planned = len(plan)
 
             # Fingerprint of everything that gives experiment ids their
@@ -447,6 +487,27 @@ class Campaign:
                 cancel_check=cancel,
             )
 
+            # Sequential stopping rides the cooperative-cancel plumbing:
+            # the monitor tails the result streams and its check() is
+            # OR-ed into the cancel hook every backend already polls
+            # between experiments.  In-flight experiments drain
+            # normally; the user's own cancel keeps raising.
+            monitor = None
+            backend_cancel = cancel
+            if sampling is not None:
+                stop_rule = rule_from_sampling(sampling)
+                if stop_rule is not None:
+                    monitor = StoppingMonitor(
+                        stream.path, stop_rule,
+                        confidence=sampling.confidence,
+                    )
+
+                    def backend_cancel(user_cancel=cancel,
+                                       check=monitor.check):
+                        if user_cancel is not None and user_cancel():
+                            return True
+                        return check()
+
             say(f"[{config.name}] executing {len(pending)} experiments "
                 f"({config.backend} backend, {config.shards} shard(s), "
                 "pipelined mutant generation)")
@@ -488,7 +549,7 @@ class Campaign:
                 fault_model=config.fault_model,
                 shards=config.shards,
                 parallelism=config.parallelism,
-                cancel=cancel,
+                cancel=backend_cancel,
                 on_progress=(emit_progress if on_progress is not None
                              else None),
                 workers=config.workers,
@@ -500,13 +561,28 @@ class Campaign:
             outcome = backend.execute(context, pending_list, stream)
             result.execution_seconds = time.monotonic() - execution_started
             result.experiments_path = stream.path
-            if outcome.cancelled or (cancel is not None and cancel()):
-                say(f"[{config.name}] cancelled after "
-                    f"{result.executed} recorded experiments")
-                raise CampaignCancelled(result)
-            say(f"[{config.name}] done: "
-                f"{len(result.failures)}/{result.executed} experiments "
-                "showed failures")
+            user_cancelled = cancel is not None and cancel()
+            if monitor is not None:
+                result.mode_estimates = monitor.summary_block()
+            if outcome.cancelled or user_cancelled:
+                if (monitor is not None and monitor.stopped
+                        and not user_cancelled):
+                    # The stopping rule — not the user — ended the run:
+                    # a successful bounded-cost campaign, not a
+                    # cancellation.  The stream stays a valid resume
+                    # point toward exhaustive.
+                    result.stopped_early = result.mode_estimates
+                    say(f"[{config.name}] stopped early after "
+                        f"{result.executed} experiments: "
+                        f"{monitor.reason}")
+                else:
+                    say(f"[{config.name}] cancelled after "
+                        f"{result.executed} recorded experiments")
+                    raise CampaignCancelled(result)
+            if result.stopped_early is None:
+                say(f"[{config.name}] done: "
+                    f"{len(result.failures)}/{result.executed} experiments "
+                    "showed failures")
             return result
         finally:
             if owns_workspace and not config.keep_artifacts:

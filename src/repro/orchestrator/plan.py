@@ -117,7 +117,23 @@ class Plan:
         return Plan(experiments=[e for e in self.experiments if keep(e)])
 
     def sample(self, count: int, rng: SeededRandom | None = None) -> "Plan":
-        """Random sample of at most ``count`` experiments (stable order)."""
+        """Random sample of at most ``count`` experiments (stable order).
+
+        Clamps at the population: ``count >= len(self)`` returns a copy
+        of the whole plan.  The draw is deterministic for a fixed
+        ``rng`` (two calls with ``SeededRandom(s)`` pick the same ids),
+        and the chosen experiments keep their original plan order.
+
+        .. deprecated::
+            Internally superseded by
+            :func:`repro.stats.sampler.monotone_sample`, whose draws
+            are prefix-stable in ``count`` (``sample_n(k)`` is a subset
+            of ``sample_n(k + m)``) so a sampled campaign can later
+            extend toward exhaustive via resume.  This method's draws
+            are *not* monotone in ``count``; ``CampaignConfig.sample``
+            now routes through the monotone sampler.  Kept for direct
+            API users.
+        """
         if count >= len(self.experiments):
             return Plan(experiments=list(self.experiments))
         rng = rng or SeededRandom(0)

@@ -254,6 +254,8 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "keep_artifacts": config.keep_artifacts,
         "results_path": opt_path(config.results_path),
         "resume": config.resume,
+        "sampling": (config.sampling.to_dict()
+                     if config.sampling is not None else None),
     }
 
 
@@ -295,6 +297,9 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         keep_artifacts=data.get("keep_artifacts", False),
         results_path=opt_path(data.get("results_path")),
         resume=data.get("resume", True),
+        # CampaignConfig normalizes the wire dict to a SamplingConfig
+        # (and validates it) in __post_init__.
+        sampling=data.get("sampling"),
     )
 
 
@@ -638,6 +643,32 @@ class ServiceAPI:
         """The fleet view (``GET /v1/workers``), lease states swept."""
         return {"workers": self.service.list_workers(),
                 "api_version": API_VERSION}
+
+    # -- cross-campaign statistics ------------------------------------------------
+
+    def stats_campaigns(self) -> dict:
+        """Indexed campaigns in the statistical result store
+        (``GET /v1/stats/campaigns``)."""
+        return {"campaigns": self.service.stats_campaigns(),
+                "api_version": API_VERSION}
+
+    def stats_aggregate(self, campaign: str | None = None,
+                        spec: str | None = None,
+                        file: str | None = None,
+                        component: str | None = None,
+                        confidence: float | None = None) -> dict:
+        """Per-mode counts and Wilson estimates across stored campaigns
+        (``GET /v1/stats/aggregate``), filterable by campaign name and
+        injection-point spec/file/component."""
+        try:
+            report = self.service.stats_aggregate(
+                campaign=campaign, spec=spec, file=file,
+                component=component,
+                confidence=0.95 if confidence is None else confidence,
+            )
+        except ValueError as error:
+            raise APIError("invalid_request", str(error)) from None
+        return {**report, "api_version": API_VERSION}
 
     def generate_regression_tests(self, job_id: str) -> dict:
         """Generate regression tests server-side and return their

@@ -412,6 +412,29 @@ class ProFIPyClient:
         with ``state`` (alive/suspect/dead), live load, and lease age."""
         return list(self._json("GET", "/v1/workers")["workers"])
 
+    # -- cross-campaign statistics ---------------------------------------------
+
+    def stats_campaigns(self) -> list[dict]:
+        """Campaigns indexed in the server's statistical result store."""
+        return list(self._json("GET", "/v1/stats/campaigns")["campaigns"])
+
+    def stats_aggregate(self, campaign: str | None = None,
+                        spec: str | None = None,
+                        file: str | None = None,
+                        component: str | None = None,
+                        confidence: float | None = None) -> dict:
+        """Per-failure-mode Wilson estimates across stored campaigns."""
+        from urllib.parse import urlencode
+
+        params = {key: value for key, value in (
+            ("campaign", campaign), ("spec", spec), ("file", file),
+            ("component", component), ("confidence", confidence),
+        ) if value is not None}
+        path = "/v1/stats/aggregate"
+        if params:
+            path += "?" + urlencode(params)
+        return self._json("GET", path)
+
     def generate_regression_tests(self, job_id: str,
                                   dest_dir: str | Path) -> list[Path]:
         """Generate regression tests server-side and materialize them

@@ -96,6 +96,8 @@ _ROUTES: list[tuple[str, re.Pattern, str]] = [
     ("GET", re.compile(r"/v1/workers$"), "_route_list_workers"),
     ("POST", re.compile(r"/v1/workers/(?P<worker_id>[^/]+)/heartbeat$"),
      "_route_worker_heartbeat"),
+    ("GET", re.compile(r"/v1/stats/campaigns$"), "_route_stats_campaigns"),
+    ("GET", re.compile(r"/v1/stats/aggregate$"), "_route_stats_aggregate"),
 ]
 
 
@@ -365,6 +367,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         payload = self._read_json(optional=True)
         self._send_json(200, self.api.worker_heartbeat(
             match.group("worker_id"), payload
+        ))
+
+    def _route_stats_campaigns(self, _match, _query) -> None:
+        self._send_json(200, self.api.stats_campaigns())
+
+    def _route_stats_aggregate(self, _match, query) -> None:
+        def _text(key):
+            values = query.get(key)
+            return values[-1] if values else None
+
+        self._send_json(200, self.api.stats_aggregate(
+            campaign=_text("campaign"),
+            spec=_text("spec"),
+            file=_text("file"),
+            component=_text("component"),
+            confidence=self._query_number(query, "confidence", None, float),
         ))
 
     def _route_shard_stream(self, match, query) -> None:

@@ -47,6 +47,8 @@ from repro.orchestrator.campaign import (
     CampaignResult,
 )
 from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.stream import ExperimentStream
+from repro.stats.store import StatsStore
 from repro.service.jobs import (
     DEFAULT_MAX_WORKERS,
     Job,
@@ -89,6 +91,10 @@ class ProFIPyService:
         # dispatchers (/v1/workers).  In-memory, like the shard host —
         # workers re-register after a coordinator restart.
         self.registry = WorkerRegistry(lease_seconds=lease_seconds)
+        # Cross-campaign statistical result store (/v1/stats): completed
+        # job streams are indexed here by campaign meta, queryable for
+        # per-mode estimates across campaigns.
+        self.stats = StatsStore(self.workspace / "stats")
 
     # -- fault model registry ------------------------------------------------
 
@@ -435,6 +441,30 @@ class ProFIPyService:
         """Every registered worker's view, lease states swept."""
         return self.registry.list_workers()
 
+    # -- cross-campaign statistics -------------------------------------------
+
+    def stats_add(self, stream_path: str | Path) -> dict:
+        """Register an experiment stream with the statistical store
+        (completed job streams register automatically)."""
+        return self.stats.add(stream_path)
+
+    def stats_campaigns(self, campaign: str | None = None) -> list[dict]:
+        """Campaigns indexed in the statistical result store."""
+        return self.stats.campaigns(campaign)
+
+    def stats_aggregate(self, campaign: str | None = None,
+                        spec: str | None = None,
+                        file: str | None = None,
+                        component: str | None = None,
+                        confidence: float = 0.95,
+                        rules: list[ClassificationRule] | None = None,
+                        ) -> dict:
+        """Per-failure-mode Wilson estimates across stored campaigns."""
+        return self.stats.aggregate(
+            campaign=campaign, spec=spec, file=file, component=component,
+            confidence=confidence, rules=rules,
+        )
+
     def close(self) -> None:
         """Stop the job scheduler (used by the HTTP server on shutdown)."""
         self.runner.close()
@@ -453,6 +483,21 @@ class ProFIPyService:
         if (result.experiments_path is None
                 or Path(result.experiments_path).resolve()
                 != stream_path.resolve()):
+            # Carry the campaign meta line over so the copy keeps its
+            # store-index fingerprint (name/seed/faultload/target).
+            meta = None
+            if (result.experiments_path is not None
+                    and Path(result.experiments_path).is_file()):
+                meta = ExperimentStream(result.experiments_path).read_meta()
             with open(stream_path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(
+                    {"meta": meta or {"campaign": result.name}},
+                    sort_keys=True) + "\n")
                 for experiment in result.experiments:
                     handle.write(json.dumps(experiment.to_dict()) + "\n")
+        # Index the finished stream for cross-campaign /v1/stats queries
+        # (best-effort: a failed registration never fails the job).
+        try:
+            self.stats.add(stream_path, summary=result.summary())
+        except (OSError, ValueError):
+            pass

@@ -1,0 +1,54 @@
+"""Statistical campaign engine: sampling, estimation, stopping, store.
+
+The pipeline mirrors DAVOS's ``InjectionStatistics`` / ZOFI's statistical
+coverage analysis: draw a seeded, prefix-stable sample from the plan
+(:mod:`repro.stats.sampler`), stream per-failure-mode proportion
+estimates with Wilson score intervals as results land
+(:mod:`repro.stats.estimate`), stop the campaign once the margins
+converge (:mod:`repro.stats.stopping`), and index the finished streams
+for cross-campaign aggregation (:mod:`repro.stats.store`).
+"""
+
+from repro.stats.config import SamplingConfig
+from repro.stats.estimate import (
+    ModeEstimate,
+    StreamingEstimator,
+    wilson_interval,
+    z_value,
+)
+from repro.stats.sampler import (
+    STRATIFY_CHOICES,
+    monotone_sample,
+    sample_order,
+    sample_priority,
+)
+from repro.stats.stopping import (
+    AnyOf,
+    MarginBelow,
+    MaxExperiments,
+    MinSampleFloor,
+    StoppingMonitor,
+    StoppingRule,
+    rule_from_sampling,
+)
+from repro.stats.store import StatsStore
+
+__all__ = [
+    "AnyOf",
+    "MarginBelow",
+    "MaxExperiments",
+    "MinSampleFloor",
+    "ModeEstimate",
+    "STRATIFY_CHOICES",
+    "SamplingConfig",
+    "StatsStore",
+    "StoppingMonitor",
+    "StoppingRule",
+    "StreamingEstimator",
+    "monotone_sample",
+    "rule_from_sampling",
+    "sample_order",
+    "sample_priority",
+    "wilson_interval",
+    "z_value",
+]

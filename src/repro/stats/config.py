@@ -1,0 +1,83 @@
+"""Sampling / early-stopping policy carried by ``CampaignConfig``.
+
+``SamplingConfig`` is pure data with a lossless dict round-trip so it
+survives the ``/v1`` wire format (see ``service.api``).  Semantics:
+
+- ``max_experiments`` — cap the plan to a prefix-stable seeded sample
+  of this size (monotone in n: raising it and resuming executes only
+  the delta).
+- ``margin`` + ``confidence`` — stop once every tracked failure mode's
+  Wilson interval half-width falls below ``margin`` at ``confidence``.
+- ``min_experiments`` — never stop on margins before this floor.
+- ``stratify_by`` — ``"file" | "component" | "spec"`` stratified draw.
+- ``modes`` — restrict the margin criterion to these failure modes
+  (default: every mode observed so far).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats.estimate import z_value
+from repro.stats.sampler import STRATIFY_CHOICES
+
+__all__ = ["SamplingConfig"]
+
+
+@dataclass
+class SamplingConfig:
+    """Statistical sampling and early-stopping policy for a campaign."""
+
+    max_experiments: int | None = None
+    min_experiments: int = 0
+    margin: float | None = None
+    confidence: float = 0.95
+    stratify_by: str | None = None
+    modes: list[str] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.max_experiments is not None and self.max_experiments < 1:
+            raise ValueError(
+                f"sampling.max_experiments must be >= 1, "
+                f"got {self.max_experiments}")
+        if self.min_experiments < 0:
+            raise ValueError(
+                f"sampling.min_experiments must be >= 0, "
+                f"got {self.min_experiments}")
+        if (self.max_experiments is not None
+                and self.min_experiments > self.max_experiments):
+            raise ValueError(
+                "sampling.min_experiments exceeds max_experiments "
+                f"({self.min_experiments} > {self.max_experiments})")
+        if self.margin is not None and not 0.0 < self.margin < 1.0:
+            raise ValueError(
+                f"sampling.margin must be in (0, 1), got {self.margin}")
+        z_value(self.confidence)  # raises on bad confidence
+        if (self.stratify_by is not None
+                and self.stratify_by not in STRATIFY_CHOICES):
+            raise ValueError(
+                f"sampling.stratify_by must be one of "
+                f"{', '.join(STRATIFY_CHOICES)}; got {self.stratify_by!r}")
+        if self.modes is not None:
+            self.modes = [str(mode) for mode in self.modes]
+
+    def to_dict(self) -> dict:
+        return {
+            "max_experiments": self.max_experiments,
+            "min_experiments": self.min_experiments,
+            "margin": self.margin,
+            "confidence": self.confidence,
+            "stratify_by": self.stratify_by,
+            "modes": list(self.modes) if self.modes is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SamplingConfig":
+        return cls(
+            max_experiments=data.get("max_experiments"),
+            min_experiments=data.get("min_experiments", 0),
+            margin=data.get("margin"),
+            confidence=data.get("confidence", 0.95),
+            stratify_by=data.get("stratify_by"),
+            modes=data.get("modes"),
+        )

@@ -1,0 +1,193 @@
+"""Streaming per-failure-mode proportion estimates with Wilson intervals.
+
+The estimator is constant-memory: it keeps one counter per observed
+failure mode plus a set of seen experiment ids for dedup (last-writes in
+a stream never change the mode of an already-counted id — the first
+record wins, matching at-most-once execution semantics).  It composes
+with ``ExperimentStream``: feed it entries as they land and read the
+current estimates between experiments.
+
+The normal quantile is computed with Acklam's rational approximation —
+accurate to ~1e-9, no scipy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classify import ClassificationRule
+    from repro.orchestrator.experiment import ExperimentResult
+
+__all__ = [
+    "ModeEstimate",
+    "StreamingEstimator",
+    "wilson_interval",
+    "z_value",
+]
+
+# Coefficients for Acklam's inverse normal CDF approximation.
+_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+      -2.759285104469687e+02, 1.383577518672690e+02,
+      -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+      -1.556989798598866e+02, 6.680131188771972e+01,
+      -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+      -2.400758277161838e+00, -2.549732539343734e+00,
+      4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01,
+      2.445134137142996e+00, 3.754408661907416e+00)
+_P_LOW = 0.02425
+
+
+def _inverse_normal_cdf(p: float) -> float:
+    """Acklam's approximation to the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile argument must be in (0, 1), got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return ((((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q
+                  + _C[4]) * q + _C[5])
+                / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0))
+    if p > 1.0 - _P_LOW:
+        return -_inverse_normal_cdf(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r
+             + _A[4]) * r + _A[5]) * q / \
+        (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r
+          + _B[4]) * r + 1.0)
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided critical value for a given confidence level.
+
+    ``z_value(0.95)`` ~= 1.96, ``z_value(0.99)`` ~= 2.576.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}")
+    return _inverse_normal_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(count: int, n: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for ``count`` successes in ``n`` trials.
+
+    Returns ``(low, high)``; ``(0.0, 1.0)`` when ``n == 0`` (total
+    uncertainty, never a fake point estimate).
+    """
+    if count < 0 or n < 0 or count > n:
+        raise ValueError(f"invalid proportion {count}/{n}")
+    if n == 0:
+        return (0.0, 1.0)
+    z = z_value(confidence)
+    p = count / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass
+class ModeEstimate:
+    """Point estimate + Wilson interval for one failure mode."""
+
+    mode: str
+    count: int
+    n: int
+    proportion: float
+    low: float
+    high: float
+
+    @property
+    def margin(self) -> float:
+        """Half-width of the interval — the convergence criterion."""
+        return (self.high - self.low) / 2.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "count": self.count,
+            "experiments": self.n,
+            "proportion": round(self.proportion, 6),
+            "low": round(self.low, 6),
+            "high": round(self.high, 6),
+            "margin": round(self.margin, 6),
+        }
+
+
+class StreamingEstimator:
+    """Accumulates per-mode counts from classified experiment results.
+
+    ``observe`` is idempotent per experiment id, so re-ingesting a
+    stream (or overlapping shard streams) never double-counts.
+    """
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        z_value(confidence)  # validate eagerly
+        self.confidence = confidence
+        self._counts: dict[str, int] = {}
+        self._seen: set[str] = set()
+
+    @property
+    def n(self) -> int:
+        """Number of distinct experiments observed."""
+        return len(self._seen)
+
+    @property
+    def modes(self) -> list[str]:
+        """Observed failure modes, sorted."""
+        return sorted(self._counts)
+
+    def observe(self, experiment_id: str, mode: str) -> bool:
+        """Record one classified experiment; False if already seen."""
+        if experiment_id in self._seen:
+            return False
+        self._seen.add(experiment_id)
+        self._counts[mode] = self._counts.get(mode, 0) + 1
+        return True
+
+    def observe_result(self, result: "ExperimentResult",
+                       rules: Iterable["ClassificationRule"] | None = None,
+                       key: str | None = None) -> bool:
+        """Classify and record an ``ExperimentResult``.
+
+        ``key`` overrides the dedup key (the cross-campaign store uses
+        ``<campaign>::<experiment_id>`` so identical ids from different
+        campaigns both count).
+        """
+        from repro.analysis.classify import classify_experiment
+
+        classification = classify_experiment(
+            result, rules=list(rules) if rules is not None else None)
+        return self.observe(key or result.experiment_id,
+                            classification.mode)
+
+    def estimate(self, mode: str) -> ModeEstimate:
+        """Current estimate for one mode (count 0 if never observed)."""
+        count = self._counts.get(mode, 0)
+        n = self.n
+        low, high = wilson_interval(count, n, self.confidence)
+        return ModeEstimate(mode=mode, count=count, n=n,
+                            proportion=(count / n) if n else 0.0,
+                            low=low, high=high)
+
+    def estimates(self, modes: Iterable[str] | None = None,
+                  ) -> dict[str, ModeEstimate]:
+        """Estimates for the given modes (default: all observed)."""
+        names = sorted(modes) if modes is not None else self.modes
+        return {mode: self.estimate(mode) for mode in names}
+
+    def summary(self, modes: Iterable[str] | None = None) -> dict:
+        """JSON-ready snapshot: sample size, confidence, per-mode rows."""
+        return {
+            "experiments": self.n,
+            "confidence": self.confidence,
+            "modes": {mode: estimate.to_dict()
+                      for mode, estimate in self.estimates(modes).items()},
+        }

@@ -1,0 +1,142 @@
+"""Cross-campaign result store over completed experiment streams.
+
+The store does not copy result data: it indexes ``experiments.jsonl``
+streams by their embedded campaign meta line (name, seed, faultload
+digest, target fingerprint) in an append-only ``index.jsonl``
+(last-record-wins per stream path, mirroring the stream reader
+semantics).  Aggregation re-reads the indexed streams with constant
+memory, classifying each result and folding the counts into one
+:class:`~repro.stats.estimate.StreamingEstimator` — the
+DecisionSupport/Reportbuilder layer DAVOS motivates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.stats.estimate import StreamingEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classify import ClassificationRule
+
+__all__ = ["StatsStore"]
+
+
+def _point_field(point: dict, key: str) -> str | None:
+    value = point.get(key) if isinstance(point, dict) else None
+    return value if isinstance(value, str) else None
+
+
+class StatsStore:
+    """Indexes completed experiment streams for cross-campaign queries."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.index_path = self.root / "index.jsonl"
+
+    # -- registration -------------------------------------------------
+
+    def add(self, stream_path: Path | str,
+            summary: dict | None = None) -> dict:
+        """Register a stream; returns its index entry.
+
+        Re-registering the same path (e.g. a resumed campaign that
+        appended more results) replaces the old entry.
+        """
+        from repro.orchestrator.stream import ExperimentStream
+
+        path = Path(stream_path).resolve()
+        stream = ExperimentStream(path)
+        if not path.is_file():
+            raise FileNotFoundError(f"no experiment stream at {path}")
+        meta = stream.read_meta() or {}
+        entry = {
+            "stream": str(path),
+            "campaign": meta.get("campaign"),
+            "seed": meta.get("seed"),
+            "faultload": meta.get("faultload"),
+            "target": meta.get("target"),
+            "experiments": len(stream.recorded_ids()),
+        }
+        if summary is not None:
+            entry["stopped_early"] = bool(summary.get("stopped_early"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.index_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    # -- queries ------------------------------------------------------
+
+    def campaigns(self, campaign: str | None = None) -> list[dict]:
+        """Indexed campaigns (last record per stream path wins)."""
+        entries: dict[str, dict] = {}
+        if self.index_path.is_file():
+            with self.index_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(data, dict) and "stream" in data:
+                        entries[data["stream"]] = data
+        rows = sorted(entries.values(),
+                      key=lambda e: (str(e.get("campaign")), e["stream"]))
+        if campaign is not None:
+            rows = [row for row in rows if row.get("campaign") == campaign]
+        return rows
+
+    def aggregate(self, campaign: str | None = None,
+                  spec: str | None = None, file: str | None = None,
+                  component: str | None = None,
+                  confidence: float = 0.95,
+                  rules: Iterable["ClassificationRule"] | None = None,
+                  ) -> dict:
+        """Per-mode counts and Wilson estimates across stored campaigns.
+
+        Experiments are keyed ``<stream>::<experiment_id>`` so the same
+        plan sampled by two campaigns contributes one observation per
+        campaign.  Filters match the injection point's ``spec_name`` /
+        ``file`` / ``component`` fields exactly.
+        """
+        from repro.orchestrator.experiment import ExperimentResult
+        from repro.orchestrator.stream import ExperimentStream
+
+        estimator = StreamingEstimator(confidence)
+        selected = self.campaigns(campaign)
+        missing: list[str] = []
+        for entry in selected:
+            path = Path(entry["stream"])
+            if not path.is_file():
+                missing.append(entry["stream"])
+                continue
+            for result in ExperimentStream(path):
+                point = result.point or {}
+                if spec is not None and \
+                        _point_field(point, "spec_name") != spec:
+                    continue
+                if file is not None and \
+                        _point_field(point, "file") != file:
+                    continue
+                if component is not None and \
+                        _point_field(point, "component") != component:
+                    continue
+                estimator.observe_result(
+                    result, rules=rules,
+                    key=f"{entry['stream']}::{result.experiment_id}")
+        report = estimator.summary()
+        report["campaigns"] = [
+            {"campaign": entry.get("campaign"), "stream": entry["stream"]}
+            for entry in selected
+        ]
+        report["filters"] = {
+            "campaign": campaign, "spec": spec,
+            "file": file, "component": component,
+        }
+        if missing:
+            report["missing_streams"] = missing
+        return report

@@ -184,6 +184,13 @@ class TestAvailability:
         results = [experiment(status="harness_error")]
         assert service_availability(results).total == 0
 
+    def test_empty_campaign_reports_no_evidence_not_100_percent(self):
+        # Regression: an empty denominator used to read as 1.0 (100%
+        # availability with zero experiments).  No evidence is None.
+        report = service_availability([])
+        assert report.availability is None
+        assert report.unavailability is None
+
 
 class TestFailureLogging:
     def test_logged_failure(self):
@@ -206,6 +213,9 @@ class TestFailureLogging:
     def test_non_failures_ignored(self):
         results = [experiment(round1=ok_round())]
         assert failure_logging(results).failures == 0
+
+    def test_no_failures_means_no_ratio(self):
+        assert failure_logging([]).logging_ratio is None
 
 
 class TestPropagation:
@@ -237,6 +247,10 @@ class TestPropagation:
     def test_only_failures_analyzed(self):
         results = [experiment(round1=ok_round())]
         assert failure_propagation(results, self.COMPONENTS).analyzed == 0
+
+    def test_nothing_analyzed_means_no_ratio(self):
+        assert failure_propagation([], self.COMPONENTS).propagation_ratio \
+            is None
 
 
 class TestReportHelpers:

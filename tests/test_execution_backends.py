@@ -369,7 +369,8 @@ def _stream_projection(path):
 
 
 def _run_campaign(toy_project, toy_model, toy_workload, workspace,
-                  backend, shards, parallelism=2, workers=None):
+                  backend, shards, parallelism=2, workers=None,
+                  sampling=None):
     config = CampaignConfig(
         name="sharded",
         target_dir=toy_project,
@@ -383,6 +384,7 @@ def _run_campaign(toy_project, toy_model, toy_workload, workspace,
         workers=workers,
         seed=7,
         workspace=workspace,
+        sampling=sampling,
     )
     return Campaign(config).run()
 
@@ -663,3 +665,56 @@ class TestResumeAcrossShardBoundaries:
         assert resumed.executed == 6
         assert _stream_projection(resumed.experiments_path) == ref_bytes
         assert leftover_shard_streams(workspace / "experiments.jsonl") == []
+
+
+class TestSampledCampaigns:
+    """Seeded sampling composes with every backend: the drawn membership
+    is a pure function of (seed, experiment ids), and growing the sample
+    toward exhaustive rides resume without re-executing anything."""
+
+    def test_sampled_membership_identical_across_backends(
+            self, toy_project, toy_model, toy_workload, tmp_path):
+        from repro.stats.config import SamplingConfig
+
+        projections = {}
+        for backend, shards in (("thread", 1), ("thread", 4),
+                                ("process", 2)):
+            result = _run_campaign(
+                toy_project, toy_model, toy_workload,
+                tmp_path / f"ws-{backend}-{shards}", backend, shards,
+                sampling=SamplingConfig(max_experiments=1),
+            )
+            assert result.executed == 1
+            assert result.population == 2
+            assert result.points_planned == 1
+            projections[(backend, shards)] = _campaign_projection(result)
+        reference = projections[("thread", 1)]
+        for key, projection in projections.items():
+            assert projection == reference, f"{key} diverged"
+
+    def test_extend_sample_to_exhaustive_executes_only_the_delta(
+            self, toy_project, toy_model, toy_workload, tmp_path):
+        from repro.stats.config import SamplingConfig
+
+        workspace = tmp_path / "grow"
+        sampled = _run_campaign(
+            toy_project, toy_model, toy_workload, workspace,
+            "thread", 1, sampling=SamplingConfig(max_experiments=1),
+        )
+        assert sampled.executed == 1
+        # Same workspace, no sampling: the run resumes over the sampled
+        # record and executes exactly the remaining experiment.
+        grown = _run_campaign(
+            toy_project, toy_model, toy_workload, workspace,
+            "process", 2,
+        )
+        assert grown.resumed == 1
+        assert grown.executed == 2
+        # Canonical-stream oracle: the grown stream is what an
+        # uninterrupted exhaustive run would have produced.
+        exhaustive = _run_campaign(
+            toy_project, toy_model, toy_workload, tmp_path / "full",
+            "thread", 1,
+        )
+        assert _stream_projection(grown.experiments_path) == \
+            _stream_projection(exhaustive.experiments_path)

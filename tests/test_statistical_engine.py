@@ -1,0 +1,679 @@
+"""Statistical campaign engine: estimator, stopping rules, store, and
+early-stopped campaigns end to end.
+
+The integration tests drive real campaigns over a multi-function toy
+project so the margin rule has room to trip before the plan is
+exhausted, and assert the invariants the subsystem promises: the
+stopped stream stays a valid resume point, the final progress snapshot
+is consistent (no forever-``running`` shards), and the summaries carry
+per-mode Wilson estimates aggregable across campaigns.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.orchestrator.campaign import Campaign, CampaignConfig
+from repro.orchestrator.experiment import ExperimentResult
+from repro.orchestrator.stream import ExperimentStream
+from repro.stats.config import SamplingConfig
+from repro.stats.estimate import (
+    ModeEstimate,
+    StreamingEstimator,
+    wilson_interval,
+    z_value,
+)
+from repro.stats.stopping import (
+    AnyOf,
+    MarginBelow,
+    MaxExperiments,
+    MinSampleFloor,
+    StoppingMonitor,
+    rule_from_sampling,
+)
+from repro.stats.store import StatsStore
+from repro.workload.spec import WorkloadSpec
+
+
+# -- unit: wilson / z ------------------------------------------------------------
+
+
+class TestWilson:
+    def test_z_values_match_normal_quantiles(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-4)
+        assert z_value(0.99) == pytest.approx(2.575829, abs=1e-4)
+        assert z_value(0.90) == pytest.approx(1.644854, abs=1e-4)
+
+    def test_invalid_confidence_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                z_value(bad)
+
+    def test_interval_contains_proportion(self):
+        low, high = wilson_interval(3, 10)
+        assert low < 0.3 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_zero_trials_is_total_uncertainty(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extreme_proportions_stay_in_bounds(self):
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0 and low > 0.5
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.5
+
+    def test_margin_shrinks_with_n(self):
+        margins = []
+        for n in (10, 100, 1000):
+            low, high = wilson_interval(n // 2, n)
+            margins.append((high - low) / 2)
+        assert margins == sorted(margins, reverse=True)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+
+# -- unit: streaming estimator ---------------------------------------------------
+
+
+class TestStreamingEstimator:
+    def test_counts_and_estimates(self):
+        estimator = StreamingEstimator(confidence=0.95)
+        for index in range(6):
+            estimator.observe(f"e{index}", "workload_failure")
+        for index in range(6, 10):
+            estimator.observe(f"e{index}", "no_failure")
+        assert estimator.n == 10
+        estimate = estimator.estimate("workload_failure")
+        assert estimate.count == 6
+        assert estimate.proportion == pytest.approx(0.6)
+        assert estimate.low < 0.6 < estimate.high
+
+    def test_observe_is_idempotent_per_id(self):
+        estimator = StreamingEstimator()
+        assert estimator.observe("e1", "timeout")
+        assert not estimator.observe("e1", "timeout")
+        assert not estimator.observe("e1", "no_failure")
+        assert estimator.n == 1
+        assert estimator.estimate("timeout").count == 1
+
+    def test_summary_shape(self):
+        estimator = StreamingEstimator(confidence=0.9)
+        estimator.observe("e1", "timeout")
+        summary = estimator.summary()
+        assert summary["experiments"] == 1
+        assert summary["confidence"] == 0.9
+        row = summary["modes"]["timeout"]
+        assert set(row) == {"mode", "count", "experiments", "proportion",
+                            "low", "high", "margin"}
+
+    def test_unobserved_mode_estimates_zero(self):
+        estimator = StreamingEstimator()
+        estimator.observe("e1", "no_failure")
+        estimate = estimator.estimate("timeout")
+        assert estimate.count == 0
+        assert estimate.proportion == 0.0
+        assert estimate.low == 0.0
+
+    def test_mode_estimate_margin(self):
+        estimate = ModeEstimate(mode="x", count=1, n=4, proportion=0.25,
+                                low=0.1, high=0.6)
+        assert estimate.margin == pytest.approx(0.25)
+
+
+# -- unit: stopping rules --------------------------------------------------------
+
+
+def _estimator_with(counts: dict, confidence=0.95) -> StreamingEstimator:
+    estimator = StreamingEstimator(confidence)
+    index = 0
+    for mode, count in counts.items():
+        for _ in range(count):
+            estimator.observe(f"e{index}", mode)
+            index += 1
+    return estimator
+
+
+class TestStoppingRules:
+    def test_margin_below_trips_once_tight(self):
+        rule = MarginBelow(0.1)
+        loose = _estimator_with({"workload_failure": 3, "no_failure": 2})
+        assert rule.should_stop(loose) is None
+        tight = _estimator_with({"workload_failure": 300, "no_failure": 200})
+        reason = rule.should_stop(tight)
+        assert reason is not None and "below 0.1" in reason
+
+    def test_margin_never_trips_on_zero_evidence(self):
+        assert MarginBelow(0.9).should_stop(StreamingEstimator()) is None
+
+    def test_margin_tracks_named_modes_only(self):
+        estimator = _estimator_with({"workload_failure": 200,
+                                     "no_failure": 200})
+        # All observed modes are tight at n=400...
+        assert MarginBelow(0.06).should_stop(estimator) is not None
+        # ...but a tracked mode list pins the criterion to those modes.
+        assert MarginBelow(0.06, modes=["timeout"]).should_stop(
+            estimator) is not None  # timeout count 0/400 is tight too
+        few = _estimator_with({"workload_failure": 3})
+        assert MarginBelow(0.06, modes=["timeout"]).should_stop(few) is None
+
+    def test_max_experiments(self):
+        rule = MaxExperiments(5)
+        assert rule.should_stop(_estimator_with({"x": 4})) is None
+        assert rule.should_stop(_estimator_with({"x": 5})) is not None
+
+    def test_min_sample_floor_gates(self):
+        rule = MinSampleFloor(10, MaxExperiments(1))
+        assert rule.should_stop(_estimator_with({"x": 9})) is None
+        assert rule.should_stop(_estimator_with({"x": 10})) is not None
+
+    def test_any_of_first_reason_wins(self):
+        rule = AnyOf([MaxExperiments(100), MaxExperiments(1)])
+        reason = rule.should_stop(_estimator_with({"x": 2}))
+        assert reason is not None and "n=2" in reason
+
+    def test_rule_from_sampling(self):
+        assert rule_from_sampling(SamplingConfig(max_experiments=5)) is None
+        rule = rule_from_sampling(SamplingConfig(margin=0.05,
+                                                 min_experiments=10))
+        assert isinstance(rule, MinSampleFloor)
+        assert rule.floor == 10
+        bare = rule_from_sampling(SamplingConfig(margin=0.05))
+        assert isinstance(bare, MarginBelow)
+
+
+# -- unit: sampling config -------------------------------------------------------
+
+
+class TestSamplingConfig:
+    def test_round_trip(self):
+        config = SamplingConfig(max_experiments=100, min_experiments=10,
+                                margin=0.05, confidence=0.9,
+                                stratify_by="component",
+                                modes=["timeout", "workload_failure"])
+        clone = SamplingConfig.from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert clone == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_experiments"):
+            SamplingConfig(max_experiments=0)
+        with pytest.raises(ValueError, match="min_experiments"):
+            SamplingConfig(min_experiments=-1)
+        with pytest.raises(ValueError, match="exceeds max"):
+            SamplingConfig(max_experiments=5, min_experiments=6)
+        with pytest.raises(ValueError, match="margin"):
+            SamplingConfig(margin=1.5)
+        with pytest.raises(ValueError, match="confidence"):
+            SamplingConfig(confidence=0.0)
+        with pytest.raises(ValueError, match="stratify_by"):
+            SamplingConfig(stratify_by="function")
+
+    def test_campaign_config_wire_round_trip(self, toy_project, toy_model,
+                                             toy_workload):
+        from repro.service.api import (
+            campaign_config_from_dict,
+            campaign_config_to_dict,
+        )
+
+        config = CampaignConfig(
+            name="x", target_dir=toy_project, fault_model=toy_model,
+            workload=toy_workload,
+            sampling=SamplingConfig(max_experiments=50, margin=0.1,
+                                    confidence=0.9, stratify_by="file",
+                                    min_experiments=5),
+        )
+        wire = json.loads(json.dumps(campaign_config_to_dict(config)))
+        clone = campaign_config_from_dict(wire)
+        assert clone.sampling == config.sampling
+        unsampled = CampaignConfig(
+            name="x", target_dir=toy_project, fault_model=toy_model,
+            workload=toy_workload,
+        )
+        assert campaign_config_from_dict(
+            campaign_config_to_dict(unsampled)).sampling is None
+
+
+# -- unit: stopping monitor over streams -----------------------------------------
+
+
+def _result_entry(experiment_id: str, failed: bool) -> ExperimentResult:
+    from repro.common.procutil import CommandResult
+    from repro.workload.runner import RoundResult
+
+    result = ExperimentResult(experiment_id=experiment_id,
+                              point={"file": "app.py", "component": "app",
+                                     "spec_name": "WRR"},
+                              spec_name="WRR", status="completed")
+    command = CommandResult(
+        command="cmd", returncode=1 if failed else 0, stdout="",
+        stderr="WORKLOAD FAILURE: x" if failed else "", duration=0.01,
+    )
+    result.rounds.append(RoundResult(round_no=1, fault_enabled=True,
+                                     commands=[command]))
+    return result
+
+
+class TestStoppingMonitor:
+    def test_monitor_tails_canonical_and_shard_streams(self, tmp_path):
+        stream = ExperimentStream(tmp_path / "experiments.jsonl")
+        stream.write_meta({"campaign": "m"})
+        monitor = StoppingMonitor(stream.path, MaxExperiments(4))
+        assert monitor.check() is False
+        for index in range(3):
+            stream.append(_result_entry(f"e{index}", failed=True))
+        assert monitor.check() is False
+        assert monitor.estimator.n == 3
+        # A sibling shard stream (the process backend's working file)
+        # counts too, deduplicated by experiment id.
+        shard = ExperimentStream(tmp_path / "experiments-0.jsonl")
+        shard.append(_result_entry("e2", failed=True))  # duplicate
+        shard.append(_result_entry("e3", failed=False))
+        assert monitor.check() is True
+        assert monitor.estimator.n == 4
+        assert monitor.reason is not None
+        block = monitor.summary_block()
+        assert block["experiments"] == 4
+        assert block["modes"]["workload_failure"]["count"] == 3
+        assert block["reason"] == monitor.reason
+
+    def test_monitor_latches(self, tmp_path):
+        stream = ExperimentStream(tmp_path / "experiments.jsonl")
+        stream.append(_result_entry("e0", failed=True))
+        monitor = StoppingMonitor(stream.path, MaxExperiments(1))
+        assert monitor.check() is True
+        assert monitor.check() is True
+
+    def test_monitor_ignores_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "experiments.jsonl"
+        stream = ExperimentStream(path)
+        stream.append(_result_entry("e0", failed=True))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"experiment_id": "e1", "status": "comp')
+        monitor = StoppingMonitor(path, MaxExperiments(10))
+        monitor.check()
+        assert monitor.estimator.n == 1
+        # Once the line completes, it is picked up.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('leted"}\n')
+        monitor.check()
+        assert monitor.estimator.n == 2
+
+
+# -- unit: cross-campaign store --------------------------------------------------
+
+
+def _write_stream(path, campaign, results, seed=7):
+    stream = ExperimentStream(path)
+    stream.write_meta({"campaign": campaign, "seed": seed,
+                       "faultload": "digest", "target": "/t"})
+    for result in results:
+        stream.append(result)
+    return path
+
+
+class TestStatsStore:
+    def test_add_indexes_campaign_meta(self, tmp_path):
+        stream = _write_stream(tmp_path / "a.jsonl", "alpha",
+                               [_result_entry("e0", True)])
+        store = StatsStore(tmp_path / "store")
+        entry = store.add(stream)
+        assert entry["campaign"] == "alpha"
+        assert entry["seed"] == 7
+        assert entry["experiments"] == 1
+        assert store.campaigns()[0]["campaign"] == "alpha"
+
+    def test_re_adding_replaces(self, tmp_path):
+        path = _write_stream(tmp_path / "a.jsonl", "alpha",
+                             [_result_entry("e0", True)])
+        store = StatsStore(tmp_path / "store")
+        store.add(path)
+        ExperimentStream(path).append(_result_entry("e1", True))
+        store.add(path)
+        rows = store.campaigns()
+        assert len(rows) == 1
+        assert rows[0]["experiments"] == 2
+
+    def test_missing_stream_rejected(self, tmp_path):
+        store = StatsStore(tmp_path / "store")
+        with pytest.raises(FileNotFoundError):
+            store.add(tmp_path / "nope.jsonl")
+
+    def test_aggregate_across_campaigns(self, tmp_path):
+        store = StatsStore(tmp_path / "store")
+        store.add(_write_stream(
+            tmp_path / "a.jsonl", "alpha",
+            [_result_entry("e0", True), _result_entry("e1", False)]))
+        store.add(_write_stream(
+            tmp_path / "b.jsonl", "beta",
+            # Same experiment ids on purpose: different campaigns both
+            # count (the dedup key is per stream).
+            [_result_entry("e0", True), _result_entry("e1", True)]))
+        report = store.aggregate()
+        assert report["experiments"] == 4
+        assert report["modes"]["workload_failure"]["count"] == 3
+        assert len(report["campaigns"]) == 2
+        only_alpha = store.aggregate(campaign="alpha")
+        assert only_alpha["experiments"] == 2
+        assert only_alpha["modes"]["workload_failure"]["count"] == 1
+
+    def test_aggregate_filters_by_point_fields(self, tmp_path):
+        store = StatsStore(tmp_path / "store")
+        store.add(_write_stream(tmp_path / "a.jsonl", "alpha",
+                                [_result_entry("e0", True)]))
+        assert store.aggregate(file="app.py")["experiments"] == 1
+        assert store.aggregate(file="other.py")["experiments"] == 0
+        assert store.aggregate(component="app")["experiments"] == 1
+        assert store.aggregate(spec="WRR")["experiments"] == 1
+        assert store.aggregate(spec="MFC")["experiments"] == 0
+
+    def test_aggregate_reports_missing_streams(self, tmp_path):
+        store = StatsStore(tmp_path / "store")
+        path = _write_stream(tmp_path / "a.jsonl", "alpha",
+                             [_result_entry("e0", True)])
+        store.add(path)
+        path.unlink()
+        report = store.aggregate()
+        assert report["experiments"] == 0
+        assert report["missing_streams"] == [str(path.resolve())]
+
+
+# -- integration: early-stopped campaigns ----------------------------------------
+
+
+N_FUNCTIONS = 10
+
+
+def _many_point_project(tmp_path):
+    """A toy project with one WRR injection point per function, so the
+    margin rule can trip long before the plan is exhausted."""
+    project = tmp_path / "many"
+    project.mkdir()
+    functions = []
+    checks = []
+    for index in range(N_FUNCTIONS):
+        functions.append(textwrap.dedent(
+            f"""
+            def f{index}(x):
+                acc = x + {index}
+                return acc * 2
+            """
+        ).strip())
+        checks.append(
+            f"if app.f{index}(3) != (3 + {index}) * 2:\n"
+            f"    print('WORKLOAD FAILURE: f{index}', file=sys.stderr)\n"
+            f"    sys.exit(1)"
+        )
+    (project / "app.py").write_text("\n\n\n".join(functions) + "\n")
+    (project / "run.py").write_text(
+        "import sys\n\nimport app\n\n" + "\n".join(checks)
+        + "\nprint('WORKLOAD SUCCESS')\n"
+    )
+    return project
+
+
+def _stopping_config(project, toy_model, workspace, backend="thread",
+                     shards=1, **overrides):
+    defaults = dict(
+        name="stat",
+        target_dir=project,
+        fault_model=toy_model,
+        workload=WorkloadSpec(commands=["{python} run.py"],
+                              command_timeout=30.0),
+        injectable_files=["app.py"],
+        coverage=False,
+        parallelism=1,
+        backend=backend,
+        shards=shards,
+        seed=7,
+        workspace=workspace,
+        sampling=SamplingConfig(margin=0.5, confidence=0.9,
+                                min_experiments=2),
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+@pytest.mark.integration
+class TestEarlyStoppedCampaign:
+    @pytest.mark.parametrize("backend,shards", [("thread", 2),
+                                                ("process", 2)])
+    def test_rule_stop_is_consistent_and_resumable(
+            self, tmp_path, toy_model, backend, shards):
+        project = _many_point_project(tmp_path)
+        workspace = tmp_path / f"ws-{backend}"
+        snapshots = []
+        config = _stopping_config(project, toy_model, workspace,
+                                  backend=backend, shards=shards)
+        result = Campaign(config).run(on_progress=snapshots.append)
+
+        # The rule — not a cancel — ended the run: normal return with a
+        # stopped_early block carrying n + Wilson estimates.
+        assert result.stopped_early is not None
+        block = result.stopped_early
+        assert block["reason"]
+        assert block["experiments"] == result.executed >= 2
+        failure = block["modes"]["workload_failure"]
+        assert failure["count"] == result.executed  # every fault bites
+        assert 0.0 <= failure["low"] <= failure["high"] <= 1.0
+        assert failure["margin"] < 0.5
+        assert result.summary()["stopped_early"] == block
+        assert result.population == N_FUNCTIONS
+
+        # Satellite: the final progress snapshot is consistent — done
+        # counts match the stream and no shard is left "running".
+        assert snapshots, "backend emitted no progress"
+        final = snapshots[-1]
+        recorded = len(ExperimentStream(
+            workspace / "experiments.jsonl").recorded_ids())
+        assert final["experiments_done"] == recorded == result.executed
+        assert final["experiments_total"] == N_FUNCTIONS
+        states = {shard["state"] for shard in final["shards"]}
+        assert "running" not in states
+
+        # The stream is a valid resume point: dropping the sampling
+        # policy and re-running executes exactly the remainder.
+        resume_config = _stopping_config(project, toy_model, workspace,
+                                         backend=backend, shards=shards,
+                                         sampling=None)
+        resumed = Campaign(resume_config).run()
+        assert resumed.resumed == result.executed
+        assert resumed.executed == N_FUNCTIONS
+        assert resumed.stopped_early is None
+
+    def test_thread_backend_stops_before_exhaustion(self, tmp_path,
+                                                    toy_model):
+        # With parallelism 1 the thread backend polls the monitor
+        # between dispatches, so the stop lands well short of the plan.
+        project = _many_point_project(tmp_path)
+        config = _stopping_config(project, toy_model, tmp_path / "ws")
+        result = Campaign(config).run()
+        assert result.stopped_early is not None
+        assert 2 <= result.executed < N_FUNCTIONS
+
+    def test_user_cancel_still_raises(self, tmp_path, toy_model):
+        from repro.orchestrator.campaign import CampaignCancelled
+
+        project = _many_point_project(tmp_path)
+        config = _stopping_config(project, toy_model, tmp_path / "ws")
+        calls = {"n": 0}
+
+        def cancel():
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        with pytest.raises(CampaignCancelled):
+            Campaign(config).run(cancel=cancel)
+
+    def test_mode_estimates_reported_without_early_stop(self, tmp_path,
+                                                        toy_model):
+        # A margin too tight to reach within the plan: the campaign
+        # completes normally but still reports final estimates.
+        project = _many_point_project(tmp_path)
+        config = _stopping_config(
+            project, toy_model, tmp_path / "ws",
+            sampling=SamplingConfig(margin=0.01, confidence=0.99),
+        )
+        result = Campaign(config).run()
+        assert result.stopped_early is None
+        assert result.executed == N_FUNCTIONS
+        assert result.mode_estimates is not None
+        assert result.mode_estimates["experiments"] == N_FUNCTIONS
+
+    def test_stratified_max_sample_covers_every_file(self, tmp_path,
+                                                     toy_model):
+        # max_experiments caps the plan via the stratified monotone
+        # sampler; with strata = files there is one file, so this just
+        # exercises the sampled path end to end deterministically.
+        project = _many_point_project(tmp_path)
+        config = _stopping_config(
+            project, toy_model, tmp_path / "ws",
+            sampling=SamplingConfig(max_experiments=4,
+                                    stratify_by="file"),
+        )
+        result = Campaign(config).run()
+        assert result.stopped_early is None
+        assert result.executed == 4
+        assert result.points_planned == 4
+        assert result.population == N_FUNCTIONS
+
+
+# -- integration: service / HTTP / CLI surface -----------------------------------
+
+
+@pytest.mark.integration
+class TestStatsService:
+    def _submit(self, service, name, toy_project, toy_model, toy_workload,
+                tmp_path):
+        config = CampaignConfig(
+            name=name, target_dir=toy_project, fault_model=toy_model,
+            workload=toy_workload, injectable_files=["app.py"],
+            coverage=False, parallelism=1, seed=7,
+            workspace=tmp_path / f"{name}-ws",
+        )
+        job = service.submit_campaign(config, block=True)
+        assert job.status == "completed", job.error
+        return job
+
+    def test_completed_jobs_register_and_aggregate(
+            self, tmp_path, toy_project, toy_model, toy_workload):
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path / "svc")
+        try:
+            self._submit(service, "alpha", toy_project, toy_model,
+                         toy_workload, tmp_path)
+            self._submit(service, "beta", toy_project, toy_model,
+                         toy_workload, tmp_path)
+            rows = service.stats_campaigns()
+            assert sorted(row["campaign"] for row in rows) == \
+                ["alpha", "beta"]
+            report = service.stats_aggregate()
+            assert report["experiments"] == 4  # 2 campaigns x 2 points
+            assert len(report["campaigns"]) == 2
+            assert "workload_failure" in report["modes"]
+        finally:
+            service.close()
+
+    def test_http_and_client_mirror_the_store(
+            self, tmp_path, toy_project, toy_model, toy_workload):
+        from repro.service.client import ProFIPyClient
+        from repro.service.http import start_server
+        from repro.service.service import ProFIPyService
+
+        service = ProFIPyService(tmp_path / "svc")
+        server, _thread = start_server(service)
+        try:
+            client = ProFIPyClient(server.url)
+            self._submit(service, "alpha", toy_project, toy_model,
+                         toy_workload, tmp_path)
+            assert client.stats_campaigns() == service.stats_campaigns()
+            via_http = client.stats_aggregate(campaign="alpha")
+            in_process = service.stats_aggregate(campaign="alpha")
+            assert via_http["experiments"] == in_process["experiments"]
+            assert via_http["modes"] == json.loads(
+                json.dumps(in_process["modes"]))
+            # Filters ride the query string.
+            assert client.stats_aggregate(
+                spec="NOPE")["experiments"] == 0
+            with pytest.raises(ValueError):
+                client.stats_aggregate(confidence=2.0)
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_sampled_job_summary_carries_stopped_early(
+            self, tmp_path, toy_model):
+        from repro.service.service import ProFIPyService
+
+        project = _many_point_project(tmp_path)
+        service = ProFIPyService(tmp_path / "svc")
+        try:
+            config = _stopping_config(project, toy_model,
+                                      tmp_path / "job-ws")
+            job = service.submit_campaign(config, block=True)
+            assert job.status == "completed", job.error
+            summary = service.result_summary(job.job_id)
+            assert summary["stopped_early"] is not None
+            assert summary["stopped_early"]["experiments"] >= 2
+            # /v1/jobs/{id} progress: no shard left running.
+            progress = service.job(job.job_id).progress
+            assert progress is not None
+            states = {shard["state"] for shard in progress["shards"]}
+            assert "running" not in states
+            # The early-stopped stream registered in the store.
+            rows = service.stats_campaigns()
+            assert rows and rows[0]["stopped_early"] is True
+            # The text report renders the Wilson table.
+            assert "Failure mode estimates" in \
+                service.report_text(job.job_id)
+        finally:
+            service.close()
+
+
+@pytest.mark.integration
+class TestStatsCLI:
+    def test_stats_cli_aggregates_two_campaigns(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write_stream(tmp_path / "a.jsonl", "alpha",
+                      [_result_entry("e0", True),
+                       _result_entry("e1", False)])
+        _write_stream(tmp_path / "b.jsonl", "beta",
+                      [_result_entry("e0", True)])
+        workspace = str(tmp_path / "ws")
+        assert main(["stats", "--workspace", workspace, "add",
+                     str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--workspace", workspace, "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "alpha" in listing and "beta" in listing
+        assert main(["stats", "--workspace", workspace, "aggregate"]) == 0
+        out = capsys.readouterr().out
+        assert "2 campaign(s), 3 experiments" in out
+        assert "workload_failure" in out
+        assert main(["stats", "--workspace", workspace, "aggregate",
+                     "--campaign", "alpha"]) == 0
+        out = capsys.readouterr().out
+        assert "1 campaign(s), 2 experiments" in out
+
+    def test_campaign_parser_accepts_sampling_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "campaign", "t", "--name", "n", "--model", "gswfit",
+            "--run-cmd", "true", "--sample", "100",
+            "--sample-margin", "0.05", "--sample-confidence", "0.9",
+            "--min-sample", "10", "--stratify-by", "component",
+        ])
+        assert args.sample == 100
+        assert args.sample_margin == 0.05
+        assert args.sample_confidence == 0.9
+        assert args.min_sample == 10
+        assert args.stratify_by == "component"
