@@ -93,7 +93,7 @@ def cmd_scan(args) -> int:
     model = _load_model(args)
     cache = ScanCache(args.cache_dir) if args.cache_dir else None
     result = scan_tree(args.target, model.enabled_specs(), jobs=args.jobs,
-                       cache=cache)
+                       cache=cache, incremental=not args.no_incremental)
     for point in result.points:
         print(f"{point.point_id}  line {point.lineno}  {point.snippet}")
     print(
@@ -171,6 +171,7 @@ def cmd_campaign(args) -> int:
         registry_url=args.registry,
         scan_jobs=args.scan_jobs,
         scan_cache_dir=(Path(args.scan_cache) if args.scan_cache else None),
+        scan_incremental=not args.no_incremental_scan,
         seed=args.seed,
         workspace=workspace,
         keep_artifacts=args.keep_artifacts,
@@ -449,6 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--cache-dir",
                       help="content-addressed scan cache directory; "
                            "re-scans of unchanged files are free")
+    scan.add_argument("--no-incremental", action="store_true",
+                      help="ignore the cache's stat/tree manifests and "
+                           "re-read + re-hash every file (per-file cache "
+                           "entries still apply)")
     scan.set_defaults(func=cmd_scan)
 
     mutate = sub.add_parser("mutate", help="generate one mutated version")
@@ -527,6 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--scan-cache", default=None,
                           help="persistent scan-cache directory for "
                                "repeated campaigns over unchanged trees")
+    campaign.add_argument("--no-incremental-scan", action="store_true",
+                          help="disable the incremental (stat/tree "
+                               "manifest) scan fast path")
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--no-coverage", action="store_true")
     campaign.add_argument("--no-trigger", action="store_true")

@@ -10,6 +10,16 @@ Two modes:
 * **permanent mode**: the faulty code simply replaces the original window
   (a classic mutant, useful for mutation-testing style campaigns).
 
+Mutants are materialized by **span patching** by default
+(:mod:`repro.mutator.patch`): only the matched window and the
+runtime-import line are re-emitted, spliced into the original source
+bytes, so per-mutant cost no longer scales with file size and everything
+outside the window keeps its original formatting.  Windows that cannot be
+patched soundly fall back transparently to the legacy deepcopy +
+whole-file ``ast.unparse`` path; ``verify_patches`` (or the
+``PROFIPY_VERIFY_PATCHES`` environment variable) cross-checks every
+successful patch against that path with an AST-equivalence oracle.
+
 The mutator also produces the *coverage-instrumented* version used by the
 fault-free pre-run (§IV-D): every injection point gets a
 ``__pfp_rt__.cover(point_id)`` probe and no fault.
@@ -18,12 +28,13 @@ fault-free pre-run (§IV-D): every injection point gets a
 from __future__ import annotations
 
 import ast
-import copy
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.rng import SeededRandom
 from repro.dsl.metamodel import MetaModel
+from repro.mutator.patch import ast_equivalent, patch_mutant
 from repro.mutator.runtime import RUNTIME_ALIAS, RUNTIME_MODULE_NAME
 from repro.mutator.substitute import ReplacementBuilder, runtime_call
 from repro.scanner.cache import MatchMemo
@@ -113,13 +124,28 @@ class Mutator:
 
     def __init__(self, trigger: bool = True,
                  rng: SeededRandom | None = None,
-                 match_memo: MatchMemo | None = None) -> None:
+                 match_memo: MatchMemo | None = None,
+                 span_patching: bool = True,
+                 verify_patches: bool | None = None) -> None:
         self.trigger = trigger
         self.rng = rng or SeededRandom(0)
         #: Shared per-batch memo: repeated mutations of the same
         #: (file, spec) pair reuse one cached match list instead of
         #: re-running the backtracking matcher per mutant.
         self.match_memo = match_memo
+        #: Materialize mutants by splicing the window's byte span instead
+        #: of re-unparsing the whole file (False forces the legacy path).
+        self.span_patching = span_patching
+        if verify_patches is None:
+            verify_patches = bool(os.environ.get("PROFIPY_VERIFY_PATCHES"))
+        #: Cross-check every successful span patch against the legacy
+        #: path with the AST-equivalence oracle (belt-and-suspenders for
+        #: campaigns that can afford it; the test suite runs with it on).
+        self.verify_patches = verify_patches
+        #: How mutants were materialized: span-``patched``, legacy
+        #: ``fallback``, and oracle ``verify_mismatch`` counts.
+        self.patch_stats = {"patched": 0, "fallback": 0,
+                            "verify_mismatch": 0}
 
     # -- fault injection -------------------------------------------------------
 
@@ -134,7 +160,8 @@ class Mutator:
         """Mutate the ``ordinal``-th match of ``model`` in ``source``."""
         fault_id = fault_id or f"{model.name}:{file}:{ordinal}"
         if self.match_memo is not None:
-            tree, match = self.match_memo.take(source, model, ordinal)
+            # Shared pristine tree: read-only from here on.
+            tree, match = self.match_memo.peek(source, model, ordinal)
         else:
             tree = ast.parse(source)
             match = self._nth_match_in_tree(tree, model, ordinal)
@@ -142,39 +169,92 @@ class Mutator:
         original_snippet = "\n".join(
             ast.unparse(stmt) for stmt in original_stmts
         )
+        # match.lineno is a live property over the owner's statement list;
+        # capture the pristine window's line before any path mutates it.
+        lineno = match.lineno
 
+        # The RNG stream is consumed exactly once, before the path choice,
+        # so span-patched and fallback mutants draw identical faults.
         builder = ReplacementBuilder(
             model, match, rng=self.rng.derive(fault_id)
         )
         faulty = builder.build()
         needs_runtime = builder.needs_runtime or self.trigger
+        mutated_snippet = "\n".join(
+            ast.unparse(ast.fix_missing_locations(stmt)) for stmt in faulty
+        )
 
-        body = getattr(match.owner, match.field)
-        if self.trigger:
-            guard = ast.If(
-                test=runtime_call("enabled", [ast.Constant(fault_id)]),
-                body=faulty or [ast.Pass()],
-                orelse=list(original_stmts),
+        patched = None
+        if self.span_patching:
+            patched = patch_mutant(
+                source, tree, match, faulty,
+                trigger=self.trigger, fault_id=fault_id,
+                needs_runtime=needs_runtime,
             )
-            body[match.start:match.end] = [guard]
+        if patched is None:
+            self.patch_stats["fallback"] += 1
+            mutated_source = self._legacy_mutant_source(
+                source, model, ordinal, tree, match, faulty,
+                fault_id, needs_runtime,
+            )
         else:
-            body[match.start:match.end] = faulty
-            if not body:
-                body.append(ast.Pass())
-
-        if needs_runtime:
-            _insert_runtime_import(tree)
-        ast.fix_missing_locations(tree)
-        mutated_snippet = "\n".join(ast.unparse(stmt) for stmt in faulty)
+            self.patch_stats["patched"] += 1
+            mutated_source = patched
+            if self.verify_patches:
+                legacy = self._legacy_mutant_source(
+                    source, model, ordinal, tree, match, faulty,
+                    fault_id, needs_runtime,
+                )
+                if not ast_equivalent(patched, legacy):
+                    self.patch_stats["verify_mismatch"] += 1
+                    mutated_source = legacy
         return Mutation(
             fault_id=fault_id,
             spec_name=model.name,
             file=file,
-            lineno=match.lineno,
-            source=ast.unparse(tree) + "\n",
+            lineno=lineno,
+            source=mutated_source,
             original_snippet=original_snippet,
             mutated_snippet=mutated_snippet or "pass",
         )
+
+    def _legacy_mutant_source(
+        self,
+        source: str,
+        model: MetaModel,
+        ordinal: int,
+        tree: ast.Module,
+        match: Match,
+        faulty: list[ast.stmt],
+        fault_id: str,
+        needs_runtime: bool,
+    ) -> str:
+        """Deepcopy + whole-file unparse (the pre-span-patching path).
+
+        With a memo the pristine tree is shared, so a private copy is
+        taken first; without one ``tree`` is already this call's own.
+        ``faulty`` statements are detached copies (the builder never
+        aliases pristine nodes), so splicing them into either tree is
+        safe.
+        """
+        if self.match_memo is not None:
+            tree, match = self.match_memo.take(source, model, ordinal)
+        body = getattr(match.owner, match.field)
+        if self.trigger:
+            guard = ast.If(
+                test=runtime_call("enabled", [ast.Constant(fault_id)]),
+                body=list(faulty) or [ast.Pass()],
+                orelse=list(match.stmts),
+            )
+            body[match.start:match.end] = [guard]
+        else:
+            body[match.start:match.end] = list(faulty)
+            if not body:
+                body.append(ast.Pass())
+        if needs_runtime:
+            _insert_runtime_import(tree)
+        ast.fix_missing_locations(tree)
+        return ast.unparse(tree) + "\n"
 
     def mutate_file(
         self,
@@ -202,20 +282,36 @@ class Mutator:
         """Insert coverage probes for each ``(model, ordinal, point_id)``.
 
         The returned source contains no faults: each probe records that the
-        workload reached the corresponding injection point.
+        workload reached the corresponding injection point.  With a
+        :class:`MatchMemo` the backtracking matcher runs at most once per
+        distinct spec (the memo's match lists are shared with mutant
+        generation); without one it runs once per model, on a private
+        parse.
         """
-        tree = ast.parse(source)
-        # One matcher run per model: targets usually carry many ordinals of
-        # the same spec, and every ordinal resolves from one match list.
-        matches_by_model: dict[int, list[Match]] = {}
-        inserts: list[tuple[ast.AST, str, int, str]] = []
-        for model, ordinal, point_id in targets:
-            matches = matches_by_model.get(id(model))
-            if matches is None:
-                matches = Matcher(model).find_matches(tree)
-                matches_by_model[id(model)] = matches
-            match = pick_match(matches, model.name, ordinal)
-            inserts.append((match.owner, match.field, match.start, point_id))
+        if self.match_memo is not None:
+            tree, windows = self.match_memo.take_windows(
+                source, [(model, ordinal) for model, ordinal, _ in targets]
+            )
+            inserts = [
+                (window.owner, window.field, window.start, point_id)
+                for window, (_, _, point_id) in zip(windows, targets)
+            ]
+        else:
+            tree = ast.parse(source)
+            # One matcher run per model: targets usually carry many
+            # ordinals of the same spec, and every ordinal resolves from
+            # one match list.
+            matches_by_model: dict[int, list[Match]] = {}
+            inserts = []
+            for model, ordinal, point_id in targets:
+                matches = matches_by_model.get(id(model))
+                if matches is None:
+                    matches = Matcher(model).find_matches(tree)
+                    matches_by_model[id(model)] = matches
+                match = pick_match(matches, model.name, ordinal)
+                inserts.append(
+                    (match.owner, match.field, match.start, point_id)
+                )
         # Insert deepest-position first so earlier indices stay valid.
         grouped: dict[tuple[int, str], list[tuple[int, str]]] = {}
         owners: dict[tuple[int, str], ast.AST] = {}

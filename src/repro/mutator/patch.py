@@ -1,0 +1,242 @@
+"""Span-based mutant materialization: splice bytes, don't re-emit files.
+
+The legacy mutant path deepcopies the pristine parse tree and re-unparses
+the *entire* file per mutant, even though only a few statements change.
+This module materializes the mutant by source patching instead: the
+matched statement window's byte span is computed from the pristine tree's
+position info (``lineno``/``col_offset`` pairs are UTF-8 *byte* offsets),
+the replacement (trigger guard or faulty statements) is unparsed alone,
+re-indented to the window's indentation, and spliced into the original
+bytes — plus a second zero-width splice for the runtime-import line.
+
+Soundness over cleverness: :func:`patch_mutant` returns ``None`` whenever
+the window cannot be patched provably safely — same-line compound
+statements (``if x: y()``), ``;``-joined statements, ``elif`` windows
+(whose source token differs from their AST rendering), decorated
+definitions, import insertion points that would reorder statements — and
+the caller falls back to the deepcopy+unparse path.  Every successful
+patch is parse-checked; the AST-equivalence oracle
+(:func:`ast_equivalent`) lets callers and the test suite assert that both
+paths produce semantically identical mutants.
+
+Everything *outside* the patched spans — comments, blank lines, string
+quoting, formatting — is preserved byte-for-byte, which the legacy
+whole-file unparse never could.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.mutator.runtime import RUNTIME_ALIAS, RUNTIME_MODULE_NAME
+from repro.mutator.substitute import runtime_call
+from repro.scanner.matcher import Match
+
+RUNTIME_IMPORT_LINE = f"import {RUNTIME_MODULE_NAME} as {RUNTIME_ALIAS}\n"
+
+
+def ast_equivalent(source_a: str, source_b: str) -> bool:
+    """True iff the two sources parse to structurally identical trees.
+
+    Positions and formatting are ignored (``ast.dump`` drops attributes),
+    so a span-patched mutant and a whole-file-unparsed mutant compare
+    equal exactly when they are the same program.
+    """
+    return ast.dump(ast.parse(source_a)) == ast.dump(ast.parse(source_b))
+
+
+def patch_mutant(
+    source: str,
+    tree: ast.Module,
+    match: Match,
+    faulty: list[ast.stmt],
+    *,
+    trigger: bool,
+    fault_id: str,
+    needs_runtime: bool,
+) -> str | None:
+    """Splice the mutant for ``match`` into ``source``, or ``None``.
+
+    ``tree`` and ``match`` are the *pristine* parse tree and its match —
+    nothing here mutates either, so memoized trees may be shared freely.
+    ``faulty`` is the already-built replacement statement list (the RNG
+    draws happened in the caller, once, so patch and fallback see the
+    same stream).  A ``None`` return means "fall back to deepcopy+
+    unparse"; it is never an error.
+    """
+    stmts = match.stmts
+    if not stmts:
+        return None  # zero-width window: nowhere to splice
+    span = _window_span(source, stmts)
+    if span is None:
+        return None
+    start_line, start_col, end_line, end_col, lines = span
+
+    start_bytes = lines[start_line - 1].encode("utf-8")
+    prefix = start_bytes[:start_col]
+    if prefix.strip():
+        # The window shares its first line with other code (`if x: y()`,
+        # `a = 1; y()`): a textual splice cannot preserve the head.
+        return None
+    if start_bytes[start_col:start_col + 4] == b"elif":
+        # An elif clause's AST (a nested If) unparses as `if ...`, which
+        # would detach the branch from its chain.  Only the legacy path
+        # re-emits the surrounding chain correctly.
+        return None
+    tail = lines[end_line - 1].encode("utf-8")[end_col:].decode("utf-8")
+    stripped_tail = tail.strip()
+    if stripped_tail and not stripped_tail.startswith("#"):
+        return None  # `; more()` or a same-line suite follows the window
+
+    insert_line = None
+    if needs_runtime and not _has_runtime_import(tree):
+        insert_line = _runtime_import_line(tree, len(lines))
+        if insert_line is None or insert_line > start_line:
+            # No provably safe zero-width insertion point before the
+            # window (e.g. the window itself spans the import slot).
+            return None
+
+    replacement = _render_window(match, faulty, trigger, fault_id,
+                                 indent=prefix.decode("utf-8"))
+    window_text = prefix.decode("utf-8") + replacement + tail
+    if not replacement and not window_text.strip():
+        # Pure deletion of the whole line(s): drop them entirely rather
+        # than leaving stray whitespace lines behind.
+        window_text = ""
+
+    patched_lines = list(lines)
+    patched_lines[start_line - 1:end_line] = (
+        [window_text] if window_text else []
+    )
+    if insert_line is not None:
+        index = insert_line - 1
+        if index >= len(patched_lines):
+            if patched_lines and not patched_lines[-1].endswith("\n"):
+                patched_lines[-1] += "\n"
+            patched_lines.append(RUNTIME_IMPORT_LINE)
+        else:
+            patched_lines.insert(index, RUNTIME_IMPORT_LINE)
+    patched = "".join(patched_lines)
+    try:
+        ast.parse(patched)
+    except (SyntaxError, ValueError):
+        return None  # exotic layout survived the checks; fall back
+    return patched
+
+
+# -- span computation -----------------------------------------------------------
+
+
+def _window_span(
+    source: str, stmts: list[ast.stmt],
+) -> tuple[int, int, int, int, list[str]] | None:
+    """``(start_line, start_col, end_line, end_col, lines)`` or None.
+
+    Lines are 1-based; columns are UTF-8 byte offsets (the ``ast``
+    convention).  Returns None when positions are missing or the window
+    starts on a decorated definition (decorator lines sit *above* the
+    statement's recorded position, so the span would exclude them).
+    """
+    first, last = stmts[0], stmts[-1]
+    if getattr(first, "decorator_list", None):
+        return None
+    start_line = getattr(first, "lineno", None)
+    start_col = getattr(first, "col_offset", None)
+    end_line = getattr(last, "end_lineno", None)
+    end_col = getattr(last, "end_col_offset", None)
+    if None in (start_line, start_col, end_line, end_col):
+        return None
+    lines = source.splitlines(keepends=True)
+    if not (1 <= start_line <= end_line <= len(lines)):
+        return None
+    return start_line, start_col, end_line, end_col, lines
+
+
+# -- replacement rendering ------------------------------------------------------
+
+
+def _render_window(match: Match, faulty: list[ast.stmt], trigger: bool,
+                   fault_id: str, indent: str) -> str:
+    """The replacement text for the window, re-indented to ``indent``."""
+    if trigger:
+        stmts: list[ast.stmt] = [ast.If(
+            test=runtime_call("enabled", [ast.Constant(fault_id)]),
+            body=list(faulty) or [ast.Pass()],
+            orelse=list(match.stmts),
+        )]
+    else:
+        stmts = list(faulty)
+        if not stmts and _covers_whole_list(match):
+            stmts = [ast.Pass()]  # an emptied suite still needs a body
+    if not stmts:
+        return ""
+    rendered: list[str] = []
+    for stmt in stmts:
+        # unparse needs location attributes on 3.11 (type-comment lookup);
+        # synthetic guard nodes have none, real nodes keep theirs.
+        ast.fix_missing_locations(stmt)
+        rendered.append(ast.unparse(stmt))
+    text = "\n".join(rendered)
+    lines = text.split("\n")
+    # First line splices after the window's own indentation; every later
+    # line (including unparse's blank separators, left empty) re-indents.
+    return "\n".join(
+        [lines[0]] + [indent + line if line else line for line in lines[1:]]
+    )
+
+
+def _covers_whole_list(match: Match) -> bool:
+    body = getattr(match.owner, match.field)
+    return match.start == 0 and match.end >= len(body)
+
+
+# -- runtime-import placement ---------------------------------------------------
+
+
+def _has_runtime_import(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import) and any(
+            alias.name == RUNTIME_MODULE_NAME
+            and alias.asname == RUNTIME_ALIAS
+            for alias in stmt.names
+        ):
+            return True
+    return False
+
+
+def _runtime_import_line(tree: ast.Module, total_lines: int) -> int | None:
+    """1-based line where the runtime-import line may be inserted.
+
+    Mirrors ``_insert_runtime_import``'s index (after any docstring and
+    ``__future__`` imports) translated to source positions.  Returns None
+    when a whole-line insertion there would reorder statements (a prior
+    statement sharing the line, or a column-offset statement).
+    """
+    body = tree.body
+    index = 0
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        index = 1
+    while index < len(body) and (
+        isinstance(body[index], ast.ImportFrom)
+        and body[index].module == "__future__"
+    ):
+        index += 1
+    if index >= len(body):
+        return total_lines + 1  # append at EOF
+    stmt = body[index]
+    line = stmt.lineno
+    decorators = getattr(stmt, "decorator_list", None)
+    if decorators:
+        line = min(line, min(d.lineno for d in decorators))
+    if stmt.col_offset != 0:
+        return None  # `;`-joined module top: a line insert would reorder
+    if index > 0:
+        previous = body[index - 1]
+        if getattr(previous, "end_lineno", line) >= line:
+            return None  # the previous statement shares the line
+    return line
+
+
+__all__ = ["RUNTIME_IMPORT_LINE", "ast_equivalent", "patch_mutant"]

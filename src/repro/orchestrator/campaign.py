@@ -125,6 +125,11 @@ class CampaignConfig:
     #: Persistent scan-cache directory; repeated campaigns over unchanged
     #: trees skip re-matching (the as-a-Service fast path).
     scan_cache_dir: Path | None = None
+    #: Incremental scan over the cache's stat/tree manifests: a
+    #: re-campaign reads, hashes, and scans only the files that changed
+    #: since the last scan.  Turn off to force every file to be re-read
+    #: and re-hashed (the per-file cache still applies).
+    scan_incremental: bool = True
     seed: int = 0
     #: Workspace directory (default: a fresh temporary directory).
     workspace: Path | None = None
@@ -310,6 +315,7 @@ class Campaign:
             jobs=config.scan_jobs or 1,
             cache=cache,
             models=models,
+            incremental=config.scan_incremental,
         )
 
     # -- full workflow -------------------------------------------------------------

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.dsl.metamodel import MetaModel
 from repro.mutator.mutate import Mutator
+from repro.scanner.cache import MatchMemo
 from repro.mutator.runtime import COVERAGE_ENV
 from repro.orchestrator.plan import Plan
 from repro.sandbox.image import SandboxImage
@@ -59,7 +60,9 @@ def run_coverage(
     for point in points:
         by_file.setdefault(point.file, []).append(point)
 
-    mutator = Mutator(trigger=False)
+    # The memo shares one parse + one matcher run per (file, spec) across
+    # every point in the file, instead of re-matching per target list.
+    mutator = Mutator(trigger=False, match_memo=MatchMemo())
     instrumented: dict[str, str] = {}
     for rel_file, file_points in by_file.items():
         source = image.read_file(rel_file)

@@ -3,17 +3,32 @@
 Two memoizers live here:
 
 * :class:`ScanCache` — per-file scan results keyed by
-  ``(sha256(source), faultload_digest)``.  Service-mode campaigns re-scan
-  the same (unchanged) target trees over and over; with a persistent cache
-  directory the second campaign skips the matcher entirely.  Entries store
-  only file-independent match data (spec, ordinal, line span, snippet), so
-  identical file contents share one entry regardless of path.
+  ``(sha256(source), faultload_digest)``, plus two whole-tree layers that
+  make re-campaigns over mostly-unchanged trees cost O(changed files):
+
+  - a **stat manifest** per scan root mapping absolute path to
+    ``(size, mtime_ns, sha)``, so unchanged files are recognized from a
+    single ``stat`` without being read or hashed at all;
+  - a **tree manifest** keyed by ``(tree_digest, faultload_digest)``,
+    where the tree digest is the canonical-JSON sha256 of the
+    ``{relative path: source sha}`` map (the same digest discipline as
+    the executor's ``ImageManifest``) — a hit serves the *entire* scan
+    from one entry.
+
+  Service-mode campaigns re-scan the same (unchanged) target trees over
+  and over; with a persistent cache directory the second campaign skips
+  the matcher, the hashing, and the file reads entirely.  Entries store
+  only file-independent match data (spec, ordinal, line span, snippet),
+  so identical file contents share one entry regardless of path.  The
+  in-memory map is LRU-bounded (``max_memory_entries``) so long-lived
+  service workers stay bounded too.
 * :class:`MatchMemo` — a per-batch memo of pristine parse trees and their
-  matches.  The mutator re-derives the ``ordinal``-th match from pristine
-  source for every generated mutant; within a mutation batch (one campaign
-  executor) the same ``(file, spec)`` pair recurs once per ordinal, and the
-  memo replaces the repeated parse+backtracking-match with one cached match
-  list plus a ``deepcopy`` translation onto a fresh tree.
+  matches, keyed per source content with all per-spec match lists hanging
+  off one shared tree (one parse per file, however many specs).  The
+  span-patching mutant path only needs read access (:meth:`peek`);
+  :meth:`take` still hands out a ``deepcopy``-translated private tree for
+  the fallback path, and :meth:`take_windows` gives the coverage
+  instrumenter every requested window on a single fresh tree.
 """
 
 from __future__ import annotations
@@ -21,6 +36,7 @@ from __future__ import annotations
 import ast
 import copy
 import hashlib
+import json
 import os
 import threading
 from collections import OrderedDict
@@ -55,10 +71,27 @@ def faultload_digest(specs: "list[BugSpec] | list[MetaModel]") -> str:
     return digest.hexdigest()
 
 
+def tree_digest_of(files: "dict[str, str]") -> str:
+    """Content address of a whole tree: ``{relative path: source sha}``.
+
+    Canonical sorted JSON hashed with sha256 — the ``ImageManifest``
+    discipline — so any file added, removed, renamed, or edited changes
+    the digest, and nothing else does.
+    """
+    canonical = json.dumps(sorted(files.items()), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 #: Bump when the entry schema changes; older disk entries become misses.
 CACHE_FORMAT_VERSION = 1
 
+#: Bump when the tree-manifest schema changes (independent of the
+#: per-file entry version it nests).
+TREE_FORMAT_VERSION = 1
+
 _ROW_KEYS = {"spec_name", "ordinal", "lineno", "end_lineno", "snippet"}
+
+_STAT_KEYS = {"size", "mtime_ns", "sha"}
 
 
 def _valid_entry(entry) -> bool:
@@ -76,39 +109,98 @@ def _valid_entry(entry) -> bool:
     )
 
 
+def _valid_tree_entry(entry) -> bool:
+    if not isinstance(entry, dict):
+        return False
+    if entry.get("version") != TREE_FORMAT_VERSION:
+        return False
+    files = entry.get("files")
+    if not isinstance(files, dict):
+        return False
+    return all(
+        isinstance(rel, str) and _valid_entry(file_entry)
+        for rel, file_entry in files.items()
+    )
+
+
+def _valid_stat_manifest(entry) -> bool:
+    if not isinstance(entry, dict):
+        return False
+    if entry.get("version") != CACHE_FORMAT_VERSION:
+        return False
+    files = entry.get("files")
+    if not isinstance(files, dict):
+        return False
+    return all(
+        isinstance(path, str) and isinstance(record, dict)
+        and _STAT_KEYS <= record.keys()
+        for path, record in files.items()
+    )
+
+
 class ScanCache:
     """Memo of per-file scan results, optionally persisted to disk.
 
     The in-memory map is always consulted first; when ``cache_dir`` is set,
     misses fall back to a JSON entry on disk and stores write through.
     Entries are schema-versioned — anything malformed or from another
-    format version is treated as a miss, never a crash.  The disk cache is
-    pruned to ``max_disk_entries`` (oldest first) when the cache is
-    opened, so long-lived service workspaces stay bounded.  Thread-safe
-    (service jobs scan on worker threads).
+    format version is treated as a miss, never a crash.  Both the disk
+    cache (``max_disk_entries``, pruned LRU when the cache is opened) and
+    the in-memory map (``max_memory_entries``, evicted LRU on insert) are
+    bounded, so long-lived service workspaces and workers stay bounded.
+    Thread-safe (service jobs scan on worker threads).
+
+    Counters: ``hits``/``misses`` count per-file entry consultations (a
+    whole-tree hit counts once per file it serves); ``tree_hits``/
+    ``tree_misses`` count tree-manifest consultations; ``files_read`` and
+    ``stat_hits`` count how many files a scan actually read versus
+    recognized as unchanged from a single ``stat``.
     """
 
     def __init__(self, cache_dir: str | Path | None = None,
-                 max_disk_entries: int = 4096) -> None:
+                 max_disk_entries: int = 4096,
+                 max_memory_entries: int = 4096) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.max_disk_entries = max_disk_entries
-        self._memory: dict[tuple[str, str], dict] = {}
+        self.max_memory_entries = max_memory_entries
+        self._memory: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._tree_memory: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._stat_memory: dict[str, dict] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.tree_hits = 0
+        self.tree_misses = 0
+        self.files_read = 0
+        self.stat_hits = 0
         self._prune_disk()
 
     def _entry_path(self, source_sha: str, load_digest: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{load_digest[:16]}-{source_sha}.json"
 
+    def _tree_path(self, tree_digest: str, load_digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"tree-{load_digest[:16]}-{tree_digest}.json"
+
+    def _stat_path(self, root_key: str) -> Path:
+        assert self.cache_dir is not None
+        token = hashlib.sha256(root_key.encode("utf-8")).hexdigest()[:16]
+        return self.cache_dir / f"statmanifest-{token}.json"
+
     def _prune_disk(self) -> None:
-        """Drop the oldest disk entries beyond ``max_disk_entries``."""
+        """Drop the oldest disk entries beyond ``max_disk_entries``.
+
+        Stat manifests are exempt: there is one small manifest per scan
+        root (not one per file), and it is what keeps re-scans from
+        reading every file.
+        """
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return
         try:
             entries = sorted(
-                self.cache_dir.glob("*.json"),
+                (path for path in self.cache_dir.glob("*.json")
+                 if not path.name.startswith("statmanifest-")),
                 key=lambda path: path.stat().st_mtime,
             )
         except OSError:
@@ -119,11 +211,25 @@ class ScanCache:
             except OSError:
                 pass
 
+    def _remember(self, store: OrderedDict, key, entry,
+                  cap: int | None = None) -> None:
+        """Insert with LRU recency and eviction (caller holds no lock)."""
+        cap = cap if cap is not None else self.max_memory_entries
+        with self._lock:
+            store[key] = entry
+            store.move_to_end(key)
+            while len(store) > cap:
+                store.popitem(last=False)
+
+    # -- per-file entries -------------------------------------------------------
+
     def lookup(self, source_sha: str, load_digest: str) -> dict | None:
         """Cached entry ``{"matches": [...], "error": str|None}`` or None."""
         key = (source_sha, load_digest)
         with self._lock:
             entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
         if entry is None and self.cache_dir is not None:
             path = self._entry_path(source_sha, load_digest)
             if path.exists():
@@ -134,8 +240,7 @@ class ScanCache:
                 if entry is not None and not _valid_entry(entry):
                     entry = None
                 if entry is not None:
-                    with self._lock:
-                        self._memory[key] = entry
+                    self._remember(self._memory, key, entry)
                     try:
                         # Refresh recency so pruning is LRU, not FIFO:
                         # hot entries survive the max_disk_entries cap.
@@ -151,9 +256,7 @@ class ScanCache:
 
     def store(self, source_sha: str, load_digest: str, entry: dict) -> None:
         entry = {**entry, "version": CACHE_FORMAT_VERSION}
-        key = (source_sha, load_digest)
-        with self._lock:
-            self._memory[key] = entry
+        self._remember(self._memory, (source_sha, load_digest), entry)
         if self.cache_dir is not None:
             try:
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -161,52 +264,194 @@ class ScanCache:
             except OSError:
                 pass  # persistence is best-effort; memory entry stands
 
+    # -- tree manifests ---------------------------------------------------------
+
+    def lookup_tree(self, tree_digest: str,
+                    load_digest: str) -> dict | None:
+        """Whole-tree entry ``{"files": {rel: per-file entry}}`` or None."""
+        key = (tree_digest, load_digest)
+        with self._lock:
+            entry = self._tree_memory.get(key)
+            if entry is not None:
+                self._tree_memory.move_to_end(key)
+        if entry is None and self.cache_dir is not None:
+            path = self._tree_path(tree_digest, load_digest)
+            if path.exists():
+                try:
+                    entry = read_json(path)
+                except (OSError, ValueError):
+                    entry = None
+                if entry is not None and not _valid_tree_entry(entry):
+                    entry = None
+                if entry is not None:
+                    self._remember(self._tree_memory, key, entry, cap=16)
+                    try:
+                        os.utime(path)
+                    except OSError:
+                        pass
+        with self._lock:
+            if entry is None:
+                self.tree_misses += 1
+            else:
+                self.tree_hits += 1
+        return entry
+
+    def store_tree(self, tree_digest: str, load_digest: str,
+                   files: "dict[str, dict]") -> None:
+        entry = {
+            "version": TREE_FORMAT_VERSION,
+            "files": {rel: {**file_entry, "version": CACHE_FORMAT_VERSION}
+                      for rel, file_entry in files.items()},
+        }
+        self._remember(self._tree_memory, (tree_digest, load_digest), entry,
+                       cap=16)
+        if self.cache_dir is not None:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                write_json(self._tree_path(tree_digest, load_digest), entry)
+            except OSError:
+                pass
+
+    # -- stat manifests ---------------------------------------------------------
+
+    def load_stat_manifest(self, root: str | Path) -> dict:
+        """``{absolute path: {size, mtime_ns, sha}}`` for ``root``, or {}."""
+        root_key = os.path.abspath(str(root))
+        with self._lock:
+            manifest = self._stat_memory.get(root_key)
+            if manifest is not None:
+                return dict(manifest)
+        if self.cache_dir is None:
+            return {}
+        path = self._stat_path(root_key)
+        if not path.exists():
+            return {}
+        try:
+            entry = read_json(path)
+        except (OSError, ValueError):
+            return {}
+        if not _valid_stat_manifest(entry):
+            return {}
+        manifest = entry["files"]
+        with self._lock:
+            self._stat_memory[root_key] = dict(manifest)
+        return manifest
+
+    def save_stat_manifest(self, root: str | Path,
+                           manifest: "dict[str, dict]") -> None:
+        root_key = os.path.abspath(str(root))
+        with self._lock:
+            self._stat_memory[root_key] = dict(manifest)
+        if self.cache_dir is not None:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                write_json(self._stat_path(root_key), {
+                    "version": CACHE_FORMAT_VERSION,
+                    "files": manifest,
+                })
+            except OSError:
+                pass
+
+    # -- counters ---------------------------------------------------------------
+
+    def note_hits(self, count: int) -> None:
+        """Count ``count`` per-file results served (tree fast path)."""
+        with self._lock:
+            self.hits += count
+
+    def note_read(self, count: int = 1) -> None:
+        with self._lock:
+            self.files_read += count
+
+    def note_stat_hit(self, count: int = 1) -> None:
+        with self._lock:
+            self.stat_hits += count
+
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._memory)}
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._memory),
+                "tree_hits": self.tree_hits,
+                "tree_misses": self.tree_misses,
+                "files_read": self.files_read,
+                "stat_hits": self.stat_hits,
+            }
+
+
+class _MemoEntry:
+    """One memoized source: a shared pristine tree plus per-spec matches."""
+
+    __slots__ = ("tree", "matches")
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        #: ``(spec name, raw spec text) -> match list`` — the raw text is
+        #: part of the key because two specs may share a name while
+        #: matching different patterns (ScanCache digests name+raw for
+        #: the same reason).
+        self.matches: dict[tuple[str, str], list[Match]] = {}
 
 
 class MatchMemo:
-    """Bounded memo of ``(source, spec) -> (pristine tree, matches)``.
+    """Bounded memo of ``source -> (pristine tree, per-spec matches)``.
 
-    :meth:`take` hands out a *fresh* tree plus the requested match
-    translated onto it, so callers may mutate freely.  The translation uses
-    the ``deepcopy`` memo dictionary — ``memo[id(old_node)]`` is the copied
-    node — to remap the match window and every tag binding in O(tree)
-    instead of re-running the backtracking matcher.
+    One entry per source content; every spec's match list hangs off the
+    same shared tree, so a file hit by many specs is parsed exactly once.
+    :meth:`peek` exposes the shared tree read-only (the span-patching
+    path never mutates it); :meth:`take` hands out a *fresh* tree plus
+    the requested match translated onto it, so callers may mutate freely.
+    The translation uses the ``deepcopy`` memo dictionary —
+    ``memo[id(old_node)]`` is the copied node — to remap the match window
+    and every tag binding in O(tree) instead of re-running the
+    backtracking matcher.
     """
 
     def __init__(self, max_entries: int = 64) -> None:
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple[str, str, str],
-                                   tuple[ast.Module, list[Match]]]
-        self._entries = OrderedDict()
+        self._entries: OrderedDict[str, _MemoEntry] = OrderedDict()
         self._lock = threading.Lock()
 
-    def _pristine(self, source: str,
-                  model: MetaModel) -> tuple[ast.Module, list[Match]]:
-        # The raw spec text is part of the key: two models may share a
-        # name while matching different patterns (ScanCache digests
-        # name+raw for the same reason).
-        key = (source_digest(source), model.name, model.spec.raw)
+    def _entry(self, source: str) -> _MemoEntry:
+        key = source_digest(source)
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
-                return self._entries[key]
+                return entry
         tree = ast.parse(source)
-        matches = Matcher(model).find_matches(tree)
+        entry = _MemoEntry(tree)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
-                # Another thread computed the same entry first; hand out
-                # that one so every caller shares a single pristine tree.
+                # Another thread parsed the same source first; hand out
+                # that entry so every caller shares a single pristine tree.
                 self._entries.move_to_end(key)
                 return existing
-            self._entries[key] = (tree, matches)
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
-        return tree, matches
+        return entry
+
+    def _matches(self, entry: _MemoEntry, model: MetaModel) -> list[Match]:
+        key = (model.name, model.spec.raw)
+        with self._lock:
+            matches = entry.matches.get(key)
+        if matches is not None:
+            return matches
+        matches = Matcher(model).find_matches(entry.tree)
+        with self._lock:
+            # Existing wins: concurrent first-touches must agree on one
+            # match list (matching is deterministic, but identity matters
+            # for downstream node remapping).
+            return entry.matches.setdefault(key, matches)
+
+    def _pristine(self, source: str,
+                  model: MetaModel) -> tuple[ast.Module, list[Match]]:
+        entry = self._entry(source)
+        return entry.tree, self._matches(entry, model)
 
     def prime(self, source: str, model: MetaModel) -> int:
         """Parse and match now, serially, so later takes are cache hits.
@@ -221,6 +466,17 @@ class MatchMemo:
     def count(self, source: str, model: MetaModel) -> int:
         """Number of matches of ``model`` in ``source`` (memoized)."""
         return len(self._pristine(source, model)[1])
+
+    def peek(self, source: str, model: MetaModel,
+             ordinal: int) -> tuple[ast.Module, Match]:
+        """The *shared* pristine tree plus the ``ordinal``-th match.
+
+        Callers must treat both as read-only: the tree is handed to every
+        other consumer of this source.  The span-patching mutant path
+        only reads positions and unparses, so it peeks instead of taking.
+        """
+        tree, matches = self._pristine(source, model)
+        return tree, pick_match(matches, model.name, ordinal)
 
     def take(self, source: str, model: MetaModel,
              ordinal: int) -> tuple[ast.Module, Match]:
@@ -238,6 +494,36 @@ class MatchMemo:
             spec_name=match.spec_name,
         )
         return fresh_tree, fresh
+
+    def take_windows(
+        self, source: str, targets: "list[tuple[MetaModel, int]]",
+    ) -> tuple[ast.Module, list[Match]]:
+        """One fresh tree plus every ``(model, ordinal)`` window on it.
+
+        The coverage instrumenter needs many windows on a single mutable
+        tree; this costs one ``deepcopy`` total instead of one per window,
+        and the backtracking matcher runs at most once per distinct spec.
+        Bindings are not remapped — probe insertion only needs the window.
+        """
+        entry = self._entry(source)
+        picked = [
+            pick_match(self._matches(entry, model), model.name, ordinal)
+            for model, ordinal in targets
+        ]
+        node_map: dict[int, object] = {}
+        fresh_tree = copy.deepcopy(entry.tree, node_map)
+        windows = [
+            Match(
+                owner=node_map[id(match.owner)],
+                field=match.field,
+                start=match.start,
+                end=match.end,
+                bindings=Bindings(),
+                spec_name=match.spec_name,
+            )
+            for match in picked
+        ]
+        return fresh_tree, windows
 
 
 def _remap_bindings(bindings: Bindings, node_map: dict) -> Bindings:

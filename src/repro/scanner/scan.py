@@ -24,6 +24,7 @@ naive per-spec matcher (see ``tests/test_scan_engine.py``).
 from __future__ import annotations
 
 import ast
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,7 +34,12 @@ from repro.common.textutil import truncate
 from repro.dsl.compiler import compile_spec
 from repro.dsl.metamodel import MetaModel
 from repro.dsl.parser import BugSpec
-from repro.scanner.cache import ScanCache, faultload_digest, source_digest
+from repro.scanner.cache import (
+    ScanCache,
+    faultload_digest,
+    source_digest,
+    tree_digest_of,
+)
 from repro.scanner.matcher import Match, Matcher, is_stmt_list, pick_match
 from repro.scanner.points import InjectionPoint, component_of
 from repro.scanner.prefilter import FileFingerprint
@@ -277,6 +283,7 @@ def scan_tree(
     specs: list[BugSpec],
     jobs: int = 1,
     cache: ScanCache | None = None,
+    incremental: bool = True,
 ) -> ScanResult:
     """Scan every Python file under ``root`` with every spec.
 
@@ -286,7 +293,8 @@ def scan_tree(
     root = Path(root)
     files = sorted(iter_python_files(root))
     scan_root = root if root.is_dir() else root.parent
-    return scan_files(files, specs, root=scan_root, jobs=jobs, cache=cache)
+    return scan_files(files, specs, root=scan_root, jobs=jobs, cache=cache,
+                      incremental=incremental)
 
 
 def scan_files(
@@ -296,23 +304,232 @@ def scan_files(
     jobs: int = 1,
     cache: ScanCache | None = None,
     models: list[MetaModel] | None = None,
+    incremental: bool = True,
 ) -> ScanResult:
     """Scan an explicit list of files with the indexed engine.
 
     Missing or unreadable files are recorded in ``parse_errors`` instead of
     aborting the scan (campaigns keep running on the files that exist).
     Pass pre-compiled ``models`` to skip recompilation on the serial path.
+    With a cache, the scan is *incremental*: files whose ``(size,
+    mtime_ns)`` match the root's stat manifest are trusted without being
+    read, and an unchanged tree is served whole from one tree-manifest
+    entry — a re-campaign over a tree with k changed files reads, hashes,
+    and scans only those k files (``incremental=False`` keeps the per-file
+    cache but always re-reads and re-hashes everything).
     """
     paths = [Path(path) for path in paths]
+    if cache is not None:
+        return _scan_files_cached(paths, specs, root, jobs, cache, models,
+                                  incremental)
     if jobs <= 1 or len(paths) <= 1:
         engine = ScanEngine(models if models is not None
                             else [compile_spec(spec) for spec in specs])
         total = ScanResult()
         for path in paths:
-            total.merge(scan_file(path, root=root, engine=engine,
-                                  cache=cache))
+            total.merge(scan_file(path, root=root, engine=engine))
         return total
-    return _scan_files_parallel(paths, specs, root, jobs, cache)
+    return _scan_files_parallel(paths, specs, root, jobs)
+
+
+def _error_result(rel: str, exc: OSError) -> ScanResult:
+    result = ScanResult(files_scanned=1)
+    result.parse_errors[rel] = _os_error_text(exc)
+    return result
+
+
+def _scan_files_cached(
+    paths: list[Path],
+    specs: list[BugSpec],
+    root: str | Path | None,
+    jobs: int,
+    cache: ScanCache,
+    models: list[MetaModel] | None,
+    incremental: bool,
+) -> ScanResult:
+    """The cached scan pipeline: stat -> tree manifest -> per-file -> scan.
+
+    Phase 1 resolves every path to a content sha, reading only files the
+    stat manifest cannot vouch for.  Phase 2 tries to serve the whole scan
+    from one tree-manifest entry.  Phase 3 resolves per-file cache hits
+    and lazily reads trusted-but-uncached files.  Phase 4 scans the
+    remaining misses (serially on a warm engine, or fanned out over warm
+    worker processes), shipping the exact source that was hashed so every
+    stored entry describes the content behind its key even if the file
+    changes mid-scan.
+    """
+    rels = {path: _rel_name(path, root) for path in paths}
+    load_digest = faultload_digest(models if models is not None else specs)
+    resolved: dict[Path, ScanResult] = {}
+    #: Content by path; None = sha trusted from the manifest, not read yet.
+    sources: dict[Path, str | None] = {}
+    shas: dict[Path, str] = {}
+    manifest = (cache.load_stat_manifest(root)
+                if incremental and root is not None else {})
+    new_manifest: dict[str, dict] = {}
+    unreadable = False
+
+    # Phase 1: content identity for every path, reading as little as
+    # possible.  A manifest entry whose (size, mtime_ns) still match
+    # vouches for the sha without a read.
+    for path in paths:
+        if path in sources:
+            continue  # duplicate path in the list
+        rel = rels[path]
+        abs_key = os.path.abspath(str(path))
+        try:
+            stat = path.stat()
+        except OSError as exc:
+            resolved[path] = _error_result(rel, exc)
+            unreadable = True
+            continue
+        known = manifest.get(abs_key)
+        if (known is not None
+                and known.get("size") == stat.st_size
+                and known.get("mtime_ns") == stat.st_mtime_ns):
+            cache.note_stat_hit()
+            sources[path] = None
+            shas[path] = known["sha"]
+            new_manifest[abs_key] = known
+            continue
+        try:
+            source = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            resolved[path] = _error_result(rel, exc)
+            unreadable = True
+            continue
+        cache.note_read()
+        sha = source_digest(source)
+        sources[path] = source
+        shas[path] = sha
+        try:
+            after = path.stat()
+        except OSError:
+            continue
+        if (after.st_size, after.st_mtime_ns) == (stat.st_size,
+                                                  stat.st_mtime_ns):
+            # Only vouch for content that provably did not change while
+            # we were reading it.
+            new_manifest[abs_key] = {"size": stat.st_size,
+                                     "mtime_ns": stat.st_mtime_ns,
+                                     "sha": sha}
+
+    # Phase 2: one tree-manifest entry can serve the entire scan.  The
+    # digest identifies the {rel: sha} map, so it is only meaningful when
+    # every file hashed and no two distinct contents share a rel name.
+    tree_key = None
+    if incremental and not unreadable and shas:
+        rel_to_sha: dict[str, str] = {}
+        collision = False
+        for path, sha in shas.items():
+            rel = rels[path]
+            if rel_to_sha.setdefault(rel, sha) != sha:
+                collision = True
+                break
+        if not collision:
+            tree_key = tree_digest_of(rel_to_sha)
+            entry = cache.lookup_tree(tree_key, load_digest)
+            if entry is not None and all(
+                rels[path] in entry["files"] for path in paths
+            ):
+                cache.note_hits(len(paths))
+                total = ScanResult()
+                for path in paths:
+                    result = ScanResult(files_scanned=1)
+                    _apply_cache_entry(result, entry["files"][rels[path]],
+                                       rels[path])
+                    total.merge(result)
+                if incremental and root is not None:
+                    cache.save_stat_manifest(root, new_manifest)
+                return total
+
+    # Phase 3: per-file cache hits; trusted-but-uncached files are read
+    # now (e.g. a new faultload over an unchanged tree).  A path whose
+    # content is already queued for scanning is an *alias*: its lookup is
+    # deferred until the scan stores the shared entry, so identical
+    # contents are scanned once and still counted as a hit.
+    misses: list[tuple[Path, str]] = []
+    pending: set[str] = set()
+    aliases: list[Path] = []
+    for path in paths:
+        if path in resolved:
+            continue
+        rel = rels[path]
+        if shas[path] in pending:
+            aliases.append(path)
+            continue
+        entry = cache.lookup(shas[path], load_digest)
+        if entry is not None:
+            result = ScanResult(files_scanned=1)
+            _apply_cache_entry(result, entry, rel)
+            resolved[path] = result
+            continue
+        source = sources[path]
+        if source is None:
+            try:
+                source = path.read_text(encoding="utf-8", errors="replace")
+            except OSError as exc:
+                resolved[path] = _error_result(rel, exc)
+                unreadable = True
+                continue
+            cache.note_read()
+            actual = source_digest(source)
+            if actual != shas[path]:
+                # The manifest vouched for stale content: repair the sha
+                # and stop trusting this round's tree digest.
+                shas[path] = actual
+                new_manifest.pop(os.path.abspath(str(path)), None)
+                tree_key = None
+            sources[path] = source
+        pending.add(shas[path])
+        misses.append((path, source))
+
+    # Phase 4: scan the misses.
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            flat = _scan_chunks(misses, specs, root, jobs)
+        else:
+            engine = ScanEngine(models if models is not None
+                                else [compile_spec(spec) for spec in specs])
+            flat = [_scan_source_result(source, rels[path], engine)
+                    for path, source in misses]
+        for (path, _source), result in zip(misses, flat):
+            resolved[path] = result
+            cache.store(shas[path], load_digest,
+                        _result_entry(result, rels[path]))
+
+    for path in aliases:
+        rel = rels[path]
+        entry = cache.lookup(shas[path], load_digest)
+        result = ScanResult(files_scanned=1)
+        if entry is not None:
+            _apply_cache_entry(result, entry, rel)
+        else:
+            # The shared entry vanished (sha repaired mid-scan): scan the
+            # alias itself rather than guessing.
+            try:
+                source = path.read_text(encoding="utf-8", errors="replace")
+            except OSError as exc:
+                resolved[path] = _error_result(rel, exc)
+                unreadable = True
+                continue
+            cache.note_read()
+            engine = ScanEngine(models if models is not None
+                                else [compile_spec(spec) for spec in specs])
+            result = _scan_source_result(source, rel, engine)
+        resolved[path] = result
+
+    total = ScanResult()
+    for path in paths:
+        total.merge(resolved[path])
+    if incremental and root is not None:
+        cache.save_stat_manifest(root, new_manifest)
+    if tree_key is not None and not unreadable:
+        cache.store_tree(tree_key, load_digest, {
+            rels[path]: _result_entry(resolved[path], rels[path])
+            for path in paths
+        })
+    return total
 
 
 def _scan_files_parallel(
@@ -320,70 +537,44 @@ def _scan_files_parallel(
     specs: list[BugSpec],
     root: str | Path | None,
     jobs: int,
-    cache: ScanCache | None,
 ) -> ScanResult:
-    """Fan files out over warm workers; merge in submission order.
-
-    With a cache, hits are resolved in the parent (workers have no shared
-    cache) and only misses are dispatched; the parent ships the source it
-    hashed to the worker, so the stored entry always describes exactly the
-    content behind its key even if the file changes mid-scan.
-    """
-    resolved: dict[Path, ScanResult] = {}
-    #: (path, source-or-None) pairs to dispatch; None = worker reads.
-    misses: list[tuple[Path, str | None]] = []
-    load_digest = faultload_digest(specs) if cache is not None else ""
-    shas: dict[Path, str] = {}
-    if cache is not None:
-        for path in paths:
-            result = ScanResult(files_scanned=1)
-            rel = _rel_name(path, root)
-            try:
-                source = path.read_text(encoding="utf-8", errors="replace")
-            except OSError as exc:
-                result.parse_errors[rel] = _os_error_text(exc)
-                resolved[path] = result
-                continue
-            sha = source_digest(source)
-            shas[path] = sha
-            entry = cache.lookup(sha, load_digest)
-            if entry is None:
-                misses.append((path, source))
-            else:
-                _apply_cache_entry(result, entry, rel)
-                resolved[path] = result
-    else:
-        misses = [(path, None) for path in paths]
-
-    if misses:
-        chunk_size = max(1, -(-len(misses) // (jobs * 4)))
-        chunks = [misses[i:i + chunk_size]
-                  for i in range(0, len(misses), chunk_size)]
-        flat: list[ScanResult] = []
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks)),
-            initializer=_scan_worker_init,
-            initargs=(specs,),
-        ) as pool:
-            futures = [
-                pool.submit(_scan_chunk_task,
-                            [(str(path), source) for path, source in chunk],
-                            str(root) if root is not None else None)
-                for chunk in chunks
-            ]
-            for future in futures:
-                flat.extend(future.result())
-        for (path, _source), result in zip(misses, flat):
-            resolved[path] = result
-            if cache is not None and path in shas:
-                rel = _rel_name(path, root)
-                cache.store(shas[path], load_digest,
-                            _result_entry(result, rel))
-
+    """Fan files out over warm workers (no cache); merge in path order."""
+    flat = _scan_chunks([(path, None) for path in paths], specs, root, jobs)
     total = ScanResult()
-    for path in paths:
-        total.merge(resolved[path])
+    for result in flat:
+        total.merge(result)
     return total
+
+
+def _scan_chunks(
+    items: "list[tuple[Path, str | None]]",
+    specs: list[BugSpec],
+    root: str | Path | None,
+    jobs: int,
+) -> list[ScanResult]:
+    """Dispatch ``(path, source-or-None)`` pairs over warm workers.
+
+    Results come back in submission order; ``None`` sources are read by
+    the worker.
+    """
+    chunk_size = max(1, -(-len(items) // (jobs * 4)))
+    chunks = [items[i:i + chunk_size]
+              for i in range(0, len(items), chunk_size)]
+    flat: list[ScanResult] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        initializer=_scan_worker_init,
+        initargs=(specs,),
+    ) as pool:
+        futures = [
+            pool.submit(_scan_chunk_task,
+                        [(str(path), source) for path, source in chunk],
+                        str(root) if root is not None else None)
+            for chunk in chunks
+        ]
+        for future in futures:
+            flat.extend(future.result())
+    return flat
 
 
 def _point_row(point: InjectionPoint) -> dict:

@@ -246,6 +246,7 @@ def campaign_config_to_dict(config: CampaignConfig) -> dict:
         "registry_url": config.registry_url,
         "scan_jobs": config.scan_jobs,
         "scan_cache_dir": opt_path(config.scan_cache_dir),
+        "scan_incremental": config.scan_incremental,
         "image_manifest": (dict(config.image_manifest)
                            if config.image_manifest is not None else None),
         "blob_cache_dir": opt_path(config.blob_cache_dir),
@@ -290,6 +291,7 @@ def campaign_config_from_dict(data: dict) -> CampaignConfig:
         registry_url=data.get("registry_url"),
         scan_jobs=data.get("scan_jobs"),
         scan_cache_dir=opt_path(data.get("scan_cache_dir")),
+        scan_incremental=bool(data.get("scan_incremental", True)),
         image_manifest=data.get("image_manifest"),
         blob_cache_dir=opt_path(data.get("blob_cache_dir")),
         seed=data.get("seed", 0),

@@ -1,0 +1,187 @@
+"""Incremental tree scan: stat-manifest trust and tree-manifest reuse.
+
+A re-campaign over an unchanged tree must be served entirely from the
+cache without reading a single file, and a tree with k changed files
+must do read/hash/scan work proportional to k — while keeping the
+injection plan (points, ordinals, ids) byte-for-byte stable for the
+untouched remainder.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faultmodel.library import extended_model, gswfit_model
+from repro.scanner.cache import ScanCache
+from repro.scanner.scan import scan_tree
+from repro.synth import SynthConfig, generate_codebase
+
+
+@pytest.fixture()
+def project(tmp_path):
+    dest = tmp_path / "project"
+    generate_codebase(dest, SynthConfig(files=6, seed=17))
+    return dest
+
+
+@pytest.fixture()
+def specs():
+    return (gswfit_model().enabled_specs()
+            + extended_model().enabled_specs())
+
+
+def touch(path, text=None):
+    """Rewrite a file and force a new mtime_ns so the stat check trips."""
+    stat = path.stat()
+    if text is None:
+        text = path.read_text(encoding="utf-8") + "\n# touched\n"
+    path.write_text(text, encoding="utf-8")
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000_000,
+                       stat.st_mtime_ns + 1_000_000_000))
+
+
+def py_files(root):
+    return sorted(p for p in root.rglob("*.py"))
+
+
+class TestUnchangedTree:
+    def test_rescan_reads_nothing(self, project, specs, tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        first = scan_tree(project, specs, cache=cache)
+        cold = cache.stats()
+        assert cold["files_read"] == len(py_files(project))
+
+        second = scan_tree(project, specs, cache=cache)
+        warm = cache.stats()
+        assert second.points == first.points
+        assert second.parse_errors == first.parse_errors
+        # Every file was trusted from the stat manifest and the whole
+        # result came from one tree-manifest entry: zero reads, zero
+        # hashing, zero per-file lookups beyond the tree hit.
+        assert warm["files_read"] == cold["files_read"]
+        assert warm["stat_hits"] == len(py_files(project))
+        assert warm["tree_hits"] == 1
+        assert warm["hits"] - cold["hits"] == len(py_files(project))
+
+    def test_tree_manifest_survives_process_restart(self, project, specs,
+                                                    tmp_path):
+        cache_dir = tmp_path / "cache"
+        scan_tree(project, specs, cache=ScanCache(cache_dir))
+
+        fresh = ScanCache(cache_dir)
+        result = scan_tree(project, specs, cache=fresh)
+        warm = fresh.stats()
+        assert warm["files_read"] == 0
+        assert warm["tree_hits"] == 1
+        assert result.files_scanned == len(py_files(project))
+
+
+class TestChangedFiles:
+    def test_k_changed_files_cost_k_reads(self, project, specs, tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        first = scan_tree(project, specs, cache=cache)
+        before = cache.stats()
+
+        files = py_files(project)
+        changed = files[:2]
+        for path in changed:
+            touch(path)
+
+        second = scan_tree(project, specs, cache=cache)
+        after = cache.stats()
+        k = len(changed)
+        assert after["files_read"] - before["files_read"] == k
+        assert after["stat_hits"] - before["stat_hits"] == len(files) - k
+        # The changed tree digest misses the tree manifest, but the
+        # unchanged files still come from the per-file cache.
+        assert after["tree_hits"] == before["tree_hits"]
+        assert after["tree_misses"] > before["tree_misses"]
+
+        changed_rels = {path.relative_to(project).as_posix()
+                        for path in changed}
+        stable_first = [p for p in first.points
+                        if p.file not in changed_rels]
+        stable_second = [p for p in second.points
+                         if p.file not in changed_rels]
+        assert stable_second == stable_first
+        assert {p.point_id for p in stable_second} == {
+            p.point_id for p in stable_first
+        }
+
+    def test_changed_content_changes_points(self, project, specs, tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        scan_tree(project, specs, cache=cache)
+
+        target = py_files(project)[0]
+        touch(target, text="# nothing left to match\n")
+
+        second = scan_tree(project, specs, cache=cache)
+        rel = target.relative_to(project).as_posix()
+        assert all(p.file != rel for p in second.points)
+
+    def test_same_size_rewrite_is_detected(self, project, specs, tmp_path):
+        # mtime_ns changes even when the size does not; the stat check
+        # must not trust a file on size alone.
+        cache = ScanCache(tmp_path / "cache")
+        scan_tree(project, specs, cache=cache)
+        before = cache.stats()
+
+        target = py_files(project)[0]
+        original = target.read_text(encoding="utf-8")
+        touch(target, text=original.replace("return", "yield "[:6], 1)
+              if "return" in original else original)
+
+        scan_tree(project, specs, cache=cache)
+        after = cache.stats()
+        assert after["files_read"] - before["files_read"] == 1
+
+
+class TestIncrementalKnob:
+    def test_incremental_false_rereads_everything(self, project, specs,
+                                                  tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        first = scan_tree(project, specs, cache=cache)
+        before = cache.stats()
+
+        second = scan_tree(project, specs, cache=cache,
+                           incremental=False)
+        after = cache.stats()
+        n = len(py_files(project))
+        # Every file is re-read and re-hashed; the per-file entry cache
+        # still short-circuits re-scanning, but no stat/tree trust.
+        assert after["files_read"] - before["files_read"] == n
+        assert after["stat_hits"] == before["stat_hits"]
+        assert after["tree_hits"] == before["tree_hits"]
+        assert after["hits"] - before["hits"] == n
+        assert second.points == first.points
+
+    def test_incremental_false_does_not_poison_manifests(
+            self, project, specs, tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        scan_tree(project, specs, cache=cache)
+        scan_tree(project, specs, cache=cache, incremental=False)
+        # A later incremental scan still gets the tree hit.
+        result = scan_tree(project, specs, cache=cache)
+        stats = cache.stats()
+        assert stats["tree_hits"] == 1
+        assert result.files_scanned == len(py_files(project))
+
+
+class TestFaultloadSensitivity:
+    def test_different_specs_do_not_share_tree_entries(self, project,
+                                                       tmp_path):
+        cache = ScanCache(tmp_path / "cache")
+        gsw = gswfit_model().enabled_specs()
+        ext = extended_model().enabled_specs()
+        a = scan_tree(project, gsw, cache=cache)
+        b = scan_tree(project, ext, cache=cache)
+        stats = cache.stats()
+        assert stats["tree_hits"] == 0
+        assert {p.spec_name for p in a.points}.isdisjoint(
+            {p.spec_name for p in b.points}) or not a.points or not b.points
+        # Each faultload then hits its own tree entry.
+        scan_tree(project, gsw, cache=cache)
+        scan_tree(project, ext, cache=cache)
+        assert cache.stats()["tree_hits"] == 2

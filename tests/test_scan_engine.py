@@ -170,16 +170,42 @@ class TestScanCache:
         specs = gswfit_model().enabled_specs()
         cache_dir = tmp_path / "cache"
         first = scan_tree(project, specs, cache=ScanCache(cache_dir))
-        # Corrupt every entry in ways that still parse as JSON.
+
+        def drop_manifests():
+            # Remove the whole-tree fast-path entries so the rescan must
+            # consult (and survive) the corrupted per-file entry.
+            for path in list(cache_dir.glob("tree-*.json")):
+                path.unlink()
+            for path in list(cache_dir.glob("statmanifest-*.json")):
+                path.unlink()
+
+        # Corrupt every per-file entry in ways that still parse as JSON.
+        drop_manifests()
         entries = sorted(cache_dir.glob("*.json"))
         assert entries
         entries[0].write_text('{"matches": [{}], "version": 1}\n')
         rescanned = scan_tree(project, specs, cache=ScanCache(cache_dir))
         assert rescanned.points == first.points  # re-derived, no KeyError
+        drop_manifests()
         entries[0].write_text('{"matches": [], "error": null, "version": 0}\n')
         stale = ScanCache(cache_dir)
         assert scan_tree(project, specs, cache=stale).points == first.points
         assert stale.misses >= 1  # version mismatch is a miss, not a crash
+
+    def test_malformed_tree_entry_degrades_to_per_file(self, tmp_path):
+        project = tmp_path / "proj"
+        project.mkdir()
+        (project / "a.py").write_text("def f():\n    x = 1\n    return x\n")
+        specs = gswfit_model().enabled_specs()
+        cache_dir = tmp_path / "cache"
+        first = scan_tree(project, specs, cache=ScanCache(cache_dir))
+        for path in cache_dir.glob("tree-*.json"):
+            path.write_text('{"version": 1, "files": {"a.py": {}}}\n')
+        stale = ScanCache(cache_dir)
+        rescan = scan_tree(project, specs, cache=stale)
+        assert rescan.points == first.points
+        assert stale.tree_misses >= 1  # malformed tree entry, not a crash
+        assert stale.hits >= 1  # served by the per-file layer instead
 
     def test_disk_cache_is_pruned_to_cap(self, tmp_path):
         cache_dir = tmp_path / "cache"

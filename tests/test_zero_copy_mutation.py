@@ -1,0 +1,384 @@
+"""Zero-copy mutant materialization: span patching vs deepcopy+unparse.
+
+The property at the heart of this module: for every mutant the span
+patcher can materialize, the patched source must be **AST-equivalent** to
+the legacy deepcopy + whole-file ``ast.unparse`` mutant — same program,
+same fault, same trigger guard — while preserving every byte outside the
+patched window.  Windows the patcher declines (same-line compound
+statements, ``elif`` windows, decorated defs, ``;``-joined lines) must
+fall back to the legacy path transparently and still produce equivalent
+mutants.  The sweep runs the full 120-pattern §V-D faultload over the
+synthetic codebase with the verification oracle armed.
+"""
+
+import ast
+
+import pytest
+
+from repro.common.rng import SeededRandom
+from repro.dsl.compiler import compile_text
+from repro.faultmodel.library import (
+    expand_api_faults,
+    extended_model,
+    gswfit_model,
+)
+from repro.mutator.mutate import Mutator
+from repro.mutator.patch import ast_equivalent, patch_mutant
+from repro.scanner.cache import MatchMemo
+from repro.synth import SynthConfig, generate_codebase, scan_pattern_apis
+
+
+@pytest.fixture(scope="module")
+def synth_sources(tmp_path_factory):
+    dest = tmp_path_factory.mktemp("synth-zero-copy")
+    generate_codebase(dest, SynthConfig(files=4, seed=29))
+    return {
+        str(path.relative_to(dest)): path.read_text(encoding="utf-8")
+        for path in sorted(dest.rglob("*.py"))
+        if path.name != "__init__.py"
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus_models():
+    model = expand_api_faults(scan_pattern_apis(), kinds=None,
+                              model_name="zero_copy_eq")
+    compiled = (model.compile() + gswfit_model().compile()
+                + extended_model().compile())
+    assert len(model.enabled_specs()) == 120
+    return compiled
+
+
+def mutate_both(source, model, ordinal, trigger, file="<string>"):
+    """One mutant through each path, same RNG stream, oracle armed."""
+    span = Mutator(trigger=trigger, rng=SeededRandom(7),
+                   match_memo=MatchMemo(), verify_patches=True)
+    legacy = Mutator(trigger=trigger, rng=SeededRandom(7),
+                     span_patching=False)
+    a = span.mutate_source(source, model, ordinal, file=file)
+    b = legacy.mutate_source(source, model, ordinal, file=file)
+    assert span.patch_stats["verify_mismatch"] == 0, (model.name, ordinal)
+    assert legacy.patch_stats["patched"] == 0
+    return a, b, span.patch_stats
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("trigger", [False, True])
+    def test_span_equals_legacy_across_corpus(self, synth_sources,
+                                              corpus_models, trigger):
+        # verify_patches arms the oracle: every successful span patch is
+        # cross-checked for AST equivalence against the legacy deepcopy+
+        # unparse mutant inside mutate_source, and any mismatch both
+        # counts and silently falls back — so verify_mismatch == 0 proves
+        # equivalence across every mutant of the sweep.
+        memo = MatchMemo()
+        span = Mutator(trigger=trigger, rng=SeededRandom(3),
+                       match_memo=memo, verify_patches=True)
+        compared = 0
+        for rel, source in synth_sources.items():
+            for model in corpus_models:
+                for ordinal in range(memo.count(source, model)):
+                    span.mutate_source(source, model, ordinal, file=rel)
+                    compared += 1
+        assert compared > 100  # the corpus actually exercises the patcher
+        assert span.patch_stats["verify_mismatch"] == 0
+        # Span patching is the mainline, not a lucky special case.
+        assert span.patch_stats["patched"] > span.patch_stats["fallback"]
+
+    @pytest.mark.parametrize("trigger", [False, True])
+    def test_span_mutation_fields_equal_legacy(self, synth_sources,
+                                               corpus_models, trigger):
+        # Explicit dual-path run over one file: every Mutation field
+        # (not just the program text) must agree between the paths.
+        rel, source = next(iter(synth_sources.items()))
+        span = Mutator(trigger=trigger, rng=SeededRandom(3),
+                       match_memo=MatchMemo(), verify_patches=True)
+        legacy = Mutator(trigger=trigger, rng=SeededRandom(3),
+                         span_patching=False, match_memo=MatchMemo())
+        memo = MatchMemo()
+        for model in corpus_models[:40]:
+            for ordinal in range(memo.count(source, model)):
+                a = span.mutate_source(source, model, ordinal, file=rel)
+                b = legacy.mutate_source(source, model, ordinal, file=rel)
+                assert ast_equivalent(a.source, b.source), (
+                    model.name, ordinal
+                )
+                assert a.mutated_snippet == b.mutated_snippet
+                assert a.original_snippet == b.original_snippet
+                assert a.lineno == b.lineno
+                assert a.fault_id == b.fault_id
+        assert span.patch_stats["verify_mismatch"] == 0
+
+
+class TestBytePreservation:
+    SOURCE = (
+        '"""Module doc."""\n'
+        "from __future__ import annotations\n"
+        "import os  # keep me\n"
+        "\n"
+        "WEIRD = 'quotes \"stay\" as-is'\n"
+        "\n"
+        "\n"
+        "def handler(ctx, client):  # comment on def\n"
+        "    log = []       # alignment preserved\n"
+        "    log.append('start')\n"
+        "    result = client.delete_port(ctx, 5)\n"
+        "    if result:\n"
+        "        return result\n"
+        "    return None\n"
+    )
+
+    def model(self):
+        return compile_text(
+            "change {\n$VAR#v = $CALL#c{name=delete_*}(...)\n} "
+            "into {\n$VAR#v = None\n}",
+            name="nuller",
+        )
+
+    @pytest.mark.parametrize("trigger", [False, True])
+    def test_outside_window_is_byte_identical(self, trigger):
+        mutator = Mutator(trigger=trigger, verify_patches=True)
+        mutation = mutator.mutate_source(self.SOURCE, self.model(), 0)
+        assert mutator.patch_stats["patched"] == 1
+        lines = mutation.source.splitlines(keepends=True)
+        original = self.SOURCE.splitlines(keepends=True)
+        # Everything before the import splice is untouched bytes.
+        assert lines[:2] == original[:2]
+        if trigger:
+            # The runtime import lands as its own whole line right after
+            # the docstring + __future__ block.
+            assert lines[2] == "import profipy_runtime as __pfp_rt__\n"
+            offset = 1
+        else:
+            # Permanent mode with no runtime directive: no import splice.
+            assert "profipy_runtime" not in mutation.source
+            offset = 0
+        # Everything between the splices keeps comments, quoting,
+        # alignment, and blank lines byte-for-byte.
+        assert lines[2 + offset:9 + offset] == original[2:9]
+        assert "# keep me" in mutation.source
+        assert "# alignment preserved" in mutation.source
+        assert "'quotes \"stay\" as-is'" in mutation.source
+        # The tail after the window is untouched bytes too.
+        assert lines[-3:] == original[-3:]
+
+    def test_patched_source_parses_and_is_equivalent(self):
+        a, b, stats = mutate_both(self.SOURCE, self.model(), 0, trigger=True)
+        assert stats["patched"] == 1
+        assert ast_equivalent(a.source, b.source)
+
+
+class TestFallbackCases:
+    """Layouts the patcher must decline — and still mutate correctly."""
+
+    CASES = {
+        "same_line_compound": (
+            "def f(ctx):\n"
+            "    if ctx: delete_port(1)\n"
+        ),
+        "semicolon_joined": (
+            "def f(ctx):\n"
+            "    a = 1; delete_port(ctx)\n"
+        ),
+        "elif_window": (
+            "def f(ctx):\n"
+            "    if ctx == 1:\n"
+            "        return 1\n"
+            "    elif ctx == 2:\n"
+            "        delete_port(ctx)\n"
+            "        return 2\n"
+            "    return 0\n"
+        ),
+    }
+
+    def model(self):
+        return compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\npass\n}",
+            name="deleter",
+        )
+
+    @pytest.mark.parametrize("trigger", [False, True])
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_declined_layouts_fall_back_equivalently(self, case, trigger):
+        source = self.CASES[case]
+        model = self.model()
+        from repro.scanner.scan import match_source
+
+        matches = match_source(source, model)
+        assert matches, case
+        for ordinal in range(len(matches)):
+            a, b, _stats = mutate_both(source, model, ordinal,
+                                       trigger=trigger)
+            assert ast_equivalent(a.source, b.source), (case, ordinal)
+
+    def test_same_line_compound_is_declined(self):
+        source = self.CASES["same_line_compound"]
+        mutator = Mutator(trigger=True)
+        mutator.mutate_source(source, self.model(), 0)
+        assert mutator.patch_stats == {"patched": 0, "fallback": 1,
+                                       "verify_mismatch": 0}
+
+    def test_elif_window_is_declined(self):
+        # The elif branch's own body can be patched; a window that *is*
+        # the inner ast.If (matched via its parent chain) cannot.  Either
+        # way the mutants must stay equivalent — asserted above — and
+        # splicing must never silently detach an elif chain.
+        source = self.CASES["elif_window"]
+        model = compile_text(
+            "change {\nif $EXPR#e:\n    ...\n} into {\npass\n}",
+            name="if_killer",
+        )
+        from repro.scanner.scan import match_source
+
+        matches = match_source(source, model)
+        for ordinal in range(len(matches)):
+            a, b, _stats = mutate_both(source, model, ordinal, trigger=False)
+            assert ast_equivalent(a.source, b.source), ordinal
+
+    def test_decorated_def_window_is_declined(self):
+        source = (
+            "import functools\n"
+            "\n"
+            "@functools.cache\n"
+            "def compute(x):\n"
+            "    return x + 1\n"
+        )
+        model = compile_text(
+            "change {\ndef compute($VAR#a):\n    ...\n} into {\npass\n}",
+            name="def_killer",
+        )
+        from repro.scanner.scan import match_source
+
+        if not match_source(source, model):
+            pytest.skip("pattern does not window the decorated def")
+        a, b, stats = mutate_both(source, model, 0, trigger=False)
+        assert stats["fallback"] >= 1  # decorators force the legacy path
+        assert ast_equivalent(a.source, b.source)
+
+
+class TestImportPlacement:
+    @pytest.mark.parametrize("header", [
+        "",
+        '"""Doc."""\n',
+        '"""Doc."""\nfrom __future__ import annotations\n',
+    ])
+    def test_runtime_import_lands_after_docstring_and_future(self, header):
+        source = header + "def f(ctx):\n    delete_port(ctx)\n"
+        model = compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\npass\n}",
+            name="deleter",
+        )
+        mutator = Mutator(trigger=True, verify_patches=True)
+        mutation = mutator.mutate_source(source, model, 0)
+        assert mutator.patch_stats["patched"] == 1
+        tree = ast.parse(mutation.source)
+        kinds = [type(stmt).__name__ for stmt in tree.body]
+        expected = []
+        if '"""Doc."""' in header:
+            expected.append("Expr")
+        if "__future__" in header:
+            expected.append("ImportFrom")
+        expected.append("Import")
+        assert kinds[:len(expected)] == expected
+        imported = tree.body[len(expected) - 1]
+        assert imported.names[0].name == "profipy_runtime"
+
+    def test_existing_runtime_import_is_not_duplicated(self):
+        source = (
+            "import profipy_runtime as __pfp_rt__\n"
+            "def f(ctx):\n"
+            "    delete_port(ctx)\n"
+        )
+        model = compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\npass\n}",
+            name="deleter",
+        )
+        mutation = Mutator(trigger=True,
+                           verify_patches=True).mutate_source(source, model, 0)
+        assert mutation.source.count("import profipy_runtime") == 1
+
+
+class TestPureDeletion:
+    def test_permanent_deletion_drops_window_lines(self):
+        source = (
+            "def f(ctx):\n"
+            "    keep = 1\n"
+            "    delete_port(ctx)\n"
+            "    return keep\n"
+        )
+        model = compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\n}",
+            name="pure_delete",
+        )
+        a, b, stats = mutate_both(source, model, 0, trigger=False)
+        assert ast_equivalent(a.source, b.source)
+        assert "delete_port" not in a.source
+
+    def test_emptied_suite_gets_pass(self):
+        source = "def f(ctx):\n    delete_port(ctx)\n"
+        model = compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\n}",
+            name="pure_delete",
+        )
+        a, b, _stats = mutate_both(source, model, 0, trigger=False)
+        assert ast_equivalent(a.source, b.source)
+        body = ast.parse(a.source).body[-1].body
+        assert len(body) == 1 and isinstance(body[0], ast.Pass)
+
+
+class TestPatchMutantContract:
+    def test_returns_none_on_shared_line_layouts(self):
+        # Direct contract check: windows sharing their line with other
+        # code answer None (never raise).
+        model = compile_text(
+            "change {\n$CALL#c{name=delete_*}(...)\n} into {\npass\n}",
+            name="deleter",
+        )
+        from repro.scanner.matcher import Matcher, pick_match
+
+        for case in ("same_line_compound", "semicolon_joined"):
+            source = TestFallbackCases.CASES[case]
+            tree = ast.parse(source)
+            match = pick_match(Matcher(model).find_matches(tree),
+                               model.name, 0)
+            assert patch_mutant(
+                source, tree, match, [ast.Pass()],
+                trigger=False, fault_id="x", needs_runtime=False,
+            ) is None, case
+
+    def test_returns_none_when_window_is_an_elif(self):
+        # A window that *is* the elif clause (the nested ast.If in the
+        # outer If's orelse) must be declined: unparsing it as `if ...`
+        # would detach the chain.  A window *inside* the elif body is
+        # patchable and is covered by the corpus sweep.
+        from repro.scanner.bindings import Bindings
+        from repro.scanner.matcher import Match
+
+        source = TestFallbackCases.CASES["elif_window"]
+        tree = ast.parse(source)
+        outer_if = tree.body[0].body[0]
+        assert outer_if.orelse and isinstance(outer_if.orelse[0], ast.If)
+        match = Match(owner=outer_if, field="orelse", start=0, end=1,
+                      bindings=Bindings(), spec_name="elif_case")
+        assert patch_mutant(
+            source, tree, match, [ast.Pass()],
+            trigger=False, fault_id="x", needs_runtime=False,
+        ) is None
+
+    def test_mutation_is_deterministic_across_paths(self):
+        # The RNG stream is drawn before the path choice, so a $PICK
+        # fault produces the same value span-patched or fallen back.
+        source = "def f(ctx):\n    timeout = 30\n"
+        model = compile_text(
+            "change {\n$VAR#v = $NUM#n\n} into {\n"
+            "$VAR#v = $PICK{choices=1|2|3|4|5|6|7|8|9}\n}",
+            name="picker",
+        )
+        span = Mutator(trigger=False, rng=SeededRandom(11),
+                       verify_patches=True)
+        legacy = Mutator(trigger=False, rng=SeededRandom(11),
+                         span_patching=False)
+        a = span.mutate_source(source, model, 0, fault_id="fixed")
+        b = legacy.mutate_source(source, model, 0, fault_id="fixed")
+        assert a.mutated_snippet == b.mutated_snippet
+        assert ast_equivalent(a.source, b.source)
