@@ -14,7 +14,6 @@ import re
 from dataclasses import dataclass, field
 
 from repro.orchestrator.experiment import (
-    STATUS_COMPLETED,
     STATUS_HARNESS_ERROR,
     STATUS_SERVICE_START_FAILED,
     ExperimentResult,

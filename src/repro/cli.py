@@ -10,8 +10,10 @@ Subcommands mirror the workflow phases (paper Fig. 2)::
     profipy campaign TARGET --model gswfit --run-cmd '...'   # Execution
     profipy casestudy --campaign wrong_inputs # the §V case study
     profipy serve --port 8080                 # the /v1 HTTP service API
+    profipy serve --tenants tenants.json      # multi-tenant mode (auth on)
+    profipy tenants list                      # tenant quotas + live load
     profipy worker --join URL                 # join a coordinator's fleet
-    profipy jobs list [--server URL]          # jobs, local or remote
+    profipy jobs list [--server URL --token T]  # jobs, local or remote
     profipy workers list [--server URL]       # the registered fleet
 """
 
@@ -61,7 +63,7 @@ def cmd_models(args) -> int:
         print("predefined:")
         for name, model in sorted(predefined_models().items()):
             print(f"  {name}: {len(model.faults)} fault types")
-        stored = service.list_models()
+        stored = service.stored_models()
         if stored:
             print("stored:")
             for name in stored:
@@ -204,7 +206,7 @@ def cmd_serve(args) -> int:
     from repro.service.http import serve
 
     serve(args.workspace, host=args.host, port=args.port,
-          max_workers=args.max_workers)
+          max_workers=args.max_workers, tenants=args.tenants)
     return 0
 
 
@@ -230,11 +232,13 @@ def cmd_worker(args) -> int:
 
 def _jobs_facade(args):
     """The service to talk to: a workspace (in-process) or a running
-    server (HTTP client) — both expose the same method surface."""
+    server (HTTP client) — both expose the same method surface.
+    ``--token`` authenticates against a tenant-enabled server."""
     if getattr(args, "server", None):
         from repro.service.client import ProFIPyClient
 
-        return ProFIPyClient(args.server)
+        return ProFIPyClient(args.server,
+                             token=getattr(args, "token", None))
     return ProFIPyService(args.workspace)
 
 
@@ -254,6 +258,32 @@ def _progress_cell(job) -> str:
     if done is None or total is None:
         return "-"
     return f"{done}/{total}"
+
+
+def cmd_tenants(args) -> int:
+    """Operator view of the configured tenants (quotas + live load)."""
+    service = ProFIPyService(args.workspace, tenants=args.tenants)
+    if args.tenants_command == "list":
+        views = service.tenant_views()
+        if not views:
+            print(f"no tenants configured in workspace {args.workspace} "
+                  "(single-user mode)")
+            return 0
+        print(f"{'tenant':<16} {'run':>3} {'max':>4} {'queued':>6} "
+              f"{'maxq':>5} {'blob used':>12} {'blob max':>12} {'rps':>6}")
+
+        def _cell(value) -> str:
+            return "-" if value is None else str(value)
+
+        for view in views:
+            print(f"{view['name']:<16} {view['running']:>3} "
+                  f"{_cell(view['max_running']):>4} {view['queued']:>6} "
+                  f"{_cell(view['max_queued']):>5} "
+                  f"{view['blob_bytes_used']:>12} "
+                  f"{_cell(view['max_blob_bytes']):>12} "
+                  f"{_cell(view['requests_per_second']):>6}")
+        return 0
+    raise SystemExit(f"unknown tenants command {args.tenants_command!r}")
 
 
 def cmd_jobs(args) -> int:
@@ -558,7 +588,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--max-workers", type=int, default=None,
                        help="concurrent campaign jobs (bounded scheduler)")
+    serve.add_argument("--tenants", metavar="FILE", default=None,
+                       help="tenants.json with per-tenant bearer tokens "
+                            "and quotas; turns on authentication, "
+                            "namespaces, fair-share scheduling, and rate "
+                            "limits (default: <workspace>/tenants.json "
+                            "when present, else open single-user mode)")
     serve.set_defaults(func=cmd_serve)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="inspect configured tenants (quotas and live queue load)",
+    )
+    tenants.add_argument("--tenants", metavar="FILE", default=None,
+                         help="tenants.json to read (default: "
+                              "<workspace>/tenants.json)")
+    tenants_sub = tenants.add_subparsers(dest="tenants_command",
+                                         required=True)
+    tenants_sub.add_parser(
+        "list",
+        help="list tenants (running/queued jobs, quotas; tokens "
+             "are never printed)",
+    )
+    tenants.set_defaults(func=cmd_tenants)
 
     worker = sub.add_parser(
         "worker",
@@ -596,6 +648,8 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--server", metavar="URL",
                       help="talk to a running 'profipy serve' instance "
                            "instead of the local workspace")
+    jobs.add_argument("--token", metavar="TOKEN", default=None,
+                      help="bearer token for a tenant-enabled server")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
     jobs_sub.add_parser("list",
                         help="list jobs (id, status, timestamps, name)")
@@ -618,6 +672,8 @@ def build_parser() -> argparse.ArgumentParser:
     workers.add_argument("--server", metavar="URL",
                          help="talk to a running coordinator instead of "
                               "the local workspace")
+    workers.add_argument("--token", metavar="TOKEN", default=None,
+                         help="bearer token for a tenant-enabled server")
     workers_sub = workers.add_subparsers(dest="workers_command",
                                          required=True)
     workers_sub.add_parser(
@@ -636,6 +692,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--server", metavar="URL",
                        help="talk to a running service instead of the "
                             "local workspace")
+    stats.add_argument("--token", metavar="TOKEN", default=None,
+                       help="bearer token for a tenant-enabled server")
     stats_sub = stats.add_subparsers(dest="stats_command", required=True)
     stats_sub.add_parser(
         "list",

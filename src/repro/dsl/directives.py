@@ -11,7 +11,7 @@ identified by the placeholder the lexer substitutes into the Python text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.dsl.errors import DslDirectiveError, DslParameterError

@@ -2,7 +2,8 @@
 
 Layering::
 
-    jobs.py      bounded job scheduler (queued/running/.../cancelled)
+    tenants.py   tenant directory, quotas, token auth, rate limiting
+    jobs.py      bounded tenant-fair job scheduler (queued/.../cancelled)
     service.py   ProFIPyService — the behavioural core, in-process facade
     api.py       versioned /v1 schemas + error codes over the core
     http.py      stdlib HTTP server mounting the API   (profipy serve)
@@ -21,19 +22,33 @@ from repro.service.jobs import (
     JobRunner,
 )
 from repro.service.service import ProFIPyService
+from repro.service.tenants import (
+    DEFAULT_TENANT,
+    AuthenticationError,
+    QuotaExceededError,
+    TenantDirectory,
+    TenantForbiddenError,
+    TenantSpec,
+)
 
 __all__ = [
     "CANCELLED",
     "COMPLETED",
+    "DEFAULT_TENANT",
     "FAILED",
+    "AuthenticationError",
     "Job",
     "JobCancelled",
     "JobRunner",
     "ProFIPyClient",
     "ProFIPyService",
     "QUEUED",
+    "QuotaExceededError",
     "RUNNING",
     "TERMINAL_STATES",
+    "TenantDirectory",
+    "TenantForbiddenError",
+    "TenantSpec",
 ]
 
 

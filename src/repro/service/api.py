@@ -35,6 +35,11 @@ from repro.analysis.metrics import ComponentSpec
 from repro.faultmodel.model import FaultModel
 from repro.orchestrator.campaign import CampaignConfig
 from repro.service.jobs import Job
+from repro.service.tenants import (
+    AuthenticationError,
+    QuotaExceededError,
+    TenantForbiddenError,
+)
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,9 +53,12 @@ API_VERSION = "v1"
 #: client maps codes back to in-process exception types (see
 #: :func:`exception_for`): unknown_* → KeyError, missing_artifact →
 #: FileNotFoundError, invalid_request → ValueError, timeout →
-#: TimeoutError.
+#: TimeoutError, unauthorized/forbidden → PermissionError subclasses,
+#: quota_exceeded → QuotaExceededError.
 ERROR_STATUS = {
     "invalid_request": 400,
+    "unauthorized": 401,
+    "forbidden": 403,
     "unknown_job": 404,
     "unknown_model": 404,
     "unknown_shard": 404,
@@ -61,6 +69,7 @@ ERROR_STATUS = {
     "method_not_allowed": 405,
     "lease_expired": 409,
     "timeout": 408,
+    "quota_exceeded": 429,
     "internal": 500,
 }
 
@@ -105,6 +114,12 @@ def exception_for(error: APIError) -> Exception:
         from repro.service.registry import LeaseExpiredError
 
         return LeaseExpiredError(error.message)
+    if error.code == "unauthorized":
+        return AuthenticationError(error.message)
+    if error.code == "forbidden":
+        return TenantForbiddenError(error.message)
+    if error.code == "quota_exceeded":
+        return QuotaExceededError(error.message)
     return error
 
 
@@ -362,22 +377,24 @@ class ServiceAPI:
 
     # -- fault models ----------------------------------------------------------
 
-    def list_models(self) -> dict:
+    def list_models(self, tenant: str | None = None) -> dict:
         from repro.faultmodel.library import predefined_models
 
         return {
-            "stored": self.service.list_models(),
+            "stored": self.service.stored_models(tenant=tenant),
             "predefined": sorted(predefined_models()),
+            "models": self.service.list_models(tenant=tenant),
             "api_version": API_VERSION,
         }
 
-    def get_model(self, name: str) -> dict:
+    def get_model(self, name: str, tenant: str | None = None) -> dict:
         try:
-            return self.service.load_model(name).to_dict()
+            return self.service.load_model(name, tenant=tenant).to_dict()
         except KeyError as error:
             raise APIError("unknown_model", str(error.args[0])) from None
 
-    def put_model(self, name: str, payload: dict) -> dict:
+    def put_model(self, name: str, payload: dict,
+                  tenant: str | None = None) -> dict:
         try:
             model = FaultModel.from_dict(payload)
         except (KeyError, TypeError, ValueError) as error:
@@ -389,13 +406,14 @@ class ServiceAPI:
                 "invalid_request",
                 f"model name {model.name!r} does not match URL name {name!r}",
             )
-        path = self.service.save_model(model)
+        path = self.service.save_model(model, tenant=tenant)
         return {"name": model.name, "path": str(path),
                 "api_version": API_VERSION}
 
     # -- campaigns -------------------------------------------------------------
 
-    def submit_campaign(self, payload: dict) -> dict:
+    def submit_campaign(self, payload: dict,
+                        tenant: str | None = None) -> dict:
         """Submit a campaign job from its wire form.
 
         Payload: ``{"config": {...}, "rules": [...], "components":
@@ -421,7 +439,12 @@ class ServiceAPI:
                 components=components,
                 block=bool(payload.get("block", False)),
                 resume_from=resume_from,
+                tenant=tenant,
             )
+        except TenantForbiddenError as error:
+            raise APIError("forbidden", str(error)) from None
+        except QuotaExceededError as error:
+            raise APIError("quota_exceeded", str(error)) from None
         except KeyError:
             raise APIError("unknown_job",
                            f"unknown job {resume_from!r}") from None
@@ -431,56 +454,62 @@ class ServiceAPI:
 
     # -- jobs ------------------------------------------------------------------
 
-    def _job(self, job_id: str) -> Job:
+    def _job(self, job_id: str, tenant: str | None = None) -> Job:
         try:
-            return self.service.job(job_id)
+            return self.service.job(job_id, tenant=tenant)
+        except TenantForbiddenError as error:
+            raise APIError("forbidden", str(error)) from None
         except KeyError:
             raise APIError("unknown_job",
                            f"unknown job {job_id!r}") from None
 
-    def get_job(self, job_id: str) -> dict:
-        return JobView.from_job(self._job(job_id)).to_dict()
+    def get_job(self, job_id: str, tenant: str | None = None) -> dict:
+        return JobView.from_job(self._job(job_id, tenant)).to_dict()
 
-    def list_jobs(self) -> dict:
+    def list_jobs(self, tenant: str | None = None) -> dict:
         return {
             "jobs": [JobView.from_job(job).to_dict()
-                     for job in self.service.list_jobs()],
+                     for job in self.service.list_jobs(tenant=tenant)],
             "api_version": API_VERSION,
         }
 
-    def cancel_job(self, job_id: str) -> dict:
-        self._job(job_id)
-        return JobView.from_job(self.service.cancel(job_id)).to_dict()
+    def cancel_job(self, job_id: str, tenant: str | None = None) -> dict:
+        self._job(job_id, tenant)
+        return JobView.from_job(
+            self.service.cancel(job_id, tenant=tenant)
+        ).to_dict()
 
-    def wait_job(self, job_id: str, timeout: float | None) -> dict:
+    def wait_job(self, job_id: str, timeout: float | None,
+                 tenant: str | None = None) -> dict:
         """Long-poll until the job is terminal (bounded per request)."""
-        self._job(job_id)
+        self._job(job_id, tenant)
         if timeout is None or timeout > MAX_WAIT_SECONDS:
             timeout = MAX_WAIT_SECONDS
         try:
-            job = self.service.wait(job_id, timeout=timeout)
+            job = self.service.wait(job_id, timeout=timeout, tenant=tenant)
         except TimeoutError as error:
             raise APIError("timeout", str(error)) from None
         return JobView.from_job(job).to_dict()
 
     # -- results ---------------------------------------------------------------
 
-    def job_summary(self, job_id: str) -> dict:
-        job = self._job(job_id)
+    def job_summary(self, job_id: str, tenant: str | None = None) -> dict:
+        job = self._job(job_id, tenant)
         try:
-            return self.service.result_summary(job.job_id)
+            return self.service.result_summary(job.job_id, tenant=tenant)
         except FileNotFoundError as error:
             raise APIError("missing_artifact", str(error)) from None
 
-    def job_report(self, job_id: str) -> str:
-        job = self._job(job_id)
+    def job_report(self, job_id: str, tenant: str | None = None) -> str:
+        job = self._job(job_id, tenant)
         try:
-            return self.service.report_text(job.job_id)
+            return self.service.report_text(job.job_id, tenant=tenant)
         except FileNotFoundError as error:
             raise APIError("missing_artifact", str(error)) from None
 
     def job_experiments(self, job_id: str, offset: int = 0,
-                        limit: int = DEFAULT_PAGE_LIMIT) -> dict:
+                        limit: int = DEFAULT_PAGE_LIMIT,
+                        tenant: str | None = None) -> dict:
         if offset < 0 or limit < 1:
             raise APIError("invalid_request",
                            f"offset must be >= 0 and limit >= 1 "
@@ -491,7 +520,9 @@ class ServiceAPI:
         # ExperimentResult materialization + re-serialization per page.
         from repro.orchestrator.stream import ExperimentStream
 
-        entries = ExperimentStream(self.experiments_path(job_id)).entries()
+        entries = ExperimentStream(
+            self.experiments_path(job_id, tenant)
+        ).entries()
         return ExperimentPage(
             experiments=entries[offset:offset + limit],
             total=len(entries),
@@ -499,7 +530,8 @@ class ServiceAPI:
             limit=limit,
         ).to_dict()
 
-    def experiments_path(self, job_id: str) -> Path:
+    def experiments_path(self, job_id: str,
+                         tenant: str | None = None) -> Path:
         """Filesystem path of the raw result stream (for NDJSON
         transports that serve the file verbatim).
 
@@ -507,9 +539,9 @@ class ServiceAPI:
         an empty stream then, matching the in-process facade's ``[]``
         for a job with no recorded experiments.
         """
-        job = self._job(job_id)
+        job = self._job(job_id, tenant)
         try:
-            return self.service.experiments_path(job.job_id)
+            return self.service.experiments_path(job.job_id, tenant=tenant)
         except FileNotFoundError as error:
             raise APIError("missing_artifact", str(error)) from None
 
@@ -580,15 +612,18 @@ class ServiceAPI:
             raise APIError("unknown_blob",
                            f"unknown blob {digest!r}") from None
 
-    def put_blob(self, digest: str, data: bytes) -> dict:
+    def put_blob(self, digest: str, data: bytes,
+                 tenant: str | None = None) -> dict:
         """Store one blob (``PUT /v1/blobs/{digest}``, raw body).
 
         The content is verified against the URL digest — a mismatch is
         a corrupt upload and answers ``invalid_request``.  Idempotent:
-        re-putting a stored blob is a no-op.
+        re-putting a stored blob is a no-op (and costs no quota).
         """
         try:
-            stored = self.service.put_blob(digest, data)
+            stored = self.service.put_blob(digest, data, tenant=tenant)
+        except QuotaExceededError as error:
+            raise APIError("quota_exceeded", str(error)) from None
         except (TypeError, ValueError) as error:
             raise APIError("invalid_request", str(error)) from None
         return {"digest": stored, "size": len(data),
@@ -648,17 +683,18 @@ class ServiceAPI:
 
     # -- cross-campaign statistics ------------------------------------------------
 
-    def stats_campaigns(self) -> dict:
-        """Indexed campaigns in the statistical result store
+    def stats_campaigns(self, tenant: str | None = None) -> dict:
+        """Indexed campaigns in the (tenant's) statistical result store
         (``GET /v1/stats/campaigns``)."""
-        return {"campaigns": self.service.stats_campaigns(),
+        return {"campaigns": self.service.stats_campaigns(tenant=tenant),
                 "api_version": API_VERSION}
 
     def stats_aggregate(self, campaign: str | None = None,
                         spec: str | None = None,
                         file: str | None = None,
                         component: str | None = None,
-                        confidence: float | None = None) -> dict:
+                        confidence: float | None = None,
+                        tenant: str | None = None) -> dict:
         """Per-mode counts and Wilson estimates across stored campaigns
         (``GET /v1/stats/aggregate``), filterable by campaign name and
         injection-point spec/file/component."""
@@ -667,19 +703,21 @@ class ServiceAPI:
                 campaign=campaign, spec=spec, file=file,
                 component=component,
                 confidence=0.95 if confidence is None else confidence,
+                tenant=tenant,
             )
         except ValueError as error:
             raise APIError("invalid_request", str(error)) from None
         return {**report, "api_version": API_VERSION}
 
-    def generate_regression_tests(self, job_id: str) -> dict:
+    def generate_regression_tests(self, job_id: str,
+                                  tenant: str | None = None) -> dict:
         """Generate regression tests server-side and return their
         sources (the client materializes them wherever it wants)."""
-        job = self._job(job_id)
+        job = self._job(job_id, tenant)
         dest = self.service._job_dir(job) / "regression_tests"
         try:
-            written = self.service.generate_regression_tests(job.job_id,
-                                                             dest)
+            written = self.service.generate_regression_tests(
+                job.job_id, dest, tenant=tenant)
         except FileNotFoundError as error:
             raise APIError("missing_artifact", str(error)) from None
         return {

@@ -10,6 +10,10 @@ changes::
     service = ProFIPyService("workspace")          # in-process
     service = ProFIPyClient("http://host:8080")    # remote, same calls
 
+Against a tenant-enabled server, pass the tenant's bearer token —
+``ProFIPyClient(url, token="s3cret")`` — the remote twin of
+``ProFIPyService.for_tenant(name)``.
+
 Equivalence guarantees (the contract tests in
 ``tests/test_service_api_contract.py`` enforce them):
 
@@ -21,7 +25,9 @@ Equivalence guarantees (the contract tests in
 * identical exception types — the wire error codes map back to what the
   in-process facade raises (``unknown_job``/``unknown_model`` →
   ``KeyError``, ``missing_artifact`` → ``FileNotFoundError``,
-  ``timeout`` → ``TimeoutError``, ``invalid_request`` → ``ValueError``);
+  ``timeout`` → ``TimeoutError``, ``invalid_request`` → ``ValueError``,
+  ``unauthorized``/``forbidden`` → ``PermissionError`` subclasses,
+  ``quota_exceeded`` → ``QuotaExceededError``);
 * identical campaign behaviour, because the server runs the exact same
   core with a lossless config round-trip.
 
@@ -92,11 +98,16 @@ class ProFIPyClient:
     in-process :class:`~repro.service.service.ProFIPyService`."""
 
     def __init__(self, base_url: str, timeout: float = 60.0,
-                 retry_policy: RetryPolicy | None = DEFAULT_GET_RETRY) -> None:
+                 retry_policy: RetryPolicy | None = DEFAULT_GET_RETRY,
+                 token: str | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         #: Applied to idempotent GETs only; ``None`` disables retries.
         self.retry_policy = retry_policy
+        #: Bearer token for tenant-enabled servers; sent as
+        #: ``Authorization: Bearer <token>`` on every request.  ``None``
+        #: for open single-user servers.
+        self.token = token
 
     # -- transport ---------------------------------------------------------------
 
@@ -105,6 +116,8 @@ class ProFIPyClient:
                  timeout: float | None = None) -> tuple[int, bytes, str]:
         body = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if isinstance(payload, bytes):
             # Raw-body endpoints (blob uploads) ship the bytes verbatim.
             body = payload
@@ -198,7 +211,19 @@ class ProFIPyClient:
         return FaultModel.from_dict(self._json("GET", f"/v1/models/{name}"))
 
     def list_models(self) -> list[str]:
-        """Names of stored models (pre-defined ones are always available)."""
+        """Every loadable model name — stored **and** pre-defined —
+        mirroring :meth:`ProFIPyService.list_models`."""
+        result = self._json("GET", "/v1/models")
+        merged = result.get("models")
+        if merged is None:
+            # Pre-tenancy servers sent only the split lists.
+            merged = sorted(set(result["stored"])
+                            | set(result.get("predefined", [])))
+        return list(merged)
+
+    def stored_models(self) -> list[str]:
+        """Names of models stored in the server-side registry (the
+        pre-defined ones are not listed here, but always loadable)."""
         return list(self._json("GET", "/v1/models")["stored"])
 
     # -- campaign submission -----------------------------------------------------

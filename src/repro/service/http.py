@@ -38,6 +38,15 @@ the HTTP status fixed per code (:data:`repro.service.api.ERROR_STATUS`).
 job is still running, so clients loop without busy-polling.  The NDJSON
 endpoint streams the raw result stream file in chunks — constant server
 memory regardless of campaign size.
+
+**Authentication.**  When the service carries a tenant directory
+(``profipy serve --tenants FILE`` or a ``tenants.json`` in the
+workspace), every endpoint except ``GET /v1/ping`` requires an
+``Authorization: Bearer <token>`` header naming a configured tenant;
+requests without one answer 401/``unauthorized``.  The resolved tenant
+scopes every tenant-owned resource (models, jobs, stats) and feeds the
+per-tenant token-bucket rate limiter (429/``quota_exceeded``).  With no
+directory configured the server is the original open single-user API.
 """
 
 from __future__ import annotations
@@ -51,6 +60,11 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.service.api import API_VERSION, APIError, ServiceAPI
 from repro.service.service import ProFIPyService
+from repro.service.tenants import (
+    DEFAULT_TENANT,
+    AuthenticationError,
+    TokenBucket,
+)
 
 #: Upper bound on accepted request bodies (fault models and campaign
 #: configs are small; a runaway body must not exhaust server memory).
@@ -116,7 +130,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
         self._response_started = False
+        self._tenant = DEFAULT_TENANT
         try:
+            self._authenticate(parsed.path)
             allowed: list[str] = []
             for route_method, pattern, handler_name in _ROUTES:
                 match = pattern.fullmatch(parsed.path)
@@ -149,6 +165,38 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "internal", f"{type(error).__name__}: {error}"
             ))
 
+    def _authenticate(self, path: str) -> None:
+        """Resolve the request's tenant (and spend a rate-limit token).
+
+        No tenant directory → the open single-user API: every caller is
+        the default tenant.  With a directory, ``GET /v1/ping`` stays
+        open (health probes have no credentials); everything else needs
+        a bearer token that maps to a configured tenant.  Auth and
+        rate-limit failures leave the request body unread, so the
+        connection must close — a keep-alive socket with a pending body
+        would corrupt the next request's framing.
+        """
+        directory = self.server.tenants  # type: ignore[attr-defined]
+        if directory is None or path == "/v1/ping":
+            return
+        header = self.headers.get("Authorization") or ""
+        token = None
+        if header.lower().startswith("bearer "):
+            token = header[7:].strip() or None
+        try:
+            self._tenant = directory.authenticate(token)
+        except AuthenticationError as error:
+            self.close_connection = True
+            raise APIError("unauthorized", str(error)) from None
+        bucket = self.server.bucket_for(self._tenant)  # type: ignore[attr-defined]
+        if bucket is not None and not bucket.try_acquire():
+            self.close_connection = True
+            raise APIError(
+                "quota_exceeded",
+                f"tenant {self._tenant!r} exceeded its request rate "
+                "limit; retry later",
+            )
+
     def _send_error(self, error: APIError) -> None:
         if self._response_started:
             # Headers (and possibly part of a streamed body) are already
@@ -178,9 +226,34 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _read_raw(self) -> bytes:
         """The request body verbatim (blob uploads are raw bytes, not
-        JSON), bounded like every accepted body."""
-        length = int(self.headers.get("Content-Length") or 0)
+        JSON), bounded like every accepted body.
+
+        The header is validated before use: a malformed value
+        (``Content-Length: abc``) used to raise an unhandled
+        ``ValueError`` (a 500 for a client mistake), and a *negative*
+        value sailed past the upper-bound check and turned into
+        ``rfile.read(-5)`` — read-to-EOF, defeating the body bound
+        entirely.  Both now answer 400/``invalid_request``.  Every
+        rejection closes the connection: the body was never read, and
+        a keep-alive socket with unread bytes would desync framing.
+        """
+        header = self.headers.get("Content-Length")
+        if header is None or not header.strip():
+            return b""
+        try:
+            length = int(header.strip())
+        except ValueError:
+            self.close_connection = True
+            raise APIError(
+                "invalid_request",
+                f"malformed Content-Length header: {header.strip()!r}",
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise APIError("invalid_request",
+                           f"negative Content-Length: {length}")
         if length > MAX_BODY_BYTES:
+            self.close_connection = True
             raise APIError("invalid_request",
                            f"request body exceeds {MAX_BODY_BYTES} bytes")
         return self.rfile.read(length) if length else b""
@@ -239,38 +312,46 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, self.api.ping())
 
     def _route_list_models(self, _match, _query) -> None:
-        self._send_json(200, self.api.list_models())
+        self._send_json(200, self.api.list_models(tenant=self._tenant))
 
     def _route_get_model(self, match, _query) -> None:
-        self._send_json(200, self.api.get_model(match.group("name")))
+        self._send_json(200, self.api.get_model(match.group("name"),
+                                                tenant=self._tenant))
 
     def _route_put_model(self, match, _query) -> None:
         payload = self._read_json()
-        self._send_json(200, self.api.put_model(match.group("name"), payload))
+        self._send_json(200, self.api.put_model(match.group("name"), payload,
+                                                tenant=self._tenant))
 
     def _route_submit_campaign(self, _match, _query) -> None:
         payload = self._read_json()
-        self._send_json(202, self.api.submit_campaign(payload))
+        self._send_json(202, self.api.submit_campaign(payload,
+                                                      tenant=self._tenant))
 
     def _route_list_jobs(self, _match, _query) -> None:
-        self._send_json(200, self.api.list_jobs())
+        self._send_json(200, self.api.list_jobs(tenant=self._tenant))
 
     def _route_get_job(self, match, _query) -> None:
-        self._send_json(200, self.api.get_job(match.group("job_id")))
+        self._send_json(200, self.api.get_job(match.group("job_id"),
+                                              tenant=self._tenant))
 
     def _route_cancel_job(self, match, _query) -> None:
-        self._send_json(200, self.api.cancel_job(match.group("job_id")))
+        self._send_json(200, self.api.cancel_job(match.group("job_id"),
+                                                 tenant=self._tenant))
 
     def _route_wait_job(self, match, query) -> None:
         timeout = self._query_number(query, "timeout", None, float)
         self._send_json(200, self.api.wait_job(match.group("job_id"),
-                                               timeout))
+                                               timeout,
+                                               tenant=self._tenant))
 
     def _route_job_summary(self, match, _query) -> None:
-        self._send_json(200, self.api.job_summary(match.group("job_id")))
+        self._send_json(200, self.api.job_summary(match.group("job_id"),
+                                                  tenant=self._tenant))
 
     def _route_job_report(self, match, _query) -> None:
-        self._send_text(200, self.api.job_report(match.group("job_id")))
+        self._send_text(200, self.api.job_report(match.group("job_id"),
+                                                 tenant=self._tenant))
 
     def _route_job_experiments(self, match, query) -> None:
         offset = self._query_number(query, "offset", 0, int)
@@ -280,10 +361,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, self.api.job_experiments(
             match.group("job_id"), offset=offset,
             limit=DEFAULT_PAGE_LIMIT if limit is None else limit,
+            tenant=self._tenant,
         ))
 
     def _route_job_experiments_ndjson(self, match, _query) -> None:
-        path = self.api.experiments_path(match.group("job_id"))
+        path = self.api.experiments_path(match.group("job_id"),
+                                         tenant=self._tenant)
         if not path.exists():
             # No experiments recorded yet — an empty stream, exactly as
             # the in-process facade returns [] (transport equivalence).
@@ -311,7 +394,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _route_regression_tests(self, match, _query) -> None:
         self._send_json(
-            200, self.api.generate_regression_tests(match.group("job_id"))
+            200, self.api.generate_regression_tests(match.group("job_id"),
+                                                    tenant=self._tenant)
         )
 
     # -- remote-backend worker routes --------------------------------------------
@@ -347,7 +431,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _route_put_blob(self, match, _query) -> None:
         body = self._read_raw()
-        self._send_json(200, self.api.put_blob(match.group("digest"), body))
+        self._send_json(200, self.api.put_blob(match.group("digest"), body,
+                                               tenant=self._tenant))
 
     def _route_missing_blobs(self, _match, _query) -> None:
         self._send_json(200, self.api.missing_blobs(self._read_json()))
@@ -370,7 +455,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         ))
 
     def _route_stats_campaigns(self, _match, _query) -> None:
-        self._send_json(200, self.api.stats_campaigns())
+        self._send_json(200, self.api.stats_campaigns(tenant=self._tenant))
 
     def _route_stats_aggregate(self, _match, query) -> None:
         def _text(key):
@@ -383,6 +468,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             file=_text("file"),
             component=_text("component"),
             confidence=self._query_number(query, "confidence", None, float),
+            tenant=self._tenant,
         ))
 
     def _route_shard_stream(self, match, query) -> None:
@@ -425,6 +511,26 @@ class ProFIPyHTTPServer(ThreadingHTTPServer):
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.api = ServiceAPI(service)
+        self.tenants = service.tenants
+        self._buckets: dict[str, TokenBucket] = {}
+        self._bucket_lock = threading.Lock()
+
+    def bucket_for(self, tenant: str) -> TokenBucket | None:
+        """The tenant's request rate limiter (``None`` when the tenant
+        is unthrottled); one bucket per tenant per server process."""
+        if self.tenants is None:
+            return None
+        spec = self.tenants.spec(tenant)
+        if spec.requests_per_second is None:
+            return None
+        with self._bucket_lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                burst = (spec.burst
+                         or int(spec.requests_per_second) or 1)
+                bucket = TokenBucket(spec.requests_per_second, burst)
+                self._buckets[tenant] = bucket
+        return bucket
 
     @property
     def url(self) -> str:
@@ -448,7 +554,8 @@ def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
           role: str = "service", join: str | None = None,
           advertise: str | None = None,
           blob_cache: str | Path | None = None,
-          blob_cache_limit: int | None = None) -> None:
+          blob_cache_limit: int | None = None,
+          tenants: str | Path | None = None) -> None:
     """Run the service API in the foreground (``profipy serve`` /
     ``profipy worker`` — the worker role is the same server, announced
     as such; shard and blob endpoints are mounted either way).
@@ -461,18 +568,25 @@ def serve(workspace: str | Path, host: str = "127.0.0.1", port: int = 8080,
     ``blob_cache`` relocates the content-addressed blob cache
     (default ``<workspace>/blobs``) and ``blob_cache_limit`` bounds it
     in bytes with least-recently-used eviction (``profipy worker
-    --blob-cache DIR --blob-cache-limit BYTES``).
+    --blob-cache DIR --blob-cache-limit BYTES``).  ``tenants`` is a
+    ``tenants.json`` path: it turns on bearer-token authentication,
+    per-tenant namespaces, fair-share scheduling, and quotas
+    (``profipy serve --tenants FILE``; a ``tenants.json`` inside the
+    workspace is picked up automatically).
     """
     from repro.service.jobs import DEFAULT_MAX_WORKERS
 
     service = ProFIPyService(
         workspace, max_workers=max_workers or DEFAULT_MAX_WORKERS,
         blob_cache_dir=blob_cache, blob_cache_bytes=blob_cache_limit,
+        tenants=tenants,
     )
     server = ProFIPyHTTPServer((host, port), service)
+    tenancy = (f", {len(service.tenants)} tenants (auth on)"
+               if service.tenants is not None else "")
     say(f"profipy {role} API {API_VERSION} on {server.url} "
         f"(workspace {Path(workspace).resolve()}, "
-        f"{service.runner.max_workers} campaign workers)")
+        f"{service.runner.max_workers} campaign workers{tenancy})")
     agent = None
     if join:
         from repro.service.registry import WorkerAgent

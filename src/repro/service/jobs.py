@@ -1,18 +1,35 @@
 """Job scheduling for the as-a-service layer.
 
-The hosted ProFIPy runs campaigns asynchronously on behalf of users; the
-offline equivalent is a bounded job scheduler: submitted campaigns become
-jobs with a lifecycle (``queued`` → ``running`` →
-``completed``/``failed``/``cancelled``) drained FIFO by a fixed pool of
-``max_workers`` worker threads, with metadata and results persisted under
-the service workspace.
+The hosted ProFIPy runs campaigns asynchronously on behalf of *many*
+users; the offline equivalent is a bounded, tenant-fair job scheduler:
+submitted campaigns become jobs with a lifecycle (``queued`` →
+``running`` → ``completed``/``failed``/``cancelled``) drained by a fixed
+pool of ``max_workers`` worker threads, with metadata and results
+persisted under the service workspace.
 
 The seed implementation spawned one unbounded daemon thread per submit,
 so N concurrent users meant N concurrent campaigns (each with its own
-sandbox pool) thrashing the host.  The scheduler admits every submit
-immediately as ``queued`` but runs at most ``max_workers`` job bodies at
-a time — the paper's "container pool per host" policy applied to whole
-campaigns.
+sandbox pool) thrashing the host.  The first scheduler bounded that with
+a single global FIFO — which traded the thrashing for starvation: one
+tenant's burst of queued campaigns blocked every other tenant's first
+job.  The queue is now **per tenant**, drained round-robin:
+
+* each tenant has its own FIFO deque; workers pick the next job by
+  rotating over tenants with pending work, so a tenant's first job waits
+  behind at most one job of each *other* tenant, never behind another
+  tenant's backlog;
+* a per-tenant ``max_running`` cap (from the tenant's
+  :class:`~repro.service.tenants.TenantSpec`) bounds how many of the
+  pool's workers one tenant can hold concurrently — the cap doubles as
+  the tenant's fair-share weight;
+* a per-tenant ``max_queued`` quota rejects runaway backlogs at submit
+  time with :class:`~repro.service.tenants.QuotaExceededError` (HTTP
+  429) instead of admitting unbounded queues.
+
+Single-user deployments see no change: every job belongs to the
+:data:`~repro.service.tenants.DEFAULT_TENANT`, whose queue is unlimited
+and uncapped — one tenant round-robin degenerates to the old global
+FIFO.
 
 Cancellation is cooperative: :meth:`JobRunner.cancel` flips a per-job
 event; a queued job is retired before its body ever runs, while a
@@ -23,6 +40,9 @@ running body observes the flag through :meth:`JobRunner.cancel_requested`
 Job metadata (``job.json``) is persisted via a unique-temp-file +
 ``os.replace`` write, so a process killed mid-write can never leave a
 corrupt file that would hide the job from the next service process.
+Default-tenant jobs live under the runner's ``jobs_dir`` (the
+pre-tenancy layout); configured tenants' jobs live under
+``<tenants_root>/<tenant>/jobs`` and are reloaded from there too.
 """
 
 from __future__ import annotations
@@ -34,8 +54,16 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.common.fsutil import read_json, write_json
+from repro.service.tenants import (
+    DEFAULT_TENANT,
+    QuotaExceededError,
+    TenantSpec,
+    UNLIMITED_SPEC,
+    validate_tenant_name,
+)
 
 _JOB_ID_RE = re.compile(r"job-(\d+)")
 
@@ -69,6 +97,9 @@ class Job:
     finished_at: float | None = None
     error: str = ""
     directory: Path | None = None
+    #: The tenant the job belongs to; every accessor of the service
+    #: layer checks it before exposing the job.
+    tenant: str = DEFAULT_TENANT
     #: Shard-aware execution progress (``experiments_done``/
     #: ``experiments_total`` + per-shard states), attached by the
     #: service layer from the job's ``progress.json`` — deliberately
@@ -89,6 +120,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -102,27 +134,41 @@ class Job:
             finished_at=data.get("finished_at"),
             error=data.get("error", ""),
             directory=directory,
+            tenant=data.get("tenant", DEFAULT_TENANT),
         )
 
 
 class JobRunner:
-    """Bounded FIFO scheduler for job bodies, with persisted state.
+    """Bounded tenant-fair scheduler for job bodies, with persisted state.
 
     ``submit(..., block=True)`` still runs the body inline in the caller
     thread (the CLI's synchronous path); asynchronous submissions queue
-    and are drained by at most ``max_workers`` worker threads.
+    per tenant and are drained by at most ``max_workers`` worker threads
+    picking round-robin across tenants with pending work.
+
+    ``limits`` maps a tenant name to its :class:`TenantSpec` (the
+    scheduler uses ``max_running`` and ``max_queued``); the default
+    grants every tenant the unlimited envelope, which preserves the
+    single-user FIFO behaviour exactly.
     """
 
     def __init__(self, jobs_dir: Path,
-                 max_workers: int = DEFAULT_MAX_WORKERS) -> None:
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 tenants_root: Path | None = None,
+                 limits: Callable[[str], TenantSpec] | None = None) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.jobs_dir = jobs_dir
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.tenants_root = tenants_root
         self.max_workers = max_workers
+        self._limits = limits or (lambda tenant: UNLIMITED_SPEC)
         self._jobs: dict[str, Job] = {}
         self._bodies: dict[str, object] = {}
-        self._queue: deque[str] = deque()
+        #: Per-tenant FIFO queues, drained round-robin by the workers.
+        self._queues: dict[str, deque[str]] = {}
+        #: Rotation order over tenants with pending work.
+        self._rotation: deque[str] = deque()
         self._cancel_events: dict[str, threading.Event] = {}
         self._finished_events: dict[str, threading.Event] = {}
         self._workers: list[threading.Thread] = []
@@ -131,8 +177,26 @@ class JobRunner:
         self._wake = threading.Condition(self._lock)
         self._load_existing()
 
+    def jobs_dir_for(self, tenant: str) -> Path:
+        """Where the tenant's job directories live (the default tenant
+        keeps the pre-tenancy ``jobs_dir`` layout)."""
+        if tenant == DEFAULT_TENANT:
+            return self.jobs_dir
+        validate_tenant_name(tenant)
+        if self.tenants_root is None:
+            raise ValueError(
+                f"tenant {tenant!r}: this scheduler has no tenants_root; "
+                "only default-tenant jobs are supported"
+            )
+        return self.tenants_root / tenant / "jobs"
+
+    def _metadata_files(self):
+        yield from sorted(self.jobs_dir.glob("*/job.json"))
+        if self.tenants_root is not None and self.tenants_root.is_dir():
+            yield from sorted(self.tenants_root.glob("*/jobs/*/job.json"))
+
     def _load_existing(self) -> None:
-        for meta in sorted(self.jobs_dir.glob("*/job.json")):
+        for meta in self._metadata_files():
             try:
                 data = read_json(meta)
                 job = Job.from_dict(data, directory=meta.parent)
@@ -154,15 +218,26 @@ class JobRunner:
 
         Counting jobs (the old scheme) reused an existing id whenever a
         job directory had been deleted or its metadata failed to load —
-        the new job would then overwrite the survivor's directory.
+        the new job would then overwrite the survivor's directory.  Ids
+        are global across tenants, so a job id names one job no matter
+        which tenant's namespace it lives in.
         """
         highest = 0
         names = set(self._jobs)
-        try:
-            names.update(path.name for path in self.jobs_dir.iterdir()
-                         if path.is_dir())
-        except OSError:
-            pass
+        roots = [self.jobs_dir]
+        if self.tenants_root is not None and self.tenants_root.is_dir():
+            try:
+                roots.extend(path / "jobs"
+                             for path in self.tenants_root.iterdir()
+                             if (path / "jobs").is_dir())
+            except OSError:
+                pass
+        for root in roots:
+            try:
+                names.update(path.name for path in root.iterdir()
+                             if path.is_dir())
+            except OSError:
+                pass
         for name in names:
             match = _JOB_ID_RE.fullmatch(name)
             if match:
@@ -171,27 +246,46 @@ class JobRunner:
 
     # -- submission --------------------------------------------------------------
 
-    def submit(self, name: str, body, block: bool = False) -> Job:
-        """Register a job; ``body(job_dir)`` does the work.
+    def submit(self, name: str, body, block: bool = False,
+               tenant: str = DEFAULT_TENANT) -> Job:
+        """Register a job for ``tenant``; ``body(job_dir)`` does the work.
 
         ``block=True`` executes the body inline and returns the finished
-        job; otherwise the job is queued and picked up by a worker thread
-        as one frees (FIFO, at most ``max_workers`` bodies in flight).
+        job; otherwise the job joins the tenant's queue and is picked up
+        by a worker thread as the round-robin drain reaches it.  An
+        asynchronous submit that would push the tenant's backlog past
+        its ``max_queued`` quota raises :class:`QuotaExceededError`
+        without admitting the job.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            if not block:
+                spec = self._limits(tenant)
+                queued = len(self._queues.get(tenant, ()))
+                if (spec.max_queued is not None
+                        and queued >= spec.max_queued):
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} already has {queued} queued "
+                        f"job(s) (max_queued={spec.max_queued}); wait for "
+                        "the backlog to drain"
+                    )
             job_id = self._next_job_id()
-            directory = self.jobs_dir / job_id
+            directory = self.jobs_dir_for(tenant) / job_id
             directory.mkdir(parents=True, exist_ok=True)
-            job = Job(job_id=job_id, name=name, directory=directory)
+            job = Job(job_id=job_id, name=name, directory=directory,
+                      tenant=tenant)
             self._jobs[job_id] = job
             self._cancel_events[job_id] = threading.Event()
             self._finished_events[job_id] = threading.Event()
             self._persist(job)
             if not block:
                 self._bodies[job_id] = body
-                self._queue.append(job_id)
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    queue = self._queues[tenant] = deque()
+                    self._rotation.append(tenant)
+                queue.append(job_id)
                 self._spawn_workers_locked()
                 self._wake.notify()
         if block:
@@ -201,20 +295,55 @@ class JobRunner:
     def _spawn_workers_locked(self) -> None:
         """Grow the worker pool (never beyond ``max_workers``)."""
         self._workers = [t for t in self._workers if t.is_alive()]
-        needed = min(len(self._queue), self.max_workers - len(self._workers))
+        pending = sum(len(queue) for queue in self._queues.values())
+        needed = min(pending, self.max_workers - len(self._workers))
         for _ in range(max(0, needed)):
             worker = threading.Thread(target=self._worker_loop, daemon=True)
             self._workers.append(worker)
             worker.start()
 
+    def _running_locked(self, tenant: str) -> int:
+        """How many of the tenant's jobs hold a worker right now."""
+        return sum(1 for job in self._jobs.values()
+                   if job.tenant == tenant and job.status == RUNNING)
+
+    def _pick_next_locked(self) -> str | None:
+        """The next runnable job id, rotating fair-share across tenants.
+
+        Starting from the rotation head, the first tenant with pending
+        work *and* headroom under its ``max_running`` cap wins; the
+        rotation then continues past it, so tenants take turns and no
+        backlog monopolizes the pool.  ``None`` when nothing is
+        currently runnable (all queues empty, or every pending tenant is
+        at its cap).
+        """
+        for _ in range(len(self._rotation)):
+            if not self._rotation:
+                return None
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            queue = self._queues.get(tenant)
+            if not queue:
+                # Drained: drop the tenant from the rotation (re-added
+                # on its next submit).
+                self._rotation.remove(tenant)
+                del self._queues[tenant]
+                continue
+            cap = self._limits(tenant).max_running
+            if cap is not None and self._running_locked(tenant) >= cap:
+                continue
+            return queue.popleft()
+        return None
+
     def _worker_loop(self) -> None:
         while True:
             with self._wake:
-                while not self._queue and not self._closed:
+                job_id = self._pick_next_locked()
+                while job_id is None and not self._closed:
                     self._wake.wait(timeout=1.0)
-                if self._closed and not self._queue:
+                    job_id = self._pick_next_locked()
+                if job_id is None:
                     return
-                job_id = self._queue.popleft()
                 job = self._jobs[job_id]
                 body = self._bodies.pop(job_id, None)
                 if self._cancel_events[job_id].is_set():
@@ -222,7 +351,8 @@ class JobRunner:
                     self._finish_locked(job, CANCELLED)
                     continue
                 # Claim under the lock so cancel() can no longer retire
-                # this job as "queued" while the body is about to start.
+                # this job as "queued" while the body is about to start
+                # (and so _running_locked counts it against the cap).
                 job.status = RUNNING
                 job.started_at = time.time()
             self._execute(job, body)
@@ -250,6 +380,9 @@ class JobRunner:
         event = self._finished_events.get(job.job_id)
         if event is not None:
             event.set()
+        # A finished job frees headroom under its tenant's max_running
+        # cap: wake the workers so a capped tenant's backlog resumes.
+        self._wake.notify_all()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -259,8 +392,22 @@ class JobRunner:
         except KeyError:
             raise KeyError(f"unknown job {job_id!r}") from None
 
-    def list(self) -> list[Job]:
-        return sorted(self._jobs.values(), key=lambda job: job.job_id)
+    def list(self, tenant: str | None = None) -> list[Job]:
+        """Every job, or one tenant's jobs, sorted by id."""
+        jobs = self._jobs.values()
+        if tenant is not None:
+            jobs = [job for job in jobs if job.tenant == tenant]
+        return sorted(jobs, key=lambda job: job.job_id)
+
+    def queued_count(self, tenant: str) -> int:
+        """How many of the tenant's jobs are waiting in its queue."""
+        with self._lock:
+            return len(self._queues.get(tenant, ()))
+
+    def running_count(self, tenant: str) -> int:
+        """How many of the tenant's jobs are running right now."""
+        with self._lock:
+            return self._running_locked(tenant)
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; idempotent, returns the job.
@@ -276,8 +423,11 @@ class JobRunner:
                 return job
             self._cancel_events[job_id].set()
             if job.status == QUEUED:
+                queue = self._queues.get(job.tenant)
                 try:
-                    self._queue.remove(job_id)
+                    if queue is None:
+                        raise ValueError
+                    queue.remove(job_id)
                 except ValueError:
                     pass  # claimed by a worker in the same instant; its
                     # body observes cancel_requested() and stops early

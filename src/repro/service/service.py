@@ -7,12 +7,21 @@ substitution of the hosted UI):
 
 * a persistent **fault-model registry** (save/import/list, plus the
   pre-defined models);
-* **campaign submission** as asynchronous jobs scheduled on a bounded
-  worker pool (``queued`` → ``running`` →
+* **campaign submission** as asynchronous jobs scheduled on a bounded,
+  tenant-fair worker pool (``queued`` → ``running`` →
   ``completed``/``failed``/``cancelled``), with persisted results and
   cooperative cancellation between experiments;
 * **report retrieval** for finished jobs, streamed experiment results,
-  and regression-test generation.
+  and regression-test generation;
+* **multi-tenancy**: every user-facing method takes an optional
+  ``tenant``; a configured tenant's models, jobs, scan caches, and
+  statistics live under ``<workspace>/tenants/<name>/…`` and are
+  invisible to (and untouchable by — ``forbidden``) every other tenant.
+  ``tenant=None`` is the trusted unscoped caller (the in-process facade
+  and CLI on a single-user workspace); the HTTP transport always passes
+  the tenant its bearer-token auth resolved.  With no tenants
+  configured everything belongs to the default tenant and the workspace
+  keeps its original single-user layout.
 
 :class:`ProFIPyService` is the single behavioural core behind *both*
 transports: the versioned ``/v1`` HTTP API
@@ -23,8 +32,10 @@ mirrors this method surface 1:1 — swap ``ProFIPyService(workspace)`` for
 ``ProFIPyClient(url)`` and callers run unchanged, with identical job
 lifecycles, summaries, experiment lists, and exception types
 (``KeyError`` for unknown jobs/models, ``FileNotFoundError`` for missing
-artifacts, ``TimeoutError`` from :meth:`wait`).  ``docs/SERVICE_API.md``
-documents the endpoint table and error codes.
+artifacts, ``TimeoutError`` from :meth:`wait`, ``PermissionError``
+subclasses for auth failures).  :meth:`for_tenant` returns the same
+surface with a tenant pre-bound, mirroring ``ProFIPyClient(token=...)``.
+``docs/SERVICE_API.md`` documents the endpoint table and error codes.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import shutil
+import threading
 from pathlib import Path
 
 from repro.analysis.classify import ClassificationRule
@@ -49,6 +61,7 @@ from repro.orchestrator.campaign import (
 from repro.orchestrator.experiment import ExperimentResult
 from repro.orchestrator.stream import ExperimentStream
 from repro.stats.store import StatsStore
+from repro.service.api import campaign_config_to_dict
 from repro.service.jobs import (
     DEFAULT_MAX_WORKERS,
     Job,
@@ -58,6 +71,18 @@ from repro.service.jobs import (
 from repro.service.blobs import BlobStore
 from repro.service.registry import DEFAULT_LEASE_SECONDS, WorkerRegistry
 from repro.service.shards import ShardHost
+from repro.service.tenants import (
+    DEFAULT_TENANT,
+    QuotaExceededError,
+    TenantDirectory,
+    TenantForbiddenError,
+    TenantSpec,
+    UNLIMITED_SPEC,
+    validate_tenant_name,
+)
+
+#: Conventional tenants-file name auto-loaded from the workspace.
+TENANTS_FILENAME = "tenants.json"
 
 
 class ProFIPyService:
@@ -67,19 +92,39 @@ class ProFIPyService:
                  max_workers: int = DEFAULT_MAX_WORKERS,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
                  blob_cache_dir: str | Path | None = None,
-                 blob_cache_bytes: int | None = None) -> None:
+                 blob_cache_bytes: int | None = None,
+                 tenants: TenantDirectory | str | Path | None = None) -> None:
         self.workspace = Path(workspace)
+        # Tenant directory: an explicit TenantDirectory or tenants.json
+        # path wins; otherwise a <workspace>/tenants.json is picked up
+        # automatically.  None leaves the service in unauthenticated
+        # single-user mode (everything is the default tenant).
+        if isinstance(tenants, (str, Path)):
+            tenants = TenantDirectory.from_file(tenants)
+        if tenants is None:
+            conventional = self.workspace / TENANTS_FILENAME
+            if conventional.is_file():
+                tenants = TenantDirectory.from_file(conventional)
+        self.tenants: TenantDirectory | None = tenants
+        self.tenants_root = self.workspace / "tenants"
         self.models_dir = self.workspace / "models"
         self.models_dir.mkdir(parents=True, exist_ok=True)
         self.runner = JobRunner(self.workspace / "jobs",
-                                max_workers=max_workers)
+                                max_workers=max_workers,
+                                tenants_root=self.tenants_root,
+                                limits=self._spec)
         # Content-addressed blob cache (/v1/blobs): target trees arrive
         # as sha256-keyed blobs, persist across shards and campaigns, so
         # a dispatcher re-shipping an unchanged tree uploads nothing.
         # ``blob_cache_bytes`` bounds the cache LRU-style (worker hosts
-        # with small disks); unbounded by default.
+        # with small disks); unbounded by default.  The store is shared
+        # across tenants (content addressing makes that safe — equal
+        # bytes are equal blobs); per-tenant *upload* accounting
+        # enforces each tenant's max_blob_bytes quota.
         self.blobs = BlobStore(blob_cache_dir or self.workspace / "blobs",
                                max_bytes=blob_cache_bytes)
+        self._blob_usage: dict[str, int] = {}
+        self._blob_lock = threading.Lock()
         # The worker role: shard payloads accepted over /v1/shards run
         # out of their own corner of the workspace, materializing their
         # image from the blob cache when the payload ships a manifest.
@@ -93,39 +138,128 @@ class ProFIPyService:
         self.registry = WorkerRegistry(lease_seconds=lease_seconds)
         # Cross-campaign statistical result store (/v1/stats): completed
         # job streams are indexed here by campaign meta, queryable for
-        # per-mode estimates across campaigns.
+        # per-mode estimates across campaigns.  One store per tenant;
+        # the default tenant keeps the original <workspace>/stats.
         self.stats = StatsStore(self.workspace / "stats")
+        self._stats_stores: dict[str, StatsStore] = {DEFAULT_TENANT:
+                                                     self.stats}
+
+    # -- tenancy -----------------------------------------------------------------
+
+    def _spec(self, tenant: str) -> TenantSpec:
+        """The tenant's resource envelope (unlimited when no directory
+        is configured or for the default tenant)."""
+        if self.tenants is not None and tenant in self.tenants:
+            return self.tenants.spec(tenant)
+        return UNLIMITED_SPEC
+
+    def _resolve(self, tenant: str | None) -> str:
+        """Normalize a caller-supplied tenant (``None`` → default)."""
+        if tenant is None:
+            return DEFAULT_TENANT
+        return validate_tenant_name(tenant)
+
+    def _tenant_root(self, tenant: str) -> Path:
+        """Where the tenant's namespaced data lives; the default tenant
+        keeps the original single-user workspace layout."""
+        if tenant == DEFAULT_TENANT:
+            return self.workspace
+        validate_tenant_name(tenant)
+        return self.tenants_root / tenant
+
+    def _models_dir(self, tenant: str) -> Path:
+        directory = self._tenant_root(tenant) / "models"
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def _stats_store(self, tenant: str) -> StatsStore:
+        store = self._stats_stores.get(tenant)
+        if store is None:
+            store = StatsStore(self._tenant_root(tenant) / "stats")
+            self._stats_stores[tenant] = store
+        return store
+
+    def _check_owner(self, job: Job, tenant: str | None) -> Job:
+        """The job, if the caller may see it.
+
+        ``tenant=None`` is the trusted unscoped caller (in-process
+        facade, CLI on the workspace); an explicit tenant may only
+        touch its own jobs — anything else answers ``forbidden``,
+        deliberately distinct from ``unknown_job`` so a tenant probing
+        ids learns nothing it could not learn from 403s alone.
+        """
+        if tenant is not None and job.tenant != tenant:
+            raise TenantForbiddenError(
+                f"job {job.job_id} belongs to another tenant"
+            )
+        return job
+
+    def for_tenant(self, tenant: str) -> "TenantScopedService":
+        """This service's surface with ``tenant`` pre-bound — the
+        in-process mirror of ``ProFIPyClient(url, token=...)``."""
+        return TenantScopedService(self, self._resolve(tenant))
+
+    def tenant_views(self) -> list[dict]:
+        """Operator view of every configured tenant: quotas plus live
+        queue/running counts (``profipy tenants list``)."""
+        views = []
+        names = self.tenants.names() if self.tenants is not None else []
+        for name in names:
+            spec = self.tenants.spec(name)
+            views.append({
+                **spec.to_dict(redact_token=True),
+                "queued": self.runner.queued_count(name),
+                "running": self.runner.running_count(name),
+                "blob_bytes_used": self._blob_usage.get(name, 0),
+            })
+        return views
 
     # -- fault model registry ------------------------------------------------
 
-    def save_model(self, model: FaultModel) -> Path:
+    def save_model(self, model: FaultModel,
+                   tenant: str | None = None) -> Path:
         """Store a fault model in the registry (overwrites same name)."""
-        path = self.models_dir / f"{model.name}.json"
+        path = self._models_dir(self._resolve(tenant)) / f"{model.name}.json"
         model.save(path)
         return path
 
-    def import_model(self, path: str | Path) -> FaultModel:
+    def import_model(self, path: str | Path,
+                     tenant: str | None = None) -> FaultModel:
         """Import a fault model JSON produced by a previous campaign."""
         model = FaultModel.load(path)
-        self.save_model(model)
+        self.save_model(model, tenant=tenant)
         return model
 
-    def load_model(self, name: str) -> FaultModel:
+    def load_model(self, name: str, tenant: str | None = None) -> FaultModel:
         """A stored model by name, falling back to the pre-defined ones."""
-        path = self.models_dir / f"{name}.json"
+        path = self._models_dir(self._resolve(tenant)) / f"{name}.json"
         if path.exists():
             return FaultModel.load(path)
         predefined = predefined_models()
         if name in predefined:
             return predefined[name]
         raise KeyError(
-            f"unknown fault model {name!r}; stored: {self.list_models()}, "
+            f"unknown fault model {name!r}; "
+            f"stored: {self.stored_models(tenant=tenant)}, "
             f"predefined: {sorted(predefined)}"
         )
 
-    def list_models(self) -> list[str]:
-        """Names of stored models (pre-defined ones are always available)."""
-        return sorted(path.stem for path in self.models_dir.glob("*.json"))
+    def stored_models(self, tenant: str | None = None) -> list[str]:
+        """Names of models stored in the (tenant's) registry."""
+        directory = self._models_dir(self._resolve(tenant))
+        return sorted(path.stem for path in directory.glob("*.json"))
+
+    def list_models(self, tenant: str | None = None) -> list[str]:
+        """Every loadable model name: stored **and** pre-defined.
+
+        The pre-defined models are always available to :meth:`load_model`
+        — hiding them here made ``GET /v1/models`` lie about what a
+        campaign could reference.  A stored model shadows a pre-defined
+        one of the same name (one name, one model, the stored one wins
+        at load time).
+        """
+        stored = self.stored_models(tenant=tenant)
+        return sorted(set(stored) | set(predefined_models()))
 
     # -- campaign submission -----------------------------------------------------
 
@@ -136,26 +270,33 @@ class ProFIPyService:
         components: list[ComponentSpec] | None = None,
         block: bool = True,
         resume_from: str | None = None,
+        tenant: str | None = None,
     ) -> Job:
         """Run a campaign as a job; results and report persist on disk.
 
         Experiments stream to ``<job_dir>/experiments.jsonl`` as they
         complete.  ``resume_from`` names a previous job (e.g. one killed
-        mid-campaign or cancelled); its stream is carried over, so
-        already-recorded experiments are not re-run — only the remainder
-        executes.  With ``block=False`` the job is queued on the bounded
-        scheduler and can be cancelled via :meth:`cancel`; cancellation
-        is observed between experiments, leaving a partial stream that a
-        follow-up ``resume_from`` completes.
+        mid-campaign or cancelled) **of the same tenant**; its stream is
+        carried over, so already-recorded experiments are not re-run —
+        only the remainder executes.  With ``block=False`` the job is
+        queued on the tenant-fair scheduler (a backlog past the tenant's
+        ``max_queued`` quota raises
+        :class:`~repro.service.tenants.QuotaExceededError`) and can be
+        cancelled via :meth:`cancel`; cancellation is observed between
+        experiments, leaving a partial stream that a follow-up
+        ``resume_from`` completes.
         """
         rules = rules or []
         components = components or []
-        # Service campaigns share a persistent scan cache: repeated
-        # campaigns over unchanged target trees skip re-matching entirely.
-        # The caller's config object is left untouched.
+        owner = self._resolve(tenant)
+        # Service campaigns share a persistent per-tenant scan cache:
+        # repeated campaigns over unchanged target trees skip
+        # re-matching entirely, and no tenant reads cache entries
+        # derived from another tenant's tree.  The caller's config
+        # object is left untouched.
         if config.scan_cache_dir is None:
             config = dataclasses.replace(
-                config, scan_cache_dir=self.workspace / "scan_cache"
+                config, scan_cache_dir=self._tenant_root(owner) / "scan_cache"
             )
         # Likewise the blob store: remote-backend campaigns ingest their
         # staged image into the service's persistent content-addressed
@@ -166,22 +307,24 @@ class ProFIPyService:
             )
         previous_stream = None
         if resume_from is not None:
-            previous = self.runner.get(resume_from)
+            previous = self._check_owner(self.runner.get(resume_from),
+                                         tenant)
             previous_stream = self._job_dir(previous) / "experiments.jsonl"
+        stats_store = self._stats_store(owner)
 
         def body(job_dir: Path) -> None:
+            # Persist the *complete* wire form of the config that runs
+            # (plus resume provenance): the hand-rolled subset written
+            # here before silently dropped sampling, image_manifest,
+            # scan_incremental, registry_url, and the scan-cache knobs,
+            # so audits and regression-test generation saw a config
+            # that never existed.  target_dir is resolved for replay
+            # tools that run from a different working directory.
             write_json(job_dir / "config.json", {
-                "name": config.name,
+                **campaign_config_to_dict(config),
                 "target_dir": str(Path(config.target_dir).resolve()),
-                "fault_model": config.fault_model.to_dict(),
-                "workload": config.workload.to_dict(),
-                "injectable_files": config.injectable_files,
-                "scan_jobs": config.scan_jobs,
-                "backend": config.backend,
-                "shards": config.shards,
-                "workers": config.workers,
-                "seed": config.seed,
                 "resumed_from": resume_from,
+                "tenant": owner,
             })
             stream_path = job_dir / "experiments.jsonl"
             if (previous_stream is not None and previous_stream.exists()
@@ -224,35 +367,40 @@ class ProFIPyService:
                 # the experiments that did record.
                 report = CampaignReport(stopped.result, rules=rules,
                                         components=components)
-                self._persist_result(job_dir, stopped.result, report)
+                self._persist_result(job_dir, stopped.result, report,
+                                     stats_store)
                 raise JobCancelled(
                     f"cancelled after {stopped.result.executed} experiments"
                 ) from None
             report = CampaignReport(result, rules=rules,
                                     components=components)
-            self._persist_result(job_dir, result, report)
+            self._persist_result(job_dir, result, report, stats_store)
 
-        return self.runner.submit(config.name, body, block=block)
+        return self.runner.submit(config.name, body, block=block,
+                                  tenant=owner)
 
-    def job(self, job_id: str) -> Job:
-        job = self.runner.get(job_id)
+    def job(self, job_id: str, tenant: str | None = None) -> Job:
+        job = self._check_owner(self.runner.get(job_id), tenant)
         job.progress = self._progress_for(job)
         return job
 
-    def list_jobs(self) -> list[Job]:
-        jobs = self.runner.list()
+    def list_jobs(self, tenant: str | None = None) -> list[Job]:
+        jobs = self.runner.list(tenant)
         for job in jobs:
             job.progress = self._progress_for(job)
         return jobs
 
-    def job_progress(self, job_id: str) -> dict | None:
+    def job_progress(self, job_id: str,
+                     tenant: str | None = None) -> dict | None:
         """The job's latest shard-aware progress snapshot, or ``None``.
 
         Read from ``<job_dir>/progress.json`` (written atomically by the
         running campaign), so it works across processes: a CLI pointed
         at the workspace sees the same live numbers as the HTTP API.
         """
-        return self._progress_for(self.runner.get(job_id))
+        return self._progress_for(
+            self._check_owner(self.runner.get(job_id), tenant)
+        )
 
     @staticmethod
     def _progress_for(job: Job) -> dict | None:
@@ -272,18 +420,21 @@ class ProFIPyService:
             return None
         return data if isinstance(data, dict) else None
 
-    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+    def wait(self, job_id: str, timeout: float | None = None,
+             tenant: str | None = None) -> Job:
+        self._check_owner(self.runner.get(job_id), tenant)
         job = self.runner.wait(job_id, timeout)
         job.progress = self._progress_for(job)
         return job
 
-    def cancel(self, job_id: str) -> Job:
+    def cancel(self, job_id: str, tenant: str | None = None) -> Job:
         """Request cancellation of a queued or running job (idempotent).
 
         A queued job retires immediately; a running campaign stops at
         the next between-experiments checkpoint and lands in the
         ``cancelled`` state with its partial result stream persisted.
         """
+        self._check_owner(self.runner.get(job_id), tenant)
         job = self.runner.cancel(job_id)
         job.progress = self._progress_for(job)
         return job
@@ -304,8 +455,8 @@ class ProFIPyService:
             )
         return job.directory
 
-    def report_text(self, job_id: str) -> str:
-        job = self.runner.get(job_id)
+    def report_text(self, job_id: str, tenant: str | None = None) -> str:
+        job = self._check_owner(self.runner.get(job_id), tenant)
         path = self._job_dir(job) / "report.txt"
         if not path.exists():
             raise FileNotFoundError(
@@ -313,8 +464,8 @@ class ProFIPyService:
             )
         return path.read_text(encoding="utf-8")
 
-    def result_summary(self, job_id: str) -> dict:
-        job = self.runner.get(job_id)
+    def result_summary(self, job_id: str, tenant: str | None = None) -> dict:
+        job = self._check_owner(self.runner.get(job_id), tenant)
         path = self._job_dir(job) / "summary.json"
         if not path.exists():
             raise FileNotFoundError(
@@ -322,7 +473,8 @@ class ProFIPyService:
             )
         return read_json(path)
 
-    def experiments(self, job_id: str) -> list[ExperimentResult]:
+    def experiments(self, job_id: str,
+                    tenant: str | None = None) -> list[ExperimentResult]:
         """Recorded experiments of a job, sorted by experiment id.
 
         Reads the job's result stream; safe to call on a job that was
@@ -331,24 +483,27 @@ class ProFIPyService:
         """
         from repro.orchestrator.stream import ExperimentStream
 
-        job = self.runner.get(job_id)
+        job = self._check_owner(self.runner.get(job_id), tenant)
         path = self._job_dir(job) / "experiments.jsonl"
         return sorted(ExperimentStream(path).load(),
                       key=lambda experiment: experiment.experiment_id)
 
-    def experiments_path(self, job_id: str) -> Path:
+    def experiments_path(self, job_id: str,
+                         tenant: str | None = None) -> Path:
         """Where the job's raw ``experiments.jsonl`` stream lives (the
         HTTP layer serves it verbatim as NDJSON)."""
-        return self._job_dir(self.runner.get(job_id)) / "experiments.jsonl"
+        job = self._check_owner(self.runner.get(job_id), tenant)
+        return self._job_dir(job) / "experiments.jsonl"
 
     def generate_regression_tests(self, job_id: str,
-                                  dest_dir: str | Path) -> list[Path]:
+                                  dest_dir: str | Path,
+                                  tenant: str | None = None) -> list[Path]:
         """Write one regression test per failed experiment of a job
         (the paper's §I regression-testing use case)."""
         from repro.regression import write_regression_test
         from repro.workload.spec import WorkloadSpec
 
-        job = self.runner.get(job_id)
+        job = self._check_owner(self.runner.get(job_id), tenant)
         config_path = self._job_dir(job) / "config.json"
         if not config_path.exists():
             raise FileNotFoundError(
@@ -362,7 +517,7 @@ class ProFIPyService:
         # per-experiment RNG is keyed on (seed, experiment_id).
         campaign_seed = config.get("seed", 0)
         written = []
-        for experiment in self.experiments(job_id):
+        for experiment in self.experiments(job_id, tenant=tenant):
             if experiment.completed and experiment.failed_round1:
                 written.append(write_regression_test(
                     experiment, fault_model, target_dir, workload, dest_dir,
@@ -410,11 +565,28 @@ class ProFIPyService:
             raise KeyError(f"unknown blob {digest}")
         return path
 
-    def put_blob(self, digest: str, data: bytes) -> str:
+    def put_blob(self, digest: str, data: bytes,
+                 tenant: str | None = None) -> str:
         """Store one content-addressed blob (idempotent); the content
         is verified against ``digest`` — raises ``ValueError`` on
-        mismatch."""
-        return self.blobs.put_bytes(data, digest=digest)
+        mismatch.  An explicit tenant's uploads are accounted against
+        its ``max_blob_bytes`` quota (re-putting an already-stored blob
+        costs nothing — content addressing makes dedup free)."""
+        spec = self._spec(tenant) if tenant is not None else UNLIMITED_SPEC
+        if spec.max_blob_bytes is None:
+            return self.blobs.put_bytes(data, digest=digest)
+        with self._blob_lock:
+            new_bytes = len(data) if self.blobs.missing([digest]) else 0
+            used = self._blob_usage.get(tenant, 0)
+            if used + new_bytes > spec.max_blob_bytes:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} blob quota exhausted: "
+                    f"{used} + {new_bytes} bytes exceeds "
+                    f"max_blob_bytes={spec.max_blob_bytes}"
+                )
+            stored = self.blobs.put_bytes(data, digest=digest)
+            self._blob_usage[tenant] = used + new_bytes
+        return stored
 
     def missing_blobs(self, digests: list[str]) -> list[str]:
         """Which of ``digests`` this host's blob store lacks — the
@@ -443,14 +615,16 @@ class ProFIPyService:
 
     # -- cross-campaign statistics -------------------------------------------
 
-    def stats_add(self, stream_path: str | Path) -> dict:
-        """Register an experiment stream with the statistical store
-        (completed job streams register automatically)."""
-        return self.stats.add(stream_path)
+    def stats_add(self, stream_path: str | Path,
+                  tenant: str | None = None) -> dict:
+        """Register an experiment stream with the (tenant's) statistical
+        store (completed job streams register automatically)."""
+        return self._stats_store(self._resolve(tenant)).add(stream_path)
 
-    def stats_campaigns(self, campaign: str | None = None) -> list[dict]:
-        """Campaigns indexed in the statistical result store."""
-        return self.stats.campaigns(campaign)
+    def stats_campaigns(self, campaign: str | None = None,
+                        tenant: str | None = None) -> list[dict]:
+        """Campaigns indexed in the (tenant's) statistical result store."""
+        return self._stats_store(self._resolve(tenant)).campaigns(campaign)
 
     def stats_aggregate(self, campaign: str | None = None,
                         spec: str | None = None,
@@ -458,9 +632,10 @@ class ProFIPyService:
                         component: str | None = None,
                         confidence: float = 0.95,
                         rules: list[ClassificationRule] | None = None,
+                        tenant: str | None = None,
                         ) -> dict:
         """Per-failure-mode Wilson estimates across stored campaigns."""
-        return self.stats.aggregate(
+        return self._stats_store(self._resolve(tenant)).aggregate(
             campaign=campaign, spec=spec, file=file, component=component,
             confidence=confidence, rules=rules,
         )
@@ -470,7 +645,8 @@ class ProFIPyService:
         self.runner.close()
 
     def _persist_result(self, job_dir: Path, result: CampaignResult,
-                        report: CampaignReport) -> None:
+                        report: CampaignReport,
+                        stats_store: StatsStore | None = None) -> None:
         write_json(job_dir / "summary.json", result.summary())
         (job_dir / "report.txt").write_text(report.render() + "\n",
                                             encoding="utf-8")
@@ -498,6 +674,105 @@ class ProFIPyService:
         # Index the finished stream for cross-campaign /v1/stats queries
         # (best-effort: a failed registration never fails the job).
         try:
-            self.stats.add(stream_path, summary=result.summary())
+            (stats_store or self.stats).add(stream_path,
+                                            summary=result.summary())
         except (OSError, ValueError):
             pass
+
+
+class TenantScopedService:
+    """The :class:`ProFIPyService` surface with one tenant pre-bound.
+
+    The in-process twin of ``ProFIPyClient(url, token=...)`` — the
+    contract tests run the same calls through both.  Every method
+    forwards to the underlying service with ``tenant=`` fixed, so the
+    scoped view can never reach another tenant's data.
+    """
+
+    def __init__(self, service: ProFIPyService, tenant: str) -> None:
+        self.service = service
+        self.tenant = tenant
+
+    # -- fault model registry ------------------------------------------------
+
+    def save_model(self, model: FaultModel) -> Path:
+        return self.service.save_model(model, tenant=self.tenant)
+
+    def import_model(self, path: str | Path) -> FaultModel:
+        return self.service.import_model(path, tenant=self.tenant)
+
+    def load_model(self, name: str) -> FaultModel:
+        return self.service.load_model(name, tenant=self.tenant)
+
+    def stored_models(self) -> list[str]:
+        return self.service.stored_models(tenant=self.tenant)
+
+    def list_models(self) -> list[str]:
+        return self.service.list_models(tenant=self.tenant)
+
+    # -- campaigns and jobs --------------------------------------------------
+
+    def submit_campaign(self, config: CampaignConfig,
+                        rules: list[ClassificationRule] | None = None,
+                        components: list[ComponentSpec] | None = None,
+                        block: bool = True,
+                        resume_from: str | None = None) -> Job:
+        return self.service.submit_campaign(
+            config, rules=rules, components=components, block=block,
+            resume_from=resume_from, tenant=self.tenant,
+        )
+
+    def job(self, job_id: str) -> Job:
+        return self.service.job(job_id, tenant=self.tenant)
+
+    def job_progress(self, job_id: str) -> dict | None:
+        return self.service.job_progress(job_id, tenant=self.tenant)
+
+    def list_jobs(self) -> list[Job]:
+        return self.service.list_jobs(tenant=self.tenant)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        return self.service.wait(job_id, timeout, tenant=self.tenant)
+
+    def cancel(self, job_id: str) -> Job:
+        return self.service.cancel(job_id, tenant=self.tenant)
+
+    # -- results -------------------------------------------------------------
+
+    def report_text(self, job_id: str) -> str:
+        return self.service.report_text(job_id, tenant=self.tenant)
+
+    def result_summary(self, job_id: str) -> dict:
+        return self.service.result_summary(job_id, tenant=self.tenant)
+
+    def experiments(self, job_id: str) -> list[ExperimentResult]:
+        return self.service.experiments(job_id, tenant=self.tenant)
+
+    def experiments_path(self, job_id: str) -> Path:
+        return self.service.experiments_path(job_id, tenant=self.tenant)
+
+    def generate_regression_tests(self, job_id: str,
+                                  dest_dir: str | Path) -> list[Path]:
+        return self.service.generate_regression_tests(
+            job_id, dest_dir, tenant=self.tenant
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats_add(self, stream_path: str | Path) -> dict:
+        return self.service.stats_add(stream_path, tenant=self.tenant)
+
+    def stats_campaigns(self, campaign: str | None = None) -> list[dict]:
+        return self.service.stats_campaigns(campaign, tenant=self.tenant)
+
+    def stats_aggregate(self, campaign: str | None = None,
+                        spec: str | None = None,
+                        file: str | None = None,
+                        component: str | None = None,
+                        confidence: float = 0.95,
+                        rules: list[ClassificationRule] | None = None,
+                        ) -> dict:
+        return self.service.stats_aggregate(
+            campaign=campaign, spec=spec, file=file, component=component,
+            confidence=confidence, rules=rules, tenant=self.tenant,
+        )

@@ -1,0 +1,300 @@
+"""Multi-tenant access control for the service layer.
+
+The paper's §I pitch — ProFIPy "is provided as software-as-a-service" —
+implies many users sharing one deployment.  This module supplies the
+pieces the service stack needs for that:
+
+* :class:`TenantSpec` — one tenant's identity (bearer token) and
+  resource envelope (concurrent-job weight, queue depth, blob bytes,
+  request rate);
+* :class:`TenantDirectory` — the set of configured tenants, loaded from
+  a ``tenants.json`` in the service workspace (``profipy serve
+  --tenants FILE``), resolving bearer tokens to tenant names;
+* :class:`TokenBucket` — the per-tenant request rate limiter the HTTP
+  transport consults before dispatching a request;
+* the tenancy exception types the API layer maps to wire codes:
+  :class:`AuthenticationError` → ``unauthorized`` (401),
+  :class:`TenantForbiddenError` → ``forbidden`` (403), and
+  :class:`QuotaExceededError` → ``quota_exceeded`` (429).
+
+With **no** tenants file configured the service runs exactly as before:
+no authentication, every caller is the :data:`DEFAULT_TENANT`, whose
+data keeps today's single-user workspace layout (``<workspace>/models``,
+``<workspace>/jobs``, …).  Configured tenants are namespaced under
+``<workspace>/tenants/<name>/…`` instead, and the scheduler drains their
+queues fair-share (see :mod:`repro.service.jobs`).
+
+Tenant names double as directory names, so they are validated against a
+conservative slug pattern — a hostile name can never escape the
+workspace.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The implicit tenant of unauthenticated single-user deployments; its
+#: data lives directly under the workspace (the pre-tenancy layout).
+DEFAULT_TENANT = "default"
+
+#: Tenant names become path components under ``<workspace>/tenants/``.
+_TENANT_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+class AuthenticationError(PermissionError):
+    """No credentials, or credentials that resolve to no tenant
+    (wire code ``unauthorized``, HTTP 401)."""
+
+
+class TenantForbiddenError(PermissionError):
+    """Valid credentials, but the resource belongs to another tenant
+    (wire code ``forbidden``, HTTP 403)."""
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant resource limit (queue depth, blob bytes, request rate)
+    would be exceeded (wire code ``quota_exceeded``, HTTP 429)."""
+
+
+def validate_tenant_name(name: str) -> str:
+    """``name`` if it is a safe path-component slug, else ``ValueError``."""
+    if not isinstance(name, str) or not _TENANT_NAME_RE.fullmatch(name):
+        raise ValueError(
+            f"invalid tenant name {name!r}: must match "
+            f"{_TENANT_NAME_RE.pattern!r} (it becomes a directory name)"
+        )
+    if name in (".", ".."):
+        raise ValueError(f"invalid tenant name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity and resource envelope.
+
+    ``max_running`` is both a hard cap on the tenant's *concurrent* job
+    bodies and its fair-share weight in the scheduler's round-robin
+    drain; ``max_queued`` bounds the backlog a single tenant can park on
+    the scheduler; ``max_blob_bytes`` bounds the content-addressed blob
+    bytes the tenant may upload per service process; and
+    ``requests_per_second``/``burst`` parameterize the HTTP token-bucket
+    rate limiter.  ``None`` means unlimited for every bound.
+    """
+
+    name: str
+    token: str | None = None
+    max_running: int | None = 1
+    max_queued: int | None = None
+    max_blob_bytes: int | None = None
+    requests_per_second: float | None = None
+    burst: int | None = None
+
+    def __post_init__(self) -> None:
+        validate_tenant_name(self.name)
+        if self.max_running is not None and self.max_running < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: max_running must be >= 1 "
+                f"(got {self.max_running})"
+            )
+        if self.max_queued is not None and self.max_queued < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: max_queued must be >= 0 "
+                f"(got {self.max_queued})"
+            )
+        if self.max_blob_bytes is not None and self.max_blob_bytes < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: max_blob_bytes must be >= 0 "
+                f"(got {self.max_blob_bytes})"
+            )
+        if (self.requests_per_second is not None
+                and self.requests_per_second <= 0):
+            raise ValueError(
+                f"tenant {self.name!r}: requests_per_second must be > 0 "
+                f"(got {self.requests_per_second})"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: burst must be >= 1 "
+                f"(got {self.burst})"
+            )
+
+    def to_dict(self, redact_token: bool = False) -> dict:
+        return {
+            "name": self.name,
+            "token": ("***" if redact_token and self.token else self.token),
+            "max_running": self.max_running,
+            "max_queued": self.max_queued,
+            "max_blob_bytes": self.max_blob_bytes,
+            "requests_per_second": self.requests_per_second,
+            "burst": self.burst,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "TenantSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"tenant {name!r}: entry must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        unknown = set(data) - {"token", "max_running", "max_queued",
+                               "max_blob_bytes", "requests_per_second",
+                               "burst"}
+        if unknown:
+            raise ValueError(
+                f"tenant {name!r}: unknown keys {sorted(unknown)}"
+            )
+        return cls(
+            name=name,
+            token=data.get("token"),
+            max_running=data.get("max_running", 1),
+            max_queued=data.get("max_queued"),
+            max_blob_bytes=data.get("max_blob_bytes"),
+            requests_per_second=data.get("requests_per_second"),
+            burst=data.get("burst"),
+        )
+
+
+#: The envelope of the implicit single-user tenant and of in-process
+#: callers that never configured tenants: no caps at all.
+UNLIMITED_SPEC = TenantSpec(name=DEFAULT_TENANT, max_running=None)
+
+
+class TenantDirectory:
+    """The configured tenants of one service deployment.
+
+    Resolves bearer tokens to tenant names (:meth:`authenticate`) and
+    answers each tenant's :class:`TenantSpec` (:meth:`spec`).  Loaded
+    from a ``tenants.json`` of the form::
+
+        {
+          "tenants": {
+            "alice": {"token": "s3cret", "max_running": 1,
+                      "max_queued": 8, "max_blob_bytes": 67108864,
+                      "requests_per_second": 50, "burst": 100},
+            "bob":   {"token": "hunter2"}
+          }
+        }
+
+    Every configured tenant needs a non-empty token (anonymous tenants
+    would be indistinguishable on the wire); tokens must be unique.
+    """
+
+    def __init__(self, specs: list[TenantSpec]) -> None:
+        self._specs: dict[str, TenantSpec] = {}
+        self._by_token: dict[str, str] = {}
+        for spec in specs:
+            if spec.name == DEFAULT_TENANT:
+                raise ValueError(
+                    f"tenant name {DEFAULT_TENANT!r} is reserved for "
+                    "unauthenticated single-user mode"
+                )
+            if spec.name in self._specs:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            if not spec.token:
+                raise ValueError(
+                    f"tenant {spec.name!r} has no token; every configured "
+                    "tenant authenticates with a bearer token"
+                )
+            if spec.token in self._by_token:
+                raise ValueError(
+                    f"tenant {spec.name!r} reuses the token of tenant "
+                    f"{self._by_token[spec.token]!r}; tokens must be unique"
+                )
+            self._specs[spec.name] = spec
+            self._by_token[spec.token] = spec.name
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantDirectory":
+        if not isinstance(data, dict) or not isinstance(
+                data.get("tenants"), dict):
+            raise ValueError(
+                'tenants config must be an object with a "tenants" object'
+            )
+        return cls([TenantSpec.from_dict(name, entry)
+                    for name, entry in sorted(data["tenants"].items())])
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TenantDirectory":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ValueError(
+                f"cannot read tenants file {path}: {error}") from None
+        except ValueError as error:
+            raise ValueError(
+                f"tenants file {path} is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def authenticate(self, token: str | None) -> str:
+        """The tenant a bearer token belongs to; raises
+        :class:`AuthenticationError` for a missing or unknown token."""
+        if not token:
+            raise AuthenticationError(
+                "authentication required: pass an Authorization: Bearer "
+                "token for a configured tenant"
+            )
+        tenant = self._by_token.get(token)
+        if tenant is None:
+            raise AuthenticationError("unrecognized bearer token")
+        return tenant
+
+    def spec(self, tenant: str) -> TenantSpec:
+        """The tenant's envelope (the unlimited default-tenant spec for
+        the implicit single-user tenant)."""
+        if tenant == DEFAULT_TENANT:
+            return UNLIMITED_SPEC
+        try:
+            return self._specs[tenant]
+        except KeyError:
+            raise KeyError(f"unknown tenant {tenant!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant == DEFAULT_TENANT or tenant in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (thread-safe).
+
+    Starts full at ``burst`` tokens; each admitted request costs one
+    token; tokens refill continuously at ``rate`` per second.  A request
+    arriving to an empty bucket is rejected, never queued — the HTTP
+    layer answers 429 and the client retries with backoff.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens < tokens:
+                return False
+            self._tokens -= tokens
+            return True

@@ -103,7 +103,6 @@ class StatsStore:
         campaign.  Filters match the injection point's ``spec_name`` /
         ``file`` / ``component`` fields exactly.
         """
-        from repro.orchestrator.experiment import ExperimentResult
         from repro.orchestrator.stream import ExperimentStream
 
         estimator = StreamingEstimator(confidence)

@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.common.fsutil import (
     atomic_write,
     copy_tree,
@@ -13,7 +11,7 @@ from repro.common.fsutil import (
     remove_tree,
     write_json,
 )
-from repro.common.procutil import kill_process_group, run_command, wait_for
+from repro.common.procutil import run_command, wait_for
 from repro.common.rng import SeededRandom
 from repro.common.textutil import (
     dedent_block,

@@ -1,7 +1,5 @@
 """Tests for ExperimentResult round-trips and derived properties."""
 
-import pytest
-
 from repro.common.procutil import CommandResult
 from repro.orchestrator.experiment import (
     STATUS_COMPLETED,

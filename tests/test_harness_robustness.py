@@ -5,8 +5,6 @@ files must surface as recorded errors/failure modes — never as crashes of
 the campaign itself.
 """
 
-import textwrap
-
 import pytest
 
 from repro.dsl.compiler import compile_text

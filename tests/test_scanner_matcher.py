@@ -3,8 +3,6 @@
 import ast
 import textwrap
 
-import pytest
-
 from repro.dsl import compile_text
 from repro.scanner.bindings import CallCapture
 from repro.scanner.matcher import Matcher, call_name, name_matches

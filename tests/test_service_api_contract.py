@@ -9,6 +9,12 @@ PR acceptance criterion).  Cancellation over either transport leaves a
 partial result stream that a follow-up ``resume_from`` completes
 byte-identically to an uninterrupted run (the PR 2 determinism
 invariant).
+
+The ``*-auth`` fixture params rerun the whole contract with tenancy
+enabled: the in-process facade becomes ``service.for_tenant(...)`` and
+the HTTP client authenticates with a bearer token — the lifecycle,
+summaries, experiment lists, and the cancel+resume determinism
+invariant must all survive authentication unchanged.
 """
 
 import re
@@ -17,11 +23,21 @@ import time
 
 import pytest
 
+from repro.common.fsutil import read_json
 from repro.faultmodel.library import gswfit_model
 from repro.orchestrator.campaign import CampaignConfig
+from repro.service.api import (
+    campaign_config_from_dict,
+    campaign_config_to_dict,
+)
 from repro.service.client import ProFIPyClient
 from repro.service.http import start_server
 from repro.service.service import ProFIPyService
+from repro.service.tenants import TenantDirectory
+
+#: The tenant the ``*-auth`` fixture params run the contract as.
+CONTRACT_TENANT = "contract"
+CONTRACT_TOKEN = "contract-secret-token"
 
 #: Experiment fields that must be byte-identical across transports and
 #: across cancel+resume (timing fields like duration legitimately vary).
@@ -38,19 +54,30 @@ def deterministic_view(experiments):
     ]
 
 
-@pytest.fixture(params=["inprocess", "http"])
+@pytest.fixture(params=["inprocess", "http", "inprocess-auth", "http-auth"])
 def facade_factory(request):
     """Builds a service facade over a workspace: the in-process core or
-    an HTTP client talking to a server running that same core."""
+    an HTTP client talking to a server running that same core.  The
+    ``-auth`` variants run the identical contract as a configured
+    tenant (scoped in-process view / bearer-token client)."""
     servers = []
+    auth = request.param.endswith("-auth")
 
     def factory(workspace, max_workers=2):
-        service = ProFIPyService(workspace, max_workers=max_workers)
-        if request.param == "inprocess":
-            return service
+        tenants = None
+        if auth:
+            tenants = TenantDirectory.from_dict({"tenants": {
+                CONTRACT_TENANT: {"token": CONTRACT_TOKEN,
+                                  "max_running": max_workers},
+            }})
+        service = ProFIPyService(workspace, max_workers=max_workers,
+                                 tenants=tenants)
+        if request.param.startswith("inprocess"):
+            return service.for_tenant(CONTRACT_TENANT) if auth else service
         server, _thread = start_server(service)
         servers.append((server, service))
-        return ProFIPyClient(server.url)
+        return ProFIPyClient(server.url,
+                             token=CONTRACT_TOKEN if auth else None)
 
     yield factory
     for server, service in servers:
@@ -70,6 +97,29 @@ class TestModelRegistryContract:
     def test_predefined_fallback(self, tmp_path, facade_factory):
         facade = facade_factory(tmp_path / "ws")
         assert facade.load_model("extended").name == "extended"
+
+    def test_list_models_includes_predefined(self, tmp_path,
+                                             facade_factory):
+        # Regression: list_models used to hide the pre-defined models,
+        # so GET /v1/models omitted names load_model happily resolved.
+        facade = facade_factory(tmp_path / "ws")
+        names = facade.list_models()
+        assert "gswfit" in names and "extended" in names
+        for name in names:
+            assert facade.load_model(name).name == name
+
+    def test_stored_model_shadows_predefined_in_listing(
+            self, tmp_path, facade_factory):
+        # One name, one listing entry: a stored model of the same name
+        # shadows the pre-defined one instead of duplicating it.
+        facade = facade_factory(tmp_path / "ws")
+        shadow = gswfit_model()
+        shadow.name = "extended"
+        shadow.description = "stored shadow"
+        facade.save_model(shadow)
+        names = facade.list_models()
+        assert names.count("extended") == 1
+        assert facade.load_model("extended").description == "stored shadow"
 
     def test_unknown_model_raises_keyerror(self, tmp_path, facade_factory):
         facade = facade_factory(tmp_path / "ws")
@@ -178,6 +228,71 @@ class TestCampaignContract:
             assert path.parent == dest
             text = path.read_text(encoding="utf-8")
             assert "CAMPAIGN_SEED" in text and "EXPERIMENT_ID" in text
+
+
+@pytest.mark.integration
+class TestPersistedConfigContract:
+    """Regression: ``<job_dir>/config.json`` used to be a hand-rolled
+    subset that silently dropped ``sampling``, ``image_manifest``,
+    ``scan_incremental``, ``registry_url``, and the scan-cache knobs —
+    audits and ``generate_regression_tests`` saw a config that never
+    existed.  The full wire form must persist, plus resume provenance.
+    """
+
+    def test_config_json_is_complete_wire_form(
+            self, tmp_path, toy_project, toy_model, toy_workload):
+        service = ProFIPyService(tmp_path / "ws", max_workers=1)
+        config = CampaignConfig(
+            name="audit",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=toy_workload,
+            injectable_files=["app.py"],
+            coverage=False,
+            parallelism=1,
+            seed=7,
+            scan_incremental=False,
+            sampling={"max_experiments": 2, "min_experiments": 1},
+        )
+        job = service.submit_campaign(config, block=True)
+        assert job.status == "completed", job.error
+        persisted = read_json(job.directory / "config.json")
+        # Every wire-form field is present — especially the ones the
+        # old subset dropped.
+        for key in campaign_config_to_dict(config):
+            assert key in persisted, f"config.json dropped {key!r}"
+        assert persisted["scan_incremental"] is False
+        assert persisted["sampling"]["max_experiments"] == 2
+        assert persisted["resumed_from"] is None
+        # And it round-trips into a runnable config with the same
+        # campaign-defining fields.
+        rebuilt = campaign_config_from_dict(persisted)
+        assert rebuilt.seed == config.seed
+        assert rebuilt.scan_incremental is False
+        assert rebuilt.sampling.max_experiments == 2
+        assert rebuilt.fault_model.to_dict() == toy_model.to_dict()
+        assert rebuilt.workload.to_dict() == toy_workload.to_dict()
+
+    def test_config_json_records_resume_provenance(
+            self, tmp_path, toy_project, toy_model, toy_workload):
+        service = ProFIPyService(tmp_path / "ws", max_workers=1)
+        config = CampaignConfig(
+            name="prov",
+            target_dir=toy_project,
+            fault_model=toy_model,
+            workload=toy_workload,
+            injectable_files=["app.py"],
+            coverage=False,
+            parallelism=1,
+            seed=7,
+        )
+        first = service.submit_campaign(config, block=True)
+        assert first.status == "completed", first.error
+        resumed = service.submit_campaign(config, block=True,
+                                          resume_from=first.job_id)
+        assert resumed.status == "completed", resumed.error
+        persisted = read_json(resumed.directory / "config.json")
+        assert persisted["resumed_from"] == first.job_id
 
 
 @pytest.mark.integration

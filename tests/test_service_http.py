@@ -278,3 +278,59 @@ class TestJobsOverHTTP:
         finally:
             server.shutdown()
             service.close()
+
+
+class TestContentLengthValidation:
+    """Regression: ``_read_raw`` used to feed the raw Content-Length
+    header straight into ``int(...)`` — a malformed value blew up as an
+    unhandled ValueError (500 for a client mistake), and a *negative*
+    value sailed past the ``> MAX_BODY_BYTES`` bound and became
+    ``rfile.read(-5)``: read-to-EOF, defeating the body limit."""
+
+    def _raw_request(self, server, content_length, body=b""):
+        """A hand-built request with an arbitrary Content-Length header
+        (urllib/ProFIPyClient would refuse to send these)."""
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/blobs/missing")
+            connection.putheader("Content-Length", content_length)
+            connection.putheader("Content-Type", "application/json")
+            connection.endheaders()
+            if body:
+                try:
+                    connection.send(body)
+                except OSError:
+                    pass  # server already rejected and closed
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_malformed_content_length_is_400(self, stack):
+        _service, server, client = stack
+        status, payload = self._raw_request(server, "abc", body=b"{}")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "Content-Length" in payload["error"]["message"]
+        # The server survives the rejected request.
+        assert client.ping()["api_version"] == API_VERSION
+
+    def test_negative_content_length_is_400(self, stack):
+        _service, server, client = stack
+        status, payload = self._raw_request(server, "-5", body=b"{}")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "negative" in payload["error"]["message"]
+        assert client.ping()["api_version"] == API_VERSION
+
+    def test_oversized_content_length_is_400(self, stack):
+        from repro.service.http import MAX_BODY_BYTES
+
+        _service, server, _client = stack
+        status, payload = self._raw_request(server,
+                                            str(MAX_BODY_BYTES + 1))
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
